@@ -1,0 +1,92 @@
+// Backpressure ablation (§4.2): a write surge against a Raft group with a
+// deliberately slow apply path, with BFC queue limits on vs effectively
+// off. With BFC, queues stay bounded and the client observes
+// ResourceExhausted rejections (and can retry at a lower rate); without
+// BFC the internal queues grow without bound — the "explosion of nodes'
+// internal queues" the paper guards against.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "consensus/raft.h"
+
+using namespace logstore;
+using namespace logstore::consensus;
+
+namespace {
+
+struct SurgeResult {
+  int accepted = 0;
+  int rejected = 0;
+  size_t peak_sync_queue = 0;
+  size_t peak_apply_queue = 0;
+  uint64_t applied = 0;
+};
+
+SurgeResult RunSurge(bool bfc_enabled) {
+  RaftOptions options;
+  options.election_timeout_min_ms = 50;
+  options.election_timeout_max_ms = 100;
+  options.heartbeat_interval_ms = 20;
+  options.apply_per_tick = 2;  // slow apply path (e.g. saturated disks)
+  if (bfc_enabled) {
+    options.sync_queue_max_items = 64;
+    options.apply_queue_max_items = 64;
+    options.max_uncommitted_entries = 128;
+  } else {
+    options.sync_queue_max_items = 1u << 30;  // effectively unbounded
+    options.apply_queue_max_items = 1u << 30;
+    options.max_uncommitted_entries = 1u << 30;
+  }
+
+  RaftCluster cluster(3, options, 17);
+  const int leader = cluster.WaitForLeader();
+  if (leader < 0) abort();
+
+  SurgeResult result;
+  // 200 rounds of a 40-entry/round surge, ~4x the apply throughput.
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 40; ++i) {
+      if (cluster.node(leader).Propose("surge-entry-payload").ok()) {
+        result.accepted++;
+      } else {
+        result.rejected++;
+      }
+    }
+    cluster.Tick(30);
+    for (int n = 0; n < cluster.num_nodes(); ++n) {
+      result.peak_sync_queue =
+          std::max(result.peak_sync_queue, cluster.node(n).sync_queue_depth());
+      result.peak_apply_queue = std::max(
+          result.peak_apply_queue, cluster.node(n).apply_queue_depth());
+    }
+  }
+  result.applied = cluster.node(leader).last_applied();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  printf("=== Backpressure flow control (BFC) under a 4x write surge ===\n\n");
+  const SurgeResult with_bfc = RunSurge(true);
+  const SurgeResult without_bfc = RunSurge(false);
+
+  printf("%-26s %-14s %-14s\n", "metric", "BFC on", "BFC off");
+  printf("%-26s %-14d %-14d\n", "writes accepted", with_bfc.accepted,
+         without_bfc.accepted);
+  printf("%-26s %-14d %-14d\n", "writes rejected (client)", with_bfc.rejected,
+         without_bfc.rejected);
+  printf("%-26s %-14zu %-14zu\n", "peak sync queue depth",
+         with_bfc.peak_sync_queue, without_bfc.peak_sync_queue);
+  printf("%-26s %-14zu %-14zu\n", "peak apply queue depth",
+         with_bfc.peak_apply_queue, without_bfc.peak_apply_queue);
+  printf("%-26s %-14llu %-14llu\n", "entries applied",
+         static_cast<unsigned long long>(with_bfc.applied),
+         static_cast<unsigned long long>(without_bfc.applied));
+
+  printf("\nwith BFC the system sheds load at the client (rejections) and "
+         "keeps every internal queue bounded;\nwithout BFC queues grow with "
+         "the surge (unbounded memory) while applying no faster.\n");
+  return 0;
+}

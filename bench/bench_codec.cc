@@ -1,0 +1,69 @@
+// Codec micro-benchmarks supporting the §3.2 "Compressed" design choice:
+// the ratio-oriented codec costs more CPU but compresses better, which is
+// the right trade when data ships to (and is billed by) object storage.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "compress/codec.h"
+
+namespace {
+
+using logstore::Random;
+using logstore::compress::Codec;
+using logstore::compress::CodecType;
+using logstore::compress::GetCodec;
+
+std::string MakeLogPayload(size_t approx_bytes) {
+  Random rng(42);
+  std::string payload;
+  while (payload.size() < approx_bytes) {
+    payload += "2020-11-11 0" + std::to_string(rng.Uniform(10)) +
+               ":00:00 GET /api/v1/instances/" +
+               std::to_string(rng.Uniform(100)) +
+               " status=200 latency=" + std::to_string(rng.Uniform(500)) +
+               "ms tenant=" + std::to_string(rng.Uniform(64)) + "\n";
+  }
+  return payload;
+}
+
+void BM_Compress(benchmark::State& state, CodecType type) {
+  const Codec* codec = GetCodec(type);
+  const std::string payload = MakeLogPayload(256 * 1024);
+  size_t compressed_size = 0;
+  for (auto _ : state) {
+    std::string out;
+    benchmark::DoNotOptimize(codec->Compress(payload, &out));
+    compressed_size = out.size();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+  state.counters["ratio"] =
+      static_cast<double>(payload.size()) /
+      static_cast<double>(compressed_size == 0 ? 1 : compressed_size);
+}
+
+void BM_Decompress(benchmark::State& state, CodecType type) {
+  const Codec* codec = GetCodec(type);
+  const std::string payload = MakeLogPayload(256 * 1024);
+  std::string compressed;
+  (void)codec->Compress(payload, &compressed);
+  for (auto _ : state) {
+    std::string out;
+    benchmark::DoNotOptimize(codec->Decompress(compressed, &out));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+}
+
+BENCHMARK_CAPTURE(BM_Compress, none, CodecType::kNone);
+BENCHMARK_CAPTURE(BM_Compress, lz_fast, CodecType::kLzFast);
+BENCHMARK_CAPTURE(BM_Compress, lz_ratio, CodecType::kLzRatio);
+BENCHMARK_CAPTURE(BM_Decompress, lz_fast, CodecType::kLzFast);
+BENCHMARK_CAPTURE(BM_Decompress, lz_ratio, CodecType::kLzRatio);
+
+}  // namespace
+
+BENCHMARK_MAIN();

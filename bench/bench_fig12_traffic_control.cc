@@ -1,0 +1,83 @@
+// Figure 12: system performance under the three balancing policies as the
+// skew factor grows.
+//   (a) write throughput vs theta
+//   (b) batch (1000-entry) write latency vs theta
+//   (c) number of routing rules added vs theta (greedy vs max-flow)
+//
+// Expected shape (paper): without flow control, throughput collapses and
+// latency explodes as theta -> 0.99; greedy and max-flow both hold
+// throughput near the offered load, with max-flow at lower latency and
+// fewer added routes.
+
+#include <cstdio>
+
+#include "cluster/traffic_sim.h"
+
+using logstore::cluster::BalancePolicy;
+using logstore::cluster::TrafficSimOptions;
+using logstore::cluster::TrafficSimulator;
+
+int main() {
+  const double kThetas[] = {0.0, 0.2, 0.4, 0.6, 0.8, 0.99};
+  const BalancePolicy kPolicies[] = {
+      BalancePolicy::kNone, BalancePolicy::kGreedy, BalancePolicy::kMaxFlow};
+  const char* kPolicyNames[] = {"no-control", "greedy", "max-flow"};
+
+  struct Cell {
+    double throughput, latency;
+    size_t routes;
+  };
+  Cell results[3][6] = {};
+
+  for (int p = 0; p < 3; ++p) {
+    for (int t = 0; t < 6; ++t) {
+      TrafficSimOptions options;
+      options.num_workers = 24;  // the paper's 24 worker nodes
+      options.shards_per_worker = 4;
+      options.num_tenants = 1000;
+      options.theta = kThetas[t];
+      options.policy = kPolicies[p];
+      TrafficSimulator sim(options);
+      const auto metrics = sim.Run(/*warmup_rounds=*/25, /*measure_rounds=*/10);
+      results[p][t] = {metrics.throughput, metrics.avg_latency_ms,
+                       metrics.route_count - options.num_tenants};
+    }
+  }
+
+  printf("=== Figure 12(a): write throughput (entries/s) vs skew ===\n");
+  printf("%-12s", "policy");
+  for (double theta : kThetas) printf("  theta=%-6.2f", theta);
+  printf("\n");
+  for (int p = 0; p < 3; ++p) {
+    printf("%-12s", kPolicyNames[p]);
+    for (int t = 0; t < 6; ++t) printf("  %-12.0f", results[p][t].throughput);
+    printf("\n");
+  }
+
+  printf("\n=== Figure 12(b): batch write latency (ms) vs skew ===\n");
+  printf("%-12s", "policy");
+  for (double theta : kThetas) printf("  theta=%-6.2f", theta);
+  printf("\n");
+  for (int p = 0; p < 3; ++p) {
+    printf("%-12s", kPolicyNames[p]);
+    for (int t = 0; t < 6; ++t) printf("  %-12.1f", results[p][t].latency);
+    printf("\n");
+  }
+
+  printf("\n=== Figure 12(c): routing rules added vs skew ===\n");
+  printf("%-12s", "policy");
+  for (double theta : kThetas) printf("  theta=%-6.2f", theta);
+  printf("\n");
+  for (int p = 1; p < 3; ++p) {  // no-control never adds routes
+    printf("%-12s", kPolicyNames[p]);
+    for (int t = 0; t < 6; ++t) printf("  %-12zu", results[p][t].routes);
+    printf("\n");
+  }
+
+  printf("\nsummary at theta=0.99: throughput no-control/max-flow = %.2fx, "
+         "greedy/max-flow = %.2fx; routes added: max-flow %zu vs greedy %zu\n",
+         results[0][5].throughput / results[2][5].throughput,
+         results[1][5].throughput / results[2][5].throughput,
+         results[2][5].routes, results[1][5].routes);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 14: detailed per-shard and per-worker state at theta = 0.99.
+//   (a) shard accesses per second, rank-ordered, before vs after max-flow
+//   (b) worker accesses per second before balancing
+//   (c) worker accesses and CPU utilization after balancing (paper: CPU of
+//       all workers close to alpha = 85%)
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "cluster/traffic_sim.h"
+
+using logstore::cluster::BalancePolicy;
+using logstore::cluster::TrafficSimOptions;
+using logstore::cluster::TrafficSimulator;
+
+int main() {
+  TrafficSimOptions options;
+  options.num_workers = 24;
+  options.shards_per_worker = 4;
+  options.num_tenants = 1000;
+  options.theta = 0.99;
+  options.policy = BalancePolicy::kMaxFlow;
+
+  TrafficSimulator sim(options);
+  const auto before = sim.MeasureUnbalancedRound();
+  const auto after = sim.Run(25, 10);
+
+  auto sorted_desc = [](std::vector<int64_t> v) {
+    std::sort(v.begin(), v.end(), std::greater<int64_t>());
+    return v;
+  };
+  const auto shard_before = sorted_desc(before.shard_accesses);
+  const auto shard_after = sorted_desc(after.shard_accesses);
+
+  printf("=== Figure 14(a): shard accesses/s by rank, theta=0.99 ===\n");
+  printf("%-8s %-16s %-16s\n", "rank", "before", "after");
+  for (size_t rank = 0; rank < shard_before.size(); ++rank) {
+    const bool print = rank < 10 || rank % 10 == 0 ||
+                       rank == shard_before.size() - 1;
+    if (print) {
+      printf("%-8zu %-16lld %-16lld\n", rank + 1,
+             static_cast<long long>(shard_before[rank]),
+             static_cast<long long>(shard_after[rank]));
+    }
+  }
+  printf("hottest shard reduced %.1fx (%lld -> %lld)\n\n",
+         static_cast<double>(shard_before[0]) /
+             std::max<int64_t>(1, shard_after[0]),
+         static_cast<long long>(shard_before[0]),
+         static_cast<long long>(shard_after[0]));
+
+  printf("=== Figure 14(b): worker accesses/s before balancing ===\n");
+  printf("%-8s %-16s %-12s\n", "worker", "accesses/s", "util");
+  for (size_t w = 0; w < before.worker_accesses.size(); ++w) {
+    printf("%-8zu %-16lld %-12.2f\n", w,
+           static_cast<long long>(before.worker_accesses[w]),
+           static_cast<double>(before.worker_accesses[w]) /
+               static_cast<double>(options.worker_capacity));
+  }
+
+  printf("\n=== Figure 14(c): worker accesses/s and CPU after max-flow ===\n");
+  printf("%-8s %-16s %-12s\n", "worker", "accesses/s", "cpu-util");
+  double util_min = 1e9, util_max = 0;
+  for (size_t w = 0; w < after.worker_accesses.size(); ++w) {
+    printf("%-8zu %-16lld %-12.2f\n", w,
+           static_cast<long long>(after.worker_accesses[w]),
+           after.worker_utilization[w]);
+    util_min = std::min(util_min, after.worker_utilization[w]);
+    util_max = std::max(util_max, after.worker_utilization[w]);
+  }
+  printf("\nworker CPU utilization after balancing: %.2f .. %.2f "
+         "(alpha watermark = %.2f)\n",
+         util_min, util_max, options.alpha);
+  return 0;
+}

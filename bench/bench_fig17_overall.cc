@@ -1,0 +1,102 @@
+// Figure 17: effect of all query optimizations combined, as a latency CDF
+// over a mixed online-retrieval workload.
+//
+// "Before": no data skipping, no caches, no prefetch — every query scans
+// its blocks serially from OSS. "After": the full §5 stack.
+//
+// Expected shape (paper): before, >50% of queries take over 10 s and ~1%
+// over 30 s; after, 75% return within 100 ms, 90% within 1 s, 99% within
+// 2 s. Absolute values differ on the simulated substrate; the orders of
+// magnitude between the two CDFs are the target.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "query_bench_common.h"
+
+using namespace logstore;
+using namespace logstore::bench;
+
+namespace {
+
+std::vector<double> RunWorkload(Dataset* dataset, bool optimized,
+                                uint32_t tenants) {
+  query::EngineOptions options;
+  options.use_data_skipping = optimized;
+  options.use_cache = optimized;
+  options.use_prefetch = optimized;
+  options.prefetch_threads = 32;
+  options.io_block_size = 8 * 1024;
+  options.cache_options.memory_capacity_bytes = 512ull << 20;
+  options.cache_options.ssd_dir.clear();
+  auto engine = query::QueryEngine::Open(dataset->store.get(), options);
+  if (!engine.ok()) abort();
+
+  std::vector<double> latencies_ms;
+  workload::QueryGenerator qgen(9);
+  for (uint32_t t = 0; t < tenants; ++t) {
+    for (const auto& q :
+         qgen.TenantQuerySet(t, 0, dataset->options.history_micros)) {
+      const int64_t start = NowUs();
+      auto r = (*engine)->Execute(q, dataset->map);
+      if (!r.ok()) abort();
+      latencies_ms.push_back((NowUs() - start) / 1000.0);
+    }
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  return latencies_ms;
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t idx = static_cast<size_t>(p * (sorted.size() - 1));
+  return sorted[idx];
+}
+
+double FractionUnder(const std::vector<double>& sorted, double ms) {
+  const auto it = std::upper_bound(sorted.begin(), sorted.end(), ms);
+  return static_cast<double>(it - sorted.begin()) /
+         static_cast<double>(sorted.size());
+}
+
+}  // namespace
+
+int main() {
+  const uint32_t kTenants = 30;
+  DatasetOptions data_options;
+  data_options.num_tenants = 100;
+  data_options.total_rows = 300'000;
+
+  printf("building dataset on simulated OSS...\n");
+  Dataset before_data, after_data;
+  BuildDataset(data_options, /*simulate_oss=*/true, &before_data);
+  BuildDataset(data_options, /*simulate_oss=*/true, &after_data);
+
+  printf("running %u tenants x 6 queries per configuration...\n\n", kTenants);
+  const auto before = RunWorkload(&before_data, /*optimized=*/false, kTenants);
+  const auto after = RunWorkload(&after_data, /*optimized=*/true, kTenants);
+
+  printf("=== Figure 17: query latency CDF, before vs after optimizations "
+         "===\n");
+  printf("%-12s %-14s %-14s\n", "percentile", "before (ms)", "after (ms)");
+  for (double p : {0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.00}) {
+    printf("p%-11.0f %-14.1f %-14.1f\n", p * 100, Percentile(before, p),
+           Percentile(after, p));
+  }
+
+  printf("\nfraction of queries returning within a budget:\n");
+  printf("%-12s %-10s %-10s\n", "budget", "before", "after");
+  for (double ms : {10.0, 50.0, 100.0, 500.0, 1000.0, 2000.0}) {
+    printf("%-12.0f %-10.2f %-10.2f\n", ms, FractionUnder(before, ms),
+           FractionUnder(after, ms));
+  }
+
+  double before_total = 0, after_total = 0;
+  for (double v : before) before_total += v;
+  for (double v : after) after_total += v;
+  printf("\nmean latency: %.1f ms before vs %.1f ms after (%.1fx)\n",
+         before_total / before.size(), after_total / after.size(),
+         before_total / std::max(1.0, after_total));
+  return 0;
+}

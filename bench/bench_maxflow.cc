@@ -1,0 +1,101 @@
+// Scheduler micro-benchmarks: Dinic's max-flow runtime on LogStore-shaped
+// flow networks, and the full greedy vs max-flow balancer passes. The
+// controller reruns these every monitoring interval (300 s in production),
+// so a pass must be cheap even with thousands of tenants.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "flow/balancer.h"
+#include "flow/consistent_hash.h"
+#include "flow/dinic.h"
+
+namespace {
+
+using namespace logstore;
+using namespace logstore::flow;
+
+ClusterState MakeState(int tenants, int workers, int shards_per_worker,
+                       double theta_like_skew) {
+  ClusterState state;
+  Random rng(7);
+  uint32_t shard_id = 0;
+  for (int w = 0; w < workers; ++w) {
+    state.workers.push_back({static_cast<uint32_t>(w), 1'000'000, 0});
+    for (int s = 0; s < shards_per_worker; ++s) {
+      state.shards.push_back({shard_id++, static_cast<uint32_t>(w), 400'000, 0});
+    }
+  }
+  ConsistentHashRing ring;
+  for (const auto& shard : state.shards) ring.AddNode(shard.id);
+
+  // Zipf-ish tenant demands: tenant k gets base / (k+1)^skew.
+  const double base = 200'000.0;
+  for (int t = 0; t < tenants; ++t) {
+    const int64_t traffic = static_cast<int64_t>(
+        base / std::pow(static_cast<double>(t + 1), theta_like_skew) + 100);
+    state.tenants.push_back({static_cast<uint64_t>(t), traffic});
+    state.routes.Set(t, {{ring.GetNode(t), 1.0}});
+  }
+  std::vector<int64_t> shard_loads, worker_loads;
+  ComputeLoads(state, state.routes, &shard_loads, &worker_loads);
+  for (size_t j = 0; j < state.shards.size(); ++j) {
+    state.shards[j].load = shard_loads[j];
+  }
+  for (size_t k = 0; k < state.workers.size(); ++k) {
+    state.workers[k].load = worker_loads[k];
+  }
+  return state;
+}
+
+void BM_DinicSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  // Layered graph shaped like the traffic network: S -> n -> n -> T.
+  DinicMaxFlow graph(2 * n + 2);
+  Random rng(3);
+  for (int i = 0; i < n; ++i) {
+    graph.AddEdge(0, 1 + i, 1000 + static_cast<int64_t>(rng.Uniform(1000)));
+    for (int j = 0; j < 4; ++j) {
+      graph.AddEdge(1 + i, 1 + n + static_cast<int>(rng.Uniform(n)),
+                    500 + static_cast<int64_t>(rng.Uniform(500)));
+    }
+  }
+  for (int j = 0; j < n; ++j) {
+    graph.AddEdge(1 + n + j, 2 * n + 1,
+                  2000 + static_cast<int64_t>(rng.Uniform(1000)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.Solve(0, 2 * n + 1));
+  }
+}
+BENCHMARK(BM_DinicSolve)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_MaxFlowBalancerPass(benchmark::State& state) {
+  ClusterState cluster =
+      MakeState(static_cast<int>(state.range(0)), 24, 4, 0.99);
+  MaxFlowBalancer balancer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(balancer.Schedule(cluster));
+  }
+  state.counters["routes"] =
+      static_cast<double>(balancer.Schedule(cluster).routes.RouteCount());
+}
+BENCHMARK(BM_MaxFlowBalancerPass)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_GreedyBalancerPass(benchmark::State& state) {
+  ClusterState cluster =
+      MakeState(static_cast<int>(state.range(0)), 24, 4, 0.99);
+  GreedyBalancer balancer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(balancer.Schedule(cluster));
+  }
+  state.counters["routes"] =
+      static_cast<double>(balancer.Schedule(cluster).routes.RouteCount());
+}
+BENCHMARK(BM_GreedyBalancerPass)->Arg(100)->Arg(1000)->Arg(5000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Multi-tenant DBaaS audit-log scenario: hundreds of tenants with Zipfian
+// data volumes share one LogStore. Demonstrates per-tenant physical
+// isolation on object storage, per-tenant billing, and differentiated
+// retention policies — the §3.1 multi-tenant storage design.
+//
+//   ./examples/multi_tenant_audit
+
+#include <cstdio>
+
+#include "core/logstore.h"
+#include "workload/loggen.h"
+#include "workload/zipfian.h"
+
+int main() {
+  logstore::LogStoreOptions options;
+  options.engine.cache_options.ssd_dir.clear();
+  auto db = logstore::LogStore::Open(options);
+  if (!db.ok()) {
+    fprintf(stderr, "open failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  // Ingest a day of audit logs for 200 tenants with production-like skew
+  // (theta = 0.99; see paper Figure 2).
+  const int kTenants = 200;
+  const int64_t kDayMicros = 24ll * 3600 * 1'000'000;
+  const auto shares = logstore::workload::ZipfianShares(kTenants, 0.99);
+  logstore::workload::LogGenerator gen(2024);
+
+  uint64_t total_rows = 0;
+  for (int t = 0; t < kTenants; ++t) {
+    const uint32_t rows =
+        static_cast<uint32_t>(shares[t] * 200'000);  // 200k rows total
+    if (rows == 0) continue;
+    auto status = (*db)->Append(t, gen.Generate(t, rows, 0, kDayMicros));
+    if (!status.ok()) {
+      fprintf(stderr, "append failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    total_rows += rows;
+  }
+  auto flushed = (*db)->Flush();
+  if (!flushed.ok()) {
+    fprintf(stderr, "flush failed: %s\n", flushed.status().ToString().c_str());
+    return 1;
+  }
+
+  const auto stats = (*db)->GetStats();
+  printf("ingested %llu rows for %llu tenants -> %llu LogBlocks, %llu bytes\n",
+         static_cast<unsigned long long>(total_rows),
+         static_cast<unsigned long long>(stats.tenant_count),
+         static_cast<unsigned long long>(stats.logblocks),
+         static_cast<unsigned long long>(stats.object_bytes));
+
+  // Billing: storage is accounted per tenant because every tenant's data
+  // lives in its own LogBlocks (physical isolation).
+  printf("\nper-tenant storage (top 5 by bytes):\n");
+  printf("  %-8s %-12s\n", "tenant", "bytes");
+  for (int t = 0; t < 5; ++t) {
+    printf("  %-8d %-12llu\n", t,
+           static_cast<unsigned long long>((*db)->TenantBytes(t)));
+  }
+  printf("  (tenant 0 holds %.1fx the storage of tenant 4 — Zipfian skew)\n",
+         static_cast<double>((*db)->TenantBytes(0)) /
+             static_cast<double>((*db)->TenantBytes(4)));
+
+  // Differentiated retention: tenant 0 is a bank (keeps everything);
+  // tenant 1 keeps only the last 6 hours; tenant 2 purges the full day.
+  const int64_t kSixHours = 6ll * 3600 * 1'000'000;
+  auto expired1 = (*db)->Expire(1, kDayMicros - kSixHours);
+  auto expired2 = (*db)->Expire(2, kDayMicros + 1);
+  printf("\nretention: tenant 1 expired %d block(s), tenant 2 expired %d\n",
+         expired1.value_or(-1), expired2.value_or(-1));
+  printf("tenant 1 bytes now: %llu, tenant 2 bytes now: %llu\n",
+         static_cast<unsigned long long>((*db)->TenantBytes(1)),
+         static_cast<unsigned long long>((*db)->TenantBytes(2)));
+
+  // Queries remain tenant-scoped: expiring tenant 2 did not affect 0.
+  logstore::query::LogQuery query;
+  query.tenant_id = 0;
+  query.predicates = {logstore::query::Predicate::StringEq("fail", "true")};
+  query.select_columns = {"log"};
+  auto failures = (*db)->Query(query);
+  printf("\ntenant 0 failure-audit query: %zu failed requests on record\n",
+         failures.ok() ? failures->rows.size() : 0);
+
+  query.tenant_id = 2;
+  auto gone = (*db)->Query(query);
+  printf("tenant 2 after full expiration: %zu rows (expected 0)\n",
+         gone.ok() ? gone->rows.size() : 0);
+  return 0;
+}

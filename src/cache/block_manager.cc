@@ -1,0 +1,53 @@
+#include "cache/block_manager.h"
+
+namespace logstore::cache {
+
+BlockManager::BlockManager(const BlockManagerOptions& options)
+    : memory_(std::make_unique<ShardedLruCache<const std::string>>(
+          options.memory_capacity_bytes, options.memory_shards,
+          &memory_stats_)) {}
+
+Result<std::unique_ptr<BlockManager>> BlockManager::Open(
+    const BlockManagerOptions& options) {
+  std::unique_ptr<BlockManager> manager(new BlockManager(options));
+  if (!options.ssd_dir.empty()) {
+    auto ssd = SsdBlockCache::Open(options.ssd_dir, options.ssd_capacity_bytes,
+                                   &manager->ssd_stats_);
+    if (!ssd.ok()) return ssd.status();
+    manager->ssd_ = std::move(ssd).value();
+    // Spill memory evictions to the SSD level.
+    SsdBlockCache* ssd_ptr = manager->ssd_.get();
+    manager->memory_->set_eviction_callback(
+        [ssd_ptr](const std::string& key,
+                  const std::shared_ptr<const std::string>& value, uint64_t) {
+          ssd_ptr->Insert(key, *value);
+        });
+  }
+  return manager;
+}
+
+std::shared_ptr<const std::string> BlockManager::Get(const std::string& key) {
+  if (auto block = memory_->Get(key)) return block;
+  if (ssd_ != nullptr) {
+    if (auto block = ssd_->Get(key)) {
+      // Promote to the memory level for subsequent hits.
+      memory_->Insert(key, block, block->size());
+      return block;
+    }
+  }
+  return nullptr;
+}
+
+void BlockManager::Insert(const std::string& key,
+                          std::shared_ptr<const std::string> block) {
+  const uint64_t charge = block->size();
+  memory_->Insert(key, std::move(block), charge);
+}
+
+bool BlockManager::Contains(const std::string& key) const {
+  return memory_->Contains(key) || (ssd_ != nullptr && ssd_->Contains(key));
+}
+
+void BlockManager::Clear() { memory_->Clear(); }
+
+}  // namespace logstore::cache

@@ -1,0 +1,122 @@
+#include "cache/ssd_block_cache.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/hash.h"
+
+namespace logstore::cache {
+
+namespace fs = std::filesystem;
+
+Result<std::unique_ptr<SsdBlockCache>> SsdBlockCache::Open(
+    const std::string& dir, uint64_t capacity_bytes, CacheStats* stats) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create cache dir " + dir + ": " +
+                           ec.message());
+  }
+  return std::unique_ptr<SsdBlockCache>(
+      new SsdBlockCache(dir, capacity_bytes, stats));
+}
+
+SsdBlockCache::~SsdBlockCache() {
+  // Cache files are scratch data; remove them on shutdown.
+  std::error_code ec;
+  fs::remove_all(dir_, ec);
+}
+
+std::string SsdBlockCache::PathFor(const std::string& key) const {
+  // Keys contain '/' and '#'; store under a hash-derived name.
+  char name[32];
+  snprintf(name, sizeof(name), "%016llx.blk",
+           static_cast<unsigned long long>(Hash64(key)));
+  return dir_ + "/" + name;
+}
+
+void SsdBlockCache::Insert(const std::string& key, const std::string& data) {
+  if (data.size() > capacity_) return;
+  const std::string path = PathFor(key);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return;  // best effort
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!out) {
+      std::error_code ec;
+      fs::remove(path, ec);
+      return;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stats_ != nullptr) stats_->inserts++;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    used_ -= it->second.size;
+    lru_.erase(it->second.lru_pos);
+    index_.erase(it);
+  }
+  lru_.push_front(key);
+  index_[key] = Entry{data.size(), lru_.begin()};
+  used_ += data.size();
+  EvictLocked();
+}
+
+std::shared_ptr<const std::string> SsdBlockCache::Get(const std::string& key) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      if (stats_ != nullptr) stats_->misses++;
+      return nullptr;
+    }
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(key);
+    it->second.lru_pos = lru_.begin();
+  }
+  std::ifstream in(PathFor(key), std::ios::binary | std::ios::ate);
+  if (!in) {
+    if (stats_ != nullptr) stats_->misses++;
+    return nullptr;
+  }
+  const auto size = in.tellg();
+  auto data = std::make_shared<std::string>(static_cast<size_t>(size), '\0');
+  in.seekg(0);
+  in.read(data->data(), size);
+  if (!in) {
+    if (stats_ != nullptr) stats_->misses++;
+    return nullptr;
+  }
+  if (stats_ != nullptr) stats_->hits++;
+  return data;
+}
+
+bool SsdBlockCache::Contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.count(key) > 0;
+}
+
+uint64_t SsdBlockCache::used_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_;
+}
+
+size_t SsdBlockCache::entry_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+void SsdBlockCache::EvictLocked() {
+  while (used_ > capacity_ && !lru_.empty()) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    auto it = index_.find(victim);
+    used_ -= it->second.size;
+    index_.erase(it);
+    std::error_code ec;
+    fs::remove(PathFor(victim), ec);
+    if (stats_ != nullptr) stats_->evictions++;
+  }
+}
+
+}  // namespace logstore::cache

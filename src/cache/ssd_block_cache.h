@@ -1,0 +1,65 @@
+#ifndef LOGSTORE_CACHE_SSD_BLOCK_CACHE_H_
+#define LOGSTORE_CACHE_SSD_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "cache/lru_cache.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace logstore::cache {
+
+// The second cache level of §5.2: blocks evicted from the memory cache
+// spill to local SSD (a directory of small files with an in-memory LRU
+// index). Much larger than the memory cache (paper: 8 GB vs 200 GB) and
+// still far cheaper to read than the object store.
+class SsdBlockCache {
+ public:
+  // `dir` is created if missing; pre-existing files are ignored (the cache
+  // is a best-effort accelerator, not a durability layer).
+  static Result<std::unique_ptr<SsdBlockCache>> Open(const std::string& dir,
+                                                     uint64_t capacity_bytes,
+                                                     CacheStats* stats = nullptr);
+
+  ~SsdBlockCache();
+
+  // Writes the block to disk; evicts LRU files over capacity.
+  void Insert(const std::string& key, const std::string& data);
+
+  // Reads a block back, refreshing recency; nullptr on miss or IO error.
+  std::shared_ptr<const std::string> Get(const std::string& key);
+
+  bool Contains(const std::string& key) const;
+
+  uint64_t used_bytes() const;
+  size_t entry_count() const;
+
+ private:
+  SsdBlockCache(std::string dir, uint64_t capacity_bytes, CacheStats* stats)
+      : dir_(std::move(dir)), capacity_(capacity_bytes), stats_(stats) {}
+
+  std::string PathFor(const std::string& key) const;
+  void EvictLocked();
+
+  const std::string dir_;
+  const uint64_t capacity_;
+  CacheStats* stats_;
+
+  mutable std::mutex mu_;
+  struct Entry {
+    uint64_t size;
+    std::list<std::string>::iterator lru_pos;
+  };
+  std::unordered_map<std::string, Entry> index_;
+  std::list<std::string> lru_;  // front = most recent
+  uint64_t used_ = 0;
+};
+
+}  // namespace logstore::cache
+
+#endif  // LOGSTORE_CACHE_SSD_BLOCK_CACHE_H_

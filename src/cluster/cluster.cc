@@ -1,0 +1,88 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+
+namespace logstore::cluster {
+
+Result<std::unique_ptr<Cluster>> Cluster::Open(
+    objectstore::ObjectStore* store, ClusterDeploymentOptions options) {
+  std::unique_ptr<Cluster> cluster(new Cluster());
+  cluster->store_ = store;
+  cluster->controller_ = std::make_unique<Controller>(
+      options.num_workers, options.shards_per_worker, options.controller);
+  for (uint32_t w = 0; w < options.num_workers; ++w) {
+    cluster->workers_.push_back(std::make_unique<Worker>(
+        w, store, cluster->controller_->metadata(), options.worker));
+  }
+  auto engine = query::QueryEngine::Open(store, options.engine);
+  if (!engine.ok()) return engine.status();
+  cluster->engine_ = std::move(engine).value();
+  return cluster;
+}
+
+Status Cluster::Write(uint64_t tenant, const logblock::RowBatch& rows) {
+  controller_->EnsureTenantRoute(tenant);
+  const flow::RouteTable routes = controller_->routes();
+  uint32_t shard = 0;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    if (!routes.PickShard(tenant, &rng_, &shard)) {
+      return Status::Internal("no route for tenant");
+    }
+  }
+  const uint32_t worker_id = controller_->WorkerForShard(shard);
+  LOGSTORE_RETURN_IF_ERROR(workers_[worker_id]->Write(shard, tenant, rows));
+
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  tenant_traffic_[tenant] += rows.num_rows();
+  shard_loads_[shard] += rows.num_rows();
+  worker_loads_[worker_id] += rows.num_rows();
+  return Status::OK();
+}
+
+Result<query::QueryResult> Cluster::Query(const query::LogQuery& query) {
+  // Archived data from the object store.
+  auto result = engine_->Execute(query, *controller_->metadata());
+  if (!result.ok()) return result.status();
+
+  // Merge the real-time stores: rows not yet archived.
+  for (auto& worker : workers_) {
+    const logblock::RowBatch realtime = worker->ScanRealtime(
+        query.tenant_id, query.ts_min, query.ts_max, query.predicates);
+    LOGSTORE_RETURN_IF_ERROR(
+        query::AppendRealtimeRows(realtime, query, &result.value()));
+  }
+  return result;
+}
+
+Result<int> Cluster::RunBuildPass() {
+  int total = 0;
+  for (auto& worker : workers_) {
+    auto built = worker->RunBuildPass();
+    if (!built.ok()) return built.status();
+    total += *built;
+  }
+  return total;
+}
+
+Controller::ControlDecision Cluster::RunTrafficControl() {
+  std::map<uint64_t, int64_t> tenants;
+  std::map<uint32_t, int64_t> shards;
+  std::map<uint32_t, int64_t> workers;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    tenants = std::move(tenant_traffic_);
+    shards = std::move(shard_loads_);
+    workers = std::move(worker_loads_);
+    tenant_traffic_.clear();
+    shard_loads_.clear();
+    worker_loads_.clear();
+  }
+  return controller_->RunTrafficControl(tenants, shards, workers);
+}
+
+Result<int> Cluster::ExpireTenantData(uint64_t tenant, int64_t cutoff_ts) {
+  return controller_->ExpireTenantData(tenant, cutoff_ts, store_);
+}
+
+}  // namespace logstore::cluster

@@ -1,0 +1,71 @@
+#ifndef LOGSTORE_CLUSTER_CLUSTER_H_
+#define LOGSTORE_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/controller.h"
+#include "cluster/worker.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "objectstore/object_store.h"
+#include "query/engine.h"
+
+namespace logstore::cluster {
+
+struct ClusterDeploymentOptions {
+  uint32_t num_workers = 4;
+  uint32_t shards_per_worker = 4;
+  WorkerOptions worker;
+  ControllerOptions controller;
+  query::EngineOptions engine;
+};
+
+// An in-process LogStore deployment (Figure 3): brokers route tenant writes
+// by the controller's routing table to workers' shards; data builders
+// archive to the object store; queries merge archived LogBlocks with the
+// workers' real-time stores. This is the functional simulation of the
+// multi-node production system — one address space, same code paths.
+class Cluster {
+ public:
+  // `store` must outlive the cluster.
+  static Result<std::unique_ptr<Cluster>> Open(
+      objectstore::ObjectStore* store, ClusterDeploymentOptions options);
+
+  // Broker write path: pick a shard by routing weight, write to its worker.
+  Status Write(uint64_t tenant, const logblock::RowBatch& rows);
+
+  // Broker read path: archived LogBlocks (via the query engine) merged with
+  // the real-time row stores, so freshly written data is visible
+  // immediately ("real-time data visibility").
+  Result<query::QueryResult> Query(const query::LogQuery& query);
+
+  // Background tasks, invoked by tests/benches instead of timers.
+  Result<int> RunBuildPass();           // all workers archive
+  Controller::ControlDecision RunTrafficControl();
+  Result<int> ExpireTenantData(uint64_t tenant, int64_t cutoff_ts);
+
+  Controller* controller() { return controller_.get(); }
+  Worker* worker(uint32_t id) { return workers_[id].get(); }
+  uint32_t num_workers() const { return static_cast<uint32_t>(workers_.size()); }
+  query::QueryEngine* engine() { return engine_.get(); }
+
+ private:
+  Cluster() : rng_(12345) {}
+
+  objectstore::ObjectStore* store_ = nullptr;
+  std::unique_ptr<Controller> controller_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::unique_ptr<query::QueryEngine> engine_;
+  Random rng_;
+
+  // Accumulated monitor metrics between traffic-control cycles.
+  std::mutex metrics_mu_;
+  std::map<uint64_t, int64_t> tenant_traffic_;
+  std::map<uint32_t, int64_t> shard_loads_;
+  std::map<uint32_t, int64_t> worker_loads_;
+};
+
+}  // namespace logstore::cluster
+
+#endif  // LOGSTORE_CLUSTER_CLUSTER_H_

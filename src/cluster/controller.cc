@@ -1,0 +1,111 @@
+#include "cluster/controller.h"
+
+namespace logstore::cluster {
+
+Controller::Controller(uint32_t num_workers, uint32_t shards_per_worker,
+                       ControllerOptions options)
+    : shards_per_worker_(shards_per_worker),
+      options_(options),
+      num_workers_(num_workers),
+      num_shards_(num_workers * shards_per_worker) {
+  for (uint32_t s = 0; s < num_shards_; ++s) ring_.AddNode(s);
+  switch (options_.policy) {
+    case BalancePolicy::kGreedy:
+      balancer_ = std::make_unique<flow::GreedyBalancer>();
+      break;
+    case BalancePolicy::kMaxFlow:
+      balancer_ = std::make_unique<flow::MaxFlowBalancer>();
+      break;
+    case BalancePolicy::kNone:
+      break;
+  }
+}
+
+uint32_t Controller::AddWorker() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint32_t worker = num_workers_++;
+  for (uint32_t s = 0; s < shards_per_worker_; ++s) {
+    ring_.AddNode(num_shards_ + s);
+  }
+  num_shards_ += shards_per_worker_;
+  return worker;
+}
+
+void Controller::EnsureTenantRoute(uint64_t tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (routes_.Contains(tenant)) return;
+  routes_.Set(tenant, {{ring_.GetNode(tenant), 1.0}});
+}
+
+flow::RouteTable Controller::routes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return routes_;
+}
+
+flow::ClusterState Controller::BuildState(
+    const std::map<uint64_t, int64_t>& tenant_traffic,
+    const std::map<uint32_t, int64_t>& shard_loads,
+    const std::map<uint32_t, int64_t>& worker_loads) const {
+  flow::ClusterState state;
+  state.alpha = options_.alpha;
+  state.hot_threshold = options_.hot_threshold;
+  state.edge_max_flow = options_.edge_max_flow;
+  state.routes = routes_;
+  for (const auto& [tenant, traffic] : tenant_traffic) {
+    state.tenants.push_back({tenant, traffic});
+  }
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    auto it = shard_loads.find(s);
+    state.shards.push_back({s, WorkerForShard(s), options_.shard_capacity,
+                            it == shard_loads.end() ? 0 : it->second});
+  }
+  for (uint32_t w = 0; w < num_workers_; ++w) {
+    auto it = worker_loads.find(w);
+    state.workers.push_back({w, options_.worker_capacity,
+                             it == worker_loads.end() ? 0 : it->second});
+  }
+  return state;
+}
+
+Controller::ControlDecision Controller::RunTrafficControl(
+    const std::map<uint64_t, int64_t>& tenant_traffic,
+    const std::map<uint32_t, int64_t>& shard_loads,
+    const std::map<uint32_t, int64_t>& worker_loads) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ControlDecision decision;
+  if (balancer_ == nullptr) return decision;  // kNone policy
+
+  const flow::ClusterState state =
+      BuildState(tenant_traffic, shard_loads, worker_loads);
+
+  // Algorithm 1: act only when hot shards exist.
+  if (flow::DetectHotShards(state).empty()) {
+    decision.route_count = routes_.RouteCount();
+    return decision;
+  }
+  if (flow::NeedsScaleOut(state)) {
+    // Only adding worker nodes can satisfy the demand.
+    decision.scale_needed = true;
+    decision.route_count = routes_.RouteCount();
+    return decision;
+  }
+
+  flow::BalanceResult result = balancer_->Schedule(state);
+  routes_ = std::move(result.routes);
+  decision.rebalanced = true;
+  decision.scale_needed = result.scale_needed;
+  decision.routes_added = result.routes_added;
+  decision.route_count = routes_.RouteCount();
+  return decision;
+}
+
+Result<int> Controller::ExpireTenantData(uint64_t tenant, int64_t cutoff_ts,
+                                         objectstore::ObjectStore* store) {
+  const auto expired = metadata_.ExpireBefore(tenant, cutoff_ts);
+  for (const auto& entry : expired) {
+    LOGSTORE_RETURN_IF_ERROR(store->Delete(entry.object_key));
+  }
+  return static_cast<int>(expired.size());
+}
+
+}  // namespace logstore::cluster

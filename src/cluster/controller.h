@@ -1,0 +1,111 @@
+#ifndef LOGSTORE_CLUSTER_CONTROLLER_H_
+#define LOGSTORE_CLUSTER_CONTROLLER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "flow/balancer.h"
+#include "flow/consistent_hash.h"
+#include "flow/route_table.h"
+#include "logblock/logblock_map.h"
+#include "objectstore/object_store.h"
+
+namespace logstore::cluster {
+
+enum class BalancePolicy { kNone, kGreedy, kMaxFlow };
+
+struct ControllerOptions {
+  BalancePolicy policy = BalancePolicy::kMaxFlow;
+  double alpha = 0.85;
+  double hot_threshold = 0.9;
+  int64_t edge_max_flow = 100'000;
+  int64_t shard_capacity = 150'000;
+  int64_t worker_capacity = 300'000;
+};
+
+// The controller of Figure 3/Figure 6: owns the metadata (tenant LogBlock
+// map), the tenant routing table, and the hotspot manager (monitor ->
+// balancer -> router). This in-process controller stands in for the
+// ZooKeeper-elected controller of the production deployment.
+class Controller {
+ public:
+  Controller(uint32_t num_workers, uint32_t shards_per_worker,
+             ControllerOptions options = {});
+
+  // Initial placement: ConsistentHash(K_i) with weight 100% (Algorithm 1
+  // lines 4-7). Idempotent per tenant.
+  void EnsureTenantRoute(uint64_t tenant);
+
+  // One monitor->balancer->router cycle (Algorithm 1 body). `tenant_traffic`
+  // / `shard_loads` / `worker_loads` are the metrics harvested since the
+  // last cycle, in rows per interval.
+  struct ControlDecision {
+    bool rebalanced = false;
+    bool scale_needed = false;
+    int routes_added = 0;
+    size_t route_count = 0;
+  };
+  ControlDecision RunTrafficControl(
+      const std::map<uint64_t, int64_t>& tenant_traffic,
+      const std::map<uint32_t, int64_t>& shard_loads,
+      const std::map<uint32_t, int64_t>& worker_loads);
+
+  // Current write routing table (brokers copy it).
+  flow::RouteTable routes() const;
+
+  // Shard -> worker placement.
+  uint32_t WorkerForShard(uint32_t shard) const {
+    return shard / shards_per_worker_;
+  }
+  uint32_t num_shards() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return num_shards_;
+  }
+  uint32_t num_workers() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return num_workers_;
+  }
+
+  // ScaleCluster (Algorithm 1 lines 23-27): provisions one more worker and
+  // its shards ("add new shards; add new workers"). New shards join the
+  // consistent-hash ring (future tenants) and become targets for the
+  // balancer's route additions (existing hot tenants). Returns the new
+  // worker id.
+  uint32_t AddWorker();
+
+  logblock::LogBlockMap* metadata() { return &metadata_; }
+
+  // Data-expiration task (§3.1): removes LogBlocks of `tenant` wholly older
+  // than `cutoff_ts` from the catalog and the object store. Returns the
+  // number of deleted blocks.
+  Result<int> ExpireTenantData(uint64_t tenant, int64_t cutoff_ts,
+                               objectstore::ObjectStore* store);
+
+  const ControllerOptions& options() const { return options_; }
+
+ private:
+  flow::ClusterState BuildState(
+      const std::map<uint64_t, int64_t>& tenant_traffic,
+      const std::map<uint32_t, int64_t>& shard_loads,
+      const std::map<uint32_t, int64_t>& worker_loads) const;
+
+  const uint32_t shards_per_worker_;
+  const ControllerOptions options_;
+  uint32_t num_workers_;  // guarded by mu_
+  uint32_t num_shards_;   // guarded by mu_
+
+  mutable std::mutex mu_;
+  flow::ConsistentHashRing ring_;
+  flow::RouteTable routes_;
+  std::unique_ptr<flow::Balancer> balancer_;
+
+  logblock::LogBlockMap metadata_;
+};
+
+}  // namespace logstore::cluster
+
+#endif  // LOGSTORE_CLUSTER_CONTROLLER_H_

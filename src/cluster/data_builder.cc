@@ -1,0 +1,67 @@
+#include "cluster/data_builder.h"
+
+#include <algorithm>
+
+namespace logstore::cluster {
+
+DataBuilder::DataBuilder(objectstore::ObjectStore* store,
+                         logblock::LogBlockMap* map,
+                         DataBuilderOptions options)
+    : store_(store), map_(map), options_(std::move(options)) {}
+
+Result<int> DataBuilder::BuildOnce(rowstore::RowStore* row_store) {
+  const rowstore::RowStore::BuildSnapshot snapshot =
+      row_store->SnapshotForBuild(options_.max_rows_per_build);
+  if (snapshot.total_rows == 0) return 0;
+
+  int built = 0;
+  // The snapshot divides the time-ordered row store into per-tenant
+  // columnar batches (§3.1); large tenants are split further.
+  for (const auto& [tenant, batch] : snapshot.per_tenant) {
+    for (uint32_t begin = 0; begin < batch.num_rows();
+         begin += options_.max_rows_per_logblock) {
+      const uint32_t end = std::min(begin + options_.max_rows_per_logblock,
+                                    batch.num_rows());
+      // Re-slice the batch when splitting.
+      const logblock::RowBatch* to_build = &batch;
+      logblock::RowBatch slice(batch.schema());
+      if (begin != 0 || end != batch.num_rows()) {
+        for (uint32_t r = begin; r < end; ++r) {
+          std::vector<logblock::Value> row;
+          row.reserve(batch.schema().num_columns());
+          for (size_t c = 0; c < batch.schema().num_columns(); ++c) {
+            row.push_back(batch.ValueAt(c, r));
+          }
+          slice.AddRow(row);
+        }
+        to_build = &slice;
+      }
+
+      auto block =
+          logblock::BuildLogBlock(*to_build, tenant, options_.block_options);
+      if (!block.ok()) return block.status();
+
+      const std::string key = options_.key_prefix + std::to_string(tenant) +
+                              "/" + std::to_string(sequence_.fetch_add(1)) +
+                              ".tar";
+      LOGSTORE_RETURN_IF_ERROR(store_->Put(key, block->data));
+
+      map_->Add({.tenant_id = tenant,
+                 .min_ts = block->meta.min_ts,
+                 .max_ts = block->meta.max_ts,
+                 .object_key = key,
+                 .size_bytes = block->data.size(),
+                 .row_count = block->meta.row_count});
+      bytes_uploaded_ += block->data.size();
+      blocks_built_++;
+      ++built;
+    }
+  }
+
+  rows_archived_ += snapshot.total_rows;
+  // Checkpoint: drop archived rows from the real-time store.
+  row_store->TruncateUpTo(snapshot.end_seq);
+  return built;
+}
+
+}  // namespace logstore::cluster

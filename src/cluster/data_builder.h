@@ -1,0 +1,63 @@
+#ifndef LOGSTORE_CLUSTER_DATA_BUILDER_H_
+#define LOGSTORE_CLUSTER_DATA_BUILDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "logblock/logblock_map.h"
+#include "logblock/logblock_writer.h"
+#include "objectstore/object_store.h"
+#include "rowstore/row_store.h"
+
+namespace logstore::cluster {
+
+struct DataBuilderOptions {
+  // Rows consumed from the row store per build pass.
+  uint64_t max_rows_per_build = 500'000;
+  // §3.1: "If a tenant is too large due to data skew, it will be divided
+  // into multiple LogBlocks."
+  uint32_t max_rows_per_logblock = 100'000;
+  logblock::LogBlockWriterOptions block_options;
+  // Object keys: <prefix><tenant>/<sequence>.tar — one OSS "directory" per
+  // tenant holding its chronological LogBlocks.
+  std::string key_prefix = "tenants/";
+};
+
+// The remote-archiving stage (§3, phase two): converts row-store snapshots
+// into per-tenant LogBlocks, uploads them, registers them in the tenant
+// LogBlock map, and advances the row store's checkpoint.
+class DataBuilder {
+ public:
+  // `store` and `map` must outlive the builder.
+  DataBuilder(objectstore::ObjectStore* store, logblock::LogBlockMap* map,
+              DataBuilderOptions options = {});
+
+  // Runs one build pass over `row_store`; returns the number of LogBlocks
+  // produced. The row store is truncated past the archived rows only after
+  // every upload of the pass succeeded.
+  Result<int> BuildOnce(rowstore::RowStore* row_store);
+
+  // Restarts object-key numbering after catalog recovery, so new LogBlocks
+  // never collide with keys already on the store.
+  void set_next_sequence(uint64_t sequence) { sequence_.store(sequence); }
+
+  uint64_t blocks_built() const { return blocks_built_.load(); }
+  uint64_t rows_archived() const { return rows_archived_.load(); }
+  uint64_t bytes_uploaded() const { return bytes_uploaded_.load(); }
+
+ private:
+  objectstore::ObjectStore* store_;
+  logblock::LogBlockMap* map_;
+  const DataBuilderOptions options_;
+
+  std::atomic<uint64_t> sequence_{0};
+  std::atomic<uint64_t> blocks_built_{0};
+  std::atomic<uint64_t> rows_archived_{0};
+  std::atomic<uint64_t> bytes_uploaded_{0};
+};
+
+}  // namespace logstore::cluster
+
+#endif  // LOGSTORE_CLUSTER_DATA_BUILDER_H_

@@ -1,0 +1,217 @@
+#include "cluster/traffic_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/zipfian.h"
+
+namespace logstore::cluster {
+
+namespace {
+
+double Stddev(const std::vector<int64_t>& values) {
+  if (values.empty()) return 0;
+  double mean = 0;
+  for (int64_t v : values) mean += static_cast<double>(v);
+  mean /= static_cast<double>(values.size());
+  double var = 0;
+  for (int64_t v : values) {
+    var += (static_cast<double>(v) - mean) * (static_cast<double>(v) - mean);
+  }
+  return std::sqrt(var / static_cast<double>(values.size()));
+}
+
+}  // namespace
+
+double TrafficSimMetrics::ShardAccessStddev() const {
+  return Stddev(shard_accesses);
+}
+double TrafficSimMetrics::WorkerAccessStddev() const {
+  return Stddev(worker_accesses);
+}
+
+TrafficSimulator::TrafficSimulator(TrafficSimOptions options)
+    : options_(options),
+      controller_(options.num_workers, options.shards_per_worker,
+                  ControllerOptions{
+                      .policy = options.policy,
+                      .alpha = options.alpha,
+                      .hot_threshold = options.hot_threshold,
+                      .edge_max_flow = options.edge_max_flow,
+                      .shard_capacity = options.shard_capacity,
+                      .worker_capacity = options.worker_capacity,
+                  }) {
+  if (options_.total_offered_load == 0) {
+    options_.total_offered_load = static_cast<int64_t>(
+        0.75 * static_cast<double>(options_.num_workers) *
+        static_cast<double>(options_.worker_capacity));
+  }
+  const std::vector<double> shares =
+      workload::ZipfianShares(options_.num_tenants, options_.theta);
+  tenant_load_.resize(options_.num_tenants);
+  for (uint32_t t = 0; t < options_.num_tenants; ++t) {
+    tenant_load_[t] =
+        shares[t] * static_cast<double>(options_.total_offered_load);
+    controller_.EnsureTenantRoute(t);
+  }
+  worker_backlog_.assign(options_.num_workers, 0.0);
+  worker_latency_.assign(options_.num_workers, options_.base_latency_ms);
+}
+
+void TrafficSimulator::RunRound(TrafficSimMetrics* metrics,
+                                bool allow_rebalance, int round_index) {
+  options_.num_workers = controller_.num_workers();  // may have scaled out
+  const uint32_t num_shards = controller_.num_shards();
+  const flow::RouteTable routes = controller_.routes();
+
+  // Offered traffic -> shard and worker demand fractions.
+  std::vector<double> shard_demand(num_shards, 0.0);
+  std::vector<double> worker_demand(options_.num_workers, 0.0);
+  double offered_total = 0;
+  for (uint32_t t = 0; t < options_.num_tenants; ++t) {
+    const auto* weights = routes.Get(t);
+    if (weights == nullptr) continue;
+    for (const auto& [shard, weight] : *weights) {
+      const double flow = weight * tenant_load_[t];
+      shard_demand[shard] += flow;
+      worker_demand[controller_.WorkerForShard(shard)] += flow;
+      offered_total += flow;
+    }
+  }
+
+  // Closed-loop clients: the pool's aggregate issue rate is bounded by the
+  // traffic-weighted batch latency it currently observes. A saturated
+  // worker therefore throttles everything routed through the same client
+  // threads, not just its own shards.
+  double mean_latency_ms = options_.base_latency_ms;
+  if (offered_total > 0) {
+    double weighted = 0;
+    for (uint32_t w = 0; w < options_.num_workers; ++w) {
+      weighted += worker_demand[w] * worker_latency_[w];
+    }
+    mean_latency_ms = std::max(options_.base_latency_ms,
+                               weighted / offered_total);
+  }
+  const double client_capacity =
+      static_cast<double>(options_.client_threads) *
+      (1000.0 / mean_latency_ms) * static_cast<double>(options_.batch_size);
+  const double sent_scale =
+      offered_total > 0 ? std::min(1.0, client_capacity / offered_total) : 1.0;
+
+  std::vector<double> shard_arrivals(num_shards, 0.0);
+  std::vector<double> worker_arrivals(options_.num_workers, 0.0);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    shard_arrivals[s] = shard_demand[s] * sent_scale;
+  }
+  for (uint32_t w = 0; w < options_.num_workers; ++w) {
+    worker_arrivals[w] = worker_demand[w] * sent_scale;
+  }
+
+  // Workers drain their bounded queues.
+  const double queue_cap = options_.max_queue_seconds *
+                           static_cast<double>(options_.worker_capacity);
+  double processed_total = 0;
+  double dropped_total = 0;
+  std::vector<double> worker_processed(options_.num_workers, 0.0);
+  for (uint32_t w = 0; w < options_.num_workers; ++w) {
+    const double capacity = static_cast<double>(options_.worker_capacity);
+    double queue = worker_backlog_[w] + worker_arrivals[w];
+    if (queue > queue_cap + capacity) {
+      dropped_total += queue - queue_cap - capacity;
+      queue = queue_cap + capacity;
+    }
+    const double processed = std::min(queue, capacity);
+    worker_backlog_[w] = queue - processed;
+    processed_total += processed;
+    worker_processed[w] = processed;
+    // A batch arriving now waits for the backlog ahead of it.
+    const double instant_ms =
+        options_.base_latency_ms + 1000.0 * worker_backlog_[w] / capacity;
+    worker_latency_[w] = options_.latency_ema * worker_latency_[w] +
+                         (1.0 - options_.latency_ema) * instant_ms;
+  }
+
+  metrics->throughput += processed_total;
+  metrics->offered += static_cast<double>(options_.total_offered_load);
+  metrics->dropped_fraction += dropped_total;
+  metrics->avg_latency_ms += mean_latency_ms;
+
+  metrics->shard_accesses.assign(num_shards, 0);
+  metrics->worker_accesses.assign(options_.num_workers, 0);
+  metrics->worker_utilization.assign(options_.num_workers, 0);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    metrics->shard_accesses[s] = static_cast<int64_t>(shard_arrivals[s]);
+  }
+  for (uint32_t w = 0; w < options_.num_workers; ++w) {
+    metrics->worker_accesses[w] = static_cast<int64_t>(worker_arrivals[w]);
+    metrics->worker_utilization[w] =
+        worker_processed[w] / static_cast<double>(options_.worker_capacity);
+  }
+
+  // Monitor -> balancer -> router cycle.
+  if (allow_rebalance && options_.policy != BalancePolicy::kNone &&
+      (round_index + 1) % options_.rebalance_every_rounds == 0) {
+    std::map<uint64_t, int64_t> tenant_traffic;
+    for (uint32_t t = 0; t < options_.num_tenants; ++t) {
+      tenant_traffic[t] = static_cast<int64_t>(tenant_load_[t]);
+    }
+    std::map<uint32_t, int64_t> shard_loads;
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      shard_loads[s] = static_cast<int64_t>(shard_arrivals[s]);
+    }
+    std::map<uint32_t, int64_t> worker_loads;
+    for (uint32_t w = 0; w < options_.num_workers; ++w) {
+      worker_loads[w] = static_cast<int64_t>(worker_arrivals[w]);
+    }
+    const auto decision =
+        controller_.RunTrafficControl(tenant_traffic, shard_loads, worker_loads);
+    if (decision.rebalanced) metrics->rebalances++;
+    if (decision.scale_needed) {
+      metrics->scale_requested = true;
+      // Algorithm 1 line 25: "add more worker nodes".
+      if (options_.max_workers_on_scale_out > 0 &&
+          controller_.num_workers() < options_.max_workers_on_scale_out) {
+        controller_.AddWorker();
+        worker_backlog_.push_back(0.0);
+        worker_latency_.push_back(options_.base_latency_ms);
+        metrics->workers_added++;
+      }
+    }
+  }
+  metrics->route_count = controller_.routes().RouteCount();
+  metrics->final_workers = controller_.num_workers();
+}
+
+TrafficSimMetrics TrafficSimulator::Run(int warmup_rounds,
+                                        int measure_rounds) {
+  TrafficSimMetrics warmup;
+  for (int r = 0; r < warmup_rounds; ++r) {
+    RunRound(&warmup, /*allow_rebalance=*/true, r);
+  }
+
+  TrafficSimMetrics metrics;
+  metrics.scale_requested = warmup.scale_requested;
+  metrics.workers_added = warmup.workers_added;
+  for (int r = 0; r < measure_rounds; ++r) {
+    RunRound(&metrics, /*allow_rebalance=*/true, warmup_rounds + r);
+  }
+  const double rounds = std::max(1, measure_rounds);
+  metrics.throughput /= rounds;
+  metrics.offered /= rounds;
+  metrics.avg_latency_ms /= rounds;
+  metrics.dropped_fraction =
+      metrics.dropped_fraction / (metrics.offered * rounds);
+  metrics.rebalances += warmup.rebalances;
+  return metrics;
+}
+
+TrafficSimMetrics TrafficSimulator::MeasureUnbalancedRound() {
+  TrafficSimMetrics metrics;
+  // One round with rebalancing suppressed and a fresh backlog.
+  std::fill(worker_backlog_.begin(), worker_backlog_.end(), 0.0);
+  RunRound(&metrics, /*allow_rebalance=*/false, 0);
+  metrics.dropped_fraction /= std::max(1.0, metrics.offered);
+  return metrics;
+}
+
+}  // namespace logstore::cluster

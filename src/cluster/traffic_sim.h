@@ -1,0 +1,113 @@
+#ifndef LOGSTORE_CLUSTER_TRAFFIC_SIM_H_
+#define LOGSTORE_CLUSTER_TRAFFIC_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/controller.h"
+#include "flow/balancer.h"
+
+namespace logstore::cluster {
+
+// ---------------------------------------------------------------------------
+// Discrete-time simulation of the multi-tenant write path for the traffic-
+// control experiments (Figures 12-14). Each round is one second: tenants
+// offer Zipfian-distributed load, brokers split it over shards by the
+// routing table, workers drain bounded queues at their capacity. The
+// controller's monitor/balancer/router cycle runs periodically, exactly as
+// the production hotspot manager does every 300 s.
+//
+// This deliberately simulates *load*, not data: scheduling quality is a
+// property of the routing algorithm and the capacity model. The functional
+// write path (WAL, Raft, row stores, archiving) is exercised by
+// cluster::Cluster.
+// ---------------------------------------------------------------------------
+
+struct TrafficSimOptions {
+  uint32_t num_workers = 24;
+  uint32_t shards_per_worker = 4;
+  // Per-worker drain rate, log entries/second.
+  int64_t worker_capacity = 120'000;
+  int64_t shard_capacity = 60'000;
+  // f_max: one shard processes at most this much of a single tenant (the
+  // paper's per-shard tenant limit; here one tenant may fill a shard).
+  int64_t edge_max_flow = 60'000;
+
+  uint32_t num_tenants = 1000;
+  double theta = 0.99;
+  // Total offered load across all tenants, log entries/second. Defaults to
+  // 75% of aggregate worker capacity: a balanced plan fits comfortably
+  // under the alpha watermark, but skew saturates individual workers.
+  int64_t total_offered_load = 0;  // 0 = 0.75 * num_workers * worker_capacity
+
+  BalancePolicy policy = BalancePolicy::kMaxFlow;
+  int rebalance_every_rounds = 3;
+  double alpha = 0.85;
+  double hot_threshold = 0.9;
+
+  // Elastic scale-out (Algorithm 1's ScaleCluster): when the controller
+  // reports that rebalancing cannot cover the demand, provision more
+  // workers, up to this cap (0 disables scaling).
+  uint32_t max_workers_on_scale_out = 0;
+
+  // Worker queue bound, in seconds of capacity; beyond it writes drop.
+  double max_queue_seconds = 2.0;
+  double base_latency_ms = 5.0;
+  // Closed-loop clients, like the YCSB driver of §6: a fixed pool of
+  // threads issues batches synchronously, so a hot worker's queueing delay
+  // throttles the entire offered stream — the mechanism behind Figure
+  // 12(a)'s sharp throughput collapse under skew.
+  int client_threads = 64;
+  int64_t batch_size = 1000;  // entries per client batch (§6.2's 1000)
+  // Smoothing for the clients' latency estimate (0 = no memory).
+  double latency_ema = 0.5;
+  uint64_t seed = 99;
+};
+
+struct TrafficSimMetrics {
+  double throughput = 0;        // processed entries/second (avg)
+  double offered = 0;           // offered entries/second
+  double avg_latency_ms = 0;    // traffic-weighted batch write latency
+  double dropped_fraction = 0;
+  size_t route_count = 0;
+  int rebalances = 0;
+  bool scale_requested = false;
+  uint32_t workers_added = 0;  // by elastic scale-out
+  uint32_t final_workers = 0;
+
+  // Last measured round, for the Figure 13/14 plots.
+  std::vector<int64_t> shard_accesses;     // per shard id
+  std::vector<int64_t> worker_accesses;    // per worker id
+  std::vector<double> worker_utilization;  // processed/capacity
+
+  double ShardAccessStddev() const;
+  double WorkerAccessStddev() const;
+};
+
+class TrafficSimulator {
+ public:
+  explicit TrafficSimulator(TrafficSimOptions options);
+
+  // Runs `warmup + measure` one-second rounds; metrics aggregate over the
+  // measure window.
+  TrafficSimMetrics Run(int warmup_rounds, int measure_rounds);
+
+  // Snapshot of per-shard accesses before any rebalancing (for the
+  // "Before Balancing" series), measured over one round with the initial
+  // consistent-hash routing.
+  TrafficSimMetrics MeasureUnbalancedRound();
+
+ private:
+  void RunRound(TrafficSimMetrics* metrics, bool allow_rebalance,
+                int round_index);
+
+  TrafficSimOptions options_;
+  Controller controller_;
+  std::vector<double> tenant_load_;      // offered entries/second per tenant
+  std::vector<double> worker_backlog_;   // queued entries per worker
+  std::vector<double> worker_latency_;   // clients' smoothed latency view, ms
+};
+
+}  // namespace logstore::cluster
+
+#endif  // LOGSTORE_CLUSTER_TRAFFIC_SIM_H_

@@ -1,0 +1,83 @@
+#include "cluster/worker.h"
+
+#include "rowstore/wal.h"
+
+namespace logstore::cluster {
+
+Worker::Worker(uint32_t id, objectstore::ObjectStore* store,
+               logblock::LogBlockMap* map, WorkerOptions options)
+    : id_(id), options_(std::move(options)) {
+  primary_store_ = std::make_unique<rowstore::RowStore>(options_.schema);
+  DataBuilderOptions builder_options = options_.builder;
+  builder_options.key_prefix += "";  // per-tenant directories, shared bucket
+  builder_ = std::make_unique<DataBuilder>(store, map, builder_options);
+
+  if (options_.replicated) {
+    replica_store_ = std::make_unique<rowstore::RowStore>(options_.schema);
+    raft_ = std::make_unique<consensus::RaftCluster>(3, options_.raft,
+                                                     /*seed=*/1000 + id);
+    // Replica 0: primary full row store. Replica 1: second full row store.
+    // Replica 2: WAL-only (stores the log, applies nothing) — the §3
+    // storage-cost trade-off.
+    auto apply_to = [this](rowstore::RowStore* target) {
+      return [this, target](uint64_t, const std::string& payload) {
+        auto record = rowstore::DecodeWalRecord(payload, options_.schema);
+        if (record.ok()) target->Append(record->tenant_id, record->rows);
+      };
+    };
+    raft_->SetApplyFn(0, apply_to(primary_store_.get()));
+    raft_->SetApplyFn(1, apply_to(replica_store_.get()));
+    raft_->SetApplyFn(2, consensus::ApplyFn());  // WAL-only
+    raft_->WaitForLeader();
+  }
+}
+
+Status Worker::Write(uint32_t shard, uint64_t tenant,
+                     const logblock::RowBatch& rows) {
+  if (options_.replicated) {
+    // Synchronous commit: propose on the leader and pump the group until
+    // the entry is applied (models "the synchronization can only be
+    // completed after most of the followers have persisted the WAL").
+    const int leader = raft_->WaitForLeader();
+    if (leader < 0) return Status::Unavailable("no raft leader");
+    const uint64_t target = raft_->node(leader).log_size() + 1;
+    Status proposed =
+        raft_->node(leader).Propose(rowstore::EncodeWalRecord(tenant, rows));
+    if (!proposed.ok()) return proposed;  // kResourceExhausted = BFC
+    // Wait for the commit to reach the primary replica (node 0, whose row
+    // store serves real-time reads), not just the current leader.
+    for (int i = 0; i < 1000 && raft_->node(0).last_applied() < target; ++i) {
+      raft_->Tick(10);
+    }
+    if (raft_->node(0).last_applied() < target) {
+      return Status::TimedOut("replication did not complete");
+    }
+  } else {
+    primary_store_->Append(tenant, rows);
+  }
+
+  std::lock_guard<std::mutex> lock(traffic_mu_);
+  traffic_.per_shard[shard] += rows.num_rows();
+  traffic_.per_tenant[tenant] += rows.num_rows();
+  traffic_.total += rows.num_rows();
+  return Status::OK();
+}
+
+Result<int> Worker::RunBuildPass() {
+  return builder_->BuildOnce(primary_store_.get());
+}
+
+logblock::RowBatch Worker::ScanRealtime(
+    uint64_t tenant, int64_t ts_min, int64_t ts_max,
+    const std::vector<query::Predicate>& predicates) const {
+  return primary_store_->ScanTenant(tenant, ts_min, ts_max, predicates);
+}
+
+Worker::TrafficSnapshot Worker::HarvestTraffic() {
+  std::lock_guard<std::mutex> lock(traffic_mu_);
+  TrafficSnapshot snapshot = std::move(traffic_);
+  traffic_ = TrafficSnapshot();
+  return snapshot;
+}
+
+}  // namespace logstore::cluster

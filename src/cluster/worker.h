@@ -1,0 +1,86 @@
+#ifndef LOGSTORE_CLUSTER_WORKER_H_
+#define LOGSTORE_CLUSTER_WORKER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cluster/data_builder.h"
+#include "common/result.h"
+#include "consensus/raft.h"
+#include "logblock/logblock_map.h"
+#include "objectstore/object_store.h"
+#include "rowstore/row_store.h"
+
+namespace logstore::cluster {
+
+struct WorkerOptions {
+  logblock::Schema schema;
+  // When true, every write goes through a 3-replica Raft group (two full
+  // row stores + one WAL-only replica, the §3 production layout) before it
+  // is acknowledged. When false, writes apply directly — the mode used by
+  // large-scale scheduling simulations.
+  bool replicated = false;
+  consensus::RaftOptions raft;
+  DataBuilderOptions builder;
+};
+
+// One execution-layer worker (Figure 3): local WAL + row store, a data
+// builder for background archiving, and per-shard traffic accounting for
+// the controller's monitor.
+class Worker {
+ public:
+  // `store` and `map` must outlive the worker.
+  Worker(uint32_t id, objectstore::ObjectStore* store,
+         logblock::LogBlockMap* map, WorkerOptions options);
+
+  uint32_t id() const { return id_; }
+
+  // Local-write phase: WAL + replication + row-store apply. Returns
+  // ResourceExhausted under backpressure (BFC), letting the client retry
+  // at a reduced rate.
+  Status Write(uint32_t shard, uint64_t tenant,
+               const logblock::RowBatch& rows);
+
+  // Remote-archive phase: one data-builder pass. Returns LogBlocks built.
+  Result<int> RunBuildPass();
+
+  // Real-time query path over un-archived rows.
+  logblock::RowBatch ScanRealtime(
+      uint64_t tenant, int64_t ts_min, int64_t ts_max,
+      const std::vector<query::Predicate>& predicates = {}) const;
+
+  rowstore::RowStore* row_store() { return primary_store_.get(); }
+  const DataBuilder& builder() const { return *builder_; }
+
+  // Monitor metrics: rows written per shard and per tenant since the last
+  // harvest (§4.1.3: "It collects tenant traffic f(Ki), shard load f(Pj)
+  // and worker node load f(Dk)").
+  struct TrafficSnapshot {
+    std::map<uint32_t, int64_t> per_shard;
+    std::map<uint64_t, int64_t> per_tenant;
+    int64_t total = 0;
+  };
+  TrafficSnapshot HarvestTraffic();
+
+ private:
+  const uint32_t id_;
+  WorkerOptions options_;
+
+  // Replica row stores. Index 0 is the primary; with replication, index 1
+  // is the second full copy and index 2 is WAL-only (never applied).
+  std::unique_ptr<rowstore::RowStore> primary_store_;
+  std::unique_ptr<rowstore::RowStore> replica_store_;
+  std::unique_ptr<consensus::RaftCluster> raft_;
+
+  std::unique_ptr<DataBuilder> builder_;
+
+  mutable std::mutex traffic_mu_;
+  TrafficSnapshot traffic_;
+};
+
+}  // namespace logstore::cluster
+
+#endif  // LOGSTORE_CLUSTER_WORKER_H_

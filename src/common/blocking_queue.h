@@ -1,0 +1,117 @@
+#ifndef LOGSTORE_COMMON_BLOCKING_QUEUE_H_
+#define LOGSTORE_COMMON_BLOCKING_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace logstore {
+
+// A bounded MPMC queue with both item-count and byte-size limits. This is
+// the building block for LogStore's backpressure flow control (BFC, §4.2):
+// the paper monitors "both the number and size of pending requests" per
+// queue, and rejects producers when either limit is exceeded.
+template <typename T>
+class BlockingQueue {
+ public:
+  // `max_items` and `max_bytes` of 0 mean unlimited on that axis.
+  BlockingQueue(size_t max_items, uint64_t max_bytes)
+      : max_items_(max_items), max_bytes_(max_bytes) {}
+
+  // Non-blocking push; returns false (backpressure signal) when a limit is
+  // exceeded or the queue is closed. `bytes` is the logical payload size
+  // charged against the byte budget.
+  bool TryPush(T item, uint64_t bytes = 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || AtLimitLocked(bytes)) return false;
+    items_.emplace_back(std::move(item), bytes);
+    bytes_ += bytes;
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocking push; waits for room. Returns false only if the queue closes.
+  bool Push(T item, uint64_t bytes = 0) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || !AtLimitLocked(bytes); });
+    if (closed_) return false;
+    items_.emplace_back(std::move(item), bytes);
+    bytes_ += bytes;
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocking pop. Returns nullopt when the queue is closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    auto [item, bytes] = std::move(items_.front());
+    items_.pop_front();
+    bytes_ -= bytes;
+    not_full_.notify_all();
+    return std::optional<T>(std::move(item));
+  }
+
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    auto [item, bytes] = std::move(items_.front());
+    items_.pop_front();
+    bytes_ -= bytes;
+    not_full_.notify_all();
+    return std::optional<T>(std::move(item));
+  }
+
+  // After Close, pushes fail and pops drain the remaining items then return
+  // nullopt.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  uint64_t bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_;
+  }
+
+  // True when a push of `bytes` more would be rejected.
+  bool AtLimit(uint64_t bytes = 0) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return AtLimitLocked(bytes);
+  }
+
+ private:
+  bool AtLimitLocked(uint64_t incoming_bytes) const {
+    if (max_items_ != 0 && items_.size() >= max_items_) return true;
+    if (max_bytes_ != 0 && bytes_ + incoming_bytes > max_bytes_ &&
+        !items_.empty()) {
+      return true;  // always admit at least one item so huge items can pass
+    }
+    return false;
+  }
+
+  const size_t max_items_;
+  const uint64_t max_bytes_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<std::pair<T, uint64_t>> items_;
+  uint64_t bytes_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace logstore
+
+#endif  // LOGSTORE_COMMON_BLOCKING_QUEUE_H_

@@ -1,0 +1,25 @@
+#ifndef LOGSTORE_COMMON_BYTE_RANGE_H_
+#define LOGSTORE_COMMON_BYTE_RANGE_H_
+
+#include <cstdint>
+
+namespace logstore {
+
+// A byte range within an object, used for ranged reads and prefetch plans.
+struct ByteRange {
+  uint64_t offset = 0;
+  uint64_t size = 0;
+
+  uint64_t end() const { return offset + size; }
+
+  bool operator==(const ByteRange& other) const {
+    return offset == other.offset && size == other.size;
+  }
+  bool operator<(const ByteRange& other) const {
+    return offset != other.offset ? offset < other.offset : size < other.size;
+  }
+};
+
+}  // namespace logstore
+
+#endif  // LOGSTORE_COMMON_BYTE_RANGE_H_

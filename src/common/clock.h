@@ -1,0 +1,57 @@
+#ifndef LOGSTORE_COMMON_CLOCK_H_
+#define LOGSTORE_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace logstore {
+
+// Time source abstraction so simulations and tests can control the clock.
+// All times are microseconds.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual int64_t NowMicros() const = 0;
+  virtual void SleepMicros(int64_t micros) = 0;
+};
+
+// Wall-clock backed by std::chrono::steady_clock.
+class SystemClock : public Clock {
+ public:
+  int64_t NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  void SleepMicros(int64_t micros) override {
+    if (micros > 0) std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+
+  // Process-wide default instance.
+  static SystemClock* Default();
+};
+
+// A manually-advanced clock for deterministic tests. SleepMicros advances
+// virtual time instead of blocking.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(int64_t start_micros = 0) : now_(start_micros) {}
+
+  int64_t NowMicros() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void SleepMicros(int64_t micros) override { Advance(micros); }
+  void Advance(int64_t micros) {
+    now_.fetch_add(micros, std::memory_order_relaxed);
+  }
+  void Set(int64_t micros) { now_.store(micros, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> now_;
+};
+
+}  // namespace logstore
+
+#endif  // LOGSTORE_COMMON_CLOCK_H_

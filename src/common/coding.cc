@@ -1,0 +1,82 @@
+#include "common/coding.h"
+
+namespace logstore {
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  unsigned char buf[5];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(value) | 0x80;
+    value >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  unsigned char buf[10];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(value) | 0x80;
+    value >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+bool GetVarint32(Slice* input, uint32_t* value) {
+  uint64_t v;
+  if (!GetVarint64(input, &v) || v > UINT32_MAX) return false;
+  *value = static_cast<uint32_t>(v);
+  return true;
+}
+
+bool GetVarint64(Slice* input, uint64_t* value) {
+  uint64_t result = 0;
+  const char* p = input->data();
+  const char* limit = p + input->size();
+  for (int shift = 0; shift <= 63 && p < limit; shift += 7) {
+    uint64_t byte = static_cast<unsigned char>(*p);
+    ++p;
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      input->remove_prefix(p - input->data());
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GetVarsint64(Slice* input, int64_t* value) {
+  uint64_t v;
+  if (!GetVarint64(input, &v)) return false;
+  *value = ZigZagDecode64(v);
+  return true;
+}
+
+bool GetLengthPrefixedSlice(Slice* input, Slice* result) {
+  uint64_t len;
+  if (!GetVarint64(input, &len) || input->size() < len) return false;
+  *result = Slice(input->data(), len);
+  input->remove_prefix(len);
+  return true;
+}
+
+int VarintLength(uint64_t v) {
+  int len = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+}  // namespace logstore

@@ -1,0 +1,38 @@
+#ifndef LOGSTORE_COMMON_HASH_H_
+#define LOGSTORE_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace logstore {
+
+// 64-bit FNV-1a; good enough distribution for hash partitioning, cache
+// sharding and term dictionaries, with trivial portability.
+inline uint64_t Hash64(const char* data, size_t n, uint64_t seed = 0) {
+  uint64_t h = 14695981039346656037ull ^ seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  // Final avalanche (from SplitMix64) to break up FNV's weak low bits.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+inline uint64_t Hash64(std::string_view s, uint64_t seed = 0) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  // Boost-style combine on 64 bits.
+  return a ^ (b + 0x9e3779b97f4a7c15ull + (a << 12) + (a >> 4));
+}
+
+}  // namespace logstore
+
+#endif  // LOGSTORE_COMMON_HASH_H_

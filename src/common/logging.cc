@@ -1,0 +1,14 @@
+#include "common/logging.h"
+
+#include <atomic>
+
+namespace logstore {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+}  // namespace logstore

@@ -1,0 +1,37 @@
+#ifndef LOGSTORE_COMMON_LOGGING_H_
+#define LOGSTORE_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace logstore {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+}  // namespace logstore
+
+// Minimal printf-style diagnostics to stderr. The library is quiet by
+// default (kWarn); tools and benches can lower the level.
+#define LOGSTORE_LOG(level, fmt, ...)                                        \
+  do {                                                                       \
+    if (static_cast<int>(level) >=                                           \
+        static_cast<int>(::logstore::GetLogLevel())) {                       \
+      fprintf(stderr, "[%s] " fmt "\n",                                      \
+              (level) == ::logstore::LogLevel::kDebug   ? "DEBUG"            \
+              : (level) == ::logstore::LogLevel::kInfo  ? "INFO"             \
+              : (level) == ::logstore::LogLevel::kWarn  ? "WARN"             \
+                                                        : "ERROR",           \
+              ##__VA_ARGS__);                                                \
+    }                                                                        \
+  } while (0)
+
+#define LOGSTORE_DEBUG(...) LOGSTORE_LOG(::logstore::LogLevel::kDebug, __VA_ARGS__)
+#define LOGSTORE_INFO(...) LOGSTORE_LOG(::logstore::LogLevel::kInfo, __VA_ARGS__)
+#define LOGSTORE_WARN(...) LOGSTORE_LOG(::logstore::LogLevel::kWarn, __VA_ARGS__)
+#define LOGSTORE_ERROR(...) LOGSTORE_LOG(::logstore::LogLevel::kError, __VA_ARGS__)
+
+#endif  // LOGSTORE_COMMON_LOGGING_H_

@@ -1,0 +1,68 @@
+#ifndef LOGSTORE_COMMON_RESULT_H_
+#define LOGSTORE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace logstore {
+
+// Result<T> holds either a value of type T or an error Status, similar to
+// absl::StatusOr. An OK Result always contains a value.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from values and Status keeps call sites terse:
+  //   Result<int> F() { return 42; }
+  //   Result<int> G() { return Status::NotFound("..."); }
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "OK Result must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Evaluates a Result expression; on error returns its Status, otherwise
+// moves the value into `lhs`.
+#define LOGSTORE_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto LOGSTORE_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!LOGSTORE_CONCAT_(_res_, __LINE__).ok())        \
+    return LOGSTORE_CONCAT_(_res_, __LINE__).status();  \
+  lhs = std::move(LOGSTORE_CONCAT_(_res_, __LINE__)).value()
+
+#define LOGSTORE_CONCAT_INNER_(a, b) a##b
+#define LOGSTORE_CONCAT_(a, b) LOGSTORE_CONCAT_INNER_(a, b)
+
+}  // namespace logstore
+
+#endif  // LOGSTORE_COMMON_RESULT_H_

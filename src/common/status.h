@@ -1,0 +1,130 @@
+#ifndef LOGSTORE_COMMON_STATUS_H_
+#define LOGSTORE_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace logstore {
+
+// Error codes used across the library. Follows the RocksDB/Abseil convention
+// of returning a Status object instead of throwing exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound = 1,
+  kCorruption = 2,
+  kInvalidArgument = 3,
+  kIOError = 4,
+  kResourceExhausted = 5,  // backpressure / queue full
+  kUnavailable = 6,        // node down, not leader, ...
+  kAborted = 7,
+  kTimedOut = 8,
+  kAlreadyExists = 9,
+  kNotSupported = 10,
+  kInternal = 11,
+};
+
+// A Status encapsulates the result of an operation: success, or an error code
+// plus a human-readable message. Cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+  static std::string_view CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kCorruption: return "Corruption";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kIOError: return "IOError";
+      case StatusCode::kResourceExhausted: return "ResourceExhausted";
+      case StatusCode::kUnavailable: return "Unavailable";
+      case StatusCode::kAborted: return "Aborted";
+      case StatusCode::kTimedOut: return "TimedOut";
+      case StatusCode::kAlreadyExists: return "AlreadyExists";
+      case StatusCode::kNotSupported: return "NotSupported";
+      case StatusCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Propagates an error Status from an expression to the caller.
+#define LOGSTORE_RETURN_IF_ERROR(expr)                \
+  do {                                                \
+    ::logstore::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+}  // namespace logstore
+
+#endif  // LOGSTORE_COMMON_STATUS_H_

@@ -1,0 +1,230 @@
+#include "compress/codec.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace logstore::compress {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared LZ77 token format
+//
+//   varint64 uncompressed_size
+//   repeated tokens:
+//     varint32 literal_len, literal bytes,
+//     varint32 match_code        (0 terminates the stream)
+//     if match_code != 0:
+//       match_offset = match_code, varint32 match_len_minus_min
+//
+// Matches copy match_len bytes from `match_offset` bytes back in the output;
+// overlapping copies (offset < len) are the classic LZ run-length trick.
+// ---------------------------------------------------------------------------
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 1u << 16;  // 64 KiB window
+
+inline uint32_t Read32(const char* p) {
+  uint32_t v;
+  memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint32_t HashPos(const char* p) {
+  return (Read32(p) * 2654435761u) >> 17;  // 15-bit hash table index
+}
+
+constexpr size_t kHashSize = 1u << 15;
+
+size_t MatchLength(const char* a, const char* b, const char* limit) {
+  const char* start = a;
+  while (a < limit && *a == *b) {
+    ++a;
+    ++b;
+  }
+  return a - start;
+}
+
+void EmitLiterals(const char* base, size_t lit_start, size_t lit_end,
+                  std::string* out) {
+  PutVarint32(out, static_cast<uint32_t>(lit_end - lit_start));
+  out->append(base + lit_start, lit_end - lit_start);
+}
+
+// One LZ77 pass. `chain_depth` == 0 means a single hash-table probe (fast
+// mode); otherwise up to `chain_depth` previous candidates are searched via
+// hash chains for the longest match (ratio mode).
+void LzCompressImpl(const Slice& input, int chain_depth, std::string* output) {
+  const char* base = input.data();
+  const size_t n = input.size();
+  PutVarint64(output, n);
+
+  if (n < kMinMatch + 1) {
+    EmitLiterals(base, 0, n, output);
+    PutVarint32(output, 0);
+    return;
+  }
+
+  // head[h] = most recent position with hash h (+1; 0 = empty).
+  std::vector<uint32_t> head(kHashSize, 0);
+  // prev[i % window] = previous position in the same hash chain.
+  std::vector<uint32_t> prev;
+  if (chain_depth > 0) prev.assign(n, 0);
+
+  const char* match_limit = base + n;
+  size_t pos = 0;
+  size_t lit_start = 0;
+  const size_t last_match_pos = n - kMinMatch;
+
+  while (pos <= last_match_pos) {
+    const uint32_t h = HashPos(base + pos);
+    size_t best_len = 0;
+    size_t best_off = 0;
+
+    uint32_t cand = head[h];
+    int probes = chain_depth > 0 ? chain_depth : 1;
+    while (cand != 0 && probes-- > 0) {
+      const size_t cpos = cand - 1;
+      if (pos - cpos > kMaxOffset) break;
+      if (Read32(base + cpos) == Read32(base + pos)) {
+        const size_t len =
+            kMinMatch +
+            MatchLength(base + pos + kMinMatch, base + cpos + kMinMatch,
+                        match_limit);
+        if (len > best_len) {
+          best_len = len;
+          best_off = pos - cpos;
+        }
+      }
+      if (chain_depth == 0) break;
+      cand = prev[cpos];
+    }
+
+    if (best_len >= kMinMatch) {
+      EmitLiterals(base, lit_start, pos, output);
+      PutVarint32(output, static_cast<uint32_t>(best_off));
+      PutVarint32(output, static_cast<uint32_t>(best_len - kMinMatch));
+
+      // Index the positions covered by the match (sparsely in fast mode).
+      const size_t end = pos + best_len;
+      const size_t step = chain_depth > 0 ? 1 : 2;
+      for (size_t i = pos; i < end && i <= last_match_pos; i += step) {
+        const uint32_t hh = HashPos(base + i);
+        if (chain_depth > 0) prev[i] = head[hh];
+        head[hh] = static_cast<uint32_t>(i + 1);
+      }
+      pos = end;
+      lit_start = pos;
+    } else {
+      if (chain_depth > 0) prev[pos] = head[h];
+      head[h] = static_cast<uint32_t>(pos + 1);
+      ++pos;
+    }
+  }
+
+  EmitLiterals(base, lit_start, n, output);
+  PutVarint32(output, 0);
+}
+
+Status LzDecompressImpl(const Slice& input, std::string* output) {
+  Slice in = input;
+  uint64_t expected_size;
+  if (!GetVarint64(&in, &expected_size)) {
+    return Status::Corruption("lz: missing size header");
+  }
+  const size_t out_base = output->size();
+  output->reserve(out_base + expected_size);
+
+  while (true) {
+    uint32_t lit_len;
+    if (!GetVarint32(&in, &lit_len)) {
+      return Status::Corruption("lz: truncated literal length");
+    }
+    if (in.size() < lit_len) return Status::Corruption("lz: truncated literals");
+    output->append(in.data(), lit_len);
+    in.remove_prefix(lit_len);
+
+    uint32_t offset;
+    if (!GetVarint32(&in, &offset)) {
+      return Status::Corruption("lz: truncated match offset");
+    }
+    if (offset == 0) break;  // end of stream
+
+    uint32_t extra;
+    if (!GetVarint32(&in, &extra)) {
+      return Status::Corruption("lz: truncated match length");
+    }
+    const size_t match_len = extra + kMinMatch;
+    const size_t produced = output->size() - out_base;
+    if (offset > produced) return Status::Corruption("lz: offset before start");
+
+    // Byte-wise copy: handles the overlapping (offset < len) case.
+    size_t src = output->size() - offset;
+    for (size_t i = 0; i < match_len; ++i) {
+      output->push_back((*output)[src + i]);
+    }
+  }
+
+  if (output->size() - out_base != expected_size) {
+    return Status::Corruption("lz: size mismatch after decompress");
+  }
+  return Status::OK();
+}
+
+class NoCodec : public Codec {
+ public:
+  CodecType type() const override { return CodecType::kNone; }
+  const char* name() const override { return "none"; }
+  Status Compress(const Slice& input, std::string* output) const override {
+    output->append(input.data(), input.size());
+    return Status::OK();
+  }
+  Status Decompress(const Slice& input, std::string* output) const override {
+    output->append(input.data(), input.size());
+    return Status::OK();
+  }
+};
+
+class LzFastCodec : public Codec {
+ public:
+  CodecType type() const override { return CodecType::kLzFast; }
+  const char* name() const override { return "lz-fast"; }
+  Status Compress(const Slice& input, std::string* output) const override {
+    LzCompressImpl(input, /*chain_depth=*/0, output);
+    return Status::OK();
+  }
+  Status Decompress(const Slice& input, std::string* output) const override {
+    return LzDecompressImpl(input, output);
+  }
+};
+
+class LzRatioCodec : public Codec {
+ public:
+  CodecType type() const override { return CodecType::kLzRatio; }
+  const char* name() const override { return "lz-ratio"; }
+  Status Compress(const Slice& input, std::string* output) const override {
+    LzCompressImpl(input, /*chain_depth=*/32, output);
+    return Status::OK();
+  }
+  Status Decompress(const Slice& input, std::string* output) const override {
+    return LzDecompressImpl(input, output);
+  }
+};
+
+}  // namespace
+
+const Codec* GetCodec(CodecType type) {
+  static const NoCodec* none = new NoCodec();
+  static const LzFastCodec* fast = new LzFastCodec();
+  static const LzRatioCodec* ratio = new LzRatioCodec();
+  switch (type) {
+    case CodecType::kNone: return none;
+    case CodecType::kLzFast: return fast;
+    case CodecType::kLzRatio: return ratio;
+  }
+  return nullptr;
+}
+
+}  // namespace logstore::compress

@@ -1,0 +1,47 @@
+#ifndef LOGSTORE_COMPRESS_CODEC_H_
+#define LOGSTORE_COMPRESS_CODEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace logstore::compress {
+
+// Compression codecs available for column blocks (§3.2 "Compressed").
+// The paper ships Snappy, LZ4 and ZSTD and defaults to ZSTD because ratio
+// is preferred over CPU for data shipped to object storage. We implement
+// two from-scratch LZ77 variants on the same axis:
+//   kLzFast  - greedy single-probe matcher, speed-oriented (LZ4 stand-in)
+//   kLzRatio - hash-chain matcher with lazy evaluation, ratio-oriented
+//              (ZSTD stand-in; the default)
+enum class CodecType : uint8_t {
+  kNone = 0,
+  kLzFast = 1,
+  kLzRatio = 2,
+};
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual CodecType type() const = 0;
+  virtual const char* name() const = 0;
+
+  // Appends the compressed representation of `input` to `*output`.
+  virtual Status Compress(const Slice& input, std::string* output) const = 0;
+
+  // Appends the decompressed bytes to `*output`. Fails with Corruption on
+  // malformed input.
+  virtual Status Decompress(const Slice& input, std::string* output) const = 0;
+};
+
+// Returns the process-wide codec instance for `type`, or nullptr for an
+// unknown type. Instances are stateless and thread-safe.
+const Codec* GetCodec(CodecType type);
+
+}  // namespace logstore::compress
+
+#endif  // LOGSTORE_COMPRESS_CODEC_H_

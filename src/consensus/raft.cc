@@ -1,0 +1,389 @@
+#include "consensus/raft.h"
+
+#include <algorithm>
+
+namespace logstore::consensus {
+
+RaftNode::RaftNode(int id, int cluster_size, RaftOptions options,
+                   uint64_t seed, ApplyFn apply_fn)
+    : id_(id),
+      cluster_size_(cluster_size),
+      options_(options),
+      rng_(seed),
+      apply_fn_(std::move(apply_fn)),
+      next_index_(cluster_size, 1),
+      match_index_(cluster_size, 0) {
+  ResetElectionTimer();
+}
+
+void RaftNode::ResetElectionTimer() {
+  election_elapsed_ms_ = 0;
+  election_timeout_ms_ = static_cast<int>(
+      options_.election_timeout_min_ms +
+      rng_.Uniform(options_.election_timeout_max_ms -
+                   options_.election_timeout_min_ms + 1));
+}
+
+Status RaftNode::Propose(std::string payload) {
+  if (role_ != Role::kLeader) {
+    return Status::Unavailable("not leader; try node " +
+                               std::to_string(leader_hint_));
+  }
+  // BFC trigger point 1: the sync queue monitors both the number and size
+  // of pending requests.
+  if (sync_queue_.size() >= options_.sync_queue_max_items ||
+      (sync_queue_bytes_ + payload.size() > options_.sync_queue_max_bytes &&
+       !sync_queue_.empty())) {
+    return Status::ResourceExhausted("sync queue at BFC limit");
+  }
+  sync_queue_bytes_ += payload.size();
+  sync_queue_.push_back(std::move(payload));
+  return Status::OK();
+}
+
+void RaftNode::Restart() {
+  role_ = Role::kFollower;
+  leader_hint_ = -1;
+  commit_index_ = 0;   // volatile; recomputed from the leader
+  last_applied_ = 0;   // state machine is rebuilt by re-applying
+  votes_received_ = 0;
+  heartbeat_elapsed_ms_ = 0;
+  sync_queue_.clear();
+  sync_queue_bytes_ = 0;
+  apply_queue_.clear();
+  apply_queue_bytes_ = 0;
+  std::fill(next_index_.begin(), next_index_.end(), log_.size() + 1);
+  std::fill(match_index_.begin(), match_index_.end(), 0);
+  ResetElectionTimer();
+}
+
+void RaftNode::BecomeFollower(uint64_t term, int leader_hint) {
+  term_ = term;
+  role_ = Role::kFollower;
+  if (leader_hint >= 0) leader_hint_ = leader_hint;
+  votes_received_ = 0;
+  // Client payloads queued while we thought we were leader are dropped;
+  // clients observe kUnavailable on subsequent writes and re-route.
+  sync_queue_.clear();
+  sync_queue_bytes_ = 0;
+  ResetElectionTimer();
+}
+
+void RaftNode::BecomeCandidate(std::vector<Message>* out) {
+  ++term_;
+  role_ = Role::kCandidate;
+  voted_for_ = id_;
+  votes_received_ = 1;  // own vote
+  ResetElectionTimer();
+  for (int peer = 0; peer < cluster_size_; ++peer) {
+    if (peer == id_) continue;
+    Message m;
+    m.type = MessageType::kRequestVote;
+    m.from = id_;
+    m.to = peer;
+    m.term = term_;
+    m.last_log_index = log_.size();
+    m.last_log_term = LastLogTerm();
+    out->push_back(std::move(m));
+  }
+  if (cluster_size_ == 1) BecomeLeader(out);
+}
+
+void RaftNode::BecomeLeader(std::vector<Message>* out) {
+  role_ = Role::kLeader;
+  leader_hint_ = id_;
+  heartbeat_elapsed_ms_ = 0;
+  std::fill(next_index_.begin(), next_index_.end(), log_.size() + 1);
+  std::fill(match_index_.begin(), match_index_.end(), 0);
+  match_index_[id_] = log_.size();
+  BroadcastAppendEntries(out);  // immediate heartbeat asserts leadership
+}
+
+Message RaftNode::MakeAppendFor(int peer) const {
+  Message m;
+  m.type = MessageType::kAppendEntries;
+  m.from = id_;
+  m.to = peer;
+  m.term = term_;
+  m.prev_log_index = next_index_[peer] - 1;
+  m.prev_log_term =
+      m.prev_log_index == 0 ? 0 : log_[m.prev_log_index - 1].term;
+  const uint64_t last = log_.size();
+  uint64_t next = next_index_[peer];
+  for (int n = 0; next <= last && n < options_.max_entries_per_append;
+       ++next, ++n) {
+    m.entries.push_back(log_[next - 1]);
+  }
+  m.leader_commit = commit_index_;
+  return m;
+}
+
+void RaftNode::BroadcastAppendEntries(std::vector<Message>* out) {
+  for (int peer = 0; peer < cluster_size_; ++peer) {
+    if (peer == id_) continue;
+    out->push_back(MakeAppendFor(peer));
+  }
+}
+
+void RaftNode::AdvanceCommit() {
+  // Raft §5.4.2: only entries of the current term commit by counting.
+  for (uint64_t n = log_.size(); n > commit_index_; --n) {
+    if (log_[n - 1].term != term_) break;
+    int replicas = 0;
+    for (int peer = 0; peer < cluster_size_; ++peer) {
+      if (match_index_[peer] >= n) ++replicas;
+    }
+    if (replicas * 2 > cluster_size_) {
+      commit_index_ = n;
+      break;
+    }
+  }
+}
+
+void RaftNode::DrainApplyQueue(int budget) {
+  // Move newly committed entries into the apply queue (BFC point 2)...
+  while (last_applied_ + static_cast<uint64_t>(apply_queue_.size()) <
+         commit_index_) {
+    const uint64_t next =
+        last_applied_ + static_cast<uint64_t>(apply_queue_.size()) + 1;
+    const std::string& payload = log_[next - 1].payload;
+    if (apply_queue_.size() >= options_.apply_queue_max_items ||
+        (apply_queue_bytes_ + payload.size() >
+             options_.apply_queue_max_bytes &&
+         !apply_queue_.empty())) {
+      break;  // apply queue full: stop pulling committed entries
+    }
+    apply_queue_bytes_ += payload.size();
+    apply_queue_.emplace_back(next, payload);
+  }
+  // ...then apply up to `budget` of them to the state machine.
+  int applied = 0;
+  while (!apply_queue_.empty() && (budget == 0 || applied < budget)) {
+    auto& [index, payload] = apply_queue_.front();
+    if (options_.apply_enabled && apply_fn_) apply_fn_(index, payload);
+    last_applied_ = index;
+    apply_queue_bytes_ -= payload.size();
+    apply_queue_.pop_front();
+    ++applied;
+  }
+}
+
+void RaftNode::Tick(int ms, std::vector<Message>* out) {
+  if (role_ == Role::kLeader) {
+    // Append queued client payloads to the log, bounded by the pipeline
+    // window so a stalled commit (slow/backpressured followers) propagates
+    // into a full sync queue.
+    while (!sync_queue_.empty() &&
+           log_.size() - commit_index_ < options_.max_uncommitted_entries) {
+      sync_queue_bytes_ -= sync_queue_.front().size();
+      log_.push_back(LogEntry{term_, std::move(sync_queue_.front())});
+      sync_queue_.pop_front();
+    }
+    match_index_[id_] = log_.size();
+    if (cluster_size_ == 1) AdvanceCommit();
+
+    heartbeat_elapsed_ms_ += ms;
+    if (heartbeat_elapsed_ms_ >= options_.heartbeat_interval_ms) {
+      heartbeat_elapsed_ms_ = 0;
+      BroadcastAppendEntries(out);
+    }
+  } else {
+    election_elapsed_ms_ += ms;
+    if (election_elapsed_ms_ >= election_timeout_ms_) {
+      BecomeCandidate(out);
+    }
+  }
+  DrainApplyQueue(options_.apply_per_tick);
+}
+
+void RaftNode::Receive(const Message& m, std::vector<Message>* out) {
+  if (m.term > term_) {
+    voted_for_ = -1;
+    BecomeFollower(m.term, m.type == MessageType::kAppendEntries ? m.from : -1);
+  }
+
+  switch (m.type) {
+    case MessageType::kRequestVote: {
+      Message reply;
+      reply.type = MessageType::kVoteResponse;
+      reply.from = id_;
+      reply.to = m.from;
+      reply.term = term_;
+      const bool log_ok =
+          m.last_log_term > LastLogTerm() ||
+          (m.last_log_term == LastLogTerm() && m.last_log_index >= log_.size());
+      if (m.term == term_ && log_ok &&
+          (voted_for_ == -1 || voted_for_ == m.from)) {
+        voted_for_ = m.from;
+        reply.vote_granted = true;
+        ResetElectionTimer();
+      }
+      out->push_back(std::move(reply));
+      break;
+    }
+
+    case MessageType::kVoteResponse: {
+      if (role_ != Role::kCandidate || m.term != term_) break;
+      if (m.vote_granted) {
+        ++votes_received_;
+        if (votes_received_ * 2 > cluster_size_) BecomeLeader(out);
+      }
+      break;
+    }
+
+    case MessageType::kAppendEntries: {
+      Message reply;
+      reply.type = MessageType::kAppendResponse;
+      reply.from = id_;
+      reply.to = m.from;
+      reply.term = term_;
+      if (m.term < term_) {
+        reply.success = false;
+        out->push_back(std::move(reply));
+        break;
+      }
+      // Valid leader for this term.
+      if (role_ != Role::kFollower) BecomeFollower(m.term, m.from);
+      leader_hint_ = m.from;
+      ResetElectionTimer();
+
+      // BFC trigger point 2: a follower whose apply path has fallen behind
+      // (committed-but-unapplied backlog at the queue limit) rejects new
+      // entries, slowing the leader (and so the client) down.
+      if (!m.entries.empty() &&
+          commit_index_ >=
+              last_applied_ + options_.apply_queue_max_items) {
+        reply.success = false;
+        reply.backpressured = true;
+        reply.match_index = 0;
+        out->push_back(std::move(reply));
+        break;
+      }
+
+      // Log consistency check.
+      if (m.prev_log_index > log_.size() ||
+          (m.prev_log_index > 0 &&
+           log_[m.prev_log_index - 1].term != m.prev_log_term)) {
+        reply.success = false;
+        out->push_back(std::move(reply));
+        break;
+      }
+      // Append, truncating conflicts.
+      uint64_t index = m.prev_log_index;
+      for (const LogEntry& entry : m.entries) {
+        ++index;
+        if (index <= log_.size()) {
+          if (log_[index - 1].term != entry.term) {
+            log_.resize(index - 1);
+            log_.push_back(entry);
+          }
+        } else {
+          log_.push_back(entry);
+        }
+      }
+      if (m.leader_commit > commit_index_) {
+        commit_index_ = std::min<uint64_t>(m.leader_commit, log_.size());
+      }
+      reply.success = true;
+      reply.match_index = m.prev_log_index + m.entries.size();
+      out->push_back(std::move(reply));
+      break;
+    }
+
+    case MessageType::kAppendResponse: {
+      if (role_ != Role::kLeader || m.term != term_) break;
+      if (m.success) {
+        match_index_[m.from] = std::max(match_index_[m.from], m.match_index);
+        next_index_[m.from] = match_index_[m.from] + 1;
+        AdvanceCommit();
+        // Keep streaming if the follower is behind.
+        if (next_index_[m.from] <= log_.size()) {
+          out->push_back(MakeAppendFor(m.from));
+        }
+      } else if (m.backpressured) {
+        // Follower is applying slowly; retry later (next heartbeat) rather
+        // than decrementing next_index.
+      } else if (next_index_[m.from] > 1) {
+        --next_index_[m.from];
+        out->push_back(MakeAppendFor(m.from));
+      }
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RaftCluster
+// ---------------------------------------------------------------------------
+
+RaftCluster::RaftCluster(int num_nodes, RaftOptions options, uint64_t seed)
+    : options_(options), rng_(seed), disconnected_(num_nodes, false) {
+  nodes_.reserve(num_nodes);
+  for (int i = 0; i < num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<RaftNode>(
+        i, num_nodes, options, seed * 1000 + i, ApplyFn()));
+  }
+}
+
+void RaftCluster::SetApplyFn(int node, ApplyFn fn) {
+  nodes_[node] = std::make_unique<RaftNode>(
+      node, static_cast<int>(nodes_.size()), options_,
+      /*seed=*/rng_.Next(), std::move(fn));
+}
+
+void RaftCluster::DeliverAll(std::vector<Message>* messages) {
+  // Deliver rounds until quiescent, so RPCs and their cascading responses
+  // settle within one logical step.
+  int rounds = 0;
+  while (!messages->empty() && rounds++ < 64) {
+    std::vector<Message> next;
+    for (const Message& m : *messages) {
+      if (disconnected_[m.from] || disconnected_[m.to]) continue;
+      if (drop_rate_ > 0.0 && rng_.NextDouble() < drop_rate_) continue;
+      nodes_[m.to]->Receive(m, &next);
+    }
+    *messages = std::move(next);
+  }
+}
+
+void RaftCluster::Tick(int ms) {
+  const int step = 10;
+  for (int elapsed = 0; elapsed < ms; elapsed += step) {
+    std::vector<Message> messages;
+    for (auto& node : nodes_) {
+      if (!disconnected_[node->id()]) {
+        node->Tick(std::min(step, ms - elapsed), &messages);
+      }
+    }
+    DeliverAll(&messages);
+  }
+}
+
+int RaftCluster::leader() const {
+  for (const auto& node : nodes_) {
+    if (node->role() == Role::kLeader && !disconnected_[node->id()]) {
+      return node->id();
+    }
+  }
+  return -1;
+}
+
+int RaftCluster::WaitForLeader(int max_ms) {
+  for (int elapsed = 0; elapsed < max_ms; elapsed += 10) {
+    if (leader() >= 0) return leader();
+    Tick(10);
+  }
+  return leader();
+}
+
+void RaftCluster::Disconnect(int node) { disconnected_[node] = true; }
+
+void RaftCluster::Reconnect(int node) { disconnected_[node] = false; }
+
+Status RaftCluster::Propose(std::string payload) {
+  const int l = leader();
+  if (l < 0) return Status::Unavailable("no leader");
+  return nodes_[l]->Propose(std::move(payload));
+}
+
+}  // namespace logstore::consensus

@@ -1,0 +1,218 @@
+#ifndef LOGSTORE_CONSENSUS_RAFT_H_
+#define LOGSTORE_CONSENSUS_RAFT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace logstore::consensus {
+
+// ---------------------------------------------------------------------------
+// A Raft implementation (Ongaro & Ousterhout '14) with the backpressure
+// flow control (BFC) integration of §4.2: the two blocking points of the
+// protocol — WAL synchronization and WAL apply — are fronted by bounded
+// queues (`sync_queue`, `apply_queue`). When a queue is at its limit the
+// node rejects further input, propagating backpressure upstream until the
+// client's write rate is limited, instead of letting internal queues
+// "explode" and make the node unresponsive.
+//
+// The implementation is tick-driven and single-threaded per cluster: a
+// harness (RaftCluster) advances virtual time and shuttles messages, which
+// keeps elections, replication and failure tests fully deterministic.
+// ---------------------------------------------------------------------------
+
+enum class MessageType {
+  kRequestVote,
+  kVoteResponse,
+  kAppendEntries,
+  kAppendResponse,
+};
+
+struct LogEntry {
+  uint64_t term = 0;
+  std::string payload;
+};
+
+struct Message {
+  MessageType type = MessageType::kRequestVote;
+  int from = -1;
+  int to = -1;
+  uint64_t term = 0;
+
+  // kRequestVote
+  uint64_t last_log_index = 0;
+  uint64_t last_log_term = 0;
+  // kVoteResponse
+  bool vote_granted = false;
+  // kAppendEntries
+  uint64_t prev_log_index = 0;
+  uint64_t prev_log_term = 0;
+  std::vector<LogEntry> entries;
+  uint64_t leader_commit = 0;
+  // kAppendResponse
+  bool success = false;
+  uint64_t match_index = 0;
+  bool backpressured = false;  // rejection came from a full apply_queue
+};
+
+enum class Role { kFollower, kCandidate, kLeader };
+
+struct RaftOptions {
+  int election_timeout_min_ms = 150;
+  int election_timeout_max_ms = 300;
+  int heartbeat_interval_ms = 50;
+  int max_entries_per_append = 64;
+
+  // BFC limits (§4.2): both item count and byte size are monitored.
+  size_t sync_queue_max_items = 1024;
+  uint64_t sync_queue_max_bytes = 8ull << 20;
+  size_t apply_queue_max_items = 1024;
+  uint64_t apply_queue_max_bytes = 8ull << 20;
+
+  // Entries applied to the state machine per tick; models apply-path IO
+  // throughput. 0 = unlimited.
+  int apply_per_tick = 0;
+
+  // Pipeline window: the leader stops draining the sync queue when the log
+  // is this many entries ahead of the commit index. This is what couples a
+  // slow follower (stalled commit) back to the client: the window fills,
+  // then the sync queue fills, then Propose returns ResourceExhausted.
+  uint64_t max_uncommitted_entries = 4096;
+
+  // §3: "it can store only WAL on other replicas" — a WAL-only replica
+  // participates in replication and voting but never applies entries to a
+  // row store.
+  bool apply_enabled = true;
+};
+
+// Applies committed entries; the worker's row store implements this.
+using ApplyFn = std::function<void(uint64_t index, const std::string& payload)>;
+
+class RaftNode {
+ public:
+  RaftNode(int id, int cluster_size, RaftOptions options, uint64_t seed,
+           ApplyFn apply_fn);
+
+  // Client write: enqueue a payload for replication. Fails with
+  // kUnavailable when not leader, kResourceExhausted when the sync queue is
+  // at its BFC limit.
+  Status Propose(std::string payload);
+
+  // Advances virtual time by `ms`, producing outbound messages.
+  void Tick(int ms, std::vector<Message>* out);
+
+  // Delivers one inbound message, producing responses.
+  void Receive(const Message& message, std::vector<Message>* out);
+
+  int id() const { return id_; }
+  Role role() const { return role_; }
+  uint64_t term() const { return term_; }
+  uint64_t commit_index() const { return commit_index_; }
+  uint64_t last_applied() const { return last_applied_; }
+  uint64_t log_size() const { return log_.size(); }
+  const LogEntry& log_at(uint64_t index) const { return log_[index - 1]; }
+  size_t sync_queue_depth() const { return sync_queue_.size(); }
+  size_t apply_queue_depth() const { return apply_queue_.size(); }
+  int leader_hint() const { return leader_hint_; }
+
+  // Simulated crash/restart: volatile state is lost, persistent state
+  // (term, vote, log) survives.
+  void Restart();
+
+ private:
+  void BecomeFollower(uint64_t term, int leader_hint);
+  void BecomeCandidate(std::vector<Message>* out);
+  void BecomeLeader(std::vector<Message>* out);
+  void BroadcastAppendEntries(std::vector<Message>* out);
+  Message MakeAppendFor(int peer) const;
+  void AdvanceCommit();
+  void DrainApplyQueue(int budget);
+  void ResetElectionTimer();
+  uint64_t LastLogTerm() const {
+    return log_.empty() ? 0 : log_.back().term;
+  }
+
+  const int id_;
+  const int cluster_size_;
+  const RaftOptions options_;
+  Random rng_;
+  ApplyFn apply_fn_;
+
+  // Persistent state.
+  uint64_t term_ = 0;
+  int voted_for_ = -1;
+  std::vector<LogEntry> log_;  // 1-based indexing via log_at()
+
+  // Volatile state.
+  Role role_ = Role::kFollower;
+  int leader_hint_ = -1;
+  uint64_t commit_index_ = 0;
+  uint64_t last_applied_ = 0;
+  int election_elapsed_ms_ = 0;
+  int election_timeout_ms_ = 0;
+  int heartbeat_elapsed_ms_ = 0;
+  int votes_received_ = 0;
+
+  // Leader state.
+  std::vector<uint64_t> next_index_;
+  std::vector<uint64_t> match_index_;
+
+  // BFC queues. sync_queue: payloads accepted from clients but not yet
+  // appended+broadcast. apply_queue: committed entries awaiting apply.
+  std::deque<std::string> sync_queue_;
+  uint64_t sync_queue_bytes_ = 0;
+  std::deque<std::pair<uint64_t, std::string>> apply_queue_;
+  uint64_t apply_queue_bytes_ = 0;
+};
+
+// Harness owning a full cluster: routes messages, injects delays/drops,
+// advances time. Deterministic given a seed.
+class RaftCluster {
+ public:
+  RaftCluster(int num_nodes, RaftOptions options, uint64_t seed = 42);
+
+  // Per-node apply callbacks must be installed before first Tick.
+  void SetApplyFn(int node, ApplyFn fn);
+
+  // Advances all nodes by `ms` (in steps), delivering messages in between.
+  void Tick(int ms);
+
+  // Runs ticks until a leader exists (or `max_ms` elapses). Returns leader
+  // id or -1.
+  int WaitForLeader(int max_ms = 10000);
+
+  // Proposes on the current leader.
+  Status Propose(std::string payload);
+
+  RaftNode& node(int id) { return *nodes_[id]; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int leader() const;
+
+  // Fault injection.
+  void Disconnect(int node);
+  void Reconnect(int node);
+  bool IsConnected(int node) const { return !disconnected_[node]; }
+  // Fraction of messages dropped on otherwise-connected links.
+  void SetDropRate(double rate) { drop_rate_ = rate; }
+
+ private:
+  void DeliverAll(std::vector<Message>* messages);
+
+  RaftOptions options_;
+  Random rng_;
+  std::vector<std::unique_ptr<RaftNode>> nodes_;
+  std::vector<bool> disconnected_;
+  double drop_rate_ = 0.0;
+};
+
+}  // namespace logstore::consensus
+
+#endif  // LOGSTORE_CONSENSUS_RAFT_H_

@@ -1,0 +1,151 @@
+#include "core/logstore.h"
+
+#include "objectstore/file_object_store.h"
+#include "objectstore/memory_object_store.h"
+#include "objectstore/simulated_object_store.h"
+
+namespace logstore {
+
+LogStore::~LogStore() = default;
+
+Result<std::unique_ptr<LogStore>> LogStore::Open(LogStoreOptions options) {
+  std::unique_ptr<LogStore> db(new LogStore());
+  db->options_ = std::move(options);
+
+  std::unique_ptr<objectstore::ObjectStore> base;
+  if (db->options_.storage_dir.empty()) {
+    base = std::make_unique<objectstore::MemoryObjectStore>();
+  } else {
+    auto opened = objectstore::FileObjectStore::Open(db->options_.storage_dir);
+    if (!opened.ok()) return opened.status();
+    base = std::move(opened).value();
+  }
+  if (db->options_.simulate_object_latency) {
+    db->store_ = std::make_unique<objectstore::SimulatedObjectStore>(
+        std::move(base), db->options_.simulated);
+  } else {
+    db->store_ = std::move(base);
+  }
+
+  db->row_store_ = std::make_unique<rowstore::RowStore>(db->options_.schema);
+  db->builder_ = std::make_unique<cluster::DataBuilder>(
+      db->store_.get(), &db->metadata_, db->options_.builder);
+
+  auto engine = query::QueryEngine::Open(db->store_.get(), db->options_.engine);
+  if (!engine.ok()) return engine.status();
+  db->engine_ = std::move(engine).value();
+
+  // Recover the catalog checkpoint, if one exists: reopening a store picks
+  // up every LogBlock archived by previous runs.
+  auto manifest = db->store_->Get(kCatalogKey);
+  if (manifest.ok()) {
+    Slice in(*manifest);
+    LOGSTORE_RETURN_IF_ERROR(
+        logblock::LogBlockMap::DecodeFrom(&in, &db->metadata_));
+    // Resume key numbering past every recovered object
+    // (keys are <prefix><tenant>/<sequence>.tar).
+    uint64_t max_sequence = 0;
+    for (uint64_t tenant : db->metadata_.Tenants()) {
+      for (const auto& block : db->metadata_.TenantBlocks(tenant)) {
+        const size_t slash = block.object_key.rfind('/');
+        if (slash == std::string::npos) continue;
+        const uint64_t seq =
+            strtoull(block.object_key.c_str() + slash + 1, nullptr, 10);
+        max_sequence = std::max(max_sequence, seq + 1);
+      }
+    }
+    db->builder_->set_next_sequence(max_sequence);
+  } else if (!manifest.status().IsNotFound()) {
+    return manifest.status();
+  }
+  return db;
+}
+
+Status LogStore::CheckpointCatalog() {
+  std::string manifest;
+  metadata_.EncodeTo(&manifest);
+  return store_->Put(kCatalogKey, manifest);
+}
+
+Status LogStore::Append(uint64_t tenant, const logblock::RowBatch& rows) {
+  if (!(rows.schema() == options_.schema)) {
+    return Status::InvalidArgument("batch schema does not match table schema");
+  }
+  row_store_->Append(tenant, rows);
+  rows_appended_ += rows.num_rows();
+
+  if (options_.autoflush_rows != 0 &&
+      row_store_->row_count() >= options_.autoflush_rows) {
+    auto flushed = Flush();
+    if (!flushed.ok()) return flushed.status();
+  }
+  return Status::OK();
+}
+
+Result<int> LogStore::Flush() {
+  std::lock_guard<std::mutex> lock(flush_mu_);
+  auto built = builder_->BuildOnce(row_store_.get());
+  if (!built.ok()) return built.status();
+  if (*built > 0) {
+    LOGSTORE_RETURN_IF_ERROR(CheckpointCatalog());
+  }
+  return built;
+}
+
+Result<query::QueryResult> LogStore::Query(const query::LogQuery& query) {
+  auto result = engine_->Execute(query, metadata_);
+  if (!result.ok()) return result.status();
+  const logblock::RowBatch realtime = row_store_->ScanTenant(
+      query.tenant_id, query.ts_min, query.ts_max, query.predicates);
+  LOGSTORE_RETURN_IF_ERROR(
+      query::AppendRealtimeRows(realtime, query, &result.value()));
+  return result;
+}
+
+Result<int> LogStore::Expire(uint64_t tenant, int64_t cutoff_ts) {
+  const auto expired = metadata_.ExpireBefore(tenant, cutoff_ts);
+  for (const auto& entry : expired) {
+    LOGSTORE_RETURN_IF_ERROR(store_->Delete(entry.object_key));
+  }
+  if (!expired.empty()) {
+    LOGSTORE_RETURN_IF_ERROR(CheckpointCatalog());
+  }
+  return static_cast<int>(expired.size());
+}
+
+void LogStore::SetRetention(uint64_t tenant, int64_t retention_micros) {
+  std::lock_guard<std::mutex> lock(retention_mu_);
+  if (retention_micros <= 0) {
+    retention_micros_.erase(tenant);
+  } else {
+    retention_micros_[tenant] = retention_micros;
+  }
+}
+
+Result<int> LogStore::ApplyRetentionPolicies(int64_t now_micros) {
+  std::map<uint64_t, int64_t> policies;
+  {
+    std::lock_guard<std::mutex> lock(retention_mu_);
+    policies = retention_micros_;
+  }
+  int total = 0;
+  for (const auto& [tenant, retention] : policies) {
+    auto expired = Expire(tenant, now_micros - retention);
+    if (!expired.ok()) return expired.status();
+    total += *expired;
+  }
+  return total;
+}
+
+LogStore::Stats LogStore::GetStats() const {
+  Stats stats;
+  stats.rows_appended = rows_appended_.load();
+  stats.rows_in_rowstore = row_store_->row_count();
+  stats.rows_archived = builder_->rows_archived();
+  stats.logblocks = metadata_.TotalBlocks();
+  stats.object_bytes = builder_->bytes_uploaded();
+  stats.tenant_count = metadata_.Tenants().size();
+  return stats;
+}
+
+}  // namespace logstore

@@ -1,0 +1,398 @@
+#include "flow/balancer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "flow/dinic.h"
+
+namespace logstore::flow {
+
+namespace {
+
+// Index lookups id -> position.
+std::map<uint64_t, size_t> TenantIndex(const ClusterState& state) {
+  std::map<uint64_t, size_t> index;
+  for (size_t i = 0; i < state.tenants.size(); ++i) {
+    index[state.tenants[i].id] = i;
+  }
+  return index;
+}
+
+std::map<uint32_t, size_t> ShardIndex(const ClusterState& state) {
+  std::map<uint32_t, size_t> index;
+  for (size_t i = 0; i < state.shards.size(); ++i) {
+    index[state.shards[i].id] = i;
+  }
+  return index;
+}
+
+std::map<uint32_t, size_t> WorkerIndex(const ClusterState& state) {
+  std::map<uint32_t, size_t> index;
+  for (size_t i = 0; i < state.workers.size(); ++i) {
+    index[state.workers[i].id] = i;
+  }
+  return index;
+}
+
+// GreedyFindLeastLoad(P): shard with the lowest load/capacity ratio.
+uint32_t FindLeastLoadedShard(const ClusterState& state,
+                              const std::vector<int64_t>& shard_loads,
+                              const RouteTable& routes, uint64_t tenant) {
+  size_t best = 0;
+  double best_ratio = 1e300;
+  for (size_t j = 0; j < state.shards.size(); ++j) {
+    // Skip shards the tenant already routes to (an edge already exists).
+    const auto* weights = routes.Get(tenant);
+    if (weights != nullptr && weights->count(state.shards[j].id) > 0) continue;
+    const double ratio =
+        static_cast<double>(shard_loads[j]) /
+        std::max<int64_t>(1, state.shards[j].capacity);
+    if (ratio < best_ratio) {
+      best_ratio = ratio;
+      best = j;
+    }
+  }
+  return state.shards[best].id;
+}
+
+// PickHotSpotTenant(Gamma_Pj): the tenant contributing the most traffic to
+// shard `shard_id` under `routes`.
+uint64_t PickHotSpotTenant(const ClusterState& state, const RouteTable& routes,
+                           uint32_t shard_id) {
+  uint64_t best_tenant = state.tenants.empty() ? 0 : state.tenants[0].id;
+  double best_traffic = -1;
+  for (const TenantStat& tenant : state.tenants) {
+    const auto* weights = routes.Get(tenant.id);
+    if (weights == nullptr) continue;
+    auto it = weights->find(shard_id);
+    if (it == weights->end()) continue;
+    const double traffic = it->second * static_cast<double>(tenant.traffic);
+    if (traffic > best_traffic) {
+      best_traffic = traffic;
+      best_tenant = tenant.id;
+    }
+  }
+  return best_tenant;
+}
+
+}  // namespace
+
+void ComputeLoads(const ClusterState& state, const RouteTable& routes,
+                  std::vector<int64_t>* shard_loads,
+                  std::vector<int64_t>* worker_loads) {
+  const auto shard_index = ShardIndex(state);
+  const auto worker_index = WorkerIndex(state);
+  shard_loads->assign(state.shards.size(), 0);
+  worker_loads->assign(state.workers.size(), 0);
+  for (const TenantStat& tenant : state.tenants) {
+    const auto* weights = routes.Get(tenant.id);
+    if (weights == nullptr) continue;
+    for (const auto& [shard_id, weight] : *weights) {
+      auto it = shard_index.find(shard_id);
+      if (it == shard_index.end()) continue;
+      const int64_t flow =
+          static_cast<int64_t>(weight * static_cast<double>(tenant.traffic));
+      (*shard_loads)[it->second] += flow;
+      auto wit = worker_index.find(state.shards[it->second].worker);
+      if (wit != worker_index.end()) (*worker_loads)[wit->second] += flow;
+    }
+  }
+}
+
+std::vector<uint32_t> DetectHotShards(const ClusterState& state) {
+  std::vector<uint32_t> hot;
+  for (const ShardStat& shard : state.shards) {
+    if (static_cast<double>(shard.load) >
+        state.hot_threshold * static_cast<double>(shard.capacity)) {
+      hot.push_back(shard.id);
+    }
+  }
+  return hot;
+}
+
+bool NeedsScaleOut(const ClusterState& state) {
+  int64_t total_load = 0;
+  double total_capacity = 0;
+  for (const WorkerStat& worker : state.workers) {
+    total_load += worker.load;
+    total_capacity += state.alpha * static_cast<double>(worker.capacity);
+  }
+  return static_cast<double>(total_load) > total_capacity;
+}
+
+// ---------------------------------------------------------------------------
+// Greedy (Algorithm 2)
+// ---------------------------------------------------------------------------
+
+BalanceResult GreedyBalancer::Schedule(const ClusterState& state) {
+  BalanceResult result;
+  result.routes = state.routes;
+  const size_t routes_before = result.routes.RouteCount();
+
+  const auto tenant_index = TenantIndex(state);
+
+  // K_hot: hottest tenant of each hot shard.
+  std::vector<uint32_t> hot_shards = DetectHotShards(state);
+  std::vector<uint64_t> hot_tenants;
+  for (uint32_t shard : hot_shards) {
+    const uint64_t tenant = PickHotSpotTenant(state, result.routes, shard);
+    if (std::find(hot_tenants.begin(), hot_tenants.end(), tenant) ==
+        hot_tenants.end()) {
+      hot_tenants.push_back(tenant);
+    }
+  }
+
+  std::vector<int64_t> shard_loads, worker_loads;
+  ComputeLoads(state, result.routes, &shard_loads, &worker_loads);
+  const auto shard_index = ShardIndex(state);
+
+  for (uint64_t tenant_id : hot_tenants) {
+    auto tit = tenant_index.find(tenant_id);
+    if (tit == tenant_index.end()) continue;
+    const TenantStat& tenant = state.tenants[tit->second];
+
+    // CalculateAddRoutesNum (Algorithm 2 line 6): N_add = ceil(f(K_i) /
+    // f_max), added every time the tenant is picked off a hot shard. This
+    // is deliberately faithful to the paper's greedy, which "always adds
+    // more shards to the hot tenants ... tends to distribute the workload
+    // to more shards" — the route-count inflation of Figure 12(c).
+    const auto* weights = result.routes.Get(tenant_id);
+    const int needed = static_cast<int>(
+        (tenant.traffic + state.edge_max_flow - 1) / state.edge_max_flow);
+    int to_add = std::max(needed, 1);
+
+    RouteTable::ShardWeights new_weights =
+        weights == nullptr ? RouteTable::ShardWeights{} : *weights;
+    while (to_add > 0 &&
+           new_weights.size() < state.shards.size()) {
+      const uint32_t shard =
+          FindLeastLoadedShard(state, shard_loads, result.routes, tenant_id);
+      if (new_weights.count(shard) > 0) break;  // no more distinct shards
+      new_weights[shard] = 0;
+      // Track hypothetical load for the next FindLeastLoadedShard call.
+      result.routes.Set(tenant_id, new_weights);
+      --to_add;
+      ComputeLoads(state, result.routes, &shard_loads, &worker_loads);
+      (void)shard_index;
+    }
+
+    // Averaging: weight = 1 / N_total on every route of the tenant.
+    const double weight = 1.0 / static_cast<double>(new_weights.size());
+    for (auto& [_, w] : new_weights) w = weight;
+    result.routes.Set(tenant_id, new_weights);
+  }
+
+  ComputeLoads(state, result.routes, &shard_loads, &worker_loads);
+  result.routes_added =
+      static_cast<int>(result.routes.RouteCount() - routes_before);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Max-flow (Algorithm 3)
+// ---------------------------------------------------------------------------
+
+BalanceResult MaxFlowBalancer::Schedule(const ClusterState& state) {
+  BalanceResult result;
+  result.routes = state.routes;
+  const size_t routes_before = result.routes.RouteCount();
+
+  const auto shard_index = ShardIndex(state);
+  const auto worker_index = WorkerIndex(state);
+
+  int64_t total_demand = 0;
+  for (const TenantStat& tenant : state.tenants) total_demand += tenant.traffic;
+
+  // K_hot from the hot shards of the measured state.
+  std::vector<uint64_t> hot_tenants;
+  for (uint32_t shard : DetectHotShards(state)) {
+    const uint64_t tenant = PickHotSpotTenant(state, result.routes, shard);
+    if (std::find(hot_tenants.begin(), hot_tenants.end(), tenant) ==
+        hot_tenants.end()) {
+      hot_tenants.push_back(tenant);
+    }
+  }
+
+  // Node layout: 0 = S, tenants, shards, workers, T.
+  const int m = static_cast<int>(state.tenants.size());
+  const int w = static_cast<int>(state.shards.size());
+  const int n = static_cast<int>(state.workers.size());
+  const int source = 0;
+  const int sink = 1 + m + w + n;
+  auto tenant_node = [&](size_t i) { return 1 + static_cast<int>(i); };
+  auto shard_node = [&](size_t j) { return 1 + m + static_cast<int>(j); };
+  auto worker_node = [&](size_t k) { return 1 + m + w + static_cast<int>(k); };
+
+  const auto tenant_index = TenantIndex(state);
+
+  // Solves max flow for the current route topology; fills per-route flows.
+  struct Solved {
+    int64_t max_flow = 0;
+    // (tenant position, shard position) -> flow
+    std::map<std::pair<size_t, size_t>, int64_t> route_flows;
+    std::vector<int64_t> shard_flows;
+  };
+  auto solve = [&]() -> Solved {
+    DinicMaxFlow graph(2 + m + w + n);
+    std::map<std::pair<size_t, size_t>, int> route_edges;
+    for (size_t i = 0; i < state.tenants.size(); ++i) {
+      graph.AddEdge(source, tenant_node(i), state.tenants[i].traffic);
+    }
+    for (const auto& [tenant_id, weights] : result.routes.rules()) {
+      auto tit = tenant_index.find(tenant_id);
+      if (tit == tenant_index.end()) continue;
+      for (const auto& [shard_id, _] : weights) {
+        auto sit = shard_index.find(shard_id);
+        if (sit == shard_index.end()) continue;
+        route_edges[{tit->second, sit->second}] =
+            graph.AddEdge(tenant_node(tit->second), shard_node(sit->second),
+                          state.edge_max_flow);
+      }
+    }
+    std::vector<int> shard_worker_edges(w, -1);
+    for (size_t j = 0; j < state.shards.size(); ++j) {
+      auto wit = worker_index.find(state.shards[j].worker);
+      if (wit == worker_index.end()) continue;
+      shard_worker_edges[j] = graph.AddEdge(
+          shard_node(j), worker_node(wit->second), state.shards[j].capacity);
+    }
+    for (size_t k = 0; k < state.workers.size(); ++k) {
+      graph.AddEdge(worker_node(k), sink,
+                    static_cast<int64_t>(
+                        state.alpha *
+                        static_cast<double>(state.workers[k].capacity)));
+    }
+
+    Solved solved;
+    solved.max_flow = graph.Solve(source, sink);
+    for (const auto& [key, edge_id] : route_edges) {
+      solved.route_flows[key] = graph.flow_on(edge_id);
+    }
+    solved.shard_flows.assign(w, 0);
+    for (size_t j = 0; j < state.shards.size(); ++j) {
+      if (shard_worker_edges[j] >= 0) {
+        solved.shard_flows[j] = graph.flow_on(shard_worker_edges[j]);
+      }
+    }
+    return solved;
+  };
+
+  Solved solved = solve();
+  result.max_flow = solved.max_flow;
+
+  // While the topology cannot carry the demand, widen it: one new route per
+  // unsatisfied hot tenant, to the least-loaded shard (Algorithm 3 line 9).
+  const int max_iterations = w + m + 1;
+  for (int iteration = 0;
+       solved.max_flow < total_demand && iteration < max_iterations;
+       ++iteration) {
+    // Keep route additions minimal: first give edges to tenants whose
+    // demand is structurally infeasible under the per-route cap f_max
+    // (they cannot be satisfied by re-weighting); only if none remain,
+    // widen the single most-starved tenant and re-solve. Re-weighting
+    // before edge addition is the max-flow scheduler's advantage over
+    // greedy (fewer routing rules, Figure 12(c)).
+    auto routed_for = [&](size_t tenant_pos) {
+      int64_t routed = 0;
+      for (size_t j = 0; j < state.shards.size(); ++j) {
+        auto fit = solved.route_flows.find({tenant_pos, j});
+        if (fit != solved.route_flows.end()) routed += fit->second;
+      }
+      return routed;
+    };
+    auto add_edge_for = [&](uint64_t tenant_id) {
+      const auto* weights = result.routes.Get(tenant_id);
+      size_t best = SIZE_MAX;
+      double best_ratio = 1e300;
+      for (size_t j = 0; j < state.shards.size(); ++j) {
+        if (weights != nullptr && weights->count(state.shards[j].id) > 0) {
+          continue;
+        }
+        const double ratio =
+            static_cast<double>(solved.shard_flows[j]) /
+            std::max<int64_t>(1, state.shards[j].capacity);
+        if (ratio < best_ratio) {
+          best_ratio = ratio;
+          best = j;
+        }
+      }
+      if (best == SIZE_MAX) return false;
+      RouteTable::ShardWeights new_weights =
+          weights == nullptr ? RouteTable::ShardWeights{} : *weights;
+      new_weights[state.shards[best].id] = 0;
+      result.routes.Set(tenant_id, new_weights);
+      return true;
+    };
+
+    bool added = false;
+    for (const TenantStat& tenant : state.tenants) {
+      const auto* weights = result.routes.Get(tenant.id);
+      const int64_t edges =
+          weights == nullptr ? 0 : static_cast<int64_t>(weights->size());
+      if (tenant.traffic > edges * state.edge_max_flow) {
+        added |= add_edge_for(tenant.id);
+      }
+    }
+    if (!added) {
+      // No structural shortfall: widen the most congestion-starved tenant.
+      uint64_t worst_tenant = 0;
+      int64_t worst_gap = 0;
+      for (size_t i = 0; i < state.tenants.size(); ++i) {
+        const int64_t gap = state.tenants[i].traffic - routed_for(i);
+        if (gap > worst_gap) {
+          worst_gap = gap;
+          worst_tenant = state.tenants[i].id;
+        }
+      }
+      if (worst_gap > 0) added = add_edge_for(worst_tenant);
+    }
+    if (!added) break;
+    solved = solve();
+    result.max_flow = solved.max_flow;
+  }
+
+  result.scale_needed = solved.max_flow < total_demand;
+
+  // Derive weights from the flow assignment: X_ij = f(X_ij) / f(K_i).
+  std::vector<uint64_t> routed_tenants;
+  for (const auto& [tenant_id, _] : result.routes.rules()) {
+    routed_tenants.push_back(tenant_id);
+  }
+  for (uint64_t tenant_id : routed_tenants) {
+    auto tit = tenant_index.find(tenant_id);
+    if (tit == tenant_index.end()) continue;
+    const TenantStat& tenant = state.tenants[tit->second];
+    const auto* current = result.routes.Get(tenant_id);
+    if (current == nullptr) continue;
+
+    RouteTable::ShardWeights new_weights;
+    int64_t routed_total = 0;
+    for (const auto& [shard_id, _] : *current) {
+      auto sit = shard_index.find(shard_id);
+      if (sit == shard_index.end()) continue;
+      auto fit = solved.route_flows.find({tit->second, sit->second});
+      const int64_t flow = fit == solved.route_flows.end() ? 0 : fit->second;
+      if (flow > 0) {
+        new_weights[shard_id] = static_cast<double>(flow);
+        routed_total += flow;
+      }
+    }
+    if (new_weights.empty() || routed_total == 0 || tenant.traffic == 0) {
+      // Zero-demand tenant (or starved in the solution): keep one route.
+      new_weights.clear();
+      new_weights[current->begin()->first] = 1.0;
+    } else {
+      for (auto& [_, weight] : new_weights) {
+        weight /= static_cast<double>(routed_total);
+      }
+    }
+    result.routes.Set(tenant_id, new_weights);
+  }
+
+  result.routes_added = static_cast<int>(
+      static_cast<int64_t>(result.routes.RouteCount()) -
+      static_cast<int64_t>(routes_before));
+  return result;
+}
+
+}  // namespace logstore::flow

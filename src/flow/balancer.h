@@ -1,0 +1,113 @@
+#ifndef LOGSTORE_FLOW_BALANCER_H_
+#define LOGSTORE_FLOW_BALANCER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flow/route_table.h"
+
+namespace logstore::flow {
+
+// ---------------------------------------------------------------------------
+// The multi-tenant traffic model of §4.1.1: a single-source/single-sink
+// flow network
+//
+//     S -> tenants K_i -> shards P_j -> workers D_k -> T
+//
+// f(K_i) is tenant demand, c(P_j) shard capacity, c(D_k) worker capacity,
+// X_ij the route weights. The balancer's job: adjust edges and weights,
+// keeping edges few, so the network's max flow covers the demand, subject
+// to   f(P_j) <= c(P_j)   and   f(D_k) <= alpha * c(D_k).
+// ---------------------------------------------------------------------------
+
+struct TenantStat {
+  uint64_t id = 0;
+  int64_t traffic = 0;  // f(K_i), log entries/second
+};
+
+struct ShardStat {
+  uint32_t id = 0;
+  uint32_t worker = 0;   // placement: the worker hosting this shard
+  int64_t capacity = 0;  // c(P_j)
+  int64_t load = 0;      // f(P_j), measured
+};
+
+struct WorkerStat {
+  uint32_t id = 0;
+  int64_t capacity = 0;  // c(D_k)
+  int64_t load = 0;      // f(D_k), measured
+};
+
+struct ClusterState {
+  std::vector<TenantStat> tenants;
+  std::vector<ShardStat> shards;
+  std::vector<WorkerStat> workers;
+  RouteTable routes;
+
+  // High watermark alpha for workers (§4.1.1; production uses 85%).
+  double alpha = 0.85;
+  // f_max: the per-route limit of one tenant's traffic on one shard
+  // (Algorithm 2's "one shard is limited to process up to 100K logs
+  // belonging to the same tenant").
+  int64_t edge_max_flow = 100'000;
+  // A shard is hot when its load exceeds this fraction of capacity.
+  double hot_threshold = 0.9;
+};
+
+// Derives shard and worker loads implied by `routes` and tenant demand
+// (f(P_j) = sum_i X_ij * f(K_i)); used to evaluate candidate plans.
+void ComputeLoads(const ClusterState& state, const RouteTable& routes,
+                  std::vector<int64_t>* shard_loads,
+                  std::vector<int64_t>* worker_loads);
+
+// CheckHotSpot over all shards: ids of shards with load above threshold.
+std::vector<uint32_t> DetectHotShards(const ClusterState& state);
+
+// True when the whole cluster is near saturation and rebalancing cannot
+// help (Algorithm 1 line 17): sum f(D_k) > alpha * sum c(D_k).
+bool NeedsScaleOut(const ClusterState& state);
+
+struct BalanceResult {
+  RouteTable routes;
+  // Max achievable flow under the new plan (max-flow balancer only).
+  int64_t max_flow = 0;
+  // Demand exceeded what any plan could route: add workers.
+  bool scale_needed = false;
+  // Routes added relative to the input table.
+  int routes_added = 0;
+};
+
+// TrafficSchedule() strategy interface (Algorithm 1 line 20).
+class Balancer {
+ public:
+  virtual ~Balancer() = default;
+  virtual const char* name() const = 0;
+  virtual BalanceResult Schedule(const ClusterState& state) = 0;
+};
+
+// Algorithm 2: identify the hottest tenant on each hot shard, add routes to
+// the least-loaded shards until the tenant's demand fits under f_max per
+// route, then spread the tenant's traffic evenly over its routes.
+class GreedyBalancer : public Balancer {
+ public:
+  const char* name() const override { return "greedy"; }
+  BalanceResult Schedule(const ClusterState& state) override;
+};
+
+// Algorithm 3: solve max-flow (Dinic) on the current topology; while demand
+// exceeds the max flow, add one route for each unsatisfied hot tenant to
+// the least-loaded shard and re-solve; finally derive weights from the flow
+// assignment. Adjusting weights before adding edges is what lets max-flow
+// "eliminate system hot spots ... without increasing routing rules".
+class MaxFlowBalancer : public Balancer {
+ public:
+  const char* name() const override { return "max-flow"; }
+  BalanceResult Schedule(const ClusterState& state) override;
+};
+
+}  // namespace logstore::flow
+
+#endif  // LOGSTORE_FLOW_BALANCER_H_

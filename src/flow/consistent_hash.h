@@ -1,0 +1,54 @@
+#ifndef LOGSTORE_FLOW_CONSISTENT_HASH_H_
+#define LOGSTORE_FLOW_CONSISTENT_HASH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace logstore::flow {
+
+// Consistent-hash ring used for the initial tenant->shard placement
+// (Algorithm 1 line 5: P_j <- ConsistentHash(K_i)). Virtual nodes smooth
+// the distribution; adding or removing a shard only remaps a 1/w slice of
+// tenants.
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(int virtual_nodes = 64)
+      : virtual_nodes_(virtual_nodes) {}
+
+  void AddNode(uint32_t node_id) {
+    for (int v = 0; v < virtual_nodes_; ++v) {
+      ring_[Hash64("node-" + std::to_string(node_id) + "#" +
+                   std::to_string(v))] = node_id;
+    }
+  }
+
+  void RemoveNode(uint32_t node_id) {
+    for (int v = 0; v < virtual_nodes_; ++v) {
+      ring_.erase(Hash64("node-" + std::to_string(node_id) + "#" +
+                         std::to_string(v)));
+    }
+  }
+
+  bool empty() const { return ring_.empty(); }
+  size_t ring_size() const { return ring_.size(); }
+
+  // Maps a key (tenant id) to a node (shard id). Ring must be non-empty.
+  uint32_t GetNode(uint64_t key) const {
+    const uint64_t h = Hash64("tenant-" + std::to_string(key));
+    auto it = ring_.lower_bound(h);
+    if (it == ring_.end()) it = ring_.begin();
+    return it->second;
+  }
+
+ private:
+  const int virtual_nodes_;
+  std::map<uint64_t, uint32_t> ring_;
+};
+
+}  // namespace logstore::flow
+
+#endif  // LOGSTORE_FLOW_CONSISTENT_HASH_H_

@@ -1,0 +1,79 @@
+#include "flow/dinic.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace logstore::flow {
+
+DinicMaxFlow::DinicMaxFlow(int num_nodes)
+    : adjacency_(num_nodes), level_(num_nodes), iter_(num_nodes) {}
+
+int DinicMaxFlow::AddEdge(int u, int v, int64_t capacity) {
+  const int edge_id = static_cast<int>(edge_refs_.size());
+  edge_refs_.emplace_back(u, static_cast<int>(adjacency_[u].size()));
+  adjacency_[u].push_back(
+      Edge{v, capacity, capacity, static_cast<int>(adjacency_[v].size())});
+  adjacency_[v].push_back(
+      Edge{u, 0, 0, static_cast<int>(adjacency_[u].size()) - 1});
+  return edge_id;
+}
+
+bool DinicMaxFlow::Bfs(int source, int sink) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::deque<int> queue;
+  level_[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop_front();
+    for (const Edge& e : adjacency_[u]) {
+      if (e.capacity > 0 && level_[e.to] < 0) {
+        level_[e.to] = level_[u] + 1;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  return level_[sink] >= 0;
+}
+
+int64_t DinicMaxFlow::Dfs(int u, int sink, int64_t pushed) {
+  if (u == sink) return pushed;
+  for (int& i = iter_[u]; i < static_cast<int>(adjacency_[u].size()); ++i) {
+    Edge& e = adjacency_[u][i];
+    if (e.capacity > 0 && level_[e.to] == level_[u] + 1) {
+      const int64_t d = Dfs(e.to, sink, std::min(pushed, e.capacity));
+      if (d > 0) {
+        e.capacity -= d;
+        adjacency_[e.to][e.rev].capacity += d;
+        return d;
+      }
+    }
+  }
+  return 0;
+}
+
+int64_t DinicMaxFlow::Solve(int source, int sink) {
+  // Reset residuals so Solve is repeatable on the same graph.
+  for (auto& edges : adjacency_) {
+    for (Edge& e : edges) e.capacity = e.original;
+  }
+  int64_t flow = 0;
+  while (Bfs(source, sink)) {
+    std::fill(iter_.begin(), iter_.end(), 0);
+    int64_t pushed;
+    while ((pushed = Dfs(source, sink,
+                         std::numeric_limits<int64_t>::max())) > 0) {
+      flow += pushed;
+    }
+  }
+  return flow;
+}
+
+int64_t DinicMaxFlow::flow_on(int edge_id) const {
+  const auto& [node, index] = edge_refs_[edge_id];
+  const Edge& e = adjacency_[node][index];
+  return e.original - e.capacity;
+}
+
+}  // namespace logstore::flow

@@ -1,0 +1,47 @@
+#ifndef LOGSTORE_FLOW_DINIC_H_
+#define LOGSTORE_FLOW_DINIC_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace logstore::flow {
+
+// Dinic's maximum-flow algorithm (Dinic '70), the solver behind the
+// max-flow traffic scheduler of §4.1.4 (Algorithm 3). Integer capacities;
+// traffic is expressed in whole log-entries/second.
+class DinicMaxFlow {
+ public:
+  explicit DinicMaxFlow(int num_nodes);
+
+  // Adds a directed edge u->v with `capacity` and returns its edge id,
+  // usable with flow_on() after Solve.
+  int AddEdge(int u, int v, int64_t capacity);
+
+  // Computes the maximum flow from `source` to `sink`.
+  int64_t Solve(int source, int sink);
+
+  // Flow routed through edge `edge_id` by the last Solve.
+  int64_t flow_on(int edge_id) const;
+
+  int num_nodes() const { return static_cast<int>(adjacency_.size()); }
+
+ private:
+  struct Edge {
+    int to;
+    int64_t capacity;  // residual
+    int64_t original;
+    int rev;  // index of the reverse edge in adjacency_[to]
+  };
+
+  bool Bfs(int source, int sink);
+  int64_t Dfs(int u, int sink, int64_t pushed);
+
+  std::vector<std::vector<Edge>> adjacency_;
+  std::vector<std::pair<int, int>> edge_refs_;  // edge id -> (node, index)
+  std::vector<int> level_;
+  std::vector<int> iter_;
+};
+
+}  // namespace logstore::flow
+
+#endif  // LOGSTORE_FLOW_DINIC_H_

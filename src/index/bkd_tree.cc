@@ -1,0 +1,156 @@
+#include "index/bkd_tree.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace logstore::index {
+
+void BkdTreeWriter::Add(int64_t value, uint32_t row) {
+  entries_.emplace_back(value, row);
+}
+
+std::string BkdTreeWriter::Finish() {
+  std::sort(entries_.begin(), entries_.end());
+
+  const uint32_t leaf_count =
+      static_cast<uint32_t>((entries_.size() + leaf_size_ - 1) / leaf_size_);
+
+  // Serialize leaves first to learn their offsets.
+  std::vector<std::string> leaf_blobs;
+  std::vector<std::pair<int64_t, int64_t>> leaf_ranges;
+  std::vector<uint32_t> leaf_counts;
+  leaf_blobs.reserve(leaf_count);
+  for (uint32_t li = 0; li < leaf_count; ++li) {
+    const size_t begin = static_cast<size_t>(li) * leaf_size_;
+    const size_t end = std::min(begin + leaf_size_, entries_.size());
+    std::string blob;
+    int64_t prev = entries_[begin].first;
+    leaf_ranges.emplace_back(entries_[begin].first, entries_[end - 1].first);
+    leaf_counts.push_back(static_cast<uint32_t>(end - begin));
+    for (size_t i = begin; i < end; ++i) {
+      // Within-leaf values are ascending, so deltas are non-negative, but we
+      // keep zig-zag coding for uniformity with the first entry's base.
+      PutVarsint64(&blob, entries_[i].first - (i == begin ? 0 : prev));
+      prev = entries_[i].first;
+      PutVarint32(&blob, entries_[i].second);
+    }
+    leaf_blobs.push_back(std::move(blob));
+  }
+
+  // Directory entries have a fixed-size tail (fixed32 offset) but varint
+  // min/max, so build the directory, then fix offsets knowing its length.
+  // We iterate to a fixed point like the tar writer: directory size depends
+  // only on min/max/count (stable), offsets are fixed32, so one pass works.
+  std::string header;
+  PutVarint32(&header, leaf_count);
+  PutVarint32(&header, leaf_size_);
+  std::string directory;
+  // First compute directory size with placeholder offsets.
+  for (uint32_t li = 0; li < leaf_count; ++li) {
+    PutVarsint64(&directory, leaf_ranges[li].first);
+    PutVarsint64(&directory, leaf_ranges[li].second);
+    PutVarint32(&directory, leaf_counts[li]);
+    PutFixed32(&directory, 0);
+  }
+  const size_t data_start = header.size() + directory.size();
+
+  directory.clear();
+  uint32_t offset = static_cast<uint32_t>(data_start);
+  for (uint32_t li = 0; li < leaf_count; ++li) {
+    PutVarsint64(&directory, leaf_ranges[li].first);
+    PutVarsint64(&directory, leaf_ranges[li].second);
+    PutVarint32(&directory, leaf_counts[li]);
+    PutFixed32(&directory, offset);
+    offset += static_cast<uint32_t>(leaf_blobs[li].size());
+  }
+
+  std::string out = header + directory;
+  for (const std::string& blob : leaf_blobs) out += blob;
+  entries_.clear();
+  return out;
+}
+
+Result<BkdTreeReader> BkdTreeReader::Open(std::string data) {
+  BkdTreeReader reader;
+  reader.data_ = std::move(data);
+  Slice in(reader.data_);
+  uint32_t leaf_count, leaf_size;
+  if (!GetVarint32(&in, &leaf_count) || !GetVarint32(&in, &leaf_size)) {
+    return Status::Corruption("bkd: bad header");
+  }
+  reader.leaves_.reserve(leaf_count);
+  for (uint32_t li = 0; li < leaf_count; ++li) {
+    LeafInfo leaf;
+    uint32_t off;
+    if (!GetVarsint64(&in, &leaf.min) || !GetVarsint64(&in, &leaf.max) ||
+        !GetVarint32(&in, &leaf.count) || !GetFixed32(&in, &off)) {
+      return Status::Corruption("bkd: truncated directory");
+    }
+    leaf.offset = off;
+    if (leaf.offset > reader.data_.size()) {
+      return Status::Corruption("bkd: leaf offset out of range");
+    }
+    reader.leaves_.push_back(leaf);
+  }
+  return reader;
+}
+
+void BkdTreeReader::ScanLeaf(const LeafInfo& leaf, int64_t lo, int64_t hi,
+                             RowIdSet* out) const {
+  Slice in(data_.data() + leaf.offset, data_.size() - leaf.offset);
+  int64_t value = 0;
+  for (uint32_t i = 0; i < leaf.count; ++i) {
+    int64_t delta;
+    uint32_t row;
+    if (!GetVarsint64(&in, &delta) || !GetVarint32(&in, &row)) return;
+    value = (i == 0) ? delta : value + delta;
+    if (value > hi) return;  // ascending: nothing further can match
+    if (value >= lo && row < out->num_rows()) out->Add(row);
+  }
+}
+
+void BkdTreeReader::AddWholeLeaf(const LeafInfo& leaf, RowIdSet* out) const {
+  Slice in(data_.data() + leaf.offset, data_.size() - leaf.offset);
+  for (uint32_t i = 0; i < leaf.count; ++i) {
+    int64_t delta;
+    uint32_t row;
+    if (!GetVarsint64(&in, &delta) || !GetVarint32(&in, &row)) return;
+    if (row < out->num_rows()) out->Add(row);
+  }
+}
+
+RowIdSet BkdTreeReader::QueryRange(int64_t lo, int64_t hi,
+                                   uint32_t num_rows) const {
+  RowIdSet result(num_rows);
+  if (lo > hi || leaves_.empty()) return result;
+
+  // Leaves are sorted by min (values ascending across leaves). Find the
+  // first leaf whose max >= lo via binary search on max.
+  size_t first = 0, last = leaves_.size();
+  {
+    size_t lo_i = 0, hi_i = leaves_.size();
+    while (lo_i < hi_i) {
+      const size_t mid = lo_i + (hi_i - lo_i) / 2;
+      if (leaves_[mid].max < lo) {
+        lo_i = mid + 1;
+      } else {
+        hi_i = mid;
+      }
+    }
+    first = lo_i;
+  }
+
+  for (size_t li = first; li < last; ++li) {
+    const LeafInfo& leaf = leaves_[li];
+    if (leaf.min > hi) break;
+    if (leaf.min >= lo && leaf.max <= hi) {
+      AddWholeLeaf(leaf, &result);  // fully covered: skip value decoding
+    } else {
+      ScanLeaf(leaf, lo, hi, &result);
+    }
+  }
+  return result;
+}
+
+}  // namespace logstore::index

@@ -1,0 +1,78 @@
+#ifndef LOGSTORE_INDEX_BKD_TREE_H_
+#define LOGSTORE_INDEX_BKD_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "index/rowid_set.h"
+
+namespace logstore::index {
+
+// Numeric index for int64 columns (§3.2: "BKD tree index ... corresponding
+// to numerical type"). Like Lucene's 1-D BKD usage, we bulk-load a packed
+// tree: values are sorted, grouped into fixed-size leaves, and an in-order
+// leaf directory with per-leaf [min,max] acts as the internal tree levels.
+// A range query binary-searches the directory, scans at most two boundary
+// leaves, and bulk-adds all fully-covered interior leaves without decoding
+// their values.
+//
+// On-storage layout:
+//   varint32 leaf_count, varint32 leaf_size
+//   directory: per leaf varsint64 min, varsint64 max, varint32 count,
+//              fixed32 leaf_offset
+//   leaf data: per leaf, `count` entries of (varsint64 value_delta,
+//              varint32 row_id); values ascending within and across leaves.
+class BkdTreeWriter {
+ public:
+  explicit BkdTreeWriter(uint32_t leaf_size = 256) : leaf_size_(leaf_size) {}
+
+  void Add(int64_t value, uint32_t row);
+
+  // Sorts, packs and serializes; the writer is left empty.
+  std::string Finish();
+
+  size_t entry_count() const { return entries_.size(); }
+
+ private:
+  const uint32_t leaf_size_;
+  std::vector<std::pair<int64_t, uint32_t>> entries_;
+};
+
+class BkdTreeReader {
+ public:
+  static Result<BkdTreeReader> Open(std::string data);
+
+  // Rows whose value lies in [lo, hi] (inclusive).
+  RowIdSet QueryRange(int64_t lo, int64_t hi, uint32_t num_rows) const;
+
+  RowIdSet QueryEqual(int64_t v, uint32_t num_rows) const {
+    return QueryRange(v, v, num_rows);
+  }
+
+  size_t leaf_count() const { return leaves_.size(); }
+
+ private:
+  struct LeafInfo {
+    int64_t min;
+    int64_t max;
+    uint32_t count;
+    uint32_t offset;  // into data_
+  };
+
+  // Decodes leaf `li`, adding rows whose value is within [lo,hi].
+  void ScanLeaf(const LeafInfo& leaf, int64_t lo, int64_t hi,
+                RowIdSet* out) const;
+  // Adds every row of leaf `li` without value tests.
+  void AddWholeLeaf(const LeafInfo& leaf, RowIdSet* out) const;
+
+  std::string data_;
+  std::vector<LeafInfo> leaves_;
+};
+
+}  // namespace logstore::index
+
+#endif  // LOGSTORE_INDEX_BKD_TREE_H_

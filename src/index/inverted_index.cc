@@ -1,0 +1,208 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/coding.h"
+
+namespace logstore::index {
+
+std::vector<std::string> Tokenize(const Slice& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(text[i]);
+    if (std::isalnum(c)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+void InvertedIndexWriter::Add(uint32_t row, const Slice& value) {
+  auto append_unique = [row](std::vector<uint32_t>& rows) {
+    if (rows.empty() || rows.back() != row) rows.push_back(row);
+  };
+  if (index_exact_) append_unique(postings_[ExactTerm(value)]);
+  if (index_tokens_) {
+    for (const std::string& token : Tokenize(value)) {
+      if (!IsIndexableToken(token)) continue;
+      append_unique(postings_[token]);
+    }
+  }
+}
+
+SerializedInvertedIndex InvertedIndexWriter::Finish() {
+  SerializedInvertedIndex out;
+
+  // Postings first: per term, delta-varint row ids; record ranges.
+  std::vector<PostingsRef> refs;
+  refs.reserve(postings_.size());
+  for (const auto& [term, rows] : postings_) {
+    PostingsRef ref;
+    ref.doc_count = static_cast<uint32_t>(rows.size());
+    ref.offset = out.postings.size();
+    uint32_t prev = 0;
+    for (uint32_t row : rows) {
+      PutVarint32(&out.postings, row - prev);
+      prev = row;
+    }
+    ref.length = static_cast<uint32_t>(out.postings.size() - ref.offset);
+    refs.push_back(ref);
+  }
+
+  // Dictionary: sorted terms with their postings ranges, then a fixed32
+  // per-term offset directory for binary search.
+  PutVarint32(&out.dict, static_cast<uint32_t>(postings_.size()));
+  std::vector<uint32_t> offsets;
+  offsets.reserve(postings_.size());
+  size_t i = 0;
+  for (const auto& [term, rows] : postings_) {
+    (void)rows;
+    offsets.push_back(static_cast<uint32_t>(out.dict.size()));
+    PutLengthPrefixedSlice(&out.dict, term);
+    PutVarint32(&out.dict, refs[i].doc_count);
+    PutVarint64(&out.dict, refs[i].offset);
+    PutVarint32(&out.dict, refs[i].length);
+    ++i;
+  }
+  const uint32_t dir_offset = static_cast<uint32_t>(out.dict.size());
+  for (uint32_t off : offsets) PutFixed32(&out.dict, off);
+  PutFixed32(&out.dict, dir_offset);
+
+  postings_.clear();
+  return out;
+}
+
+Result<InvertedIndexDict> InvertedIndexDict::Open(std::string data) {
+  InvertedIndexDict dict;
+  dict.data_ = std::move(data);
+  const std::string& d = dict.data_;
+  if (d.size() < sizeof(uint32_t)) {
+    return Status::Corruption("inverted dict too small");
+  }
+  const uint32_t dir_offset = DecodeFixed32(d.data() + d.size() - 4);
+  Slice head(d);
+  uint32_t term_count;
+  if (!GetVarint32(&head, &term_count)) {
+    return Status::Corruption("inverted dict: bad term count");
+  }
+  const uint64_t dir_size = static_cast<uint64_t>(term_count) * 4;
+  if (dir_offset + dir_size + 4 != d.size()) {
+    return Status::Corruption("inverted dict: directory size mismatch");
+  }
+  dict.term_offsets_.reserve(term_count);
+  for (uint32_t i = 0; i < term_count; ++i) {
+    const uint32_t off = DecodeFixed32(d.data() + dir_offset + i * 4);
+    if (off >= dir_offset) {
+      return Status::Corruption("inverted dict: bad term offset");
+    }
+    dict.term_offsets_.push_back(off);
+  }
+  return dict;
+}
+
+Slice InvertedIndexDict::TermAt(size_t i) const {
+  Slice entry(data_.data() + term_offsets_[i],
+              data_.size() - term_offsets_[i]);
+  Slice term;
+  GetLengthPrefixedSlice(&entry, &term);
+  return term;
+}
+
+std::optional<PostingsRef> InvertedIndexDict::Lookup(const Slice& term) const {
+  size_t lo = 0, hi = term_offsets_.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (TermAt(mid).compare(term) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == term_offsets_.size() || TermAt(lo) != term) return std::nullopt;
+
+  Slice entry(data_.data() + term_offsets_[lo],
+              data_.size() - term_offsets_[lo]);
+  Slice t;
+  PostingsRef ref;
+  if (!GetLengthPrefixedSlice(&entry, &t) ||
+      !GetVarint32(&entry, &ref.doc_count) ||
+      !GetVarint64(&entry, &ref.offset) || !GetVarint32(&entry, &ref.length)) {
+    return std::nullopt;
+  }
+  return ref;
+}
+
+std::optional<PostingsRef> InvertedIndexDict::LookupToken(
+    const Slice& token) const {
+  std::string lowered(token.data(), token.size());
+  std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return Lookup(lowered);
+}
+
+Result<RowIdSet> DecodePostings(const Slice& postings, uint32_t doc_count,
+                                uint32_t num_rows) {
+  RowIdSet result(num_rows);
+  Slice in = postings;
+  uint32_t row = 0;
+  for (uint32_t i = 0; i < doc_count; ++i) {
+    uint32_t delta;
+    if (!GetVarint32(&in, &delta)) {
+      return Status::Corruption("postings: truncated");
+    }
+    row += delta;
+    if (row < num_rows) result.Add(row);
+  }
+  return result;
+}
+
+Result<InvertedIndexReader> InvertedIndexReader::Open(
+    SerializedInvertedIndex serialized) {
+  auto dict = InvertedIndexDict::Open(std::move(serialized.dict));
+  if (!dict.ok()) return dict.status();
+  InvertedIndexReader reader;
+  reader.dict_ = std::move(dict).value();
+  reader.postings_ = std::move(serialized.postings);
+  return reader;
+}
+
+RowIdSet InvertedIndexReader::Resolve(const std::optional<PostingsRef>& ref,
+                                      uint32_t num_rows) const {
+  if (!ref.has_value() || ref->offset + ref->length > postings_.size()) {
+    return RowIdSet(num_rows);
+  }
+  auto rows = DecodePostings(
+      Slice(postings_.data() + ref->offset, ref->length), ref->doc_count,
+      num_rows);
+  return rows.ok() ? std::move(rows).value() : RowIdSet(num_rows);
+}
+
+RowIdSet InvertedIndexReader::LookupExact(const Slice& value,
+                                          uint32_t num_rows) const {
+  return Resolve(dict_.Lookup(InvertedIndexWriter::ExactTerm(value)),
+                 num_rows);
+}
+
+RowIdSet InvertedIndexReader::LookupToken(const Slice& token,
+                                          uint32_t num_rows) const {
+  return Resolve(dict_.LookupToken(token), num_rows);
+}
+
+RowIdSet InvertedIndexReader::MatchAllTokens(const Slice& text,
+                                             uint32_t num_rows) const {
+  const std::vector<std::string> tokens = Tokenize(text);
+  if (tokens.empty()) return RowIdSet::All(num_rows);
+  RowIdSet result = LookupToken(tokens[0], num_rows);
+  for (size_t i = 1; i < tokens.size() && !result.Empty(); ++i) {
+    result.IntersectWith(LookupToken(tokens[i], num_rows));
+  }
+  return result;
+}
+
+}  // namespace logstore::index

@@ -1,0 +1,96 @@
+#ifndef LOGSTORE_INDEX_ROWID_SET_H_
+#define LOGSTORE_INDEX_ROWID_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace logstore::index {
+
+// A set of row positions within one LogBlock, used to combine filter results
+// across columns (§5.1: "After merging the rowid set that meets the filter
+// conditions, the log data can be finally loaded according to it").
+//
+// Backed by a word-packed bitmap sized to the block's row count.
+class RowIdSet {
+ public:
+  RowIdSet() : num_rows_(0) {}
+  explicit RowIdSet(uint32_t num_rows)
+      : num_rows_(num_rows), words_((num_rows + 63) / 64, 0) {}
+
+  // A set with every row in [0, num_rows) present.
+  static RowIdSet All(uint32_t num_rows) {
+    RowIdSet s(num_rows);
+    for (auto& w : s.words_) w = ~0ull;
+    s.ClearTail();
+    return s;
+  }
+
+  uint32_t num_rows() const { return num_rows_; }
+
+  void Add(uint32_t row) { words_[row >> 6] |= (1ull << (row & 63)); }
+  void Remove(uint32_t row) { words_[row >> 6] &= ~(1ull << (row & 63)); }
+  bool Contains(uint32_t row) const {
+    return (words_[row >> 6] >> (row & 63)) & 1;
+  }
+
+  // Adds every row in [begin, end).
+  void AddRange(uint32_t begin, uint32_t end) {
+    for (uint32_t r = begin; r < end; ++r) Add(r);
+  }
+
+  void IntersectWith(const RowIdSet& other) {
+    const size_t n = words_.size() < other.words_.size() ? words_.size()
+                                                         : other.words_.size();
+    for (size_t i = 0; i < n; ++i) words_[i] &= other.words_[i];
+    for (size_t i = n; i < words_.size(); ++i) words_[i] = 0;
+  }
+
+  void UnionWith(const RowIdSet& other) {
+    const size_t n = words_.size() < other.words_.size() ? words_.size()
+                                                         : other.words_.size();
+    for (size_t i = 0; i < n; ++i) words_[i] |= other.words_[i];
+  }
+
+  uint32_t Count() const {
+    uint32_t count = 0;
+    for (uint64_t w : words_) count += __builtin_popcountll(w);
+    return count;
+  }
+
+  bool Empty() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  // Materializes the set as an ascending row-id list.
+  std::vector<uint32_t> ToVector() const {
+    std::vector<uint32_t> rows;
+    rows.reserve(Count());
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = __builtin_ctzll(w);
+        rows.push_back(static_cast<uint32_t>(wi * 64 + bit));
+        w &= w - 1;
+      }
+    }
+    return rows;
+  }
+
+ private:
+  void ClearTail() {
+    const uint32_t tail = num_rows_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (1ull << tail) - 1;
+    }
+  }
+
+  uint32_t num_rows_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace logstore::index
+
+#endif  // LOGSTORE_INDEX_ROWID_SET_H_

@@ -1,0 +1,142 @@
+#include "logblock/logblock_map.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+
+namespace logstore::logblock {
+
+void LogBlockMap::Add(LogBlockEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& blocks = tenants_[entry.tenant_id];
+  // Insert keeping chronological order; builders emit mostly in order so
+  // this is usually an append.
+  auto pos = std::upper_bound(
+      blocks.begin(), blocks.end(), entry,
+      [](const LogBlockEntry& a, const LogBlockEntry& b) {
+        return a.min_ts != b.min_ts ? a.min_ts < b.min_ts
+                                    : a.object_key < b.object_key;
+      });
+  blocks.insert(pos, std::move(entry));
+}
+
+std::vector<LogBlockEntry> LogBlockMap::Prune(uint64_t tenant_id,
+                                              int64_t ts_lo,
+                                              int64_t ts_hi) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LogBlockEntry> result;
+  auto it = tenants_.find(tenant_id);
+  if (it == tenants_.end()) return result;
+  for (const LogBlockEntry& block : it->second) {
+    if (block.max_ts >= ts_lo && block.min_ts <= ts_hi) result.push_back(block);
+  }
+  return result;
+}
+
+std::vector<LogBlockEntry> LogBlockMap::TenantBlocks(
+    uint64_t tenant_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant_id);
+  return it == tenants_.end() ? std::vector<LogBlockEntry>() : it->second;
+}
+
+std::vector<LogBlockEntry> LogBlockMap::ExpireBefore(uint64_t tenant_id,
+                                                     int64_t cutoff_ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LogBlockEntry> expired;
+  auto it = tenants_.find(tenant_id);
+  if (it == tenants_.end()) return expired;
+  auto& blocks = it->second;
+  auto keep = blocks.begin();
+  for (auto& block : blocks) {
+    if (block.max_ts < cutoff_ts) {
+      expired.push_back(std::move(block));
+    } else {
+      *keep++ = std::move(block);
+    }
+  }
+  blocks.erase(keep, blocks.end());
+  if (blocks.empty()) tenants_.erase(it);
+  return expired;
+}
+
+uint64_t LogBlockMap::TenantBytes(uint64_t tenant_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant_id);
+  if (it == tenants_.end()) return 0;
+  uint64_t total = 0;
+  for (const LogBlockEntry& block : it->second) total += block.size_bytes;
+  return total;
+}
+
+uint64_t LogBlockMap::TenantBlockCount(uint64_t tenant_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant_id);
+  return it == tenants_.end() ? 0 : it->second.size();
+}
+
+std::vector<uint64_t> LogBlockMap::Tenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> tenants;
+  tenants.reserve(tenants_.size());
+  for (const auto& [tenant, _] : tenants_) tenants.push_back(tenant);
+  return tenants;
+}
+
+size_t LogBlockMap::TotalBlocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [_, blocks] : tenants_) total += blocks.size();
+  return total;
+}
+
+void LogBlockMap::EncodeTo(std::string* dst) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PutVarint64(dst, tenants_.size());
+  for (const auto& [tenant, blocks] : tenants_) {
+    PutVarint64(dst, tenant);
+    PutVarint32(dst, static_cast<uint32_t>(blocks.size()));
+    for (const LogBlockEntry& block : blocks) {
+      PutVarsint64(dst, block.min_ts);
+      PutVarsint64(dst, block.max_ts);
+      PutLengthPrefixedSlice(dst, block.object_key);
+      PutVarint64(dst, block.size_bytes);
+      PutVarint32(dst, block.row_count);
+    }
+  }
+}
+
+Status LogBlockMap::DecodeFrom(Slice* input, LogBlockMap* map) {
+  {
+    std::lock_guard<std::mutex> lock(map->mu_);
+    map->tenants_.clear();
+  }
+  uint64_t tenant_count;
+  if (!GetVarint64(input, &tenant_count)) {
+    return Status::Corruption("logblock map: bad tenant count");
+  }
+  for (uint64_t t = 0; t < tenant_count; ++t) {
+    uint64_t tenant;
+    uint32_t block_count;
+    if (!GetVarint64(input, &tenant) || !GetVarint32(input, &block_count)) {
+      return Status::Corruption("logblock map: truncated tenant");
+    }
+    for (uint32_t b = 0; b < block_count; ++b) {
+      LogBlockEntry entry;
+      entry.tenant_id = tenant;
+      Slice key;
+      if (!GetVarsint64(input, &entry.min_ts) ||
+          !GetVarsint64(input, &entry.max_ts) ||
+          !GetLengthPrefixedSlice(input, &key) ||
+          !GetVarint64(input, &entry.size_bytes) ||
+          !GetVarint32(input, &entry.row_count)) {
+        return Status::Corruption("logblock map: truncated entry");
+      }
+      entry.object_key = key.ToString();
+      map->Add(std::move(entry));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace logstore::logblock

@@ -1,0 +1,68 @@
+#ifndef LOGSTORE_LOGBLOCK_LOGBLOCK_MAP_H_
+#define LOGSTORE_LOGBLOCK_LOGBLOCK_MAP_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace logstore::logblock {
+
+// Catalog entry for one LogBlock object: the <tenant_id, min_ts, max_ts>
+// tuple of Figure 8 step 1 plus bookkeeping for billing and expiration.
+struct LogBlockEntry {
+  uint64_t tenant_id = 0;
+  int64_t min_ts = 0;
+  int64_t max_ts = 0;
+  std::string object_key;
+  uint64_t size_bytes = 0;
+  uint32_t row_count = 0;
+};
+
+// The tenant-level LogBlock map maintained by the controller's metadata
+// manager (§3.1): per tenant, the chronological list of LogBlocks on the
+// object store. Queries prune against it before touching any object
+// (Figure 8 step 1); the expiration task retires whole blocks from it.
+// Thread-safe.
+class LogBlockMap {
+ public:
+  void Add(LogBlockEntry entry);
+
+  // Blocks of `tenant` whose time span intersects [ts_lo, ts_hi].
+  std::vector<LogBlockEntry> Prune(uint64_t tenant_id, int64_t ts_lo,
+                                   int64_t ts_hi) const;
+
+  // All blocks of a tenant, in chronological order.
+  std::vector<LogBlockEntry> TenantBlocks(uint64_t tenant_id) const;
+
+  // Removes and returns blocks of `tenant` wholly older than `cutoff_ts`
+  // (max_ts < cutoff): the data-expiration path. The caller deletes the
+  // returned objects from the store.
+  std::vector<LogBlockEntry> ExpireBefore(uint64_t tenant_id,
+                                          int64_t cutoff_ts);
+
+  // Per-tenant storage footprint, the basis of differentiated billing.
+  uint64_t TenantBytes(uint64_t tenant_id) const;
+  uint64_t TenantBlockCount(uint64_t tenant_id) const;
+
+  std::vector<uint64_t> Tenants() const;
+  size_t TotalBlocks() const;
+
+  void EncodeTo(std::string* dst) const;
+  // Replaces the contents of `*map` (which must outlive concurrent use).
+  static Status DecodeFrom(Slice* input, LogBlockMap* map);
+
+ private:
+  mutable std::mutex mu_;
+  // tenant -> blocks ordered by (min_ts, object_key).
+  std::map<uint64_t, std::vector<LogBlockEntry>> tenants_;
+};
+
+}  // namespace logstore::logblock
+
+#endif  // LOGSTORE_LOGBLOCK_LOGBLOCK_MAP_H_

@@ -1,0 +1,272 @@
+#include "logblock/logblock_reader.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace logstore::logblock {
+
+Result<std::unique_ptr<LogBlockReader>> LogBlockReader::Open(
+    std::shared_ptr<LogBlockSource> source) {
+  // 1. Fixed-size prologue tells us the tar header extent.
+  auto prologue =
+      source->ReadRange(0, objectstore::TarReader::kPrologueSize);
+  if (!prologue.ok()) return prologue.status();
+  auto header_size = objectstore::TarReader::HeaderSize(*prologue);
+  if (!header_size.ok()) return header_size.status();
+
+  // 2. Fetch the full tar header and parse the manifest.
+  auto head = source->ReadRange(0, *header_size);
+  if (!head.ok()) return head.status();
+  auto tar = objectstore::TarReader::Parse(*head);
+  if (!tar.ok()) return tar.status();
+
+  // 3. Fetch and decode the meta member.
+  auto meta_member = tar->Find(MetaMemberName());
+  if (!meta_member.ok()) return meta_member.status();
+  auto meta_bytes = source->ReadRange(meta_member->offset, meta_member->size);
+  if (!meta_bytes.ok()) return meta_bytes.status();
+  Slice meta_in(*meta_bytes);
+  auto meta = LogBlockMeta::DecodeFrom(&meta_in);
+  if (!meta.ok()) return meta.status();
+
+  std::unique_ptr<LogBlockReader> reader(new LogBlockReader());
+  reader->source_ = std::move(source);
+  reader->tar_ = std::move(tar).value();
+  reader->meta_ = std::move(meta).value();
+  return reader;
+}
+
+Result<ByteRange> LogBlockReader::MemberRange(const std::string& name) const {
+  auto member = tar_.Find(name);
+  if (!member.ok()) return member.status();
+  return ByteRange{member->offset, member->size};
+}
+
+Result<ByteRange> LogBlockReader::ColumnBlockRange(size_t col,
+                                                   size_t block_idx) const {
+  if (col >= meta_.columns.size()) {
+    return Status::InvalidArgument("column out of range");
+  }
+  if (block_idx >= meta_.columns[col].blocks.size()) {
+    return Status::InvalidArgument("block out of range");
+  }
+  auto member = tar_.Find(DataMemberName(col));
+  if (!member.ok()) return member.status();
+  const ColumnBlockMeta& block = meta_.columns[col].blocks[block_idx];
+  return ByteRange{member->offset + block.offset, block.size};
+}
+
+Result<std::shared_ptr<index::InvertedIndexDict>> LogBlockReader::InvertedDict(
+    size_t col) {
+  if (col >= meta_.columns.size() ||
+      meta_.columns[col].index_type != IndexType::kInverted) {
+    return Status::NotFound("column has no inverted index");
+  }
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = dict_cache_.find(col);
+    if (it != dict_cache_.end()) return it->second;
+  }
+  auto range = MemberRange(IndexDictMemberName(col));
+  if (!range.ok()) return range.status();
+  auto bytes = source_->ReadRange(range->offset, range->size);
+  if (!bytes.ok()) return bytes.status();
+  auto dict = index::InvertedIndexDict::Open(std::move(bytes).value());
+  if (!dict.ok()) return dict.status();
+  auto shared =
+      std::make_shared<index::InvertedIndexDict>(std::move(dict).value());
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  dict_cache_[col] = shared;
+  return shared;
+}
+
+Result<index::RowIdSet> LogBlockReader::FetchPostings(
+    size_t col, const index::PostingsRef& ref) {
+  auto member = MemberRange(IndexPostingsMemberName(col));
+  if (!member.ok()) return member.status();
+  if (ref.offset + ref.length > member->size) {
+    return Status::Corruption("postings ref out of member range");
+  }
+  auto bytes = source_->ReadRange(member->offset + ref.offset, ref.length);
+  if (!bytes.ok()) return bytes.status();
+  return index::DecodePostings(*bytes, ref.doc_count, meta_.row_count);
+}
+
+Result<index::RowIdSet> LogBlockReader::InvertedLookupExact(
+    size_t col, const Slice& value) {
+  auto dict = InvertedDict(col);
+  if (!dict.ok()) return dict.status();
+  const auto ref =
+      (*dict)->Lookup(index::InvertedIndexWriter::ExactTerm(value));
+  if (!ref.has_value()) return index::RowIdSet(meta_.row_count);
+  return FetchPostings(col, *ref);
+}
+
+Result<index::RowIdSet> LogBlockReader::InvertedMatchAllTokens(
+    size_t col, const Slice& text) {
+  auto dict = InvertedDict(col);
+  if (!dict.ok()) return dict.status();
+  const auto tokens = index::Tokenize(text);
+  if (tokens.empty()) return index::RowIdSet::All(meta_.row_count);
+
+  // Resolve refs first; a missing token empties the conjunction without
+  // any postings IO. Prefetch the postings ranges of the rest.
+  std::vector<index::PostingsRef> refs;
+  refs.reserve(tokens.size());
+  for (const std::string& token : tokens) {
+    const auto ref = (*dict)->LookupToken(token);
+    if (!ref.has_value()) return index::RowIdSet(meta_.row_count);
+    refs.push_back(*ref);
+  }
+  if (refs.size() > 1) {
+    auto member = MemberRange(IndexPostingsMemberName(col));
+    if (member.ok()) {
+      std::vector<ByteRange> ranges;
+      for (const auto& ref : refs) {
+        ranges.push_back({member->offset + ref.offset, ref.length});
+      }
+      (void)source_->Prefetch(ranges);
+    }
+  }
+
+  auto result = FetchPostings(col, refs[0]);
+  if (!result.ok()) return result.status();
+  for (size_t i = 1; i < refs.size() && !result->Empty(); ++i) {
+    auto rows = FetchPostings(col, refs[i]);
+    if (!rows.ok()) return rows.status();
+    result->IntersectWith(*rows);
+  }
+  return result;
+}
+
+Result<std::shared_ptr<index::BkdTreeReader>> LogBlockReader::BkdIndex(
+    size_t col) {
+  if (col >= meta_.columns.size() ||
+      meta_.columns[col].index_type != IndexType::kBkd) {
+    return Status::NotFound("column has no BKD index");
+  }
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = bkd_cache_.find(col);
+    if (it != bkd_cache_.end()) return it->second;
+  }
+  auto range = MemberRange(IndexMemberName(col));
+  if (!range.ok()) return range.status();
+  auto bytes = source_->ReadRange(range->offset, range->size);
+  if (!bytes.ok()) return bytes.status();
+  auto reader = index::BkdTreeReader::Open(std::move(bytes).value());
+  if (!reader.ok()) return reader.status();
+  auto shared =
+      std::make_shared<index::BkdTreeReader>(std::move(reader).value());
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  bkd_cache_[col] = shared;
+  return shared;
+}
+
+Result<DecodedColumnBlock> LogBlockReader::ReadColumnBlock(size_t col,
+                                                           size_t block_idx) {
+  auto range = ColumnBlockRange(col, block_idx);
+  if (!range.ok()) return range.status();
+  auto chunk = source_->ReadRange(range->offset, range->size);
+  if (!chunk.ok()) return chunk.status();
+
+  const ColumnBlockMeta& block_meta = meta_.columns[col].blocks[block_idx];
+  Slice in(*chunk);
+  uint32_t bitset_len;
+  if (!GetVarint32(&in, &bitset_len) || in.size() < bitset_len) {
+    return Status::Corruption("column block: bad bitset");
+  }
+  in.remove_prefix(bitset_len);  // validity bitmap; all rows valid today
+
+  uint32_t masked_crc;
+  if (!GetFixed32(&in, &masked_crc)) {
+    return Status::Corruption("column block: missing checksum");
+  }
+  if (crc32c::Unmask(masked_crc) != crc32c::Value(in.data(), in.size())) {
+    return Status::Corruption("column block: checksum mismatch");
+  }
+
+  const compress::Codec* codec = compress::GetCodec(meta_.codec);
+  std::string values;
+  LOGSTORE_RETURN_IF_ERROR(codec->Decompress(in, &values));
+
+  DecodedColumnBlock decoded;
+  decoded.first_row = block_meta.first_row;
+  Slice v(values);
+  if (meta_.schema.column(col).type == ColumnType::kInt64) {
+    decoded.ints.reserve(block_meta.row_count);
+    for (uint32_t r = 0; r < block_meta.row_count; ++r) {
+      int64_t value;
+      if (!GetVarsint64(&v, &value)) {
+        return Status::Corruption("column block: truncated int values");
+      }
+      decoded.ints.push_back(value);
+    }
+  } else {
+    decoded.strs.reserve(block_meta.row_count);
+    for (uint32_t r = 0; r < block_meta.row_count; ++r) {
+      Slice value;
+      if (!GetLengthPrefixedSlice(&v, &value)) {
+        return Status::Corruption("column block: truncated string values");
+      }
+      decoded.strs.push_back(value.ToString());
+    }
+  }
+  if (!v.empty()) {
+    return Status::Corruption("column block: trailing bytes");
+  }
+  return decoded;
+}
+
+Result<size_t> LogBlockReader::BlockIndexForRow(size_t col,
+                                                uint32_t row) const {
+  if (col >= meta_.columns.size()) {
+    return Status::InvalidArgument("column out of range");
+  }
+  const auto& blocks = meta_.columns[col].blocks;
+  // Binary search on first_row.
+  size_t lo = 0, hi = blocks.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (blocks[mid].first_row + blocks[mid].row_count <= row) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == blocks.size() || blocks[lo].first_row > row) {
+    return Status::InvalidArgument("row out of range");
+  }
+  return lo;
+}
+
+Result<std::vector<Value>> LogBlockReader::ReadValuesAt(
+    size_t col, const std::vector<uint32_t>& sorted_rows) {
+  std::vector<Value> out;
+  out.reserve(sorted_rows.size());
+  const bool is_int = meta_.schema.column(col).type == ColumnType::kInt64;
+
+  size_t i = 0;
+  while (i < sorted_rows.size()) {
+    auto block_idx = BlockIndexForRow(col, sorted_rows[i]);
+    if (!block_idx.ok()) return block_idx.status();
+    const ColumnBlockMeta& block_meta = meta_.columns[col].blocks[*block_idx];
+    auto decoded = ReadColumnBlock(col, *block_idx);
+    if (!decoded.ok()) return decoded.status();
+
+    const uint32_t block_end = block_meta.first_row + block_meta.row_count;
+    for (; i < sorted_rows.size() && sorted_rows[i] < block_end; ++i) {
+      const uint32_t offset_in_block = sorted_rows[i] - block_meta.first_row;
+      if (is_int) {
+        out.push_back(Value::Int64(decoded->ints[offset_in_block]));
+      } else {
+        out.push_back(Value::String(decoded->strs[offset_in_block]));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace logstore::logblock

@@ -1,0 +1,37 @@
+#ifndef LOGSTORE_LOGBLOCK_LOGBLOCK_WRITER_H_
+#define LOGSTORE_LOGBLOCK_LOGBLOCK_WRITER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "compress/codec.h"
+#include "logblock/format.h"
+#include "logblock/row_batch.h"
+
+namespace logstore::logblock {
+
+struct LogBlockWriterOptions {
+  compress::CodecType codec = compress::CodecType::kLzRatio;
+  // Rows per column block; the granularity of block-level SMA skipping.
+  uint32_t rows_per_block = 4096;
+  uint32_t bkd_leaf_size = 256;
+  // Name of the timestamp column used for the block's [min_ts, max_ts]
+  // span in the LogBlock map; empty disables the span.
+  std::string ts_column = "ts";
+};
+
+// Converts row-major tenant data into the immutable LogBlock package
+// (Figure 4) — the data builder's "remote archiving" step. The returned
+// bytes are uploaded to the object store as a single object.
+struct BuiltLogBlock {
+  std::string data;       // full tar package
+  LogBlockMeta meta;      // the embedded meta, for catalog registration
+};
+
+Result<BuiltLogBlock> BuildLogBlock(const RowBatch& rows, uint64_t tenant_id,
+                                    const LogBlockWriterOptions& options = {});
+
+}  // namespace logstore::logblock
+
+#endif  // LOGSTORE_LOGBLOCK_LOGBLOCK_WRITER_H_

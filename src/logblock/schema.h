@@ -1,0 +1,151 @@
+#ifndef LOGSTORE_LOGBLOCK_SCHEMA_H_
+#define LOGSTORE_LOGBLOCK_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace logstore::logblock {
+
+// Column value types. Timestamps are int64 microseconds; booleans are
+// stored as strings ("true"/"false") matching the paper's sample schema
+// where `fail = 'false'` is a string predicate.
+enum class ColumnType : uint8_t {
+  kInt64 = 0,
+  kString = 1,
+};
+
+// Per-column index choices (§3.2): inverted index for strings, BKD tree for
+// numerics, or none (the paper's Figure 8 shows `latency` without an index,
+// filtered by block SMA + scan).
+enum class IndexType : uint8_t {
+  kNone = 0,
+  kInverted = 1,
+  kBkd = 2,
+};
+
+// What an inverted index stores for a string column. Exact-only suits
+// identifier-like columns (ip, fail); tokens-only suits free text queried
+// with MATCH; both doubles the index for columns queried either way.
+enum class Analyzer : uint8_t {
+  kExactAndTokens = 0,
+  kExactOnly = 1,
+  kTokensOnly = 2,
+};
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kString;
+  bool indexed = true;
+  Analyzer analyzer = Analyzer::kExactAndTokens;
+
+  IndexType index_type() const {
+    if (!indexed) return IndexType::kNone;
+    return type == ColumnType::kInt64 ? IndexType::kBkd : IndexType::kInverted;
+  }
+};
+
+// A LogBlock is self-contained (§3.2): the full schema is embedded in every
+// block so a block "can still be resolved after being renamed or moved".
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+
+  // Returns the column position or -1.
+  int FindColumn(const Slice& name) const {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (Slice(columns_[i].name) == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  void EncodeTo(std::string* dst) const {
+    PutVarint32(dst, static_cast<uint32_t>(columns_.size()));
+    for (const ColumnDef& col : columns_) {
+      PutLengthPrefixedSlice(dst, col.name);
+      dst->push_back(static_cast<char>(col.type));
+      dst->push_back(col.indexed ? 1 : 0);
+      dst->push_back(static_cast<char>(col.analyzer));
+    }
+  }
+
+  static Result<Schema> DecodeFrom(Slice* input) {
+    uint32_t count;
+    if (!GetVarint32(input, &count)) {
+      return Status::Corruption("schema: bad column count");
+    }
+    std::vector<ColumnDef> columns;
+    columns.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      Slice name;
+      if (!GetLengthPrefixedSlice(input, &name) || input->size() < 3) {
+        return Status::Corruption("schema: truncated column def");
+      }
+      ColumnDef col;
+      col.name = name.ToString();
+      col.type = static_cast<ColumnType>((*input)[0]);
+      col.indexed = (*input)[1] != 0;
+      col.analyzer = static_cast<Analyzer>((*input)[2]);
+      if (col.type != ColumnType::kInt64 && col.type != ColumnType::kString) {
+        return Status::Corruption("schema: unknown column type");
+      }
+      if (col.analyzer != Analyzer::kExactAndTokens &&
+          col.analyzer != Analyzer::kExactOnly &&
+          col.analyzer != Analyzer::kTokensOnly) {
+        return Status::Corruption("schema: unknown analyzer");
+      }
+      input->remove_prefix(3);
+      columns.push_back(std::move(col));
+    }
+    return Schema(std::move(columns));
+  }
+
+  bool operator==(const Schema& other) const {
+    if (columns_.size() != other.columns_.size()) return false;
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (columns_[i].name != other.columns_[i].name ||
+          columns_[i].type != other.columns_[i].type ||
+          columns_[i].indexed != other.columns_[i].indexed ||
+          columns_[i].analyzer != other.columns_[i].analyzer) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+// The audit-log table used throughout the paper's examples and evaluation:
+//   SELECT log FROM request_log WHERE tenant_id = .. AND ts >= .. AND
+//     ts <= .. AND ip = '..' AND latency >= 100 AND fail = 'false'
+// Index choices mirror Figure 8: `latency` is unindexed (block-SMA +
+// scan path); `ts` is also unindexed because LogBlocks are time-ordered,
+// so block SMA prunes time ranges exactly and a BKD tree would only add
+// bytes; `ip`/`fail` are exact-match identifiers; `log` is free text.
+inline Schema RequestLogSchema() {
+  return Schema({
+      {"tenant_id", ColumnType::kInt64, true, Analyzer::kExactAndTokens},
+      {"ts", ColumnType::kInt64, false, Analyzer::kExactAndTokens},
+      {"ip", ColumnType::kString, true, Analyzer::kExactOnly},
+      {"latency", ColumnType::kInt64, false, Analyzer::kExactAndTokens},
+      {"fail", ColumnType::kString, true, Analyzer::kExactOnly},
+      {"log", ColumnType::kString, true, Analyzer::kTokensOnly},
+  });
+}
+
+}  // namespace logstore::logblock
+
+#endif  // LOGSTORE_LOGBLOCK_SCHEMA_H_

@@ -1,0 +1,126 @@
+#include "objectstore/file_object_store.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace logstore::objectstore {
+
+namespace fs = std::filesystem;
+
+Result<std::unique_ptr<FileObjectStore>> FileObjectStore::Open(
+    const std::string& root) {
+  std::error_code ec;
+  fs::create_directories(root, ec);
+  if (ec) {
+    return Status::IOError("cannot create root " + root + ": " + ec.message());
+  }
+  return std::unique_ptr<FileObjectStore>(new FileObjectStore(root));
+}
+
+bool FileObjectStore::ValidKey(const std::string& key) {
+  if (key.empty() || key.front() == '/' || key.find("..") != std::string::npos) {
+    return false;
+  }
+  return true;
+}
+
+std::string FileObjectStore::PathFor(const std::string& key) const {
+  return root_ + "/" + key;
+}
+
+Status FileObjectStore::Put(const std::string& key, const Slice& data) {
+  if (!ValidKey(key)) return Status::InvalidArgument("bad key: " + key);
+  const std::string path = PathFor(key);
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  if (ec) return Status::IOError("mkdir failed: " + ec.message());
+
+  // Write-then-rename makes the put atomic, matching object store semantics
+  // where partially-written objects are never visible.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + tmp);
+    out.write(data.data(), data.size());
+    if (!out) return Status::IOError("short write to " + tmp);
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) return Status::IOError("rename failed: " + ec.message());
+  stats_.puts++;
+  stats_.bytes_written += data.size();
+  return Status::OK();
+}
+
+Result<std::string> FileObjectStore::Get(const std::string& key) {
+  if (!ValidKey(key)) return Status::InvalidArgument("bad key: " + key);
+  std::ifstream in(PathFor(key), std::ios::binary | std::ios::ate);
+  if (!in) return Status::NotFound("no such object: " + key);
+  const auto size = in.tellg();
+  std::string data(static_cast<size_t>(size), '\0');
+  in.seekg(0);
+  in.read(data.data(), size);
+  if (!in) return Status::IOError("short read on " + key);
+  stats_.gets++;
+  stats_.bytes_read += data.size();
+  return data;
+}
+
+Result<std::string> FileObjectStore::GetRange(const std::string& key,
+                                              uint64_t offset,
+                                              uint64_t length) {
+  if (!ValidKey(key)) return Status::InvalidArgument("bad key: " + key);
+  std::ifstream in(PathFor(key), std::ios::binary | std::ios::ate);
+  if (!in) return Status::NotFound("no such object: " + key);
+  const uint64_t size = static_cast<uint64_t>(in.tellg());
+  if (offset > size) {
+    return Status::InvalidArgument("range offset beyond object size");
+  }
+  const uint64_t n = std::min<uint64_t>(length, size - offset);
+  std::string data(static_cast<size_t>(n), '\0');
+  in.seekg(static_cast<std::streamoff>(offset));
+  in.read(data.data(), static_cast<std::streamsize>(n));
+  if (!in) return Status::IOError("short range read on " + key);
+  stats_.range_gets++;
+  stats_.bytes_read += n;
+  return data;
+}
+
+Result<uint64_t> FileObjectStore::Head(const std::string& key) {
+  if (!ValidKey(key)) return Status::InvalidArgument("bad key: " + key);
+  std::error_code ec;
+  const auto size = fs::file_size(PathFor(key), ec);
+  if (ec) return Status::NotFound("no such object: " + key);
+  return static_cast<uint64_t>(size);
+}
+
+Result<std::vector<std::string>> FileObjectStore::List(
+    const std::string& prefix) {
+  stats_.lists++;
+  std::vector<std::string> keys;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(root_, ec);
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (!it->is_regular_file()) continue;
+    std::string rel = fs::relative(it->path(), root_, ec).generic_string();
+    if (ec) continue;
+    if (rel.size() >= 4 && rel.compare(rel.size() - 4, 4, ".tmp") == 0) continue;
+    if (rel.compare(0, prefix.size(), prefix) == 0) keys.push_back(rel);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+Status FileObjectStore::Delete(const std::string& key) {
+  if (!ValidKey(key)) return Status::InvalidArgument("bad key: " + key);
+  std::error_code ec;
+  fs::remove(PathFor(key), ec);
+  stats_.deletes++;
+  return Status::OK();
+}
+
+}  // namespace logstore::objectstore

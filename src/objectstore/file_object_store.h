@@ -1,0 +1,41 @@
+#ifndef LOGSTORE_OBJECTSTORE_FILE_OBJECT_STORE_H_
+#define LOGSTORE_OBJECTSTORE_FILE_OBJECT_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "objectstore/object_store.h"
+
+namespace logstore::objectstore {
+
+// Object store persisted in a local directory. Keys map to file paths under
+// the root; '/'-separated key segments become subdirectories. Useful for
+// durability across process restarts and for exercising real file IO.
+class FileObjectStore : public ObjectStore {
+ public:
+  // `root` is created if missing.
+  static Result<std::unique_ptr<FileObjectStore>> Open(const std::string& root);
+
+  Status Put(const std::string& key, const Slice& data) override;
+  Result<std::string> Get(const std::string& key) override;
+  Result<std::string> GetRange(const std::string& key, uint64_t offset,
+                               uint64_t length) override;
+  Result<uint64_t> Head(const std::string& key) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+  Status Delete(const std::string& key) override;
+  ObjectStoreStats& stats() override { return stats_; }
+
+ private:
+  explicit FileObjectStore(std::string root) : root_(std::move(root)) {}
+
+  std::string PathFor(const std::string& key) const;
+  static bool ValidKey(const std::string& key);
+
+  const std::string root_;
+  ObjectStoreStats stats_;
+};
+
+}  // namespace logstore::objectstore
+
+#endif  // LOGSTORE_OBJECTSTORE_FILE_OBJECT_STORE_H_

@@ -1,0 +1,78 @@
+#include "objectstore/memory_object_store.h"
+
+#include <algorithm>
+
+namespace logstore::objectstore {
+
+Status MemoryObjectStore::Put(const std::string& key, const Slice& data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  objects_[key] = data.ToString();
+  stats_.puts++;
+  stats_.bytes_written += data.size();
+  return Status::OK();
+}
+
+Result<std::string> MemoryObjectStore::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return Status::NotFound("no such object: " + key);
+  stats_.gets++;
+  stats_.bytes_read += it->second.size();
+  return it->second;
+}
+
+Result<std::string> MemoryObjectStore::GetRange(const std::string& key,
+                                                uint64_t offset,
+                                                uint64_t length) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return Status::NotFound("no such object: " + key);
+  const std::string& data = it->second;
+  if (offset > data.size()) {
+    return Status::InvalidArgument("range offset beyond object size");
+  }
+  const uint64_t n = std::min<uint64_t>(length, data.size() - offset);
+  stats_.range_gets++;
+  stats_.bytes_read += n;
+  return data.substr(offset, n);
+}
+
+Result<uint64_t> MemoryObjectStore::Head(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return Status::NotFound("no such object: " + key);
+  return static_cast<uint64_t>(it->second.size());
+}
+
+Result<std::vector<std::string>> MemoryObjectStore::List(
+    const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.lists++;
+  std::vector<std::string> keys;
+  for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
+Status MemoryObjectStore::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.deletes++;
+  objects_.erase(key);
+  return Status::OK();
+}
+
+size_t MemoryObjectStore::object_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.size();
+}
+
+uint64_t MemoryObjectStore::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [k, v] : objects_) total += v.size();
+  return total;
+}
+
+}  // namespace logstore::objectstore

@@ -1,0 +1,36 @@
+#ifndef LOGSTORE_OBJECTSTORE_MEMORY_OBJECT_STORE_H_
+#define LOGSTORE_OBJECTSTORE_MEMORY_OBJECT_STORE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "objectstore/object_store.h"
+
+namespace logstore::objectstore {
+
+// In-memory object store backend for tests and simulations.
+class MemoryObjectStore : public ObjectStore {
+ public:
+  Status Put(const std::string& key, const Slice& data) override;
+  Result<std::string> Get(const std::string& key) override;
+  Result<std::string> GetRange(const std::string& key, uint64_t offset,
+                               uint64_t length) override;
+  Result<uint64_t> Head(const std::string& key) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+  Status Delete(const std::string& key) override;
+  ObjectStoreStats& stats() override { return stats_; }
+
+  size_t object_count() const;
+  uint64_t total_bytes() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> objects_;
+  ObjectStoreStats stats_;
+};
+
+}  // namespace logstore::objectstore
+
+#endif  // LOGSTORE_OBJECTSTORE_MEMORY_OBJECT_STORE_H_

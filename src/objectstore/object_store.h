@@ -1,0 +1,63 @@
+#ifndef LOGSTORE_OBJECTSTORE_OBJECT_STORE_H_
+#define LOGSTORE_OBJECTSTORE_OBJECT_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace logstore::objectstore {
+
+// Aggregate request counters, useful for asserting that data skipping and
+// caching actually avoid remote reads.
+struct ObjectStoreStats {
+  std::atomic<uint64_t> puts{0};
+  std::atomic<uint64_t> gets{0};
+  std::atomic<uint64_t> range_gets{0};
+  std::atomic<uint64_t> deletes{0};
+  std::atomic<uint64_t> lists{0};
+  std::atomic<uint64_t> bytes_written{0};
+  std::atomic<uint64_t> bytes_read{0};
+
+  void Reset() {
+    puts = gets = range_gets = deletes = lists = 0;
+    bytes_written = bytes_read = 0;
+  }
+};
+
+// Cloud object storage abstraction (OSS/S3 semantics): immutable whole-object
+// puts, whole or ranged gets, prefix listing. No appends, no renames —
+// exactly the constraints §3 designs LogBlock around.
+class ObjectStore {
+ public:
+  virtual ~ObjectStore() = default;
+
+  // Stores `data` under `key`, replacing any existing object.
+  virtual Status Put(const std::string& key, const Slice& data) = 0;
+
+  // Reads a whole object.
+  virtual Result<std::string> Get(const std::string& key) = 0;
+
+  // Reads `length` bytes at `offset`. Short reads at end-of-object return
+  // the available suffix.
+  virtual Result<std::string> GetRange(const std::string& key, uint64_t offset,
+                                       uint64_t length) = 0;
+
+  // Returns the object size, or NotFound.
+  virtual Result<uint64_t> Head(const std::string& key) = 0;
+
+  // Lists keys with the given prefix, in lexicographic order.
+  virtual Result<std::vector<std::string>> List(const std::string& prefix) = 0;
+
+  virtual Status Delete(const std::string& key) = 0;
+
+  virtual ObjectStoreStats& stats() = 0;
+};
+
+}  // namespace logstore::objectstore
+
+#endif  // LOGSTORE_OBJECTSTORE_OBJECT_STORE_H_

@@ -1,0 +1,86 @@
+#include "objectstore/simulated_object_store.h"
+
+#include <algorithm>
+
+namespace logstore::objectstore {
+
+SimulatedObjectStore::SimulatedObjectStore(std::unique_ptr<ObjectStore> base,
+                                           SimulatedStoreOptions options,
+                                           Clock* clock)
+    : base_(std::move(base)), options_(options), clock_(clock) {}
+
+void SimulatedObjectStore::ChargeRequest(uint64_t bytes) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    slot_free_.wait(lock,
+                    [&] { return in_flight_ < options_.max_concurrent_requests; });
+    ++in_flight_;
+  }
+
+  // Round-trip latency is per-request (parallel requests overlap it), but
+  // transfer time reserves a slice of the shared link: a request's
+  // transfer starts when the link frees up and occupies it for
+  // bytes/bandwidth.
+  const int64_t transfer_us =
+      static_cast<int64_t>(bytes / options_.bandwidth_bytes_per_us);
+  const int64_t now = clock_->NowMicros();
+  int64_t transfer_done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int64_t start = std::max(now, link_busy_until_us_);
+    link_busy_until_us_ = start + static_cast<int64_t>(
+                                      transfer_us * options_.time_scale);
+    transfer_done = link_busy_until_us_;
+  }
+  const int64_t finish =
+      std::max(transfer_done,
+               now + static_cast<int64_t>(options_.first_byte_latency_us *
+                                          options_.time_scale));
+  charged_micros_ +=
+      static_cast<uint64_t>(options_.first_byte_latency_us + transfer_us);
+  const int64_t wait = finish - now;
+  if (wait > 0 && options_.time_scale > 0) clock_->SleepMicros(wait);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+  }
+  slot_free_.notify_one();
+}
+
+Status SimulatedObjectStore::Put(const std::string& key, const Slice& data) {
+  ChargeRequest(data.size());
+  return base_->Put(key, data);
+}
+
+Result<std::string> SimulatedObjectStore::Get(const std::string& key) {
+  auto size = base_->Head(key);
+  ChargeRequest(size.ok() ? *size : 0);
+  return base_->Get(key);
+}
+
+Result<std::string> SimulatedObjectStore::GetRange(const std::string& key,
+                                                   uint64_t offset,
+                                                   uint64_t length) {
+  auto result = base_->GetRange(key, offset, length);
+  ChargeRequest(result.ok() ? result->size() : 0);
+  return result;
+}
+
+Result<uint64_t> SimulatedObjectStore::Head(const std::string& key) {
+  ChargeRequest(0);
+  return base_->Head(key);
+}
+
+Result<std::vector<std::string>> SimulatedObjectStore::List(
+    const std::string& prefix) {
+  ChargeRequest(0);
+  return base_->List(prefix);
+}
+
+Status SimulatedObjectStore::Delete(const std::string& key) {
+  ChargeRequest(0);
+  return base_->Delete(key);
+}
+
+}  // namespace logstore::objectstore

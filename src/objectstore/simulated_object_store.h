@@ -1,0 +1,77 @@
+#ifndef LOGSTORE_OBJECTSTORE_SIMULATED_OBJECT_STORE_H_
+#define LOGSTORE_OBJECTSTORE_SIMULATED_OBJECT_STORE_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "common/clock.h"
+#include "objectstore/object_store.h"
+
+namespace logstore::objectstore {
+
+// Latency/bandwidth model of a remote object store. Defaults approximate the
+// OSS behaviour the paper designs against: milliseconds of per-request
+// latency plus a bandwidth-bound transfer time, with a cap on concurrent
+// requests per node.
+struct SimulatedStoreOptions {
+  // Fixed cost per request (HTTP round trip + first byte). Paid
+  // concurrently by parallel requests (independent round trips).
+  int64_t first_byte_latency_us = 4000;
+  // AGGREGATE transfer throughput of the node's network path: concurrent
+  // transfers share it (they serialize on a virtual bandwidth clock), so
+  // fetching fewer bytes genuinely costs less even with many parallel
+  // connections — the economics that make data skipping matter.
+  double bandwidth_bytes_per_us = 100.0;  // 100 MB/s
+  // Maximum in-flight requests; extra requests queue (models connection
+  // pool / OSS QPS limits).
+  int max_concurrent_requests = 32;
+  // Scales all injected delays. 0 disables sleeping entirely (counters
+  // still accumulate), <1 compresses wall time for large benches.
+  double time_scale = 1.0;
+};
+
+// Wraps a backend ObjectStore and injects the cost model above. Also keeps
+// a virtual "charged" time counter so callers can report simulated latency
+// even when time_scale < 1.
+class SimulatedObjectStore : public ObjectStore {
+ public:
+  SimulatedObjectStore(std::unique_ptr<ObjectStore> base,
+                       SimulatedStoreOptions options,
+                       Clock* clock = SystemClock::Default());
+
+  Status Put(const std::string& key, const Slice& data) override;
+  Result<std::string> Get(const std::string& key) override;
+  Result<std::string> GetRange(const std::string& key, uint64_t offset,
+                               uint64_t length) override;
+  Result<uint64_t> Head(const std::string& key) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+  Status Delete(const std::string& key) override;
+  ObjectStoreStats& stats() override { return base_->stats(); }
+
+  // Total unscaled request-time charged so far, across all requests
+  // (not wall time; parallel requests each charge their full cost).
+  uint64_t charged_micros() const { return charged_micros_.load(); }
+
+  const SimulatedStoreOptions& options() const { return options_; }
+
+ private:
+  // Blocks until a concurrency slot is free, sleeps the modeled cost for
+  // `bytes`, then releases the slot.
+  void ChargeRequest(uint64_t bytes);
+
+  std::unique_ptr<ObjectStore> base_;
+  const SimulatedStoreOptions options_;
+  Clock* clock_;
+
+  std::mutex mu_;
+  std::condition_variable slot_free_;
+  int in_flight_ = 0;
+  // Virtual time (clock_ epoch) until which the shared link is busy.
+  int64_t link_busy_until_us_ = 0;
+  std::atomic<uint64_t> charged_micros_{0};
+};
+
+}  // namespace logstore::objectstore
+
+#endif  // LOGSTORE_OBJECTSTORE_SIMULATED_OBJECT_STORE_H_

@@ -1,0 +1,102 @@
+#include "objectstore/tar_file.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace logstore::objectstore {
+
+namespace {
+constexpr char kMagic[8] = {'L', 'S', 'T', 'A', 'R', '\x01', '\0', '\0'};
+}  // namespace
+
+Status TarWriter::AddMember(const std::string& name, const Slice& data) {
+  for (const auto& [existing, _] : members_) {
+    if (existing == name) {
+      return Status::AlreadyExists("duplicate tar member: " + name);
+    }
+  }
+  members_.emplace_back(name, data.ToString());
+  payload_bytes_ += data.size();
+  return Status::OK();
+}
+
+std::string TarWriter::Finish() {
+  // First pass: build the manifest with placeholder offsets to learn its
+  // size, since offsets are absolute and depend on the manifest length.
+  // Varint offsets change size with their value, so we iterate to a fixed
+  // point (converges in <= 2 extra rounds in practice).
+  std::string manifest;
+  uint64_t header_size = 0;
+  for (int round = 0; round < 4; ++round) {
+    std::string attempt;
+    PutVarint32(&attempt, static_cast<uint32_t>(members_.size()));
+    uint64_t offset = header_size;
+    for (const auto& [name, data] : members_) {
+      PutLengthPrefixedSlice(&attempt, name);
+      PutVarint64(&attempt, offset);
+      PutVarint64(&attempt, data.size());
+      offset += data.size();
+    }
+    const uint64_t new_header = TarReader::kPrologueSize + attempt.size();
+    manifest = std::move(attempt);
+    if (new_header == header_size) break;
+    header_size = new_header;
+  }
+
+  std::string out;
+  out.reserve(header_size + payload_bytes_);
+  out.append(kMagic, sizeof(kMagic));
+  PutFixed32(&out, static_cast<uint32_t>(manifest.size()));
+  out.append(manifest);
+  for (const auto& [name, data] : members_) out.append(data);
+  return out;
+}
+
+Result<uint64_t> TarReader::HeaderSize(const Slice& prologue) {
+  if (prologue.size() < kPrologueSize) {
+    return Status::Corruption("tar prologue too short");
+  }
+  if (memcmp(prologue.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad tar magic");
+  }
+  const uint32_t manifest_size = DecodeFixed32(prologue.data() + 8);
+  return kPrologueSize + static_cast<uint64_t>(manifest_size);
+}
+
+Result<TarReader> TarReader::Parse(const Slice& head) {
+  auto header_size = HeaderSize(head);
+  if (!header_size.ok()) return header_size.status();
+  if (head.size() < *header_size) {
+    return Status::Corruption("tar head does not cover manifest");
+  }
+
+  Slice manifest(head.data() + kPrologueSize, *header_size - kPrologueSize);
+  uint32_t count;
+  if (!GetVarint32(&manifest, &count)) {
+    return Status::Corruption("tar manifest: bad count");
+  }
+
+  TarReader reader;
+  reader.members_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Slice name;
+    uint64_t offset, size;
+    if (!GetLengthPrefixedSlice(&manifest, &name) ||
+        !GetVarint64(&manifest, &offset) || !GetVarint64(&manifest, &size)) {
+      return Status::Corruption("tar manifest: truncated entry");
+    }
+    TarMember member{name.ToString(), offset, size};
+    reader.index_[member.name] = reader.members_.size();
+    reader.members_.push_back(std::move(member));
+  }
+  return reader;
+}
+
+Result<TarMember> TarReader::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return Status::NotFound("no tar member: " + name);
+  return members_[it->second];
+}
+
+}  // namespace logstore::objectstore

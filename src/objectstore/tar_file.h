@@ -1,0 +1,89 @@
+#ifndef LOGSTORE_OBJECTSTORE_TAR_FILE_H_
+#define LOGSTORE_OBJECTSTORE_TAR_FILE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace logstore::objectstore {
+
+// §3: "all these files are packaged into a large tar file ... The header of
+// the tar file contains a manifest, allowing subsequent read operations to
+// seek and read any part of the tar file."
+//
+// We implement that package: a single immutable object whose header is a
+// manifest of (member name, offset, size), followed by the member payloads.
+// Readers fetch the manifest once, then issue ranged reads for individual
+// members — avoiding both many-small-objects overhead and whole-file loads.
+//
+// Layout:
+//   [0,8)   magic "LSTAR\x01\0\0"
+//   [8,12)  fixed32 manifest_size
+//   [12,..) manifest: varint32 count, then per member
+//             length-prefixed name, varint64 offset, varint64 size
+//   [...]   member payloads, in manifest order
+//   Offsets are absolute within the package.
+
+struct TarMember {
+  std::string name;
+  uint64_t offset = 0;
+  uint64_t size = 0;
+};
+
+// Accumulates members in memory and serializes the package.
+class TarWriter {
+ public:
+  // Adds a member; names must be unique within a package.
+  Status AddMember(const std::string& name, const Slice& data);
+
+  // Serializes the package. The writer can be reused afterwards only via
+  // a fresh instance.
+  std::string Finish();
+
+  uint64_t payload_bytes() const { return payload_bytes_; }
+  size_t member_count() const { return members_.size(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> members_;  // name -> data
+  uint64_t payload_bytes_ = 0;
+};
+
+// Parses a package manifest (from the package head bytes) and resolves
+// member byte ranges for seekable access.
+class TarReader {
+ public:
+  // `head` must contain at least the manifest (ManifestSizeHint() bytes are
+  // always enough to learn the true size; see below).
+  static Result<TarReader> Parse(const Slice& head);
+
+  // Bytes a caller should fetch to be certain of covering the manifest:
+  // fixed 12-byte prologue. After reading it, ManifestEnd() tells the full
+  // manifest extent.
+  static constexpr uint64_t kPrologueSize = 12;
+
+  // Parses only the prologue and returns the total header size
+  // (prologue + manifest) so a caller can issue a second exact-range read.
+  static Result<uint64_t> HeaderSize(const Slice& prologue);
+
+  const std::vector<TarMember>& members() const { return members_; }
+
+  // Returns the byte range of `name`, or NotFound.
+  Result<TarMember> Find(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return index_.count(name) > 0;
+  }
+
+ private:
+  std::vector<TarMember> members_;
+  std::map<std::string, size_t> index_;
+};
+
+}  // namespace logstore::objectstore
+
+#endif  // LOGSTORE_OBJECTSTORE_TAR_FILE_H_

@@ -1,0 +1,55 @@
+#ifndef LOGSTORE_PREFETCH_CACHED_SOURCE_H_
+#define LOGSTORE_PREFETCH_CACHED_SOURCE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "logblock/logblock_reader.h"
+#include "objectstore/object_store.h"
+#include "prefetch/prefetch_service.h"
+
+namespace logstore::prefetch {
+
+// LogBlockSource that reads an object directly from the object store with
+// one ranged request per read — the unoptimized baseline of Figure 16
+// ("OSS & W/o Parallel Prefetch").
+class DirectObjectSource : public logblock::LogBlockSource {
+ public:
+  DirectObjectSource(objectstore::ObjectStore* store, std::string key)
+      : store_(store), key_(std::move(key)) {}
+
+  Result<std::string> ReadRange(uint64_t offset, uint64_t size) override {
+    return store_->GetRange(key_, offset, size);
+  }
+
+ private:
+  objectstore::ObjectStore* store_;
+  std::string key_;
+};
+
+// LogBlockSource that routes reads through the multi-level block cache and
+// the parallel prefetch service — the optimized path of Figure 16.
+class CachedObjectSource : public logblock::LogBlockSource {
+ public:
+  CachedObjectSource(PrefetchService* service, std::string key)
+      : service_(service), key_(std::move(key)) {}
+
+  Result<std::string> ReadRange(uint64_t offset, uint64_t size) override {
+    return service_->Read(key_, offset, size);
+  }
+
+  Status Prefetch(const std::vector<ByteRange>& ranges) override {
+    service_->Prefetch(key_, ranges);
+    return Status::OK();
+  }
+
+ private:
+  PrefetchService* service_;
+  std::string key_;
+};
+
+}  // namespace logstore::prefetch
+
+#endif  // LOGSTORE_PREFETCH_CACHED_SOURCE_H_

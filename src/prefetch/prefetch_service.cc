@@ -1,0 +1,174 @@
+#include "prefetch/prefetch_service.h"
+
+#include <algorithm>
+
+namespace logstore::prefetch {
+
+PrefetchService::PrefetchService(objectstore::ObjectStore* store,
+                                 cache::BlockManager* cache,
+                                 PrefetchOptions options)
+    : store_(store),
+      cache_(cache),
+      options_(options),
+      pool_(std::make_unique<ThreadPool>(options.threads)) {}
+
+PrefetchService::~PrefetchService() { WaitIdle(); }
+
+std::string PrefetchService::BlockKey(const std::string& object_key,
+                                      uint64_t block_idx) const {
+  return object_key + "#" + std::to_string(block_idx);
+}
+
+Result<std::shared_ptr<const std::string>> PrefetchService::GetOrFetchBlock(
+    const std::string& object_key, uint64_t block_idx, uint64_t fetch_limit) {
+  while (true) {
+    if (cache_ != nullptr) {
+      if (auto block = cache_->Get(BlockKey(object_key, block_idx))) {
+        return block;
+      }
+    }
+
+    // Claim a run of consecutive missing blocks starting at block_idx
+    // (Figure 10's merge: they become one ranged GET). The run ends at a
+    // cached block, an in-flight block, the coalescing cap, or
+    // `fetch_limit` blocks.
+    uint64_t run_len = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (in_flight_.count(BlockKey(object_key, block_idx)) != 0) {
+        // Another thread is fetching this block; wait and re-check the
+        // cache ("repeated data block read IO requests will be merged").
+        fetch_done_.wait(lock, [&] {
+          return in_flight_.count(BlockKey(object_key, block_idx)) == 0;
+        });
+        if (cache_ != nullptr) continue;
+        // No cache to re-read from: fall through and fetch alone.
+      }
+      const uint64_t max_run = std::max<uint64_t>(
+          1, std::min(fetch_limit,
+                      options_.max_coalesced_bytes / options_.block_size));
+      while (run_len < max_run) {
+        const std::string key = BlockKey(object_key, block_idx + run_len);
+        if (in_flight_.count(key) != 0) break;
+        if (run_len > 0 && cache_ != nullptr && cache_->Contains(key)) break;
+        in_flight_.insert(key);
+        ++run_len;
+      }
+    }
+    if (run_len == 0) continue;  // lost the race entirely; retry
+
+    fetches_issued_++;
+    auto data = store_->GetRange(object_key, block_idx * options_.block_size,
+                                 run_len * options_.block_size);
+
+    std::shared_ptr<const std::string> first_block;
+    if (data.ok()) {
+      // Slice the run into aligned cache blocks.
+      const std::string& bytes = *data;
+      for (uint64_t b = 0; b < run_len; ++b) {
+        const uint64_t begin = b * options_.block_size;
+        if (begin >= bytes.size()) break;
+        const uint64_t len =
+            std::min<uint64_t>(options_.block_size, bytes.size() - begin);
+        auto block =
+            std::make_shared<const std::string>(bytes.substr(begin, len));
+        if (b == 0) first_block = block;
+        if (cache_ != nullptr) {
+          cache_->Insert(BlockKey(object_key, block_idx + b), block);
+        }
+      }
+      if (first_block == nullptr) {
+        first_block = std::make_shared<const std::string>();
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (uint64_t b = 0; b < run_len; ++b) {
+        in_flight_.erase(BlockKey(object_key, block_idx + b));
+      }
+    }
+    fetch_done_.notify_all();
+
+    if (!data.ok()) return data.status();
+    return first_block;
+  }
+}
+
+void PrefetchService::Prefetch(const std::string& object_key,
+                               const std::vector<ByteRange>& ranges) {
+  if (cache_ == nullptr) return;
+
+  // Split: expand ranges to aligned block indices, dedup.
+  std::set<uint64_t> blocks;
+  for (const ByteRange& range : ranges) {
+    if (range.size == 0) continue;
+    const uint64_t first = range.offset / options_.block_size;
+    const uint64_t last = (range.end() - 1) / options_.block_size;
+    for (uint64_t b = first; b <= last; ++b) blocks.insert(b);
+  }
+
+  // Merge: group consecutive missing blocks into runs; one task per run.
+  auto it = blocks.begin();
+  while (it != blocks.end()) {
+    const uint64_t run_start = *it;
+    uint64_t run_len = 1;
+    auto next = std::next(it);
+    while (next != blocks.end() && *next == run_start + run_len &&
+           run_len * options_.block_size < options_.max_coalesced_bytes) {
+      ++run_len;
+      ++next;
+    }
+    it = next;
+    if (cache_->Contains(BlockKey(object_key, run_start)) && run_len == 1) {
+      continue;
+    }
+    pool_->Schedule([this, object_key, run_start, run_len] {
+      // Errors are ignored: a failed prefetch degrades to a blocking read.
+      (void)GetOrFetchBlock(object_key, run_start, run_len);
+    });
+  }
+}
+
+Result<std::string> PrefetchService::Read(const std::string& object_key,
+                                          uint64_t offset, uint64_t size) {
+  if (size == 0) return std::string();
+
+  // Without a cache there is nothing to coalesce into: issue one exact
+  // ranged request (the serial unoptimized path).
+  if (cache_ == nullptr) {
+    fetches_issued_++;
+    auto data = store_->GetRange(object_key, offset, size);
+    if (!data.ok()) return data.status();
+    if (data->size() != size) {
+      return Status::IOError("short read: object smaller than range");
+    }
+    return data;
+  }
+
+  const uint64_t first = offset / options_.block_size;
+  const uint64_t last = (offset + size - 1) / options_.block_size;
+
+  std::string out;
+  out.reserve(size);
+  for (uint64_t b = first; b <= last; ++b) {
+    auto block = GetOrFetchBlock(object_key, b, last - b + 1);
+    if (!block.ok()) return block.status();
+    const uint64_t block_start = b * options_.block_size;
+    const uint64_t want_start = std::max(offset, block_start);
+    const uint64_t want_end =
+        std::min(offset + size, block_start + (*block)->size());
+    if (want_start < want_end) {
+      out.append(**block, want_start - block_start, want_end - want_start);
+    }
+    if ((*block)->size() < options_.block_size) break;  // object ended
+  }
+  if (out.size() != size) {
+    return Status::IOError("short read: object smaller than requested range");
+  }
+  return out;
+}
+
+void PrefetchService::WaitIdle() { pool_->Wait(); }
+
+}  // namespace logstore::prefetch

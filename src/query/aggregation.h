@@ -1,0 +1,70 @@
+#ifndef LOGSTORE_QUERY_AGGREGATION_H_
+#define LOGSTORE_QUERY_AGGREGATION_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "logblock/row_batch.h"
+
+namespace logstore::query {
+
+// Lightweight BI aggregations over query results (§1: "which IP addresses
+// frequently accessed this API in the past day?").
+
+struct GroupCount {
+  std::string key;
+  uint64_t count = 0;
+};
+
+// Groups `values` (rendered as strings; int64 values are decimal-formatted)
+// and returns the k most frequent groups, descending by count, ties broken
+// by key for determinism.
+inline std::vector<GroupCount> GroupCountTopK(
+    const std::vector<logblock::Value>& values, size_t k) {
+  std::map<std::string, uint64_t> counts;
+  for (const logblock::Value& v : values) {
+    const std::string key =
+        v.type == logblock::ColumnType::kInt64 ? std::to_string(v.i) : v.s;
+    counts[key]++;
+  }
+  std::vector<GroupCount> groups;
+  groups.reserve(counts.size());
+  for (auto& [key, count] : counts) groups.push_back({key, count});
+  std::sort(groups.begin(), groups.end(),
+            [](const GroupCount& a, const GroupCount& b) {
+              return a.count != b.count ? a.count > b.count : a.key < b.key;
+            });
+  if (groups.size() > k) groups.resize(k);
+  return groups;
+}
+
+// Simple numeric rollups over an int64 value list.
+struct Int64Rollup {
+  uint64_t count = 0;
+  int64_t min = INT64_MAX;
+  int64_t max = INT64_MIN;
+  int64_t sum = 0;
+
+  double mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+  }
+};
+
+inline Int64Rollup RollupInt64(const std::vector<logblock::Value>& values) {
+  Int64Rollup rollup;
+  for (const logblock::Value& v : values) {
+    if (v.type != logblock::ColumnType::kInt64) continue;
+    rollup.count++;
+    rollup.min = std::min(rollup.min, v.i);
+    rollup.max = std::max(rollup.max, v.i);
+    rollup.sum += v.i;
+  }
+  return rollup;
+}
+
+}  // namespace logstore::query
+
+#endif  // LOGSTORE_QUERY_AGGREGATION_H_

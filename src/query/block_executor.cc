@@ -1,0 +1,340 @@
+#include "query/block_executor.h"
+
+#include <algorithm>
+
+#include "index/rowid_set.h"
+
+namespace logstore::query {
+
+namespace {
+
+using logblock::ColumnType;
+using logblock::IndexType;
+using logblock::LogBlockReader;
+using logblock::Value;
+
+// A predicate bound to a column ordinal.
+struct BoundPredicate {
+  Predicate pred;
+  size_t col = 0;
+};
+
+// True if the whole LogBlock can be skipped for `bp` using column SMA.
+bool ColumnSmaSkips(const LogBlockReader& reader, const BoundPredicate& bp) {
+  const auto& col_meta = reader.meta().columns[bp.col];
+  switch (bp.pred.kind) {
+    case Predicate::Kind::kInt64Compare: {
+      if (bp.pred.op == CompareOp::kNe) return false;
+      const auto [lo, hi] = bp.pred.Int64Interval();
+      return col_meta.int_sma.DisjointWith(lo, hi);
+    }
+    case Predicate::Kind::kStringEq:
+      return col_meta.str_sma.Excludes(bp.pred.str_value);
+    case Predicate::Kind::kMatch:
+      return false;  // no SMA shortcut for full text
+  }
+  return false;
+}
+
+// True if column block `b` can be skipped for `bp` using block SMA.
+bool BlockSmaSkips(const logblock::ColumnBlockMeta& block,
+                   const BoundPredicate& bp) {
+  switch (bp.pred.kind) {
+    case Predicate::Kind::kInt64Compare: {
+      if (bp.pred.op == CompareOp::kNe) return false;
+      const auto [lo, hi] = bp.pred.Int64Interval();
+      return block.int_sma.DisjointWith(lo, hi);
+    }
+    case Predicate::Kind::kStringEq:
+      return block.str_sma.Excludes(bp.pred.str_value);
+    case Predicate::Kind::kMatch:
+      return false;
+  }
+  return false;
+}
+
+// True if the index of this column can serve the predicate.
+bool IndexServes(const LogBlockReader& reader, const BoundPredicate& bp) {
+  const IndexType index_type = reader.meta().columns[bp.col].index_type;
+  const logblock::Analyzer analyzer =
+      reader.schema().column(bp.col).analyzer;
+  switch (bp.pred.kind) {
+    case Predicate::Kind::kInt64Compare:
+      return index_type == IndexType::kBkd && bp.pred.op != CompareOp::kNe;
+    case Predicate::Kind::kStringEq:
+      return index_type == IndexType::kInverted &&
+             analyzer != logblock::Analyzer::kTokensOnly;
+    case Predicate::Kind::kMatch: {
+      if (index_type != IndexType::kInverted ||
+          analyzer == logblock::Analyzer::kExactOnly) {
+        return false;
+      }
+      // Every query token must be indexable, or the probe would wrongly
+      // drop rows containing an unindexed high-entropy token.
+      for (const std::string& token : index::Tokenize(bp.pred.str_value)) {
+        if (!index::IsIndexableToken(token)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<index::RowIdSet> ProbeIndex(LogBlockReader* reader,
+                                   const BoundPredicate& bp,
+                                   uint32_t num_rows) {
+  switch (bp.pred.kind) {
+    case Predicate::Kind::kInt64Compare: {
+      auto bkd = reader->BkdIndex(bp.col);
+      if (!bkd.ok()) return bkd.status();
+      const auto [lo, hi] = bp.pred.Int64Interval();
+      return (*bkd)->QueryRange(lo, hi, num_rows);
+    }
+    case Predicate::Kind::kStringEq:
+      return reader->InvertedLookupExact(bp.col, bp.pred.str_value);
+    case Predicate::Kind::kMatch:
+      return reader->InvertedMatchAllTokens(bp.col, bp.pred.str_value);
+  }
+  return Status::Internal("unreachable");
+}
+
+// Tests `bp` against one decoded value.
+bool EvalOnDecoded(const logblock::DecodedColumnBlock& block, uint32_t offset,
+                   const BoundPredicate& bp) {
+  switch (bp.pred.kind) {
+    case Predicate::Kind::kInt64Compare:
+      return bp.pred.EvalInt64(block.ints[offset]);
+    case Predicate::Kind::kStringEq:
+      return block.strs[offset] == bp.pred.str_value;
+    case Predicate::Kind::kMatch: {
+      // Scan fallback for MATCH: all tokens must appear in the value.
+      const auto tokens = index::Tokenize(bp.pred.str_value);
+      const auto value_tokens = index::Tokenize(block.strs[offset]);
+      for (const std::string& t : tokens) {
+        if (std::find(value_tokens.begin(), value_tokens.end(), t) ==
+            value_tokens.end()) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+// Evaluates one residual predicate against the candidate set by scanning
+// (and SMA-skipping) the column's blocks.
+Status ApplyResidual(LogBlockReader* reader, const BoundPredicate& bp,
+                     const ExecOptions& options, index::RowIdSet* candidates,
+                     BlockExecStats* stats) {
+  const auto& col_meta = reader->meta().columns[bp.col];
+
+  // Plan: find blocks that still hold candidate rows and survive block SMA.
+  std::vector<size_t> to_scan;
+  for (size_t b = 0; b < col_meta.blocks.size(); ++b) {
+    const auto& block = col_meta.blocks[b];
+    bool has_candidate = false;
+    for (uint32_t r = block.first_row; r < block.first_row + block.row_count;
+         ++r) {
+      if (candidates->Contains(r)) {
+        has_candidate = true;
+        break;
+      }
+    }
+    if (!has_candidate) {
+      ++stats->column_blocks_skipped;
+      continue;
+    }
+    if (options.use_data_skipping && BlockSmaSkips(block, bp)) {
+      // Block SMA proves no row in this block matches: drop them all.
+      for (uint32_t r = block.first_row;
+           r < block.first_row + block.row_count; ++r) {
+        candidates->Remove(r);
+      }
+      ++stats->column_blocks_skipped;
+      continue;
+    }
+    to_scan.push_back(b);
+  }
+
+  if (options.use_prefetch && to_scan.size() > 1) {
+    std::vector<ByteRange> ranges;
+    ranges.reserve(to_scan.size());
+    for (size_t b : to_scan) {
+      auto range = reader->ColumnBlockRange(bp.col, b);
+      if (range.ok()) ranges.push_back(*range);
+    }
+    (void)reader->Prefetch(ranges);
+  }
+
+  for (size_t b : to_scan) {
+    auto decoded = reader->ReadColumnBlock(bp.col, b);
+    if (!decoded.ok()) return decoded.status();
+    ++stats->column_blocks_scanned;
+    const auto& block = col_meta.blocks[b];
+    for (uint32_t r = block.first_row; r < block.first_row + block.row_count;
+         ++r) {
+      if (candidates->Contains(r) &&
+          !EvalOnDecoded(*decoded, r - block.first_row, bp)) {
+        candidates->Remove(r);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<BlockExecResult> ExecuteOnLogBlock(LogBlockReader* reader,
+                                          const LogQuery& query,
+                                          const ExecOptions& options) {
+  const logblock::Schema& schema = reader->schema();
+  const uint32_t num_rows = reader->num_rows();
+
+  // Bind predicates (including the ts range) to column ordinals.
+  std::vector<BoundPredicate> preds;
+  auto bind = [&](Predicate pred) -> Status {
+    const int col = schema.FindColumn(pred.column);
+    if (col < 0) {
+      return Status::InvalidArgument("unknown column: " + pred.column);
+    }
+    const ColumnType type = schema.column(col).type;
+    const bool wants_int = pred.kind == Predicate::Kind::kInt64Compare;
+    if (wants_int != (type == ColumnType::kInt64)) {
+      return Status::InvalidArgument("predicate type mismatch on " +
+                                     pred.column);
+    }
+    preds.push_back({std::move(pred), static_cast<size_t>(col)});
+    return Status::OK();
+  };
+
+  if (schema.FindColumn("ts") >= 0) {
+    if (query.ts_min != INT64_MIN) {
+      LOGSTORE_RETURN_IF_ERROR(
+          bind(Predicate::Int64Compare("ts", CompareOp::kGe, query.ts_min)));
+    }
+    if (query.ts_max != INT64_MAX) {
+      LOGSTORE_RETURN_IF_ERROR(
+          bind(Predicate::Int64Compare("ts", CompareOp::kLe, query.ts_max)));
+    }
+  }
+  for (const Predicate& pred : query.predicates) {
+    LOGSTORE_RETURN_IF_ERROR(bind(pred));
+  }
+
+  BlockExecResult result;
+
+  // Figure 8 step 2: whole-block skip via column SMA.
+  if (options.use_data_skipping) {
+    for (const BoundPredicate& bp : preds) {
+      if (ColumnSmaSkips(*reader, bp)) {
+        result.stats.skipped_by_column_sma = true;
+        return result;
+      }
+    }
+  }
+
+  index::RowIdSet candidates = index::RowIdSet::All(num_rows);
+
+  // Figure 8 step 3: index probes, cheapest filters first.
+  std::vector<const BoundPredicate*> residual;
+  if (options.use_data_skipping) {
+    // Prefetch the index structures we are about to probe in one batch:
+    // BKD members whole, inverted term dictionaries (postings ranges are
+    // resolved and prefetched inside the probe).
+    if (options.use_prefetch) {
+      std::vector<ByteRange> index_ranges;
+      for (const BoundPredicate& bp : preds) {
+        if (!IndexServes(*reader, bp)) continue;
+        const auto member_name =
+            bp.pred.kind == Predicate::Kind::kInt64Compare
+                ? logblock::IndexMemberName(bp.col)
+                : logblock::IndexDictMemberName(bp.col);
+        auto range = reader->MemberRange(member_name);
+        if (range.ok()) index_ranges.push_back(*range);
+      }
+      if (!index_ranges.empty()) (void)reader->Prefetch(index_ranges);
+    }
+    for (const BoundPredicate& bp : preds) {
+      if (!IndexServes(*reader, bp)) {
+        residual.push_back(&bp);
+        continue;
+      }
+      auto rows = ProbeIndex(reader, bp, num_rows);
+      if (!rows.ok()) return rows.status();
+      ++result.stats.index_probes;
+      candidates.IntersectWith(*rows);
+      if (candidates.Empty()) return result;
+    }
+  } else {
+    for (const BoundPredicate& bp : preds) residual.push_back(&bp);
+  }
+
+  // Figure 8 step 4: residual predicates via block SMA + scan.
+  for (const BoundPredicate* bp : residual) {
+    LOGSTORE_RETURN_IF_ERROR(
+        ApplyResidual(reader, *bp, options, &candidates, &result.stats));
+    if (candidates.Empty()) return result;
+  }
+
+  // Figure 8 step 5: load projected columns for surviving rows.
+  std::vector<uint32_t> rows = candidates.ToVector();
+  if (query.limit != 0 && rows.size() > query.limit) {
+    rows.resize(query.limit);
+  }
+  result.stats.rows_matched = static_cast<uint32_t>(rows.size());
+  if (rows.empty()) return result;
+
+  std::vector<size_t> out_cols;
+  if (query.select_columns.empty()) {
+    for (size_t c = 0; c < schema.num_columns(); ++c) out_cols.push_back(c);
+  } else {
+    for (const std::string& name : query.select_columns) {
+      const int col = schema.FindColumn(name);
+      if (col < 0) {
+        return Status::InvalidArgument("unknown select column: " + name);
+      }
+      out_cols.push_back(static_cast<size_t>(col));
+    }
+  }
+
+  if (options.use_prefetch) {
+    std::vector<ByteRange> ranges;
+    for (size_t c : out_cols) {
+      const auto& blocks = reader->meta().columns[c].blocks;
+      for (size_t b = 0; b < blocks.size(); ++b) {
+        const auto& block = blocks[b];
+        bool needed = false;
+        for (uint32_t r : rows) {
+          if (r >= block.first_row && r < block.first_row + block.row_count) {
+            needed = true;
+            break;
+          }
+        }
+        if (needed) {
+          auto range = reader->ColumnBlockRange(c, b);
+          if (range.ok()) ranges.push_back(*range);
+        }
+      }
+    }
+    if (ranges.size() > 1) (void)reader->Prefetch(ranges);
+  }
+
+  // Gather column-wise, then transpose to rows.
+  std::vector<std::vector<Value>> columns(out_cols.size());
+  for (size_t i = 0; i < out_cols.size(); ++i) {
+    auto values = reader->ReadValuesAt(out_cols[i], rows);
+    if (!values.ok()) return values.status();
+    columns[i] = std::move(values).value();
+  }
+  result.rows.resize(rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    result.rows[r].reserve(out_cols.size());
+    for (size_t i = 0; i < out_cols.size(); ++i) {
+      result.rows[r].push_back(std::move(columns[i][r]));
+    }
+  }
+  return result;
+}
+
+}  // namespace logstore::query

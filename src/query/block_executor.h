@@ -1,0 +1,61 @@
+#ifndef LOGSTORE_QUERY_BLOCK_EXECUTOR_H_
+#define LOGSTORE_QUERY_BLOCK_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "logblock/logblock_reader.h"
+#include "query/predicate.h"
+
+namespace logstore::query {
+
+struct ExecOptions {
+  // The multi-level data-skipping strategy of §5.1/Figure 8: LogBlock-level
+  // SMA, index probes, and block-level SMA. When false, every block of
+  // every predicate column is decompressed and scanned (the Figure 15
+  // baseline).
+  bool use_data_skipping = true;
+  // Issue Prefetch hints so the source can load upcoming blocks in
+  // parallel (§5.2). When false, all reads are serial and on-demand.
+  bool use_prefetch = true;
+};
+
+struct BlockExecStats {
+  // Whole LogBlock skipped via column SMA before any data IO.
+  bool skipped_by_column_sma = false;
+  uint32_t column_blocks_scanned = 0;  // decompressed + scanned
+  uint32_t column_blocks_skipped = 0;  // eliminated by block SMA / candidates
+  uint32_t index_probes = 0;
+  uint32_t rows_matched = 0;
+
+  void MergeFrom(const BlockExecStats& other) {
+    column_blocks_scanned += other.column_blocks_scanned;
+    column_blocks_skipped += other.column_blocks_skipped;
+    index_probes += other.index_probes;
+    rows_matched += other.rows_matched;
+  }
+};
+
+struct BlockExecResult {
+  // Row-major projected values, one entry per matched row, columns in
+  // LogQuery::select_columns order (or schema order when empty).
+  std::vector<std::vector<logblock::Value>> rows;
+  BlockExecStats stats;
+};
+
+// Evaluates the conjunctive `query` against one LogBlock, implementing the
+// Figure 8 pipeline:
+//   2. skip the whole block via column SMA
+//   3. probe per-column indexes (BKD / inverted) into a row-id set
+//   4. for residual predicates, skip column blocks via block SMA, scan the
+//      rest, and intersect
+//   5. load the projected columns for the surviving row ids
+// The tenant/ts pruning of step 1 happens above, against the LogBlock map.
+Result<BlockExecResult> ExecuteOnLogBlock(logblock::LogBlockReader* reader,
+                                          const LogQuery& query,
+                                          const ExecOptions& options = {});
+
+}  // namespace logstore::query
+
+#endif  // LOGSTORE_QUERY_BLOCK_EXECUTOR_H_

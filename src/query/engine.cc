@@ -1,0 +1,169 @@
+#include "query/engine.h"
+
+#include <algorithm>
+
+#include "prefetch/cached_source.h"
+
+namespace logstore::query {
+
+Status AppendRealtimeRows(const logblock::RowBatch& realtime,
+                          const LogQuery& query, QueryResult* result) {
+  if (realtime.num_rows() == 0) return Status::OK();
+  const logblock::Schema& schema = realtime.schema();
+  if (result->columns.empty()) {
+    if (query.select_columns.empty()) {
+      for (const auto& col : schema.columns()) {
+        result->columns.push_back(col.name);
+      }
+    } else {
+      result->columns = query.select_columns;
+    }
+  }
+  std::vector<size_t> out_cols;
+  out_cols.reserve(result->columns.size());
+  for (const std::string& name : result->columns) {
+    const int col = schema.FindColumn(name);
+    if (col < 0) return Status::InvalidArgument("unknown column: " + name);
+    out_cols.push_back(static_cast<size_t>(col));
+  }
+  for (uint32_t r = 0; r < realtime.num_rows(); ++r) {
+    if (query.limit != 0 && result->rows.size() >= query.limit) break;
+    std::vector<logblock::Value> row;
+    row.reserve(out_cols.size());
+    for (size_t c : out_cols) row.push_back(realtime.ValueAt(c, r));
+    result->rows.push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+QueryEngine::QueryEngine(objectstore::ObjectStore* store,
+                         const EngineOptions& options)
+    : store_(store), options_(options) {}
+
+Result<std::unique_ptr<QueryEngine>> QueryEngine::Open(
+    objectstore::ObjectStore* store, const EngineOptions& options) {
+  std::unique_ptr<QueryEngine> engine(new QueryEngine(store, options));
+  if (options.use_cache) {
+    auto cache = cache::BlockManager::Open(options.cache_options);
+    if (!cache.ok()) return cache.status();
+    engine->cache_ = std::move(cache).value();
+    engine->object_cache_ =
+        std::make_unique<cache::LruCache<logblock::LogBlockReader>>(
+            options.object_cache_bytes, &engine->object_cache_stats_);
+  }
+  // The prefetch service is also the aligned-read path when caching is on;
+  // without a cache it still provides the Read() API but each read goes to
+  // the store.
+  engine->prefetch_ = std::make_unique<prefetch::PrefetchService>(
+      store, engine->cache_.get(),
+      prefetch::PrefetchOptions{
+          .threads = options.prefetch_threads,
+          .block_size = options.io_block_size,
+          .max_coalesced_bytes = options.max_coalesced_bytes});
+  return engine;
+}
+
+Result<std::shared_ptr<logblock::LogBlockReader>> QueryEngine::OpenReader(
+    const std::string& object_key) {
+  if (object_cache_ != nullptr) {
+    if (auto cached = object_cache_->Get(object_key)) return cached;
+  }
+
+  std::shared_ptr<logblock::LogBlockSource> source;
+  if (options_.use_cache) {
+    source = std::make_shared<prefetch::CachedObjectSource>(prefetch_.get(),
+                                                            object_key);
+  } else {
+    source =
+        std::make_shared<prefetch::DirectObjectSource>(store_, object_key);
+  }
+  auto reader = logblock::LogBlockReader::Open(std::move(source));
+  if (!reader.ok()) return reader.status();
+  std::shared_ptr<logblock::LogBlockReader> shared = std::move(reader).value();
+  if (object_cache_ != nullptr) {
+    // Charge a rough decoded footprint: parsed meta plus a per-row byte for
+    // cached index structures, capped so one huge block cannot pin the
+    // whole cache.
+    const uint64_t charge =
+        std::min<uint64_t>(4096 + shared->meta().row_count, 1u << 20);
+    object_cache_->Insert(object_key, shared, charge);
+  }
+  return shared;
+}
+
+Result<QueryResult> QueryEngine::Execute(const LogQuery& query,
+                                         const logblock::LogBlockMap& map) {
+  const int64_t start_us = SystemClock::Default()->NowMicros();
+  QueryResult result;
+
+  // Figure 8 step 1: prune via the LogBlock map on <tenant, min_ts, max_ts>.
+  const auto all_blocks = map.TenantBlocks(query.tenant_id);
+  const auto blocks = map.Prune(query.tenant_id, query.ts_min, query.ts_max);
+  result.stats.logblocks_total = static_cast<uint32_t>(all_blocks.size());
+  result.stats.logblocks_pruned =
+      static_cast<uint32_t>(all_blocks.size() - blocks.size());
+
+  ExecOptions exec_options;
+  exec_options.use_data_skipping = options_.use_data_skipping;
+  exec_options.use_prefetch = options_.use_cache && options_.use_prefetch;
+
+  uint32_t remaining = query.limit;
+  for (const logblock::LogBlockEntry& entry : blocks) {
+    auto reader = OpenReader(entry.object_key);
+    if (!reader.ok()) return reader.status();
+
+    LogQuery block_query = query;
+    if (query.limit != 0) block_query.limit = remaining;
+    auto exec = ExecuteOnLogBlock(reader->get(), block_query, exec_options);
+    if (!exec.ok()) return exec.status();
+    if (exec->stats.skipped_by_column_sma) {
+      ++result.stats.logblocks_sma_skipped;
+    }
+    result.stats.exec.MergeFrom(exec->stats);
+    for (auto& row : exec->rows) result.rows.push_back(std::move(row));
+
+    if (query.limit != 0) {
+      if (result.rows.size() >= query.limit) break;
+      remaining = query.limit - static_cast<uint32_t>(result.rows.size());
+    }
+  }
+
+  // Resolve output column names from the first block's schema (all blocks
+  // of a tenant table share it).
+  if (!blocks.empty()) {
+    if (query.select_columns.empty()) {
+      auto reader = OpenReader(blocks[0].object_key);
+      if (reader.ok()) {
+        for (const auto& col : (*reader)->schema().columns()) {
+          result.columns.push_back(col.name);
+        }
+      }
+    } else {
+      result.columns = query.select_columns;
+    }
+  }
+
+  result.stats.exec.rows_matched = static_cast<uint32_t>(result.rows.size());
+  result.stats.elapsed_us = SystemClock::Default()->NowMicros() - start_us;
+  return result;
+}
+
+std::vector<logblock::Value> QueryEngine::Column(const QueryResult& result,
+                                                 const std::string& name) {
+  std::vector<logblock::Value> values;
+  for (size_t c = 0; c < result.columns.size(); ++c) {
+    if (result.columns[c] == name) {
+      values.reserve(result.rows.size());
+      for (const auto& row : result.rows) values.push_back(row[c]);
+      break;
+    }
+  }
+  return values;
+}
+
+void QueryEngine::ClearCaches() {
+  if (cache_ != nullptr) cache_->Clear();
+  if (object_cache_ != nullptr) object_cache_->Clear();
+}
+
+}  // namespace logstore::query

@@ -1,0 +1,296 @@
+#include "query/sql_parser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace logstore::query {
+
+namespace {
+
+// A minimal hand-rolled tokenizer: identifiers/keywords, integers, quoted
+// strings, and operator punctuation.
+struct Token {
+  enum class Kind { kIdent, kInt, kString, kOp, kComma, kStar, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;   // ident (lower-cased), op, or string body
+  int64_t int_value = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  Result<Token> Next() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    Token token;
+    if (pos_ >= input_.size()) return token;  // kEnd
+
+    const char c = input_[pos_];
+    if (c == ',') {
+      ++pos_;
+      token.kind = Token::Kind::kComma;
+      return token;
+    }
+    if (c == '*') {
+      ++pos_;
+      token.kind = Token::Kind::kStar;
+      return token;
+    }
+    if (c == '\'') {
+      ++pos_;
+      std::string body;
+      while (pos_ < input_.size() && input_[pos_] != '\'') {
+        body.push_back(input_[pos_++]);
+      }
+      if (pos_ >= input_.size()) {
+        return Status::InvalidArgument("sql: unterminated string literal");
+      }
+      ++pos_;  // closing quote
+      token.kind = Token::Kind::kString;
+      token.text = std::move(body);
+      return token;
+    }
+    if (c == '=' || c == '<' || c == '>' || c == '!') {
+      std::string op(1, c);
+      ++pos_;
+      if (pos_ < input_.size() && input_[pos_] == '=') {
+        op.push_back('=');
+        ++pos_;
+      }
+      if (op == "!") {
+        return Status::InvalidArgument("sql: lone '!' (did you mean !=?)");
+      }
+      token.kind = Token::Kind::kOp;
+      token.text = std::move(op);
+      return token;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < input_.size() &&
+         std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
+      size_t end = pos_ + 1;
+      while (end < input_.size() &&
+             std::isdigit(static_cast<unsigned char>(input_[end]))) {
+        ++end;
+      }
+      token.kind = Token::Kind::kInt;
+      token.int_value = strtoll(input_.substr(pos_, end - pos_).c_str(),
+                                nullptr, 10);
+      pos_ = end;
+      return token;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t end = pos_;
+      while (end < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[end])) ||
+              input_[end] == '_')) {
+        ++end;
+      }
+      token.kind = Token::Kind::kIdent;
+      token.text = input_.substr(pos_, end - pos_);
+      for (char& ch : token.text) {
+        ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+      }
+      pos_ = end;
+      return token;
+    }
+    return Status::InvalidArgument(std::string("sql: unexpected character '") +
+                                   c + "'");
+  }
+
+ private:
+  const std::string& input_;
+  size_t pos_ = 0;
+};
+
+// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm).
+int64_t DaysFromCivil(int64_t y, int64_t m, int64_t d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const int64_t yoe = y - era * 400;                           // [0, 399]
+  const int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;   // [0, 146096]
+  return era * 146097 + doe - 719468;
+}
+
+}  // namespace
+
+Result<int64_t> ParseDateTimeMicros(const std::string& text) {
+  int year, month, day, hour = 0, minute = 0, second = 0;
+  const int fields = sscanf(text.c_str(), "%d-%d-%d %d:%d:%d", &year, &month,
+                            &day, &hour, &minute, &second);
+  if (fields != 3 && fields != 6) {
+    return Status::InvalidArgument("bad datetime literal: " + text);
+  }
+  if (month < 1 || month > 12 || day < 1 || day > 31 || hour < 0 ||
+      hour > 23 || minute < 0 || minute > 59 || second < 0 || second > 60) {
+    return Status::InvalidArgument("datetime out of range: " + text);
+  }
+  const int64_t days = DaysFromCivil(year, month, day);
+  return ((days * 24 + hour) * 60 + minute) * 60 * 1'000'000ll +
+         second * 1'000'000ll;
+}
+
+Result<LogQuery> ParseSql(const std::string& sql,
+                          const logblock::Schema& schema) {
+  Lexer lexer(sql);
+  Token token;
+  auto advance = [&]() -> Status {
+    auto next = lexer.Next();
+    if (!next.ok()) return next.status();
+    token = std::move(next).value();
+    return Status::OK();
+  };
+  auto expect_keyword = [&](const char* keyword) -> Status {
+    if (token.kind != Token::Kind::kIdent || token.text != keyword) {
+      return Status::InvalidArgument(std::string("sql: expected ") + keyword);
+    }
+    return advance();
+  };
+
+  LOGSTORE_RETURN_IF_ERROR(advance());
+  LOGSTORE_RETURN_IF_ERROR(expect_keyword("select"));
+
+  LogQuery query;
+  // Projection.
+  if (token.kind == Token::Kind::kStar) {
+    LOGSTORE_RETURN_IF_ERROR(advance());
+  } else {
+    while (true) {
+      if (token.kind != Token::Kind::kIdent) {
+        return Status::InvalidArgument("sql: expected column name");
+      }
+      query.select_columns.push_back(token.text);
+      LOGSTORE_RETURN_IF_ERROR(advance());
+      if (token.kind != Token::Kind::kComma) break;
+      LOGSTORE_RETURN_IF_ERROR(advance());
+    }
+  }
+
+  LOGSTORE_RETURN_IF_ERROR(expect_keyword("from"));
+  if (token.kind != Token::Kind::kIdent) {
+    return Status::InvalidArgument("sql: expected table name");
+  }
+  LOGSTORE_RETURN_IF_ERROR(advance());  // table name is informational
+
+  bool tenant_bound = false;
+  if (token.kind == Token::Kind::kIdent && token.text == "where") {
+    LOGSTORE_RETURN_IF_ERROR(advance());
+    while (true) {
+      if (token.kind != Token::Kind::kIdent) {
+        return Status::InvalidArgument("sql: expected column in WHERE");
+      }
+      const std::string column = token.text;
+      const int col = schema.FindColumn(column);
+      if (col < 0) {
+        return Status::InvalidArgument("sql: unknown column " + column);
+      }
+      LOGSTORE_RETURN_IF_ERROR(advance());
+
+      // MATCH or comparison.
+      if (token.kind == Token::Kind::kIdent && token.text == "match") {
+        LOGSTORE_RETURN_IF_ERROR(advance());
+        if (token.kind != Token::Kind::kString) {
+          return Status::InvalidArgument("sql: MATCH needs a string literal");
+        }
+        query.predicates.push_back(Predicate::Match(column, token.text));
+        LOGSTORE_RETURN_IF_ERROR(advance());
+      } else {
+        if (token.kind != Token::Kind::kOp) {
+          return Status::InvalidArgument("sql: expected comparison operator");
+        }
+        const std::string op_text = token.text;
+        CompareOp op;
+        if (op_text == "=") op = CompareOp::kEq;
+        else if (op_text == "!=") op = CompareOp::kNe;
+        else if (op_text == "<") op = CompareOp::kLt;
+        else if (op_text == "<=") op = CompareOp::kLe;
+        else if (op_text == ">") op = CompareOp::kGt;
+        else if (op_text == ">=") op = CompareOp::kGe;
+        else return Status::InvalidArgument("sql: bad operator " + op_text);
+        LOGSTORE_RETURN_IF_ERROR(advance());
+
+        // Value: int, datetime string (for int columns), or string.
+        int64_t int_value = 0;
+        bool is_int = false;
+        std::string str_value;
+        if (token.kind == Token::Kind::kInt) {
+          int_value = token.int_value;
+          is_int = true;
+        } else if (token.kind == Token::Kind::kString) {
+          if (schema.column(col).type == logblock::ColumnType::kInt64) {
+            auto micros = ParseDateTimeMicros(token.text);
+            if (!micros.ok()) return micros.status();
+            int_value = *micros;
+            is_int = true;
+          } else {
+            str_value = token.text;
+          }
+        } else {
+          return Status::InvalidArgument("sql: expected literal value");
+        }
+        LOGSTORE_RETURN_IF_ERROR(advance());
+
+        if (is_int &&
+            schema.column(col).type != logblock::ColumnType::kInt64) {
+          return Status::InvalidArgument("sql: int literal on string column " +
+                                         column);
+        }
+        if (!is_int &&
+            schema.column(col).type != logblock::ColumnType::kString) {
+          return Status::InvalidArgument(
+              "sql: string literal on int column " + column);
+        }
+
+        // Special columns: tenant_id = N, and ts bounds.
+        if (column == "tenant_id" && op == CompareOp::kEq) {
+          query.tenant_id = static_cast<uint64_t>(int_value);
+          tenant_bound = true;
+        } else if (column == "ts" &&
+                   (op == CompareOp::kGe || op == CompareOp::kGt)) {
+          query.ts_min = op == CompareOp::kGt ? int_value + 1 : int_value;
+        } else if (column == "ts" &&
+                   (op == CompareOp::kLe || op == CompareOp::kLt)) {
+          query.ts_max = op == CompareOp::kLt ? int_value - 1 : int_value;
+        } else if (is_int) {
+          query.predicates.push_back(Predicate::Int64Compare(column, op,
+                                                             int_value));
+        } else if (op == CompareOp::kEq) {
+          query.predicates.push_back(Predicate::StringEq(column, str_value));
+        } else {
+          return Status::InvalidArgument(
+              "sql: only '=' is supported on string column " + column);
+        }
+      }
+
+      if (token.kind == Token::Kind::kIdent && token.text == "and") {
+        LOGSTORE_RETURN_IF_ERROR(advance());
+        continue;
+      }
+      break;
+    }
+  }
+
+  if (token.kind == Token::Kind::kIdent && token.text == "limit") {
+    LOGSTORE_RETURN_IF_ERROR(advance());
+    if (token.kind != Token::Kind::kInt || token.int_value <= 0) {
+      return Status::InvalidArgument("sql: LIMIT needs a positive integer");
+    }
+    query.limit = static_cast<uint32_t>(token.int_value);
+    LOGSTORE_RETURN_IF_ERROR(advance());
+  }
+
+  if (token.kind != Token::Kind::kEnd) {
+    return Status::InvalidArgument("sql: trailing input after query");
+  }
+  if (!tenant_bound) {
+    return Status::InvalidArgument(
+        "sql: queries must bind tenant_id = <id> (tenant-scoped retrieval)");
+  }
+  return query;
+}
+
+}  // namespace logstore::query

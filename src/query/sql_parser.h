@@ -1,0 +1,44 @@
+#ifndef LOGSTORE_QUERY_SQL_PARSER_H_
+#define LOGSTORE_QUERY_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "logblock/schema.h"
+#include "query/predicate.h"
+
+namespace logstore::query {
+
+// ---------------------------------------------------------------------------
+// Parser for LogStore's SQL surface (the "Application (SQL Protocol)" entry
+// point of Figure 3), covering the paper's log-retrieval template:
+//
+//   SELECT log FROM request_log
+//    WHERE tenant_id = 12276
+//      AND ts >= '2020-11-11 00:00:00' AND ts <= '2020-11-11 01:00:00'
+//      AND ip = '192.168.0.1' AND latency >= 100 AND fail = 'false'
+//      AND log MATCH 'connection timeout'
+//    LIMIT 100
+//
+// Grammar (case-insensitive keywords):
+//   query     := SELECT select FROM ident WHERE conjunct (AND conjunct)*
+//                [LIMIT int]
+//   select    := '*' | ident (',' ident)*
+//   conjunct  := ident op value | ident MATCH string
+//   op        := '=' | '!=' | '<' | '<=' | '>' | '>='
+//   value     := int | string
+//
+// Timestamps accept either integer microseconds or 'YYYY-MM-DD HH:MM:SS'
+// literals (UTC). `tenant_id =` populates LogQuery::tenant_id; `ts`
+// comparisons fold into the [ts_min, ts_max] range.
+// ---------------------------------------------------------------------------
+
+Result<LogQuery> ParseSql(const std::string& sql,
+                          const logblock::Schema& schema);
+
+// Parses 'YYYY-MM-DD HH:MM:SS' (UTC) into microseconds since the epoch.
+Result<int64_t> ParseDateTimeMicros(const std::string& text);
+
+}  // namespace logstore::query
+
+#endif  // LOGSTORE_QUERY_SQL_PARSER_H_

@@ -1,0 +1,136 @@
+#include "rowstore/row_store.h"
+
+#include "index/inverted_index.h"
+
+namespace logstore::rowstore {
+
+using logblock::ColumnType;
+using logblock::RowBatch;
+using logblock::Value;
+
+RowStore::RowStore(logblock::Schema schema)
+    : schema_(std::move(schema)), ts_col_(schema_.FindColumn("ts")) {}
+
+uint64_t RowStore::Append(uint64_t tenant_id, const RowBatch& rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint32_t r = 0; r < rows.num_rows(); ++r) {
+    Row row;
+    row.seq = next_seq_++;
+    row.tenant_id = tenant_id;
+    row.values.reserve(schema_.num_columns());
+    for (size_t c = 0; c < schema_.num_columns(); ++c) {
+      row.values.push_back(rows.ValueAt(c, r));
+      bytes_ += schema_.column(c).type == ColumnType::kInt64
+                    ? 8
+                    : row.values.back().s.size() + 16;
+    }
+    rows_.push_back(std::move(row));
+  }
+  return next_seq_ - 1;
+}
+
+uint64_t RowStore::row_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_.size();
+}
+
+uint64_t RowStore::ApproximateBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+uint64_t RowStore::last_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+uint64_t RowStore::archived_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return archived_seq_;
+}
+
+RowStore::BuildSnapshot RowStore::SnapshotForBuild(uint64_t max_rows) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BuildSnapshot snapshot;
+  snapshot.end_seq = archived_seq_;
+  for (const Row& row : rows_) {
+    if (row.seq <= archived_seq_) continue;
+    if (snapshot.total_rows >= max_rows) break;
+    auto [it, inserted] =
+        snapshot.per_tenant.try_emplace(row.tenant_id, schema_);
+    it->second.AddRow(row.values);
+    snapshot.end_seq = row.seq;
+    ++snapshot.total_rows;
+  }
+  return snapshot;
+}
+
+void RowStore::TruncateUpTo(uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!rows_.empty() && rows_.front().seq <= seq) {
+    for (size_t c = 0; c < schema_.num_columns(); ++c) {
+      bytes_ -= schema_.column(c).type == ColumnType::kInt64
+                    ? 8
+                    : rows_.front().values[c].s.size() + 16;
+    }
+    rows_.pop_front();
+  }
+  if (seq > archived_seq_) archived_seq_ = seq;
+}
+
+bool RowStore::RowMatches(
+    const Row& row, int64_t ts_min, int64_t ts_max,
+    const std::vector<query::Predicate>& predicates) const {
+  if (ts_col_ >= 0) {
+    const int64_t ts = row.values[ts_col_].i;
+    if (ts < ts_min || ts > ts_max) return false;
+  }
+  for (const query::Predicate& pred : predicates) {
+    const int col = schema_.FindColumn(pred.column);
+    if (col < 0) return false;
+    const Value& v = row.values[col];
+    switch (pred.kind) {
+      case query::Predicate::Kind::kInt64Compare:
+        if (v.type != ColumnType::kInt64 || !pred.EvalInt64(v.i)) return false;
+        break;
+      case query::Predicate::Kind::kStringEq:
+        if (v.type != ColumnType::kString || v.s != pred.str_value) {
+          return false;
+        }
+        break;
+      case query::Predicate::Kind::kMatch: {
+        if (v.type != ColumnType::kString) return false;
+        const auto want = index::Tokenize(pred.str_value);
+        const auto have = index::Tokenize(v.s);
+        for (const std::string& token : want) {
+          bool found = false;
+          for (const std::string& h : have) {
+            if (h == token) {
+              found = true;
+              break;
+            }
+          }
+          if (!found) return false;
+        }
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+RowBatch RowStore::ScanTenant(
+    uint64_t tenant_id, int64_t ts_min, int64_t ts_max,
+    const std::vector<query::Predicate>& predicates) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RowBatch result(schema_);
+  for (const Row& row : rows_) {
+    if (row.tenant_id != tenant_id) continue;
+    if (RowMatches(row, ts_min, ts_max, predicates)) {
+      result.AddRow(row.values);
+    }
+  }
+  return result;
+}
+
+}  // namespace logstore::rowstore

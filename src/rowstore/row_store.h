@@ -1,0 +1,81 @@
+#ifndef LOGSTORE_ROWSTORE_ROW_STORE_H_
+#define LOGSTORE_ROWSTORE_ROW_STORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "logblock/row_batch.h"
+#include "query/predicate.h"
+
+namespace logstore::rowstore {
+
+// The write-optimized real-time store of §3.1: "all log data is stored in a
+// single huge table, and organized only by the timestamp, rather than
+// separated by tenants, to improve space efficiency and reduce random I/O
+// accesses". Rows arrive in WAL-apply order and are retained until the data
+// builder archives them into per-tenant LogBlocks and truncates (the
+// checkpoint). Recent rows remain queryable here, giving LogStore its
+// real-time data visibility.
+//
+// Thread-safe.
+class RowStore {
+ public:
+  explicit RowStore(logblock::Schema schema);
+
+  const logblock::Schema& schema() const { return schema_; }
+
+  // Appends a tenant's batch; returns the sequence number of the last row.
+  uint64_t Append(uint64_t tenant_id, const logblock::RowBatch& rows);
+
+  uint64_t row_count() const;
+  uint64_t ApproximateBytes() const;
+  uint64_t last_seq() const;
+  uint64_t archived_seq() const;
+
+  // Snapshot of un-archived rows (seq in (archived_seq, end_seq]), divided
+  // into per-tenant column batches — the remote-archiving step where "the
+  // row-store table will be divided into separated columnar tables
+  // according to tenants". At most `max_rows` rows are taken.
+  struct BuildSnapshot {
+    uint64_t end_seq = 0;
+    std::map<uint64_t, logblock::RowBatch> per_tenant;
+    uint64_t total_rows = 0;
+  };
+  BuildSnapshot SnapshotForBuild(uint64_t max_rows) const;
+
+  // Drops rows with seq <= `seq` after they have been archived to the
+  // object store (the checkpoint advancing).
+  void TruncateUpTo(uint64_t seq);
+
+  // Real-time query path: scans retained rows of `tenant` within the ts
+  // range, applying `predicates` (all must hold).
+  logblock::RowBatch ScanTenant(
+      uint64_t tenant_id, int64_t ts_min, int64_t ts_max,
+      const std::vector<query::Predicate>& predicates = {}) const;
+
+ private:
+  struct Row {
+    uint64_t seq;
+    uint64_t tenant_id;
+    std::vector<logblock::Value> values;
+  };
+
+  bool RowMatches(const Row& row, int64_t ts_min, int64_t ts_max,
+                  const std::vector<query::Predicate>& predicates) const;
+
+  const logblock::Schema schema_;
+  const int ts_col_;
+
+  mutable std::mutex mu_;
+  std::deque<Row> rows_;
+  uint64_t next_seq_ = 1;
+  uint64_t archived_seq_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace logstore::rowstore
+
+#endif  // LOGSTORE_ROWSTORE_ROW_STORE_H_

@@ -1,0 +1,71 @@
+#include "rowstore/wal.h"
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace logstore::rowstore {
+
+using logblock::ColumnType;
+using logblock::RowBatch;
+using logblock::Value;
+
+std::string EncodeWalRecord(uint64_t tenant_id, const RowBatch& rows) {
+  std::string body;
+  PutVarint64(&body, tenant_id);
+  PutVarint32(&body, rows.num_rows());
+  const logblock::Schema& schema = rows.schema();
+  for (uint32_t r = 0; r < rows.num_rows(); ++r) {
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      if (schema.column(c).type == ColumnType::kInt64) {
+        PutVarsint64(&body, rows.Int64At(c, r));
+      } else {
+        PutLengthPrefixedSlice(&body, rows.StringAt(c, r));
+      }
+    }
+  }
+  std::string out;
+  PutFixed32(&out, crc32c::Mask(crc32c::Value(body.data(), body.size())));
+  out.append(body);
+  return out;
+}
+
+Result<WalRecord> DecodeWalRecord(const Slice& payload,
+                                  const logblock::Schema& schema) {
+  Slice in = payload;
+  uint32_t masked_crc;
+  if (!GetFixed32(&in, &masked_crc)) {
+    return Status::Corruption("wal record: missing crc");
+  }
+  if (crc32c::Unmask(masked_crc) != crc32c::Value(in.data(), in.size())) {
+    return Status::Corruption("wal record: crc mismatch");
+  }
+
+  WalRecord record(schema);
+  uint32_t row_count;
+  if (!GetVarint64(&in, &record.tenant_id) || !GetVarint32(&in, &row_count)) {
+    return Status::Corruption("wal record: bad header");
+  }
+  std::vector<Value> row(schema.num_columns());
+  for (uint32_t r = 0; r < row_count; ++r) {
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      if (schema.column(c).type == ColumnType::kInt64) {
+        int64_t v;
+        if (!GetVarsint64(&in, &v)) {
+          return Status::Corruption("wal record: truncated int value");
+        }
+        row[c] = Value::Int64(v);
+      } else {
+        Slice s;
+        if (!GetLengthPrefixedSlice(&in, &s)) {
+          return Status::Corruption("wal record: truncated string value");
+        }
+        row[c] = Value::String(s.ToString());
+      }
+    }
+    record.rows.AddRow(row);
+  }
+  if (!in.empty()) return Status::Corruption("wal record: trailing bytes");
+  return record;
+}
+
+}  // namespace logstore::rowstore

@@ -1,0 +1,37 @@
+#ifndef LOGSTORE_ROWSTORE_WAL_H_
+#define LOGSTORE_ROWSTORE_WAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "logblock/row_batch.h"
+
+namespace logstore::rowstore {
+
+// WAL record payloads: one record carries a tenant's batch of rows in a
+// write-optimized row-major encoding (§2: "a write-optimized row-oriented
+// storage format, avoiding the use of CPU-intensive optimizations, such as
+// building extra indexes or data compression"). These payloads are what the
+// Raft log replicates between replicas.
+//
+// Layout: fixed32 crc (masked, over the rest), varint64 tenant_id,
+// varint32 row_count, then row-major values (varsint64 / length-prefixed).
+
+struct WalRecord {
+  uint64_t tenant_id = 0;
+  logblock::RowBatch rows;
+
+  explicit WalRecord(logblock::Schema schema) : rows(std::move(schema)) {}
+};
+
+// Encodes a batch for tenant `tenant_id`.
+std::string EncodeWalRecord(uint64_t tenant_id, const logblock::RowBatch& rows);
+
+// Decodes and CRC-verifies a WAL payload against `schema`.
+Result<WalRecord> DecodeWalRecord(const Slice& payload,
+                                  const logblock::Schema& schema);
+
+}  // namespace logstore::rowstore
+
+#endif  // LOGSTORE_ROWSTORE_WAL_H_

@@ -1,0 +1,95 @@
+#ifndef LOGSTORE_WORKLOAD_LOGGEN_H_
+#define LOGSTORE_WORKLOAD_LOGGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "logblock/row_batch.h"
+#include "logblock/schema.h"
+
+namespace logstore::workload {
+
+// Synthesizes request_log rows resembling the Alibaba Cloud DBaaS audit
+// logs of the evaluation: timestamped API accesses with source IP, latency,
+// failure flag, and a templated log line.
+class LogGenerator {
+ public:
+  explicit LogGenerator(uint64_t seed = 7)
+      : rng_(seed), schema_(logblock::RequestLogSchema()) {}
+
+  const logblock::Schema& schema() const { return schema_; }
+
+  // Generates `rows` entries for `tenant` with timestamps spread uniformly
+  // over [ts_begin, ts_end). Failures and latency spikes are bursty: each
+  // tenant has deterministic "incident windows" within the span where
+  // failures concentrate — as in real services, where errors cluster in
+  // time. This gives block-level SMA skipping something to skip.
+  logblock::RowBatch Generate(uint64_t tenant, uint32_t rows, int64_t ts_begin,
+                              int64_t ts_end) {
+    logblock::RowBatch batch(schema_);
+    const int64_t span = ts_end > ts_begin ? ts_end - ts_begin : 1;
+    const uint64_t incident_a = (tenant * 7 + 3) % kWindows;
+    const uint64_t incident_b = (tenant * 13 + 5) % kWindows;
+    for (uint32_t i = 0; i < rows; ++i) {
+      const int64_t ts =
+          ts_begin + static_cast<int64_t>(
+                         (static_cast<double>(i) / rows) * span);
+      // Windows are anchored to absolute time (3h grid), so incidents are
+      // consistent across batches and align with time-ordered blocks.
+      const uint64_t window =
+          static_cast<uint64_t>(ts / kWindowMicros) % kWindows;
+      const bool incident = window == incident_a || window == incident_b;
+      const bool fail = incident ? rng_.OneIn(4) : rng_.OneIn(500);
+      const uint64_t api = rng_.Uniform(12);
+      const uint64_t ip = rng_.Uniform(64);
+      // Latency tail: incident failures are timeout storms (>= 1.5 s);
+      // background failures are moderate; successes are fast.
+      const int64_t latency =
+          fail ? (incident ? 1500 + static_cast<int64_t>(rng_.Uniform(1500))
+                           : 300 + static_cast<int64_t>(rng_.Uniform(600)))
+               : static_cast<int64_t>(rng_.Uniform(250));
+      batch.AddRow({
+          logblock::Value::Int64(static_cast<int64_t>(tenant)),
+          logblock::Value::Int64(ts),
+          logblock::Value::String("192.168." + std::to_string(ip / 16) + "." +
+                                  std::to_string(ip % 16 * 8)),
+          logblock::Value::Int64(latency),
+          logblock::Value::String(fail ? "true" : "false"),
+          logblock::Value::String(MakeLogLine(api, fail, latency)),
+      });
+    }
+    return batch;
+  }
+
+  static constexpr uint64_t kWindows = 16;
+  static constexpr int64_t kWindowMicros = 3ll * 3600 * 1'000'000;  // 3h
+
+ private:
+  std::string MakeLogLine(uint64_t api, bool fail, int64_t latency) {
+    static const char* kVerbs[] = {"GET", "POST", "PUT", "DELETE"};
+    std::string line = kVerbs[api % 4];
+    line += " /api/v1/";
+    static const char* kResources[] = {"instances", "databases", "backups",
+                                       "metrics",   "users",     "sessions"};
+    line += kResources[api % 6];
+    line += fail ? " failed: connection timeout after " : " completed in ";
+    line += std::to_string(latency);
+    // Unique request/trace ids: real log lines carry high-entropy tokens,
+    // which is what bounds their compressibility.
+    char ids[64];
+    snprintf(ids, sizeof(ids), "ms req=%08llx trace=%08llx",
+             static_cast<unsigned long long>(rng_.Next() & 0xffffffff),
+             static_cast<unsigned long long>(rng_.Next() & 0xffffffff));
+    line += ids;
+    return line;
+  }
+
+  Random rng_;
+  logblock::Schema schema_;
+};
+
+}  // namespace logstore::workload
+
+#endif  // LOGSTORE_WORKLOAD_LOGGEN_H_

@@ -1,0 +1,93 @@
+#ifndef LOGSTORE_WORKLOAD_QUERYGEN_H_
+#define LOGSTORE_WORKLOAD_QUERYGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "query/predicate.h"
+
+namespace logstore::workload {
+
+// Generates the §6.3 query set: "six queries with different filtering
+// predicates are generated for each tenant", all instances of the paper's
+// single-tenant retrieval template with varying time spans and conditions.
+class QueryGenerator {
+ public:
+  explicit QueryGenerator(uint64_t seed = 11) : rng_(seed) {}
+
+  // Six templated queries for `tenant` over history [ts_begin, ts_end).
+  std::vector<query::LogQuery> TenantQuerySet(uint64_t tenant,
+                                              int64_t ts_begin,
+                                              int64_t ts_end) {
+    const int64_t span = ts_end - ts_begin;
+    std::vector<query::LogQuery> queries;
+
+    // 1. Narrow time slice, no further predicates ("recent logs").
+    queries.push_back(Base(tenant, ts_end - span / 48, ts_end));
+
+    // 2. One-hour-equivalent window + source-IP equality.
+    {
+      auto q = Base(tenant, ts_begin + span / 4, ts_begin + span / 4 + span / 48);
+      q.predicates.push_back(query::Predicate::StringEq(
+          "ip", "192.168." + std::to_string(rng_.Uniform(4)) + "." +
+                    std::to_string(rng_.Uniform(16) * 8)));
+      queries.push_back(q);
+    }
+
+    // 3. Half the history + a selective latency floor (unindexed column:
+    //    served by block-SMA skipping, since latency spikes are bursty).
+    {
+      auto q = Base(tenant, ts_begin + span / 2, ts_end);
+      q.predicates.push_back(query::Predicate::Int64Compare(
+          "latency", query::CompareOp::kGe, 1500));
+      queries.push_back(q);
+    }
+
+    // 4. Failures over the whole history.
+    {
+      auto q = Base(tenant, ts_begin, ts_end);
+      q.predicates.push_back(query::Predicate::StringEq("fail", "true"));
+      queries.push_back(q);
+    }
+
+    // 5. Full-text search for timeouts.
+    {
+      auto q = Base(tenant, ts_begin, ts_end);
+      q.predicates.push_back(query::Predicate::Match("log", "timeout"));
+      queries.push_back(q);
+    }
+
+    // 6. The full paper template: time + ip + latency + fail.
+    {
+      auto q = Base(tenant, ts_begin + span / 3, ts_begin + 2 * span / 3);
+      q.predicates.push_back(query::Predicate::StringEq(
+          "ip", "192.168." + std::to_string(rng_.Uniform(4)) + "." +
+                    std::to_string(rng_.Uniform(16) * 8)));
+      q.predicates.push_back(query::Predicate::Int64Compare(
+          "latency", query::CompareOp::kGe, 100));
+      q.predicates.push_back(query::Predicate::StringEq("fail", "false"));
+      queries.push_back(q);
+    }
+    return queries;
+  }
+
+ private:
+  query::LogQuery Base(uint64_t tenant, int64_t ts_min, int64_t ts_max) {
+    query::LogQuery q;
+    q.tenant_id = tenant;
+    q.ts_min = ts_min;
+    q.ts_max = ts_max;
+    q.select_columns = {"log"};
+    // Interactive log retrieval pages its results; the paper's latencies
+    // are per such query, not per full-history export.
+    q.limit = 500;
+    return q;
+  }
+
+  Random rng_;
+};
+
+}  // namespace logstore::workload
+
+#endif  // LOGSTORE_WORKLOAD_QUERYGEN_H_

@@ -1,0 +1,78 @@
+#ifndef LOGSTORE_WORKLOAD_ZIPFIAN_H_
+#define LOGSTORE_WORKLOAD_ZIPFIAN_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace logstore::workload {
+
+// Zipfian distribution over [0, n) with skew parameter theta, as used by
+// YCSB (Gray et al.'s rejection-free method). theta = 0 degenerates to
+// uniform; theta = 0.99 reproduces the production skew of Figure 2/11
+// ("the weight of tenant k is proportional to (1/k)^theta").
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta, uint64_t seed = 42)
+      : n_(n), theta_(theta), rng_(seed) {
+    zetan_ = Zeta(n, theta);
+    zeta2_ = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  // Next sample; rank 0 is the most popular item.
+  uint64_t Next() {
+    if (theta_ == 0.0) return rng_.Uniform(n_);
+    const double u = rng_.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+  // The exact probability mass of rank k under the distribution.
+  double Weight(uint64_t k) const {
+    if (theta_ == 0.0) return 1.0 / static_cast<double>(n_);
+    return 1.0 / (std::pow(static_cast<double>(k + 1), theta_) * zetan_);
+  }
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  const uint64_t n_;
+  const double theta_;
+  Random rng_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+// Deterministic per-tenant traffic shares: share(k) proportional to
+// (1/(k+1))^theta, normalized to sum 1. Used to assign steady-state tenant
+// write rates in the traffic simulations.
+inline std::vector<double> ZipfianShares(uint64_t n, double theta) {
+  std::vector<double> shares(n);
+  double total = 0;
+  for (uint64_t k = 0; k < n; ++k) {
+    shares[k] = 1.0 / std::pow(static_cast<double>(k + 1), theta);
+    total += shares[k];
+  }
+  for (double& share : shares) share /= total;
+  return shares;
+}
+
+}  // namespace logstore::workload
+
+#endif  // LOGSTORE_WORKLOAD_ZIPFIAN_H_

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/block_manager.h"
+#include "cache/lru_cache.h"
+#include "cache/ssd_block_cache.h"
+
+namespace logstore::cache {
+namespace {
+
+std::shared_ptr<const std::string> Block(const std::string& s) {
+  return std::make_shared<const std::string>(s);
+}
+
+TEST(LruCacheTest, InsertGetErase) {
+  LruCache<const std::string> cache(1000);
+  cache.Insert("a", Block("aaa"), 3);
+  auto got = cache.Get("a");
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, "aaa");
+  EXPECT_EQ(cache.used_bytes(), 3u);
+  cache.Erase("a");
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<const std::string> cache(10);
+  cache.Insert("a", Block("aaaa"), 4);
+  cache.Insert("b", Block("bbbb"), 4);
+  cache.Get("a");                      // refresh a; b is now LRU
+  cache.Insert("c", Block("cccc"), 4); // 12 > 10: evict b
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+}
+
+TEST(LruCacheTest, ReplaceUpdatesCharge) {
+  LruCache<const std::string> cache(100);
+  cache.Insert("a", Block("xx"), 2);
+  cache.Insert("a", Block("xxxxxxxx"), 8);
+  EXPECT_EQ(cache.used_bytes(), 8u);
+  EXPECT_EQ(*cache.Get("a"), "xxxxxxxx");
+}
+
+TEST(LruCacheTest, OversizedValueNotCached) {
+  LruCache<const std::string> cache(5);
+  cache.Insert("big", Block("0123456789"), 10);
+  EXPECT_EQ(cache.Get("big"), nullptr);
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(LruCacheTest, StatsTrackHitsMisses) {
+  CacheStats stats;
+  LruCache<const std::string> cache(100, &stats);
+  cache.Insert("a", Block("a"), 1);
+  cache.Get("a");
+  cache.Get("missing");
+  EXPECT_EQ(stats.hits.load(), 1u);
+  EXPECT_EQ(stats.misses.load(), 1u);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
+}
+
+TEST(LruCacheTest, EvictionCallbackFires) {
+  LruCache<const std::string> cache(4);
+  std::vector<std::string> evicted;
+  cache.set_eviction_callback(
+      [&](const std::string& key, const std::shared_ptr<const std::string>&,
+          uint64_t) { evicted.push_back(key); });
+  cache.Insert("a", Block("aaaa"), 4);
+  cache.Insert("b", Block("bbbb"), 4);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], "a");
+}
+
+TEST(ShardedLruCacheTest, SpreadsAcrossShards) {
+  ShardedLruCache<const std::string> cache(16000, 16);
+  for (int i = 0; i < 100; ++i) {
+    cache.Insert("key" + std::to_string(i), Block("v"), 1);
+  }
+  EXPECT_EQ(cache.entry_count(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NE(cache.Get("key" + std::to_string(i)), nullptr) << i;
+  }
+  cache.Clear();
+  EXPECT_EQ(cache.entry_count(), 0u);
+}
+
+TEST(ShardedLruCacheTest, ConcurrentAccessIsSafe) {
+  ShardedLruCache<const std::string> cache(1 << 20, 8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 1000; ++i) {
+        const std::string key = "k" + std::to_string((t * 1000 + i) % 97);
+        cache.Insert(key, Block("data"), 4);
+        cache.Get(key);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_LE(cache.entry_count(), 97u);
+}
+
+class SsdCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("logstore_ssd_" + std::string(::testing::UnitTest::GetInstance()
+                                              ->current_test_info()
+                                              ->name()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(SsdCacheTest, RoundTrip) {
+  auto cache = SsdBlockCache::Open(dir_.string(), 1 << 20);
+  ASSERT_TRUE(cache.ok());
+  (*cache)->Insert("obj#0", "block-zero-bytes");
+  auto got = (*cache)->Get("obj#0");
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, "block-zero-bytes");
+  EXPECT_EQ((*cache)->Get("obj#1"), nullptr);
+  EXPECT_EQ((*cache)->entry_count(), 1u);
+}
+
+TEST_F(SsdCacheTest, EvictsOverCapacity) {
+  auto cache = SsdBlockCache::Open(dir_.string(), 100);
+  ASSERT_TRUE(cache.ok());
+  (*cache)->Insert("a", std::string(60, 'a'));
+  (*cache)->Insert("b", std::string(60, 'b'));  // 120 > 100: evict a
+  EXPECT_EQ((*cache)->Get("a"), nullptr);
+  ASSERT_NE((*cache)->Get("b"), nullptr);
+  EXPECT_LE((*cache)->used_bytes(), 100u);
+}
+
+TEST_F(SsdCacheTest, FilesRemovedOnDestruction) {
+  {
+    auto cache = SsdBlockCache::Open(dir_.string(), 1 << 20);
+    ASSERT_TRUE(cache.ok());
+    (*cache)->Insert("k", "v");
+  }
+  EXPECT_FALSE(std::filesystem::exists(dir_));
+}
+
+TEST_F(SsdCacheTest, BlockManagerSpillsToSsdAndPromotes) {
+  BlockManagerOptions options;
+  options.memory_capacity_bytes = 64;  // tiny: force spills
+  options.memory_shards = 1;
+  options.ssd_dir = dir_.string();
+  options.ssd_capacity_bytes = 1 << 20;
+  auto manager = BlockManager::Open(options);
+  ASSERT_TRUE(manager.ok());
+
+  (*manager)->Insert("a", Block(std::string(40, 'a')));
+  (*manager)->Insert("b", Block(std::string(40, 'b')));  // evicts a -> SSD
+
+  EXPECT_EQ((*manager)->memory_stats().evictions.load(), 1u);
+  EXPECT_GT((*manager)->ssd_used_bytes(), 0u);
+
+  // "a" must still be readable (from SSD), and gets promoted to memory.
+  auto a = (*manager)->Get("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(*a, std::string(40, 'a'));
+  EXPECT_EQ((*manager)->ssd_stats().hits.load(), 1u);
+}
+
+TEST_F(SsdCacheTest, BlockManagerWithoutSsdStillCaches) {
+  BlockManagerOptions options;
+  options.memory_capacity_bytes = 1 << 20;
+  options.ssd_dir.clear();
+  auto manager = BlockManager::Open(options);
+  ASSERT_TRUE(manager.ok());
+  (*manager)->Insert("k", Block("v"));
+  ASSERT_NE((*manager)->Get("k"), nullptr);
+  EXPECT_EQ((*manager)->Get("missing"), nullptr);
+  EXPECT_EQ((*manager)->ssd_used_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace logstore::cache

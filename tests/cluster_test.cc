@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/cluster.h"
+#include "cluster/controller.h"
+#include "cluster/data_builder.h"
+#include "cluster/traffic_sim.h"
+#include "objectstore/memory_object_store.h"
+#include "workload/loggen.h"
+#include "workload/zipfian.h"
+
+namespace logstore::cluster {
+namespace {
+
+using logblock::RowBatch;
+using logblock::Value;
+
+RowBatch OneRow(uint64_t tenant, int64_t ts, const std::string& log) {
+  RowBatch batch(logblock::RequestLogSchema());
+  batch.AddRow({Value::Int64(static_cast<int64_t>(tenant)), Value::Int64(ts),
+                Value::String("10.0.0.1"), Value::Int64(5),
+                Value::String("false"), Value::String(log)});
+  return batch;
+}
+
+TEST(DataBuilderTest, BuildsPerTenantBlocks) {
+  objectstore::MemoryObjectStore store;
+  logblock::LogBlockMap map;
+  DataBuilder builder(&store, &map);
+  rowstore::RowStore rows(logblock::RequestLogSchema());
+
+  workload::LogGenerator gen(3);
+  rows.Append(1, gen.Generate(1, 500, 0, 1000));
+  rows.Append(2, gen.Generate(2, 300, 0, 1000));
+
+  auto built = builder.BuildOnce(&rows);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  EXPECT_EQ(*built, 2);  // one block per tenant
+  EXPECT_EQ(map.TenantBlockCount(1), 1u);
+  EXPECT_EQ(map.TenantBlockCount(2), 1u);
+  EXPECT_EQ(rows.row_count(), 0u);  // checkpoint advanced
+  EXPECT_EQ(builder.rows_archived(), 800u);
+  EXPECT_GT(builder.bytes_uploaded(), 0u);
+
+  // Tenant objects live under per-tenant prefixes: physical isolation.
+  auto keys1 = store.List("tenants/1/");
+  ASSERT_TRUE(keys1.ok());
+  EXPECT_EQ(keys1->size(), 1u);
+}
+
+TEST(DataBuilderTest, LargeTenantSplitsIntoMultipleBlocks) {
+  objectstore::MemoryObjectStore store;
+  logblock::LogBlockMap map;
+  DataBuilderOptions options;
+  options.max_rows_per_logblock = 100;
+  DataBuilder builder(&store, &map, options);
+  rowstore::RowStore rows(logblock::RequestLogSchema());
+
+  workload::LogGenerator gen(4);
+  rows.Append(7, gen.Generate(7, 450, 0, 1000));
+  auto built = builder.BuildOnce(&rows);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(*built, 5);  // 450 rows / 100 per block
+  EXPECT_EQ(map.TenantBlockCount(7), 5u);
+}
+
+TEST(DataBuilderTest, NothingToBuildIsNoop) {
+  objectstore::MemoryObjectStore store;
+  logblock::LogBlockMap map;
+  DataBuilder builder(&store, &map);
+  rowstore::RowStore rows(logblock::RequestLogSchema());
+  auto built = builder.BuildOnce(&rows);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(*built, 0);
+}
+
+TEST(ControllerTest, InitialRoutesViaConsistentHash) {
+  Controller controller(4, 4);
+  controller.EnsureTenantRoute(11);
+  controller.EnsureTenantRoute(11);  // idempotent
+  const auto routes = controller.routes();
+  const auto* weights = routes.Get(11);
+  ASSERT_NE(weights, nullptr);
+  EXPECT_EQ(weights->size(), 1u);
+  EXPECT_DOUBLE_EQ(weights->begin()->second, 1.0);
+  EXPECT_LT(weights->begin()->first, 16u);
+}
+
+TEST(ControllerTest, RebalancesOnHotShard) {
+  ControllerOptions options;
+  options.policy = BalancePolicy::kMaxFlow;
+  options.shard_capacity = 1000;
+  options.worker_capacity = 4000;
+  options.edge_max_flow = 800;
+  Controller controller(2, 2, options);
+  controller.EnsureTenantRoute(0);
+
+  const auto routes = controller.routes();
+  const uint32_t shard = routes.Get(0)->begin()->first;
+
+  // Tenant 0 floods its shard.
+  const auto decision = controller.RunTrafficControl(
+      {{0, 3000}}, {{shard, 3000}}, {{controller.WorkerForShard(shard), 3000}});
+  EXPECT_TRUE(decision.rebalanced);
+  const auto* weights = controller.routes().Get(0);
+  ASSERT_NE(weights, nullptr);
+  EXPECT_GE(weights->size(), 4u);  // 3000 / 800 => 4 routes
+}
+
+TEST(ControllerTest, NoActionWithoutHotShards) {
+  Controller controller(2, 2);
+  controller.EnsureTenantRoute(0);
+  const auto decision =
+      controller.RunTrafficControl({{0, 100}}, {{0, 100}}, {{0, 100}});
+  EXPECT_FALSE(decision.rebalanced);
+  EXPECT_FALSE(decision.scale_needed);
+}
+
+TEST(ControllerTest, RequestsScaleOutWhenSaturated) {
+  ControllerOptions options;
+  options.shard_capacity = 1000;
+  options.worker_capacity = 1000;
+  Controller controller(2, 1, options);
+  controller.EnsureTenantRoute(0);
+  const uint32_t shard = controller.routes().Get(0)->begin()->first;
+  const auto decision = controller.RunTrafficControl(
+      {{0, 5000}}, {{shard, 5000}},
+      {{0, 2500}, {1, 2500}});  // both workers above alpha
+  EXPECT_TRUE(decision.scale_needed);
+  EXPECT_FALSE(decision.rebalanced);
+}
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = std::make_unique<objectstore::MemoryObjectStore>();
+    ClusterDeploymentOptions options;
+    options.num_workers = 2;
+    options.shards_per_worker = 2;
+    options.worker.schema = logblock::RequestLogSchema();
+    options.worker.replicated = false;
+    options.engine.prefetch_threads = 2;
+    options.engine.cache_options.memory_capacity_bytes = 8 << 20;
+    options.engine.cache_options.ssd_dir.clear();
+    auto cluster = Cluster::Open(store_.get(), options);
+    ASSERT_TRUE(cluster.ok());
+    cluster_ = std::move(cluster).value();
+  }
+
+  std::unique_ptr<objectstore::MemoryObjectStore> store_;
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(ClusterTest, WriteIsImmediatelyVisible) {
+  ASSERT_TRUE(cluster_->Write(5, OneRow(5, 100, "fresh")).ok());
+  query::LogQuery query;
+  query.tenant_id = 5;
+  auto result = cluster_->Query(query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);  // served from the real-time store
+}
+
+TEST_F(ClusterTest, ArchivedAndRealtimeMerge) {
+  ASSERT_TRUE(cluster_->Write(5, OneRow(5, 100, "old")).ok());
+  auto built = cluster_->RunBuildPass();
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(*built, 1);
+  ASSERT_TRUE(cluster_->Write(5, OneRow(5, 200, "new")).ok());
+
+  query::LogQuery query;
+  query.tenant_id = 5;
+  query.select_columns = {"log"};
+  auto result = cluster_->Query(query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 2u);  // one from OSS, one real-time
+}
+
+TEST_F(ClusterTest, ExpirationRemovesObjects) {
+  ASSERT_TRUE(cluster_->Write(5, OneRow(5, 100, "expiring")).ok());
+  ASSERT_TRUE(cluster_->RunBuildPass().ok());
+  EXPECT_EQ(store_->object_count(), 1u);
+
+  auto expired = cluster_->ExpireTenantData(5, 1000);
+  ASSERT_TRUE(expired.ok());
+  EXPECT_EQ(*expired, 1);
+  EXPECT_EQ(store_->object_count(), 0u);
+
+  query::LogQuery query;
+  query.tenant_id = 5;
+  auto result = cluster_->Query(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->rows.empty());
+}
+
+TEST_F(ClusterTest, TrafficControlCycleRuns) {
+  workload::LogGenerator gen(5);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(cluster_->Write(0, gen.Generate(0, 100, i * 100, (i + 1) * 100))
+                    .ok());
+  }
+  const auto decision = cluster_->RunTrafficControl();
+  // With default capacities nothing is hot; the cycle completes cleanly.
+  EXPECT_FALSE(decision.scale_needed);
+}
+
+TEST(ReplicatedClusterTest, WritesSurviveThroughRaft) {
+  objectstore::MemoryObjectStore store;
+  ClusterDeploymentOptions options;
+  options.num_workers = 1;
+  options.shards_per_worker = 1;
+  options.worker.schema = logblock::RequestLogSchema();
+  options.worker.replicated = true;
+  options.worker.raft.election_timeout_min_ms = 50;
+  options.worker.raft.election_timeout_max_ms = 100;
+  options.worker.raft.heartbeat_interval_ms = 20;
+  options.engine.prefetch_threads = 2;
+  options.engine.cache_options.ssd_dir.clear();
+  auto cluster = Cluster::Open(&store, options);
+  ASSERT_TRUE(cluster.ok());
+
+  ASSERT_TRUE((*cluster)->Write(3, OneRow(3, 50, "replicated")).ok());
+  query::LogQuery query;
+  query.tenant_id = 3;
+  auto result = (*cluster)->Query(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 1u);
+}
+
+TrafficSimOptions SimOptions(double theta, BalancePolicy policy) {
+  TrafficSimOptions options;
+  options.num_workers = 8;
+  options.shards_per_worker = 2;
+  options.num_tenants = 1000;  // the evaluation's tenant count
+  options.theta = theta;
+  options.policy = policy;
+  return options;
+}
+
+TEST(TrafficSimTest, UniformLoadIsBalancedWithoutControl) {
+  TrafficSimulator sim(SimOptions(0.0, BalancePolicy::kNone));
+  const auto metrics = sim.Run(5, 5);
+  // Uniform traffic over many tenants: nearly all offered load processed.
+  EXPECT_GT(metrics.throughput, 0.98 * metrics.offered);
+  EXPECT_LT(metrics.avg_latency_ms, 50);
+}
+
+TEST(TrafficSimTest, SkewWithoutControlCollapsesThroughput) {
+  TrafficSimulator sim(SimOptions(0.99, BalancePolicy::kNone));
+  const auto metrics = sim.Run(20, 10);
+  EXPECT_LT(metrics.throughput, 0.8 * metrics.offered);
+  EXPECT_GT(metrics.avg_latency_ms, 50);
+}
+
+TEST(TrafficSimTest, MaxFlowRestoresThroughputUnderSkew) {
+  TrafficSimulator sim(SimOptions(0.99, BalancePolicy::kMaxFlow));
+  const auto metrics = sim.Run(20, 10);
+  EXPECT_GT(metrics.throughput, 0.95 * metrics.offered);
+  EXPECT_LT(metrics.avg_latency_ms, 50);
+  EXPECT_GT(metrics.rebalances, 0);
+}
+
+TEST(TrafficSimTest, GreedyAlsoRestoresThroughputButSlower) {
+  TrafficSimulator sim(SimOptions(0.99, BalancePolicy::kGreedy));
+  const auto metrics = sim.Run(20, 10);
+  EXPECT_GT(metrics.throughput, 0.9 * metrics.offered);
+}
+
+TEST(TrafficSimTest, MaxFlowUsesFewerRoutesThanGreedy) {
+  // Figure 12(c): greedy keeps splitting hot tenants onto more shards;
+  // max-flow re-weights existing routes first.
+  TrafficSimulator greedy_sim(SimOptions(0.99, BalancePolicy::kGreedy));
+  TrafficSimulator maxflow_sim(SimOptions(0.99, BalancePolicy::kMaxFlow));
+  const auto greedy = greedy_sim.Run(20, 10);
+  const auto maxflow = maxflow_sim.Run(20, 10);
+  EXPECT_LT(maxflow.route_count, greedy.route_count);
+}
+
+TEST(TrafficSimTest, BalancingReducesAccessStddev) {
+  TrafficSimulator sim(SimOptions(0.99, BalancePolicy::kMaxFlow));
+  const auto before = sim.MeasureUnbalancedRound();
+  const auto after = sim.Run(20, 10);
+  EXPECT_LT(after.ShardAccessStddev(), before.ShardAccessStddev());
+  EXPECT_LT(after.WorkerAccessStddev(), before.WorkerAccessStddev());
+}
+
+TEST(TrafficSimTest, ScaleOutAbsorbsExcessDemand) {
+  // Offered load beyond the initial cluster's alpha watermark: rebalancing
+  // alone cannot help (Algorithm 1 line 17 fails), so the controller must
+  // add workers until the demand fits.
+  TrafficSimOptions options = SimOptions(0.8, BalancePolicy::kMaxFlow);
+  options.total_offered_load =
+      static_cast<int64_t>(1.2 * 8 * options.worker_capacity);
+
+  // Without scale-out: saturated, throughput capped below offered.
+  TrafficSimulator capped(options);
+  const auto capped_metrics = capped.Run(20, 10);
+  EXPECT_TRUE(capped_metrics.scale_requested);
+  EXPECT_EQ(capped_metrics.workers_added, 0u);
+  EXPECT_LT(capped_metrics.throughput, 0.95 * capped_metrics.offered);
+
+  // With scale-out allowed: workers are added and throughput recovers.
+  options.max_workers_on_scale_out = 16;
+  TrafficSimulator elastic(options);
+  const auto elastic_metrics = elastic.Run(30, 10);
+  EXPECT_GT(elastic_metrics.workers_added, 0u);
+  EXPECT_GT(elastic_metrics.final_workers, 8u);
+  EXPECT_GT(elastic_metrics.throughput, 0.95 * elastic_metrics.offered);
+}
+
+TEST(TrafficSimTest, WorkerUtilizationApproachesAlphaAfterBalancing) {
+  // Figure 14(c): after max-flow balancing, workers run near-uniformly
+  // below the alpha watermark.
+  TrafficSimulator sim(SimOptions(0.99, BalancePolicy::kMaxFlow));
+  const auto metrics = sim.Run(20, 10);
+  for (double util : metrics.worker_utilization) {
+    EXPECT_LT(util, 0.9);
+    EXPECT_GT(util, 0.4);
+  }
+}
+
+}  // namespace
+}  // namespace logstore::cluster

@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/blocking_queue.h"
+#include "common/clock.h"
+#include "common/coding.h"
+#include "common/crc32c.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/threadpool.h"
+
+namespace logstore {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing block");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing block");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingPredicates) {
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::TimedOut("x").IsTimedOut());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::IOError("disk gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(SliceTest, Basics) {
+  Slice s("hello");
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s[1], 'e');
+  EXPECT_TRUE(s.starts_with("hel"));
+  EXPECT_FALSE(s.starts_with("help"));
+  s.remove_prefix(2);
+  EXPECT_EQ(s.ToString(), "llo");
+}
+
+TEST(SliceTest, Compare) {
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abcd").compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  EXPECT_TRUE(Slice("a") == Slice("a"));
+  EXPECT_TRUE(Slice("a") != Slice("b"));
+}
+
+TEST(CodingTest, FixedRoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xdeadbeefu);
+  PutFixed64(&buf, 0x0123456789abcdefull);
+  Slice in(buf);
+  uint32_t v32;
+  uint64_t v64;
+  ASSERT_TRUE(GetFixed32(&in, &v32));
+  ASSERT_TRUE(GetFixed64(&in, &v64));
+  EXPECT_EQ(v32, 0xdeadbeefu);
+  EXPECT_EQ(v64, 0x0123456789abcdefull);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, VarintRoundTripBoundaries) {
+  const uint64_t values[] = {0,    1,          127,        128,
+                             255,  16383,      16384,      (1ull << 32) - 1,
+                             1ull << 32, UINT64_MAX};
+  std::string buf;
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  Slice in(buf);
+  for (uint64_t v : values) {
+    uint64_t got;
+    ASSERT_TRUE(GetVarint64(&in, &got));
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, Varint32RejectsOverflow) {
+  std::string buf;
+  PutVarint64(&buf, static_cast<uint64_t>(UINT32_MAX) + 1);
+  Slice in(buf);
+  uint32_t v;
+  EXPECT_FALSE(GetVarint32(&in, &v));
+}
+
+TEST(CodingTest, VarintTruncatedFails) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  Slice in(buf.data(), buf.size() - 1);
+  uint64_t v;
+  EXPECT_FALSE(GetVarint64(&in, &v));
+}
+
+TEST(CodingTest, ZigZagRoundTrip) {
+  const int64_t values[] = {0, -1, 1, -2, 2, INT64_MIN, INT64_MAX, -123456789};
+  for (int64_t v : values) {
+    EXPECT_EQ(ZigZagDecode64(ZigZagEncode64(v)), v) << v;
+  }
+  // Small magnitudes encode small.
+  EXPECT_EQ(ZigZagEncode64(0), 0u);
+  EXPECT_EQ(ZigZagEncode64(-1), 1u);
+  EXPECT_EQ(ZigZagEncode64(1), 2u);
+}
+
+TEST(CodingTest, LengthPrefixedSlice) {
+  std::string buf;
+  PutLengthPrefixedSlice(&buf, "alpha");
+  PutLengthPrefixedSlice(&buf, "");
+  PutLengthPrefixedSlice(&buf, "beta");
+  Slice in(buf);
+  Slice a, b, c;
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &a));
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &b));
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &c));
+  EXPECT_EQ(a.ToString(), "alpha");
+  EXPECT_EQ(b.ToString(), "");
+  EXPECT_EQ(c.ToString(), "beta");
+}
+
+TEST(CodingTest, VarintLengthMatchesEncoding) {
+  const uint64_t values[] = {0, 127, 128, 1ull << 35, UINT64_MAX};
+  for (uint64_t v : values) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(VarintLength(v), static_cast<int>(buf.size()));
+  }
+}
+
+TEST(Crc32cTest, KnownVectors) {
+  // Standard check value: CRC-32C("123456789") = 0xe3069283.
+  EXPECT_EQ(crc32c::Value("123456789", 9), 0xe3069283u);
+  // CRC of 32 zero bytes = 0x8a9136aa (iSCSI test vector).
+  char zeros[32] = {0};
+  EXPECT_EQ(crc32c::Value(zeros, sizeof(zeros)), 0x8a9136aau);
+}
+
+TEST(Crc32cTest, ExtendComposes) {
+  const std::string data = "hello world, this is logstore";
+  const uint32_t whole = crc32c::Value(data.data(), data.size());
+  uint32_t partial = crc32c::Value(data.data(), 10);
+  partial = crc32c::Extend(partial, data.data() + 10, data.size() - 10);
+  EXPECT_EQ(whole, partial);
+}
+
+TEST(Crc32cTest, MaskRoundTrip) {
+  const uint32_t crc = crc32c::Value("abc", 3);
+  EXPECT_NE(crc32c::Mask(crc), crc);
+  EXPECT_EQ(crc32c::Unmask(crc32c::Mask(crc)), crc);
+}
+
+TEST(HashTest, DeterministicAndSeeded) {
+  EXPECT_EQ(Hash64("tenant-42"), Hash64("tenant-42"));
+  EXPECT_NE(Hash64("tenant-42"), Hash64("tenant-43"));
+  EXPECT_NE(Hash64("tenant-42", 1), Hash64("tenant-42", 2));
+}
+
+TEST(HashTest, SpreadsLowBits) {
+  // Sequential keys should not collide in the low bits used for sharding.
+  std::vector<int> bucket_counts(16, 0);
+  for (int i = 0; i < 1600; ++i) {
+    bucket_counts[Hash64("key" + std::to_string(i)) % 16]++;
+  }
+  for (int count : bucket_counts) {
+    EXPECT_GT(count, 50);  // perfectly uniform would be 100
+    EXPECT_LT(count, 150);
+  }
+}
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(1234);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    const int64_t r = rng.UniformRange(-5, 5);
+    EXPECT_GE(r, -5);
+    EXPECT_LE(r, 5);
+  }
+}
+
+TEST(ManualClockTest, AdvanceAndSleep) {
+  ManualClock clock(100);
+  EXPECT_EQ(clock.NowMicros(), 100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.NowMicros(), 150);
+  clock.SleepMicros(25);  // advances instead of blocking
+  EXPECT_EQ(clock.NowMicros(), 175);
+  clock.Set(0);
+  EXPECT_EQ(clock.NowMicros(), 0);
+}
+
+TEST(BlockingQueueTest, FifoOrder) {
+  BlockingQueue<int> q(10, 0);
+  ASSERT_TRUE(q.TryPush(1));
+  ASSERT_TRUE(q.TryPush(2));
+  ASSERT_TRUE(q.TryPush(3));
+  EXPECT_EQ(*q.Pop(), 1);
+  EXPECT_EQ(*q.Pop(), 2);
+  EXPECT_EQ(*q.Pop(), 3);
+}
+
+TEST(BlockingQueueTest, ItemLimitRejects) {
+  BlockingQueue<int> q(2, 0);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));  // backpressure
+  q.Pop();
+  EXPECT_TRUE(q.TryPush(3));
+}
+
+TEST(BlockingQueueTest, ByteLimitRejects) {
+  BlockingQueue<int> q(0, 100);
+  EXPECT_TRUE(q.TryPush(1, 60));
+  EXPECT_FALSE(q.TryPush(2, 60));  // 120 > 100
+  EXPECT_TRUE(q.TryPush(3, 40));   // exactly at limit
+  EXPECT_EQ(q.bytes(), 100u);
+}
+
+TEST(BlockingQueueTest, OversizedItemAdmittedWhenEmpty) {
+  BlockingQueue<int> q(0, 10);
+  // A single item larger than the byte budget must still be admitted,
+  // otherwise it could never be processed.
+  EXPECT_TRUE(q.TryPush(1, 1000));
+  EXPECT_FALSE(q.TryPush(2, 1));
+}
+
+TEST(BlockingQueueTest, CloseDrainsThenStops) {
+  BlockingQueue<int> q(10, 0);
+  q.TryPush(1);
+  q.Close();
+  EXPECT_FALSE(q.TryPush(2));
+  EXPECT_EQ(*q.Pop(), 1);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BlockingQueueTest, BlockingPushWakesOnPop) {
+  BlockingQueue<int> q(1, 0);
+  ASSERT_TRUE(q.TryPush(1));
+  std::thread producer([&] { EXPECT_TRUE(q.Push(2)); });
+  // Give the producer a moment to block, then free a slot.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(*q.Pop(), 1);
+  producer.join();
+  EXPECT_EQ(*q.Pop(), 2);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.Schedule([&] { counter++; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsFutureValue) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, ParallelismIsReal) {
+  ThreadPool pool(4);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Schedule([&] {
+      const int now = ++concurrent;
+      int old = peak.load();
+      while (now > old && !peak.compare_exchange_weak(old, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      --concurrent;
+    });
+  }
+  pool.Wait();
+  EXPECT_GE(peak.load(), 2);
+}
+
+}  // namespace
+}  // namespace logstore

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "compress/codec.h"
+
+namespace logstore::compress {
+namespace {
+
+std::string MakeLogLikePayload(int rows, uint64_t seed) {
+  // Synthetic log lines with heavy repetition, like real audit logs.
+  Random rng(seed);
+  std::string payload;
+  for (int i = 0; i < rows; ++i) {
+    payload += "2020-11-11 00:0" + std::to_string(rng.Uniform(10)) +
+               ":00 GET /api/v1/instances/" + std::to_string(rng.Uniform(50)) +
+               " status=200 latency=" + std::to_string(rng.Uniform(500)) +
+               "ms tenant=" + std::to_string(rng.Uniform(16)) + "\n";
+  }
+  return payload;
+}
+
+std::string MakeRandomPayload(size_t n, uint64_t seed) {
+  Random rng(seed);
+  std::string payload(n, '\0');
+  for (size_t i = 0; i < n; ++i) {
+    payload[i] = static_cast<char>(rng.Uniform(256));
+  }
+  return payload;
+}
+
+class CodecRoundTripTest : public ::testing::TestWithParam<CodecType> {};
+
+TEST_P(CodecRoundTripTest, EmptyInput) {
+  const Codec* codec = GetCodec(GetParam());
+  ASSERT_NE(codec, nullptr);
+  std::string compressed, restored;
+  ASSERT_TRUE(codec->Compress(Slice(), &compressed).ok());
+  ASSERT_TRUE(codec->Decompress(compressed, &restored).ok());
+  EXPECT_TRUE(restored.empty());
+}
+
+TEST_P(CodecRoundTripTest, TinyInputs) {
+  const Codec* codec = GetCodec(GetParam());
+  for (size_t n = 1; n <= 8; ++n) {
+    const std::string input(n, 'x');
+    std::string compressed, restored;
+    ASSERT_TRUE(codec->Compress(input, &compressed).ok());
+    ASSERT_TRUE(codec->Decompress(compressed, &restored).ok());
+    EXPECT_EQ(restored, input) << "n=" << n;
+  }
+}
+
+TEST_P(CodecRoundTripTest, LogLikePayload) {
+  const Codec* codec = GetCodec(GetParam());
+  const std::string input = MakeLogLikePayload(2000, 42);
+  std::string compressed, restored;
+  ASSERT_TRUE(codec->Compress(input, &compressed).ok());
+  ASSERT_TRUE(codec->Decompress(compressed, &restored).ok());
+  EXPECT_EQ(restored, input);
+}
+
+TEST_P(CodecRoundTripTest, IncompressibleRandomPayload) {
+  const Codec* codec = GetCodec(GetParam());
+  const std::string input = MakeRandomPayload(64 * 1024, 99);
+  std::string compressed, restored;
+  ASSERT_TRUE(codec->Compress(input, &compressed).ok());
+  ASSERT_TRUE(codec->Decompress(compressed, &restored).ok());
+  EXPECT_EQ(restored, input);
+}
+
+TEST_P(CodecRoundTripTest, HighlyRepetitivePayload) {
+  const Codec* codec = GetCodec(GetParam());
+  std::string input;
+  for (int i = 0; i < 1000; ++i) input += "abcabcabc";
+  std::string compressed, restored;
+  ASSERT_TRUE(codec->Compress(input, &compressed).ok());
+  ASSERT_TRUE(codec->Decompress(compressed, &restored).ok());
+  EXPECT_EQ(restored, input);
+  if (GetParam() != CodecType::kNone) {
+    EXPECT_LT(compressed.size(), input.size() / 10);
+  }
+}
+
+TEST_P(CodecRoundTripTest, AppendsToExistingOutput) {
+  const Codec* codec = GetCodec(GetParam());
+  std::string compressed;
+  ASSERT_TRUE(codec->Compress("payload-bytes", &compressed).ok());
+  std::string restored = "prefix:";
+  ASSERT_TRUE(codec->Decompress(compressed, &restored).ok());
+  EXPECT_EQ(restored, "prefix:payload-bytes");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecRoundTripTest,
+                         ::testing::Values(CodecType::kNone, CodecType::kLzFast,
+                                           CodecType::kLzRatio),
+                         [](const auto& info) -> std::string {
+                           switch (info.param) {
+                             case CodecType::kNone: return "None";
+                             case CodecType::kLzFast: return "LzFast";
+                             case CodecType::kLzRatio: return "LzRatio";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(CodecTest, RatioCodecCompressesBetterThanFast) {
+  const std::string input = MakeLogLikePayload(5000, 7);
+  std::string fast_out, ratio_out;
+  ASSERT_TRUE(GetCodec(CodecType::kLzFast)->Compress(input, &fast_out).ok());
+  ASSERT_TRUE(GetCodec(CodecType::kLzRatio)->Compress(input, &ratio_out).ok());
+  // Both shrink the log payload substantially...
+  EXPECT_LT(fast_out.size(), input.size() / 2);
+  // ...and the ratio codec is at least as good as fast (paper picks ZSTD
+  // for its superior ratio).
+  EXPECT_LE(ratio_out.size(), fast_out.size());
+}
+
+TEST(CodecTest, DecompressRejectsTruncation) {
+  const Codec* codec = GetCodec(CodecType::kLzRatio);
+  const std::string input = MakeLogLikePayload(500, 3);
+  std::string compressed;
+  ASSERT_TRUE(codec->Compress(input, &compressed).ok());
+  for (size_t cut : {size_t{0}, compressed.size() / 2, compressed.size() - 1}) {
+    std::string restored;
+    Status s = codec->Decompress(Slice(compressed.data(), cut), &restored);
+    EXPECT_FALSE(s.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(CodecTest, DecompressRejectsGarbage) {
+  const Codec* codec = GetCodec(CodecType::kLzFast);
+  std::string restored;
+  // A header that promises a huge size with an out-of-range match offset.
+  std::string garbage = {'\xff', '\xff', '\x7f', '\x00', '\x09', '\x01'};
+  EXPECT_FALSE(codec->Decompress(garbage, &restored).ok());
+}
+
+TEST(CodecTest, UnknownCodecReturnsNull) {
+  EXPECT_EQ(GetCodec(static_cast<CodecType>(200)), nullptr);
+}
+
+TEST(CodecTest, OverlappingMatchRuns) {
+  // "aaaa..." forces overlapping match copies (offset < length).
+  const Codec* codec = GetCodec(CodecType::kLzFast);
+  const std::string input(10000, 'a');
+  std::string compressed, restored;
+  ASSERT_TRUE(codec->Compress(input, &compressed).ok());
+  EXPECT_LT(compressed.size(), 100u);
+  ASSERT_TRUE(codec->Decompress(compressed, &restored).ok());
+  EXPECT_EQ(restored, input);
+}
+
+}  // namespace
+}  // namespace logstore::compress

@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "core/logstore.h"
+#include "objectstore/file_object_store.h"
+#include "query/aggregation.h"
+#include "workload/loggen.h"
+#include "workload/querygen.h"
+#include "workload/zipfian.h"
+
+namespace logstore {
+namespace {
+
+using logblock::RowBatch;
+using logblock::Value;
+
+RowBatch OneRow(uint64_t tenant, int64_t ts, const std::string& ip,
+                int64_t latency, const std::string& fail,
+                const std::string& log) {
+  RowBatch batch(logblock::RequestLogSchema());
+  batch.AddRow({Value::Int64(static_cast<int64_t>(tenant)), Value::Int64(ts),
+                Value::String(ip), Value::Int64(latency), Value::String(fail),
+                Value::String(log)});
+  return batch;
+}
+
+LogStoreOptions SmallOptions() {
+  LogStoreOptions options;
+  options.engine.prefetch_threads = 2;
+  options.engine.cache_options.memory_capacity_bytes = 8 << 20;
+  options.engine.cache_options.ssd_dir.clear();
+  return options;
+}
+
+TEST(LogStoreTest, AppendQueryRoundTrip) {
+  auto db = LogStore::Open(SmallOptions());
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_TRUE((*db)->Append(1, OneRow(1, 100, "1.1.1.1", 5, "false", "hello"))
+                  .ok());
+
+  query::LogQuery query;
+  query.tenant_id = 1;
+  auto result = (*db)->Query(query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);  // visible pre-flush (real-time store)
+
+  ASSERT_TRUE((*db)->Flush().ok());
+  result = (*db)->Query(query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);  // visible post-flush (LogBlock)
+}
+
+TEST(LogStoreTest, SchemaMismatchRejected) {
+  auto db = LogStore::Open(SmallOptions());
+  ASSERT_TRUE(db.ok());
+  RowBatch wrong(logblock::Schema({{"x", logblock::ColumnType::kInt64, true}}));
+  wrong.AddRow({Value::Int64(1)});
+  EXPECT_TRUE((*db)->Append(1, wrong).IsInvalidArgument());
+}
+
+TEST(LogStoreTest, AutoflushArchivesInBackground) {
+  LogStoreOptions options = SmallOptions();
+  options.autoflush_rows = 100;
+  auto db = LogStore::Open(options);
+  ASSERT_TRUE(db.ok());
+  workload::LogGenerator gen(1);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*db)->Append(1, gen.Generate(1, 30, i * 100, (i + 1) * 100))
+                    .ok());
+  }
+  const auto stats = (*db)->GetStats();
+  EXPECT_EQ(stats.rows_appended, 150u);
+  EXPECT_GT(stats.rows_archived, 0u);
+  EXPECT_GT(stats.logblocks, 0u);
+  EXPECT_LT(stats.rows_in_rowstore, 150u);
+}
+
+TEST(LogStoreTest, MultiTenantIsolationAndBilling) {
+  auto db = LogStore::Open(SmallOptions());
+  ASSERT_TRUE(db.ok());
+  workload::LogGenerator gen(2);
+  ASSERT_TRUE((*db)->Append(1, gen.Generate(1, 1000, 0, 10'000)).ok());
+  ASSERT_TRUE((*db)->Append(2, gen.Generate(2, 10, 0, 10'000)).ok());
+  ASSERT_TRUE((*db)->Flush().ok());
+
+  EXPECT_GT((*db)->TenantBytes(1), (*db)->TenantBytes(2));
+  EXPECT_GT((*db)->TenantBytes(2), 0u);
+
+  query::LogQuery query;
+  query.tenant_id = 2;
+  auto result = (*db)->Query(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 10u);
+}
+
+TEST(LogStoreTest, ExpireFreesTenantStorage) {
+  auto db = LogStore::Open(SmallOptions());
+  ASSERT_TRUE(db.ok());
+  workload::LogGenerator gen(3);
+  ASSERT_TRUE((*db)->Append(1, gen.Generate(1, 100, 0, 1000)).ok());
+  ASSERT_TRUE((*db)->Flush().ok());
+  ASSERT_TRUE((*db)->Append(1, gen.Generate(1, 100, 5000, 6000)).ok());
+  ASSERT_TRUE((*db)->Flush().ok());
+  EXPECT_EQ((*db)->GetStats().logblocks, 2u);
+
+  auto expired = (*db)->Expire(1, 2000);
+  ASSERT_TRUE(expired.ok());
+  EXPECT_EQ(*expired, 1);
+  EXPECT_EQ((*db)->GetStats().logblocks, 1u);
+
+  query::LogQuery query;
+  query.tenant_id = 1;
+  auto result = (*db)->Query(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 100u);  // only the recent block remains
+}
+
+TEST(LogStoreTest, PaperTemplateEndToEnd) {
+  auto db = LogStore::Open(SmallOptions());
+  ASSERT_TRUE(db.ok());
+  // Rows engineered to hit each predicate of the §5.1 sample query.
+  ASSERT_TRUE((*db)->Append(
+      12276, OneRow(12276, 500, "192.168.0.1", 150, "false", "match me")).ok());
+  ASSERT_TRUE((*db)->Append(
+      12276, OneRow(12276, 500, "192.168.0.1", 50, "false", "latency too low")).ok());
+  ASSERT_TRUE((*db)->Append(
+      12276, OneRow(12276, 500, "192.168.0.2", 150, "false", "wrong ip")).ok());
+  ASSERT_TRUE((*db)->Append(
+      12276, OneRow(12276, 5000, "192.168.0.1", 150, "false", "out of range")).ok());
+  ASSERT_TRUE((*db)->Flush().ok());
+
+  query::LogQuery query;
+  query.tenant_id = 12276;
+  query.ts_min = 0;
+  query.ts_max = 1000;
+  query.predicates = {
+      query::Predicate::StringEq("ip", "192.168.0.1"),
+      query::Predicate::Int64Compare("latency", query::CompareOp::kGe, 100),
+      query::Predicate::StringEq("fail", "false"),
+  };
+  query.select_columns = {"log"};
+  auto result = (*db)->Query(query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0].s, "match me");
+}
+
+TEST(LogStoreTest, AnalyticsTopIpAggregation) {
+  // §1's motivating BI query: "which IP addresses frequently accessed this
+  // API in the past day?"
+  auto db = LogStore::Open(SmallOptions());
+  ASSERT_TRUE(db.ok());
+  for (int i = 0; i < 30; ++i) {
+    const std::string ip = i % 3 == 0 ? "9.9.9.9" : "1.1.1.1";
+    ASSERT_TRUE(
+        (*db)->Append(1, OneRow(1, i, ip, 1, "false", "GET /api")).ok());
+  }
+  ASSERT_TRUE((*db)->Flush().ok());
+
+  query::LogQuery query;
+  query.tenant_id = 1;
+  query.select_columns = {"ip"};
+  auto result = (*db)->Query(query);
+  ASSERT_TRUE(result.ok());
+  const auto top = query::GroupCountTopK(
+      query::QueryEngine::Column(*result, "ip"), 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, "1.1.1.1");
+  EXPECT_EQ(top[0].count, 20u);
+  EXPECT_EQ(top[1].count, 10u);
+}
+
+TEST(LogStoreTest, FileBackedStorePersistsAndRecovers) {
+  const auto dir = std::filesystem::temp_directory_path() / "logstore_core_db";
+  std::filesystem::remove_all(dir);
+  LogStoreOptions options = SmallOptions();
+  options.storage_dir = dir.string();
+  {
+    auto db = LogStore::Open(options);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Append(1, OneRow(1, 9, "a", 1, "false", "durable")).ok());
+    ASSERT_TRUE((*db)->Flush().ok());
+  }
+  {
+    // Reopen: the catalog checkpoint restores the tenant's LogBlocks and
+    // queries see the archived data again.
+    auto db = LogStore::Open(options);
+    ASSERT_TRUE(db.ok());
+    EXPECT_EQ((*db)->GetStats().logblocks, 1u);
+
+    query::LogQuery query;
+    query.tenant_id = 1;
+    query.select_columns = {"log"};
+    auto result = (*db)->Query(query);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->rows.size(), 1u);
+    EXPECT_EQ(result->rows[0][0].s, "durable");
+
+    // New flushes never collide with recovered object keys.
+    ASSERT_TRUE((*db)->Append(1, OneRow(1, 99, "b", 2, "false", "next")).ok());
+    ASSERT_TRUE((*db)->Flush().ok());
+    EXPECT_EQ((*db)->GetStats().logblocks, 2u);
+  }
+  {
+    auto db = LogStore::Open(options);
+    ASSERT_TRUE(db.ok());
+    query::LogQuery query;
+    query.tenant_id = 1;
+    auto result = (*db)->Query(query);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->rows.size(), 2u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(LogStoreTest, ExpirationSurvivesReopen) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "logstore_core_expire_db";
+  std::filesystem::remove_all(dir);
+  LogStoreOptions options = SmallOptions();
+  options.storage_dir = dir.string();
+  {
+    auto db = LogStore::Open(options);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Append(1, OneRow(1, 10, "a", 1, "false", "old")).ok());
+    ASSERT_TRUE((*db)->Flush().ok());
+    ASSERT_TRUE((*db)->Append(1, OneRow(1, 500, "a", 1, "false", "new")).ok());
+    ASSERT_TRUE((*db)->Flush().ok());
+    ASSERT_TRUE((*db)->Expire(1, 100).ok());
+  }
+  auto db = LogStore::Open(options);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->GetStats().logblocks, 1u);
+  query::LogQuery query;
+  query.tenant_id = 1;
+  query.select_columns = {"log"};
+  auto result = (*db)->Query(query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0].s, "new");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(LogStoreTest, RetentionPoliciesApplyPerTenant) {
+  auto db = LogStore::Open(SmallOptions());
+  ASSERT_TRUE(db.ok());
+  // Tenant 1: keep 1000us. Tenant 2: keep everything (no policy).
+  (*db)->SetRetention(1, 1000);
+
+  for (uint64_t tenant : {1ull, 2ull}) {
+    ASSERT_TRUE(
+        (*db)->Append(tenant, OneRow(tenant, 100, "a", 1, "false", "old")).ok());
+    ASSERT_TRUE((*db)->Flush().ok());
+    ASSERT_TRUE(
+        (*db)->Append(tenant, OneRow(tenant, 5000, "a", 1, "false", "new")).ok());
+    ASSERT_TRUE((*db)->Flush().ok());
+  }
+
+  auto removed = (*db)->ApplyRetentionPolicies(/*now=*/5500);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 1);  // only tenant 1's old block
+  EXPECT_EQ((*db)->metadata()->TenantBlockCount(1), 1u);
+  EXPECT_EQ((*db)->metadata()->TenantBlockCount(2), 2u);
+
+  // Clearing the policy stops further expiration.
+  (*db)->SetRetention(1, 0);
+  removed = (*db)->ApplyRetentionPolicies(/*now=*/100'000);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 0);
+  EXPECT_EQ((*db)->metadata()->TenantBlockCount(1), 1u);
+}
+
+TEST(LogStoreTest, SimulatedLatencyIsCharged) {
+  LogStoreOptions options = SmallOptions();
+  options.simulate_object_latency = true;
+  options.simulated.first_byte_latency_us = 100;
+  options.simulated.time_scale = 0.0;  // account without sleeping
+  auto db = LogStore::Open(options);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Append(1, OneRow(1, 1, "a", 1, "false", "x")).ok());
+  ASSERT_TRUE((*db)->Flush().ok());
+  auto* sim = static_cast<objectstore::SimulatedObjectStore*>(
+      (*db)->object_store());
+  EXPECT_GT(sim->charged_micros(), 0u);
+}
+
+TEST(LogStoreTest, GeneratedQuerySetExecutes) {
+  auto db = LogStore::Open(SmallOptions());
+  ASSERT_TRUE(db.ok());
+  workload::LogGenerator gen(6);
+  ASSERT_TRUE((*db)->Append(4, gen.Generate(4, 2000, 0, 1'000'000)).ok());
+  ASSERT_TRUE((*db)->Flush().ok());
+
+  workload::QueryGenerator qgen(2);
+  for (const auto& q : qgen.TenantQuerySet(4, 0, 1'000'000)) {
+    auto result = (*db)->Query(q);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace logstore

@@ -1,0 +1,379 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "index/bkd_tree.h"
+#include "index/inverted_index.h"
+#include "index/rowid_set.h"
+#include "index/sma.h"
+
+namespace logstore::index {
+namespace {
+
+TEST(RowIdSetTest, AddContainsRemove) {
+  RowIdSet s(100);
+  EXPECT_TRUE(s.Empty());
+  s.Add(0);
+  s.Add(63);
+  s.Add(64);
+  s.Add(99);
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_TRUE(s.Contains(63));
+  EXPECT_TRUE(s.Contains(64));
+  EXPECT_TRUE(s.Contains(99));
+  EXPECT_FALSE(s.Contains(50));
+  EXPECT_EQ(s.Count(), 4u);
+  s.Remove(63);
+  EXPECT_FALSE(s.Contains(63));
+  EXPECT_EQ(s.Count(), 3u);
+}
+
+TEST(RowIdSetTest, AllRespectsNumRows) {
+  RowIdSet s = RowIdSet::All(70);
+  EXPECT_EQ(s.Count(), 70u);
+  EXPECT_TRUE(s.Contains(69));
+  const auto rows = s.ToVector();
+  EXPECT_EQ(rows.size(), 70u);
+  EXPECT_EQ(rows.front(), 0u);
+  EXPECT_EQ(rows.back(), 69u);
+}
+
+TEST(RowIdSetTest, IntersectAndUnion) {
+  RowIdSet a(128), b(128);
+  a.Add(1);
+  a.Add(5);
+  a.Add(100);
+  b.Add(5);
+  b.Add(100);
+  b.Add(127);
+
+  RowIdSet inter = a;
+  inter.IntersectWith(b);
+  EXPECT_EQ(inter.ToVector(), (std::vector<uint32_t>{5, 100}));
+
+  RowIdSet uni = a;
+  uni.UnionWith(b);
+  EXPECT_EQ(uni.ToVector(), (std::vector<uint32_t>{1, 5, 100, 127}));
+}
+
+TEST(RowIdSetTest, AddRange) {
+  RowIdSet s(200);
+  s.AddRange(60, 70);
+  EXPECT_EQ(s.Count(), 10u);
+  EXPECT_TRUE(s.Contains(60));
+  EXPECT_TRUE(s.Contains(69));
+  EXPECT_FALSE(s.Contains(70));
+}
+
+TEST(Int64SmaTest, UpdateAndSkip) {
+  Int64Sma sma;
+  EXPECT_TRUE(sma.DisjointWith(0, 100));  // empty: always skippable
+  sma.Update(10);
+  sma.Update(50);
+  sma.Update(-3);
+  EXPECT_EQ(sma.min, -3);
+  EXPECT_EQ(sma.max, 50);
+  EXPECT_EQ(sma.row_count, 3u);
+  EXPECT_TRUE(sma.DisjointWith(51, 100));
+  EXPECT_TRUE(sma.DisjointWith(-100, -4));
+  EXPECT_FALSE(sma.DisjointWith(50, 60));
+  EXPECT_FALSE(sma.DisjointWith(0, 0));
+}
+
+TEST(Int64SmaTest, MergeAndEncode) {
+  Int64Sma a, b;
+  a.Update(5);
+  b.Update(-7);
+  b.Update(100);
+  a.Merge(b);
+  EXPECT_EQ(a.min, -7);
+  EXPECT_EQ(a.max, 100);
+  EXPECT_EQ(a.row_count, 3u);
+
+  std::string buf;
+  a.EncodeTo(&buf);
+  Int64Sma c;
+  Slice in(buf);
+  ASSERT_TRUE(c.DecodeFrom(&in));
+  EXPECT_EQ(c.min, -7);
+  EXPECT_EQ(c.max, 100);
+  EXPECT_EQ(c.row_count, 3u);
+}
+
+TEST(StringSmaTest, UpdateExcludesEncode) {
+  StringSma sma;
+  EXPECT_TRUE(sma.Excludes("anything"));
+  sma.Update("banana");
+  sma.Update("apple");
+  sma.Update("cherry");
+  EXPECT_EQ(sma.min, "apple");
+  EXPECT_EQ(sma.max, "cherry");
+  EXPECT_TRUE(sma.Excludes("aardvark"));
+  EXPECT_TRUE(sma.Excludes("zebra"));
+  EXPECT_FALSE(sma.Excludes("apple"));
+  EXPECT_FALSE(sma.Excludes("box"));
+
+  std::string buf;
+  sma.EncodeTo(&buf);
+  StringSma restored;
+  Slice in(buf);
+  ASSERT_TRUE(restored.DecodeFrom(&in));
+  EXPECT_EQ(restored.min, "apple");
+  EXPECT_EQ(restored.max, "cherry");
+  EXPECT_EQ(restored.row_count, 3u);
+}
+
+TEST(StringSmaTest, MergeEmptySides) {
+  StringSma a, b;
+  b.Update("m");
+  a.Merge(b);  // empty.Merge(nonempty)
+  EXPECT_EQ(a.min, "m");
+  StringSma c;
+  a.Merge(c);  // nonempty.Merge(empty)
+  EXPECT_EQ(a.min, "m");
+  EXPECT_EQ(a.row_count, 1u);
+}
+
+TEST(TokenizeTest, SplitsOnNonAlnumAndLowercases) {
+  auto tokens = Tokenize("GET /Api/v1?id=42 HTTP");
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"get", "api", "v1", "id", "42", "http"}));
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("...!!!").empty());
+}
+
+TEST(InvertedIndexTest, ExactLookup) {
+  InvertedIndexWriter writer;
+  writer.Add(0, "192.168.0.1");
+  writer.Add(1, "192.168.0.2");
+  writer.Add(2, "192.168.0.1");
+  auto reader = InvertedIndexReader::Open(writer.Finish());
+  ASSERT_TRUE(reader.ok());
+
+  EXPECT_EQ(reader->LookupExact("192.168.0.1", 3).ToVector(),
+            (std::vector<uint32_t>{0, 2}));
+  EXPECT_EQ(reader->LookupExact("192.168.0.2", 3).ToVector(),
+            (std::vector<uint32_t>{1}));
+  EXPECT_TRUE(reader->LookupExact("10.0.0.1", 3).Empty());
+}
+
+TEST(InvertedIndexTest, TokenLookupIsCaseInsensitive) {
+  InvertedIndexWriter writer;
+  writer.Add(0, "Error: connection TIMEOUT");
+  writer.Add(1, "warning: slow query");
+  auto reader = InvertedIndexReader::Open(writer.Finish());
+  ASSERT_TRUE(reader.ok());
+
+  EXPECT_EQ(reader->LookupToken("error", 2).ToVector(),
+            (std::vector<uint32_t>{0}));
+  EXPECT_EQ(reader->LookupToken("TIMEOUT", 2).ToVector(),
+            (std::vector<uint32_t>{0}));
+  EXPECT_EQ(reader->LookupToken("slow", 2).ToVector(),
+            (std::vector<uint32_t>{1}));
+}
+
+TEST(InvertedIndexTest, MatchAllTokensIsConjunctive) {
+  InvertedIndexWriter writer;
+  writer.Add(0, "connection timeout on api gateway");
+  writer.Add(1, "connection refused");
+  writer.Add(2, "timeout waiting for lock");
+  auto reader = InvertedIndexReader::Open(writer.Finish());
+  ASSERT_TRUE(reader.ok());
+
+  EXPECT_EQ(reader->MatchAllTokens("connection timeout", 3).ToVector(),
+            (std::vector<uint32_t>{0}));
+  EXPECT_EQ(reader->MatchAllTokens("timeout", 3).ToVector(),
+            (std::vector<uint32_t>{0, 2}));
+  EXPECT_TRUE(reader->MatchAllTokens("nonexistent", 3).Empty());
+  // Empty match text matches everything.
+  EXPECT_EQ(reader->MatchAllTokens("", 3).Count(), 3u);
+}
+
+TEST(InvertedIndexTest, DuplicateRowsCollapsed) {
+  InvertedIndexWriter writer;
+  writer.Add(5, "abc abc abc");  // token appears 3 times in one row
+  auto reader = InvertedIndexReader::Open(writer.Finish());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->LookupToken("abc", 10).ToVector(),
+            (std::vector<uint32_t>{5}));
+}
+
+TEST(InvertedIndexTest, ExactOnlyAnalyzerSkipsTokens) {
+  InvertedIndexWriter writer(/*index_exact=*/true, /*index_tokens=*/false);
+  writer.Add(0, "192.168.0.1");
+  auto reader = InvertedIndexReader::Open(writer.Finish());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->LookupExact("192.168.0.1", 1).Count(), 1u);
+  EXPECT_TRUE(reader->LookupToken("192", 1).Empty());  // tokens not built
+  EXPECT_EQ(reader->term_count(), 1u);
+}
+
+TEST(InvertedIndexTest, TokensOnlyAnalyzerSkipsExact) {
+  InvertedIndexWriter writer(/*index_exact=*/false, /*index_tokens=*/true);
+  writer.Add(0, "connection timeout");
+  auto reader = InvertedIndexReader::Open(writer.Finish());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader->LookupExact("connection timeout", 1).Empty());
+  EXPECT_EQ(reader->LookupToken("timeout", 1).Count(), 1u);
+  EXPECT_EQ(reader->term_count(), 2u);
+}
+
+TEST(InvertedIndexTest, ExactOnlyIsSmaller) {
+  InvertedIndexWriter both(true, true);
+  InvertedIndexWriter exact_only(true, false);
+  for (uint32_t r = 0; r < 500; ++r) {
+    const std::string ip = "10.0." + std::to_string(r % 8) + ".1";
+    both.Add(r, ip);
+    exact_only.Add(r, ip);
+  }
+  const auto both_out = both.Finish();
+  const auto exact_out = exact_only.Finish();
+  EXPECT_LT(exact_out.dict.size() + exact_out.postings.size(),
+            both_out.dict.size() + both_out.postings.size());
+}
+
+TEST(InvertedIndexTest, EmptyIndex) {
+  InvertedIndexWriter writer;
+  auto reader = InvertedIndexReader::Open(writer.Finish());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->term_count(), 0u);
+  EXPECT_TRUE(reader->LookupToken("x", 5).Empty());
+}
+
+TEST(InvertedIndexTest, CorruptionRejected) {
+  EXPECT_FALSE(InvertedIndexDict::Open("").ok());
+  EXPECT_FALSE(InvertedIndexDict::Open("garbage-bytes-here").ok());
+  SerializedInvertedIndex bad;
+  bad.dict = "garbage";
+  EXPECT_FALSE(InvertedIndexReader::Open(std::move(bad)).ok());
+}
+
+TEST(InvertedIndexTest, DictExposesPostingsRanges) {
+  InvertedIndexWriter writer;
+  writer.Add(0, "alpha beta");
+  writer.Add(1, "beta");
+  auto serialized = writer.Finish();
+  auto dict = InvertedIndexDict::Open(serialized.dict);
+  ASSERT_TRUE(dict.ok());
+
+  const auto beta = dict->LookupToken("beta");
+  ASSERT_TRUE(beta.has_value());
+  EXPECT_EQ(beta->doc_count, 2u);
+  ASSERT_LE(beta->offset + beta->length, serialized.postings.size());
+  // Decoding just that byte range yields the postings.
+  auto rows = DecodePostings(
+      Slice(serialized.postings.data() + beta->offset, beta->length),
+      beta->doc_count, 2);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->ToVector(), (std::vector<uint32_t>{0, 1}));
+
+  EXPECT_FALSE(dict->Lookup("missing").has_value());
+}
+
+TEST(InvertedIndexTest, LargeTermSpace) {
+  InvertedIndexWriter writer;
+  Random rng(11);
+  std::vector<std::set<uint32_t>> expected(50);
+  for (uint32_t row = 0; row < 2000; ++row) {
+    const uint32_t word = static_cast<uint32_t>(rng.Uniform(50));
+    writer.Add(row, "w" + std::to_string(word));
+    expected[word].insert(row);
+  }
+  auto reader = InvertedIndexReader::Open(writer.Finish());
+  ASSERT_TRUE(reader.ok());
+  for (uint32_t word = 0; word < 50; ++word) {
+    const auto rows = reader->LookupToken("w" + std::to_string(word), 2000);
+    std::vector<uint32_t> want(expected[word].begin(), expected[word].end());
+    EXPECT_EQ(rows.ToVector(), want) << "word " << word;
+  }
+}
+
+TEST(BkdTreeTest, RangeQueryBasics) {
+  BkdTreeWriter writer(4);  // small leaves exercise the directory
+  // values: row i has value i*10
+  for (uint32_t i = 0; i < 50; ++i) writer.Add(static_cast<int64_t>(i) * 10, i);
+  auto reader = BkdTreeReader::Open(writer.Finish());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_GT(reader->leaf_count(), 5u);
+
+  EXPECT_EQ(reader->QueryRange(100, 130, 50).ToVector(),
+            (std::vector<uint32_t>{10, 11, 12, 13}));
+  EXPECT_EQ(reader->QueryEqual(250, 50).ToVector(),
+            (std::vector<uint32_t>{25}));
+  EXPECT_TRUE(reader->QueryRange(1000, 2000, 50).Empty());
+  EXPECT_TRUE(reader->QueryRange(5, 9, 50).Empty());
+  // Full range.
+  EXPECT_EQ(reader->QueryRange(INT64_MIN, INT64_MAX, 50).Count(), 50u);
+}
+
+TEST(BkdTreeTest, NegativeValuesAndDuplicates) {
+  BkdTreeWriter writer(8);
+  writer.Add(-5, 0);
+  writer.Add(-5, 1);
+  writer.Add(0, 2);
+  writer.Add(7, 3);
+  writer.Add(-100, 4);
+  auto reader = BkdTreeReader::Open(writer.Finish());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->QueryEqual(-5, 5).ToVector(),
+            (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(reader->QueryRange(-100, -5, 5).ToVector(),
+            (std::vector<uint32_t>{0, 1, 4}));
+}
+
+TEST(BkdTreeTest, EmptyTree) {
+  BkdTreeWriter writer;
+  auto reader = BkdTreeReader::Open(writer.Finish());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader->QueryRange(INT64_MIN, INT64_MAX, 10).Empty());
+}
+
+TEST(BkdTreeTest, InvertedRangeIsEmpty) {
+  BkdTreeWriter writer;
+  writer.Add(1, 0);
+  auto reader = BkdTreeReader::Open(writer.Finish());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader->QueryRange(10, 5, 1).Empty());
+}
+
+TEST(BkdTreeTest, CorruptionRejected) {
+  EXPECT_FALSE(BkdTreeReader::Open("").ok());
+}
+
+// Property sweep: random values, compare against brute force.
+class BkdPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BkdPropertyTest, MatchesBruteForce) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  Random rng(seed);
+  const uint32_t n = 500 + static_cast<uint32_t>(rng.Uniform(1500));
+  std::vector<int64_t> values(n);
+  BkdTreeWriter writer(64);
+  for (uint32_t i = 0; i < n; ++i) {
+    values[i] = rng.UniformRange(-1000, 1000);
+    writer.Add(values[i], i);
+  }
+  auto reader = BkdTreeReader::Open(writer.Finish());
+  ASSERT_TRUE(reader.ok());
+
+  for (int q = 0; q < 20; ++q) {
+    int64_t lo = rng.UniformRange(-1200, 1200);
+    int64_t hi = rng.UniformRange(-1200, 1200);
+    if (lo > hi) std::swap(lo, hi);
+    std::vector<uint32_t> expected;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (values[i] >= lo && values[i] <= hi) expected.push_back(i);
+    }
+    EXPECT_EQ(reader->QueryRange(lo, hi, n).ToVector(), expected)
+        << "seed=" << seed << " q=[" << lo << "," << hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BkdPropertyTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace logstore::index

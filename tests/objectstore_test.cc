@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <thread>
+
+#include "objectstore/file_object_store.h"
+#include "objectstore/memory_object_store.h"
+#include "objectstore/object_store.h"
+#include "objectstore/simulated_object_store.h"
+#include "objectstore/tar_file.h"
+
+namespace logstore::objectstore {
+namespace {
+
+enum class Backend { kMemory, kFile };
+
+class ObjectStoreTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == Backend::kMemory) {
+      store_ = std::make_unique<MemoryObjectStore>();
+    } else {
+      dir_ = std::filesystem::temp_directory_path() /
+             ("logstore_objtest_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name());
+      std::filesystem::remove_all(dir_);
+      auto opened = FileObjectStore::Open(dir_.string());
+      ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+      store_ = std::move(opened).value();
+    }
+  }
+
+  void TearDown() override {
+    store_.reset();
+    if (!dir_.empty()) std::filesystem::remove_all(dir_);
+  }
+
+  std::unique_ptr<ObjectStore> store_;
+  std::filesystem::path dir_;
+};
+
+TEST_P(ObjectStoreTest, PutGetRoundTrip) {
+  ASSERT_TRUE(store_->Put("tenant0/block1.tar", "hello-logstore").ok());
+  auto got = store_->Get("tenant0/block1.tar");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "hello-logstore");
+}
+
+TEST_P(ObjectStoreTest, GetMissingIsNotFound) {
+  auto got = store_->Get("nope");
+  EXPECT_TRUE(got.status().IsNotFound());
+}
+
+TEST_P(ObjectStoreTest, PutOverwrites) {
+  ASSERT_TRUE(store_->Put("k", "v1").ok());
+  ASSERT_TRUE(store_->Put("k", "v2-longer").ok());
+  EXPECT_EQ(*store_->Get("k"), "v2-longer");
+}
+
+TEST_P(ObjectStoreTest, RangeReads) {
+  ASSERT_TRUE(store_->Put("k", "0123456789").ok());
+  EXPECT_EQ(*store_->GetRange("k", 0, 4), "0123");
+  EXPECT_EQ(*store_->GetRange("k", 5, 3), "567");
+  // Short read at end of object.
+  EXPECT_EQ(*store_->GetRange("k", 8, 100), "89");
+  // Offset past end is an error.
+  EXPECT_FALSE(store_->GetRange("k", 11, 1).ok());
+}
+
+TEST_P(ObjectStoreTest, HeadReportsSize) {
+  ASSERT_TRUE(store_->Put("k", "12345").ok());
+  auto size = store_->Head("k");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 5u);
+  EXPECT_TRUE(store_->Head("missing").status().IsNotFound());
+}
+
+TEST_P(ObjectStoreTest, ListByPrefix) {
+  ASSERT_TRUE(store_->Put("tenants/1/a", "x").ok());
+  ASSERT_TRUE(store_->Put("tenants/1/b", "x").ok());
+  ASSERT_TRUE(store_->Put("tenants/2/a", "x").ok());
+  ASSERT_TRUE(store_->Put("other/z", "x").ok());
+
+  auto keys = store_->List("tenants/1/");
+  ASSERT_TRUE(keys.ok());
+  ASSERT_EQ(keys->size(), 2u);
+  EXPECT_EQ((*keys)[0], "tenants/1/a");
+  EXPECT_EQ((*keys)[1], "tenants/1/b");
+
+  auto all = store_->List("");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 4u);
+}
+
+TEST_P(ObjectStoreTest, DeleteRemovesObject) {
+  ASSERT_TRUE(store_->Put("k", "v").ok());
+  ASSERT_TRUE(store_->Delete("k").ok());
+  EXPECT_TRUE(store_->Get("k").status().IsNotFound());
+  // Deleting a missing key is idempotent.
+  EXPECT_TRUE(store_->Delete("k").ok());
+}
+
+TEST_P(ObjectStoreTest, StatsTrackTraffic) {
+  ASSERT_TRUE(store_->Put("k", "12345678").ok());
+  store_->Get("k");
+  store_->GetRange("k", 0, 4);
+  EXPECT_EQ(store_->stats().puts.load(), 1u);
+  EXPECT_EQ(store_->stats().gets.load(), 1u);
+  EXPECT_EQ(store_->stats().range_gets.load(), 1u);
+  EXPECT_EQ(store_->stats().bytes_written.load(), 8u);
+  EXPECT_EQ(store_->stats().bytes_read.load(), 12u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ObjectStoreTest,
+                         ::testing::Values(Backend::kMemory, Backend::kFile),
+                         [](const auto& info) {
+                           return info.param == Backend::kMemory ? "Memory"
+                                                                 : "File";
+                         });
+
+TEST(FileObjectStoreTest, RejectsPathEscape) {
+  auto dir = std::filesystem::temp_directory_path() / "logstore_escape_test";
+  std::filesystem::remove_all(dir);
+  auto store = FileObjectStore::Open(dir.string());
+  ASSERT_TRUE(store.ok());
+  EXPECT_FALSE((*store)->Put("../evil", "x").ok());
+  EXPECT_FALSE((*store)->Put("/abs", "x").ok());
+  EXPECT_FALSE((*store)->Get("a/../../b").ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FileObjectStoreTest, PersistsAcrossReopen) {
+  auto dir = std::filesystem::temp_directory_path() / "logstore_reopen_test";
+  std::filesystem::remove_all(dir);
+  {
+    auto store = FileObjectStore::Open(dir.string());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("t/block", "durable").ok());
+  }
+  {
+    auto store = FileObjectStore::Open(dir.string());
+    ASSERT_TRUE(store.ok());
+    EXPECT_EQ(*(*store)->Get("t/block"), "durable");
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TarFileTest, RoundTripMembers) {
+  TarWriter writer;
+  ASSERT_TRUE(writer.AddMember("meta", "metadata-bytes").ok());
+  ASSERT_TRUE(writer.AddMember("index/ip", "ip-index").ok());
+  ASSERT_TRUE(writer.AddMember("data/col0", std::string(1000, 'd')).ok());
+  EXPECT_EQ(writer.member_count(), 3u);
+  const std::string package = writer.Finish();
+
+  auto reader = TarReader::Parse(package);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_EQ(reader->members().size(), 3u);
+
+  for (const char* name : {"meta", "index/ip", "data/col0"}) {
+    auto member = reader->Find(name);
+    ASSERT_TRUE(member.ok()) << name;
+    EXPECT_LE(member->offset + member->size, package.size());
+  }
+  auto meta = reader->Find("meta");
+  EXPECT_EQ(package.substr(meta->offset, meta->size), "metadata-bytes");
+  auto data = reader->Find("data/col0");
+  EXPECT_EQ(package.substr(data->offset, data->size), std::string(1000, 'd'));
+}
+
+TEST(TarFileTest, RejectsDuplicateMember) {
+  TarWriter writer;
+  ASSERT_TRUE(writer.AddMember("a", "1").ok());
+  EXPECT_TRUE(writer.AddMember("a", "2").IsAlreadyExists());
+}
+
+TEST(TarFileTest, FindMissingMember) {
+  TarWriter writer;
+  writer.AddMember("a", "1");
+  auto reader = TarReader::Parse(writer.Finish());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader->Find("b").status().IsNotFound());
+  EXPECT_TRUE(reader->Contains("a"));
+  EXPECT_FALSE(reader->Contains("b"));
+}
+
+TEST(TarFileTest, TwoPhaseHeaderFetch) {
+  // Simulates the ranged-read protocol against an object store: fetch the
+  // fixed prologue, learn the header size, fetch the manifest exactly.
+  TarWriter writer;
+  writer.AddMember("x", std::string(500, 'x'));
+  writer.AddMember("y", std::string(300, 'y'));
+  const std::string package = writer.Finish();
+
+  MemoryObjectStore store;
+  ASSERT_TRUE(store.Put("block.tar", package).ok());
+
+  auto prologue = store.GetRange("block.tar", 0, TarReader::kPrologueSize);
+  ASSERT_TRUE(prologue.ok());
+  auto header_size = TarReader::HeaderSize(*prologue);
+  ASSERT_TRUE(header_size.ok());
+  ASSERT_LT(*header_size, package.size());
+
+  auto head = store.GetRange("block.tar", 0, *header_size);
+  ASSERT_TRUE(head.ok());
+  auto reader = TarReader::Parse(*head);
+  ASSERT_TRUE(reader.ok());
+
+  auto y = reader->Find("y");
+  ASSERT_TRUE(y.ok());
+  auto y_data = store.GetRange("block.tar", y->offset, y->size);
+  ASSERT_TRUE(y_data.ok());
+  EXPECT_EQ(*y_data, std::string(300, 'y'));
+}
+
+TEST(TarFileTest, CorruptionDetected) {
+  EXPECT_FALSE(TarReader::Parse(Slice("short")).ok());
+  std::string bad(64, 'Z');
+  EXPECT_FALSE(TarReader::Parse(bad).ok());
+  EXPECT_FALSE(TarReader::HeaderSize(Slice("tiny")).ok());
+}
+
+TEST(TarFileTest, EmptyPackage) {
+  TarWriter writer;
+  const std::string package = writer.Finish();
+  auto reader = TarReader::Parse(package);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader->members().empty());
+}
+
+TEST(SimulatedObjectStoreTest, ChargesLatencyModel) {
+  SimulatedStoreOptions options;
+  options.first_byte_latency_us = 1000;
+  options.bandwidth_bytes_per_us = 1.0;  // 1 byte per us
+  options.time_scale = 0.0;              // account, don't sleep
+  SimulatedObjectStore store(std::make_unique<MemoryObjectStore>(), options);
+
+  ASSERT_TRUE(store.Put("k", std::string(500, 'x')).ok());
+  EXPECT_EQ(store.charged_micros(), 1500u);  // 1000 + 500/1.0
+
+  auto got = store.Get("k");  // Head (0 bytes) folded into the get charge
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(store.charged_micros(), 1500u + 1000u + 500u);
+}
+
+TEST(SimulatedObjectStoreTest, SleepsWhenScaled) {
+  SimulatedStoreOptions options;
+  options.first_byte_latency_us = 2000;
+  options.bandwidth_bytes_per_us = 1000.0;
+  options.time_scale = 1.0;
+  ManualClock clock;
+  SimulatedObjectStore store(std::make_unique<MemoryObjectStore>(), options,
+                             &clock);
+  ASSERT_TRUE(store.Put("k", "v").ok());
+  EXPECT_EQ(clock.NowMicros(), 2000);
+}
+
+TEST(SimulatedObjectStoreTest, ConcurrencyLimitEnforced) {
+  SimulatedStoreOptions options;
+  options.first_byte_latency_us = 20000;  // 20ms per op
+  options.bandwidth_bytes_per_us = 1e9;
+  options.max_concurrent_requests = 2;
+  options.time_scale = 1.0;
+  SimulatedObjectStore store(std::make_unique<MemoryObjectStore>(), options);
+  ASSERT_TRUE(store.Put("k", "v").ok());
+
+  // 4 gets with 2 slots at 20ms each should take >= ~40ms wall time.
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] { store.Get("k"); });
+  }
+  for (auto& t : threads) t.join();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_GE(elapsed, 40);
+}
+
+}  // namespace
+}  // namespace logstore::objectstore

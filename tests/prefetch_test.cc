@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "cache/block_manager.h"
+#include "common/random.h"
+#include "logblock/logblock_reader.h"
+#include "logblock/logblock_writer.h"
+#include "objectstore/memory_object_store.h"
+#include "objectstore/simulated_object_store.h"
+#include "prefetch/cached_source.h"
+#include "prefetch/prefetch_service.h"
+
+namespace logstore::prefetch {
+namespace {
+
+std::string MakeObject(size_t n, uint64_t seed) {
+  Random rng(seed);
+  std::string data(n, '\0');
+  for (size_t i = 0; i < n; ++i) data[i] = static_cast<char>(rng.Uniform(256));
+  return data;
+}
+
+class PrefetchServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = std::make_unique<objectstore::MemoryObjectStore>();
+    auto cache = cache::BlockManager::Open({.memory_capacity_bytes = 8 << 20,
+                                            .memory_shards = 4,
+                                            .ssd_dir = ""});
+    ASSERT_TRUE(cache.ok());
+    cache_ = std::move(cache).value();
+  }
+
+  std::unique_ptr<objectstore::MemoryObjectStore> store_;
+  std::unique_ptr<cache::BlockManager> cache_;
+};
+
+TEST_F(PrefetchServiceTest, ReadAssemblesAcrossBlocks) {
+  const std::string data = MakeObject(10000, 1);
+  ASSERT_TRUE(store_->Put("obj", data).ok());
+  PrefetchService service(store_.get(), cache_.get(),
+                          {.threads = 4, .block_size = 1024});
+
+  // Spans multiple aligned blocks with odd offsets.
+  for (auto [offset, size] : std::vector<std::pair<uint64_t, uint64_t>>{
+           {0, 10}, {1000, 100}, {1023, 2}, {5000, 4000}, {9990, 10}}) {
+    auto got = service.Read("obj", offset, size);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(*got, data.substr(offset, size)) << offset << "+" << size;
+  }
+}
+
+TEST_F(PrefetchServiceTest, ReadBeyondObjectFails) {
+  ASSERT_TRUE(store_->Put("obj", "0123456789").ok());
+  PrefetchService service(store_.get(), cache_.get(),
+                          {.threads = 2, .block_size = 4});
+  EXPECT_FALSE(service.Read("obj", 5, 100).ok());
+  EXPECT_FALSE(service.Read("missing", 0, 1).ok());
+}
+
+TEST_F(PrefetchServiceTest, CacheAvoidsRefetch) {
+  const std::string data = MakeObject(4096, 2);
+  ASSERT_TRUE(store_->Put("obj", data).ok());
+  PrefetchService service(store_.get(), cache_.get(),
+                          {.threads = 2, .block_size = 1024});
+
+  ASSERT_TRUE(service.Read("obj", 0, 4096).ok());
+  const uint64_t first_pass = store_->stats().range_gets.load();
+  EXPECT_EQ(first_pass, 1u);  // 4 blocks coalesced into one ranged GET
+
+  ASSERT_TRUE(service.Read("obj", 0, 4096).ok());
+  EXPECT_EQ(store_->stats().range_gets.load(), first_pass);  // all cached
+}
+
+TEST_F(PrefetchServiceTest, PrefetchWarmsCache) {
+  const std::string data = MakeObject(8192, 3);
+  ASSERT_TRUE(store_->Put("obj", data).ok());
+  PrefetchService service(store_.get(), cache_.get(),
+                          {.threads = 8, .block_size = 1024});
+
+  service.Prefetch("obj", {{0, 4096}, {6000, 1000}});
+  service.WaitIdle();
+  const uint64_t prefetched = store_->stats().range_gets.load();
+  EXPECT_EQ(prefetched, 2u);  // two runs: blocks 0-3, blocks 5-6
+
+  auto got = service.Read("obj", 0, 4096);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, data.substr(0, 4096));
+  EXPECT_EQ(store_->stats().range_gets.load(), prefetched);  // no new IO
+}
+
+TEST_F(PrefetchServiceTest, OverlappingRangesDedup) {
+  const std::string data = MakeObject(4096, 4);
+  ASSERT_TRUE(store_->Put("obj", data).ok());
+  PrefetchService service(store_.get(), cache_.get(),
+                          {.threads = 8, .block_size = 1024});
+  // Three overlapping ranges all inside blocks 0..2: one coalesced GET.
+  service.Prefetch("obj", {{0, 2000}, {500, 1500}, {100, 2500}});
+  service.WaitIdle();
+  EXPECT_EQ(store_->stats().range_gets.load(), 1u);
+}
+
+TEST_F(PrefetchServiceTest, ParallelPrefetchOverlapsLatency) {
+  // With simulated per-request latency, prefetching N blocks on T threads
+  // should take ~N/T * latency, much less than serial N * latency.
+  objectstore::SimulatedStoreOptions sim;
+  sim.first_byte_latency_us = 10000;  // 10 ms
+  sim.bandwidth_bytes_per_us = 1e9;
+  sim.max_concurrent_requests = 64;
+  sim.time_scale = 1.0;
+  auto base = std::make_unique<objectstore::MemoryObjectStore>();
+  ASSERT_TRUE(base->Put("obj", MakeObject(16 * 1024, 5)).ok());
+  objectstore::SimulatedObjectStore slow(std::move(base), sim);
+
+  PrefetchService service(&slow, cache_.get(),
+                          {.threads = 16, .block_size = 1024});
+  const auto start = std::chrono::steady_clock::now();
+  // Strided single-block ranges cannot coalesce: 8 distinct requests,
+  // which must overlap on the thread pool rather than run serially.
+  std::vector<ByteRange> ranges;
+  for (uint64_t b = 0; b < 16; b += 2) ranges.push_back({b * 1024, 1});
+  service.Prefetch("obj", ranges);
+  service.WaitIdle();
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  // Serial would be >= 160 ms; parallel on 16 threads should be well under.
+  EXPECT_LT(elapsed_ms, 100);
+  // And the data must be readable without further IO cost.
+  auto got = service.Read("obj", 1000, 2000);
+  ASSERT_TRUE(got.ok());
+}
+
+TEST_F(PrefetchServiceTest, WorksWithoutCache) {
+  ASSERT_TRUE(store_->Put("obj", "abcdefgh").ok());
+  PrefetchService service(store_.get(), nullptr,
+                          {.threads = 2, .block_size = 4});
+  auto got = service.Read("obj", 2, 4);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "cdef");
+  service.Prefetch("obj", {{0, 8}});  // no-op, must not crash
+  service.WaitIdle();
+}
+
+TEST_F(PrefetchServiceTest, CachedSourceServesLogBlocks) {
+  // End-to-end: build a LogBlock, upload, read through the cached source.
+  logblock::RowBatch batch(logblock::RequestLogSchema());
+  for (uint32_t i = 0; i < 300; ++i) {
+    batch.AddRow({logblock::Value::Int64(1), logblock::Value::Int64(i),
+                  logblock::Value::String("10.0.0." + std::to_string(i % 5)),
+                  logblock::Value::Int64(i % 100),
+                  logblock::Value::String("false"),
+                  logblock::Value::String("request completed ok")});
+  }
+  auto built = logblock::BuildLogBlock(batch, 1, {.rows_per_block = 64});
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(store_->Put("tenant1/block0.tar", built->data).ok());
+
+  PrefetchService service(store_.get(), cache_.get(),
+                          {.threads = 4, .block_size = 4096});
+  auto source =
+      std::make_shared<CachedObjectSource>(&service, "tenant1/block0.tar");
+  auto reader = logblock::LogBlockReader::Open(source);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ((*reader)->num_rows(), 300u);
+
+  // Prefetch the ip column's blocks, then read them.
+  std::vector<ByteRange> ranges;
+  for (size_t b = 0; b < (*reader)->meta().columns[2].blocks.size(); ++b) {
+    auto range = (*reader)->ColumnBlockRange(2, b);
+    ASSERT_TRUE(range.ok());
+    ranges.push_back(*range);
+  }
+  ASSERT_TRUE(source->Prefetch(ranges).ok());
+  service.WaitIdle();
+  auto decoded = (*reader)->ReadColumnBlock(2, 0);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->strs[0], "10.0.0.0");
+}
+
+TEST_F(PrefetchServiceTest, DirectSourceBypassesCache) {
+  ASSERT_TRUE(store_->Put("obj", "0123456789").ok());
+  DirectObjectSource source(store_.get(), "obj");
+  auto got = source.ReadRange(2, 5);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "23456");
+  EXPECT_TRUE(source.Prefetch({{0, 10}}).ok());  // default no-op
+}
+
+}  // namespace
+}  // namespace logstore::prefetch

@@ -1,0 +1,435 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "logblock/logblock_map.h"
+#include "logblock/logblock_reader.h"
+#include "logblock/logblock_writer.h"
+#include "objectstore/memory_object_store.h"
+#include "query/aggregation.h"
+#include "query/block_executor.h"
+#include "query/engine.h"
+#include "query/predicate.h"
+
+namespace logstore::query {
+namespace {
+
+using logblock::RowBatch;
+using logblock::Value;
+
+// Deterministic batch covering the paper's query template:
+// row i: ts = i*1000, ip cycles over 8 addresses, latency = i % 500,
+// fail = (i % 10 == 0), log mentions "timeout" when i % 50 == 0.
+RowBatch MakeBatch(uint32_t rows, uint64_t tenant = 7) {
+  RowBatch batch(logblock::RequestLogSchema());
+  for (uint32_t i = 0; i < rows; ++i) {
+    batch.AddRow({
+        Value::Int64(static_cast<int64_t>(tenant)),
+        Value::Int64(static_cast<int64_t>(i) * 1000),
+        Value::String("192.168.0." + std::to_string(i % 8)),
+        Value::Int64(i % 500),
+        Value::String(i % 10 == 0 ? "true" : "false"),
+        Value::String(i % 50 == 0 ? "request failed with timeout"
+                                  : "request served ok"),
+    });
+  }
+  return batch;
+}
+
+std::unique_ptr<logblock::LogBlockReader> OpenBlock(const RowBatch& batch,
+                                                    uint32_t rows_per_block) {
+  auto built =
+      logblock::BuildLogBlock(batch, 7, {.rows_per_block = rows_per_block});
+  EXPECT_TRUE(built.ok());
+  auto reader = logblock::LogBlockReader::Open(
+      std::make_shared<logblock::StringSource>(std::move(built->data)));
+  EXPECT_TRUE(reader.ok());
+  return std::move(reader).value();
+}
+
+TEST(PredicateTest, Int64Intervals) {
+  EXPECT_EQ(Predicate::Int64Compare("x", CompareOp::kEq, 5).Int64Interval(),
+            std::make_pair(int64_t{5}, int64_t{5}));
+  EXPECT_EQ(Predicate::Int64Compare("x", CompareOp::kGe, 5).Int64Interval(),
+            std::make_pair(int64_t{5}, INT64_MAX));
+  EXPECT_EQ(Predicate::Int64Compare("x", CompareOp::kLt, 5).Int64Interval(),
+            std::make_pair(INT64_MIN, int64_t{4}));
+}
+
+TEST(PredicateTest, EvalInt64) {
+  const auto ge = Predicate::Int64Compare("x", CompareOp::kGe, 10);
+  EXPECT_TRUE(ge.EvalInt64(10));
+  EXPECT_FALSE(ge.EvalInt64(9));
+  const auto ne = Predicate::Int64Compare("x", CompareOp::kNe, 0);
+  EXPECT_TRUE(ne.EvalInt64(1));
+  EXPECT_FALSE(ne.EvalInt64(0));
+}
+
+TEST(BlockExecutorTest, PaperTemplateQuery) {
+  const RowBatch batch = MakeBatch(1000);
+  auto reader = OpenBlock(batch, 128);
+
+  // The §5.1 sample: ts range + ip + latency >= X + fail = 'false'.
+  LogQuery query;
+  query.ts_min = 100'000;
+  query.ts_max = 600'000;
+  query.predicates = {
+      Predicate::StringEq("ip", "192.168.0.1"),
+      Predicate::Int64Compare("latency", CompareOp::kGe, 100),
+      Predicate::StringEq("fail", "false"),
+  };
+  query.select_columns = {"log", "ts"};
+
+  auto result = ExecuteOnLogBlock(reader.get(), query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Brute-force expected rows.
+  uint32_t expected = 0;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    const int64_t ts = static_cast<int64_t>(i) * 1000;
+    if (ts >= query.ts_min && ts <= query.ts_max && i % 8 == 1 &&
+        (i % 500) >= 100 && i % 10 != 0) {
+      ++expected;
+    }
+  }
+  EXPECT_EQ(result->rows.size(), expected);
+  EXPECT_GT(expected, 0u);
+  for (const auto& row : result->rows) {
+    ASSERT_EQ(row.size(), 2u);
+    EXPECT_EQ(row[0].type, logblock::ColumnType::kString);
+    EXPECT_GE(row[1].i, query.ts_min);
+    EXPECT_LE(row[1].i, query.ts_max);
+  }
+  EXPECT_GT(result->stats.index_probes, 0u);
+}
+
+TEST(BlockExecutorTest, SkippingAndScanAgree) {
+  const RowBatch batch = MakeBatch(2000);
+  auto reader = OpenBlock(batch, 100);
+
+  const std::vector<LogQuery> queries = [] {
+    std::vector<LogQuery> qs;
+    LogQuery q1;
+    q1.predicates = {Predicate::Match("log", "timeout")};
+    qs.push_back(q1);
+    LogQuery q2;
+    q2.ts_min = 500'000;
+    q2.predicates = {Predicate::Int64Compare("latency", CompareOp::kLt, 50)};
+    qs.push_back(q2);
+    LogQuery q3;
+    q3.predicates = {Predicate::StringEq("fail", "true"),
+                     Predicate::StringEq("ip", "192.168.0.0")};
+    qs.push_back(q3);
+    LogQuery q4;  // kNe forces residual scan even on indexed column
+    q4.predicates = {Predicate::Int64Compare("latency", CompareOp::kNe, 0),
+                     Predicate::Int64Compare("tenant_id", CompareOp::kEq, 7)};
+    qs.push_back(q4);
+    return qs;
+  }();
+
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    auto with = ExecuteOnLogBlock(reader.get(), queries[qi],
+                                  {.use_data_skipping = true});
+    auto without = ExecuteOnLogBlock(reader.get(), queries[qi],
+                                     {.use_data_skipping = false});
+    ASSERT_TRUE(with.ok()) << with.status().ToString();
+    ASSERT_TRUE(without.ok()) << without.status().ToString();
+    EXPECT_EQ(with->rows.size(), without->rows.size()) << "query " << qi;
+    for (size_t r = 0; r < with->rows.size(); ++r) {
+      for (size_t c = 0; c < with->rows[r].size(); ++c) {
+        EXPECT_TRUE(with->rows[r][c] == without->rows[r][c])
+            << "query " << qi << " row " << r;
+      }
+    }
+    // Skipping must not scan more blocks than the full scan.
+    EXPECT_LE(with->stats.column_blocks_scanned,
+              without->stats.column_blocks_scanned);
+  }
+}
+
+TEST(BlockExecutorTest, ColumnSmaSkipsWholeBlock) {
+  const RowBatch batch = MakeBatch(500);
+  auto reader = OpenBlock(batch, 100);
+
+  LogQuery query;
+  query.predicates = {
+      Predicate::Int64Compare("tenant_id", CompareOp::kEq, 999)};  // never
+  auto result = ExecuteOnLogBlock(reader.get(), query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->stats.skipped_by_column_sma);
+  EXPECT_TRUE(result->rows.empty());
+  EXPECT_EQ(result->stats.column_blocks_scanned, 0u);
+  EXPECT_EQ(result->stats.index_probes, 0u);
+}
+
+TEST(BlockExecutorTest, BlockSmaSkipsUnindexedColumn) {
+  // latency is unindexed; blocks are aligned so that most can be skipped
+  // by block SMA for a tight latency range.
+  RowBatch batch(logblock::RequestLogSchema());
+  for (uint32_t i = 0; i < 1000; ++i) {
+    batch.AddRow({Value::Int64(7), Value::Int64(i),
+                  Value::String("10.0.0.1"),
+                  Value::Int64(i / 100),  // latency: 0,0,..,1,1,..,9
+                  Value::String("false"), Value::String("msg")});
+  }
+  auto reader = OpenBlock(batch, 100);
+
+  LogQuery query;
+  query.predicates = {Predicate::Int64Compare("latency", CompareOp::kEq, 5)};
+  query.select_columns = {"latency"};
+  auto result = ExecuteOnLogBlock(reader.get(), query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 100u);
+  // Only 1 of 10 latency blocks matches the SMA range.
+  EXPECT_EQ(result->stats.column_blocks_scanned, 1u);
+  EXPECT_EQ(result->stats.column_blocks_skipped, 9u);
+}
+
+TEST(BlockExecutorTest, LimitTruncatesRows) {
+  const RowBatch batch = MakeBatch(500);
+  auto reader = OpenBlock(batch, 100);
+  LogQuery query;
+  query.limit = 7;
+  auto result = ExecuteOnLogBlock(reader.get(), query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 7u);
+}
+
+TEST(BlockExecutorTest, EmptySelectReturnsAllColumns) {
+  const RowBatch batch = MakeBatch(10);
+  auto reader = OpenBlock(batch, 10);
+  LogQuery query;
+  auto result = ExecuteOnLogBlock(reader.get(), query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 10u);
+  EXPECT_EQ(result->rows[0].size(), 6u);
+}
+
+TEST(BlockExecutorTest, UnknownColumnRejected) {
+  const RowBatch batch = MakeBatch(10);
+  auto reader = OpenBlock(batch, 10);
+  LogQuery query;
+  query.predicates = {Predicate::StringEq("nope", "x")};
+  EXPECT_TRUE(ExecuteOnLogBlock(reader.get(), query)
+                  .status()
+                  .IsInvalidArgument());
+  LogQuery query2;
+  query2.select_columns = {"nope"};
+  EXPECT_TRUE(ExecuteOnLogBlock(reader.get(), query2)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(BlockExecutorTest, TypeMismatchRejected) {
+  const RowBatch batch = MakeBatch(10);
+  auto reader = OpenBlock(batch, 10);
+  LogQuery query;
+  query.predicates = {Predicate::StringEq("latency", "5")};  // int column
+  EXPECT_TRUE(ExecuteOnLogBlock(reader.get(), query)
+                  .status()
+                  .IsInvalidArgument());
+  LogQuery query2;
+  query2.predicates = {Predicate::Int64Compare("ip", CompareOp::kEq, 1)};
+  EXPECT_TRUE(ExecuteOnLogBlock(reader.get(), query2)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(AggregationTest, GroupCountTopK) {
+  std::vector<Value> values = {
+      Value::String("a"), Value::String("b"), Value::String("a"),
+      Value::String("c"), Value::String("a"), Value::String("b")};
+  auto top = GroupCountTopK(values, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, "a");
+  EXPECT_EQ(top[0].count, 3u);
+  EXPECT_EQ(top[1].key, "b");
+  EXPECT_EQ(top[1].count, 2u);
+}
+
+TEST(AggregationTest, GroupCountFormatsInts) {
+  std::vector<Value> values = {Value::Int64(5), Value::Int64(5),
+                               Value::Int64(9)};
+  auto top = GroupCountTopK(values, 10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, "5");
+}
+
+TEST(AggregationTest, RollupInt64) {
+  std::vector<Value> values = {Value::Int64(10), Value::Int64(-5),
+                               Value::Int64(25)};
+  auto rollup = RollupInt64(values);
+  EXPECT_EQ(rollup.count, 3u);
+  EXPECT_EQ(rollup.min, -5);
+  EXPECT_EQ(rollup.max, 25);
+  EXPECT_EQ(rollup.sum, 30);
+  EXPECT_DOUBLE_EQ(rollup.mean(), 10.0);
+}
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = std::make_unique<objectstore::MemoryObjectStore>();
+    // Three LogBlocks for tenant 7 covering consecutive hours, plus one
+    // block for tenant 8.
+    for (int blk = 0; blk < 3; ++blk) {
+      RowBatch batch(logblock::RequestLogSchema());
+      for (uint32_t i = 0; i < 600; ++i) {
+        const int64_t ts = blk * 1'000'000 + i * 1000;
+        batch.AddRow({Value::Int64(7), Value::Int64(ts),
+                      Value::String("10.0.0." + std::to_string(i % 4)),
+                      Value::Int64(i % 300),
+                      Value::String(i % 2 == 0 ? "false" : "true"),
+                      Value::String("block " + std::to_string(blk))});
+      }
+      auto built = logblock::BuildLogBlock(batch, 7, {.rows_per_block = 128});
+      ASSERT_TRUE(built.ok());
+      const std::string key = "tenant7/" + std::to_string(blk) + ".tar";
+      ASSERT_TRUE(store_->Put(key, built->data).ok());
+      map_.Add({.tenant_id = 7,
+                .min_ts = built->meta.min_ts,
+                .max_ts = built->meta.max_ts,
+                .object_key = key,
+                .size_bytes = built->data.size(),
+                .row_count = built->meta.row_count});
+    }
+    RowBatch other(logblock::RequestLogSchema());
+    other.AddRow({Value::Int64(8), Value::Int64(0), Value::String("1.1.1.1"),
+                  Value::Int64(1), Value::String("false"),
+                  Value::String("other tenant")});
+    auto built = logblock::BuildLogBlock(other, 8);
+    ASSERT_TRUE(built.ok());
+    ASSERT_TRUE(store_->Put("tenant8/0.tar", built->data).ok());
+    map_.Add({.tenant_id = 8,
+              .min_ts = built->meta.min_ts,
+              .max_ts = built->meta.max_ts,
+              .object_key = "tenant8/0.tar",
+              .size_bytes = built->data.size(),
+              .row_count = 1});
+  }
+
+  EngineOptions SmallCacheOptions() {
+    EngineOptions options;
+    options.prefetch_threads = 4;
+    options.io_block_size = 4096;
+    options.cache_options.memory_capacity_bytes = 16 << 20;
+    options.cache_options.memory_shards = 4;
+    options.cache_options.ssd_dir.clear();
+    return options;
+  }
+
+  std::unique_ptr<objectstore::MemoryObjectStore> store_;
+  logblock::LogBlockMap map_;
+};
+
+TEST_F(QueryEngineTest, PrunesByTimeRange) {
+  auto engine = QueryEngine::Open(store_.get(), SmallCacheOptions());
+  ASSERT_TRUE(engine.ok());
+
+  LogQuery query;
+  query.tenant_id = 7;
+  query.ts_min = 1'000'000;          // second block only
+  query.ts_max = 1'000'000 + 599'000;
+  query.select_columns = {"log"};
+  auto result = (*engine)->Execute(query, map_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->stats.logblocks_total, 3u);
+  EXPECT_EQ(result->stats.logblocks_pruned, 2u);
+  EXPECT_EQ(result->rows.size(), 600u);
+  for (const auto& row : result->rows) EXPECT_EQ(row[0].s, "block 1");
+}
+
+TEST_F(QueryEngineTest, TenantIsolation) {
+  auto engine = QueryEngine::Open(store_.get(), SmallCacheOptions());
+  ASSERT_TRUE(engine.ok());
+  LogQuery query;
+  query.tenant_id = 8;
+  auto result = (*engine)->Execute(query, map_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 1u);
+
+  query.tenant_id = 12345;  // unknown tenant: no blocks, no error
+  result = (*engine)->Execute(query, map_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->rows.empty());
+}
+
+TEST_F(QueryEngineTest, CrossBlockQueryMergesResults) {
+  auto engine = QueryEngine::Open(store_.get(), SmallCacheOptions());
+  ASSERT_TRUE(engine.ok());
+  LogQuery query;
+  query.tenant_id = 7;
+  query.predicates = {Predicate::StringEq("ip", "10.0.0.2")};
+  auto result = (*engine)->Execute(query, map_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 3u * 150u);  // 150 matches per block
+}
+
+TEST_F(QueryEngineTest, LimitStopsEarly) {
+  auto engine = QueryEngine::Open(store_.get(), SmallCacheOptions());
+  ASSERT_TRUE(engine.ok());
+  LogQuery query;
+  query.tenant_id = 7;
+  query.limit = 10;
+  auto result = (*engine)->Execute(query, map_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 10u);
+}
+
+TEST_F(QueryEngineTest, CacheReducesRepeatIo) {
+  auto engine = QueryEngine::Open(store_.get(), SmallCacheOptions());
+  ASSERT_TRUE(engine.ok());
+  LogQuery query;
+  query.tenant_id = 7;
+  query.predicates = {Predicate::Match("log", "block")};
+  query.select_columns = {"ts"};
+
+  ASSERT_TRUE((*engine)->Execute(query, map_).ok());
+  const uint64_t cold_io = store_->stats().range_gets.load();
+  ASSERT_TRUE((*engine)->Execute(query, map_).ok());
+  const uint64_t warm_io = store_->stats().range_gets.load() - cold_io;
+  EXPECT_LT(warm_io, cold_io / 4) << "cold=" << cold_io << " warm=" << warm_io;
+}
+
+TEST_F(QueryEngineTest, DisabledOptimizationsStillCorrect) {
+  EngineOptions options = SmallCacheOptions();
+  options.use_data_skipping = false;
+  options.use_cache = false;
+  options.use_prefetch = false;
+  auto engine = QueryEngine::Open(store_.get(), options);
+  ASSERT_TRUE(engine.ok());
+
+  LogQuery query;
+  query.tenant_id = 7;
+  query.ts_min = 0;
+  query.ts_max = 599'000;
+  query.predicates = {Predicate::StringEq("fail", "true")};
+  auto result = (*engine)->Execute(query, map_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows.size(), 300u);
+}
+
+TEST_F(QueryEngineTest, ColumnExtractionAndAggregation) {
+  auto engine = QueryEngine::Open(store_.get(), SmallCacheOptions());
+  ASSERT_TRUE(engine.ok());
+  LogQuery query;
+  query.tenant_id = 7;
+  query.select_columns = {"ip", "latency"};
+  auto result = (*engine)->Execute(query, map_);
+  ASSERT_TRUE(result.ok());
+
+  const auto ips = QueryEngine::Column(*result, "ip");
+  ASSERT_EQ(ips.size(), result->rows.size());
+  auto top = GroupCountTopK(ips, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].count, 450u);  // 600*3/4 per ip
+
+  const auto latency = QueryEngine::Column(*result, "latency");
+  EXPECT_EQ(RollupInt64(latency).max, 299);
+}
+
+}  // namespace
+}  // namespace logstore::query

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "core/logstore.h"
+#include "query/sql_parser.h"
+
+namespace logstore::query {
+namespace {
+
+const logblock::Schema kSchema = logblock::RequestLogSchema();
+
+TEST(DateTimeTest, ParsesPaperLiterals) {
+  // 2020-11-11 00:00:00 UTC = 1605052800 seconds since the epoch.
+  auto micros = ParseDateTimeMicros("2020-11-11 00:00:00");
+  ASSERT_TRUE(micros.ok());
+  EXPECT_EQ(*micros, 1605052800ll * 1'000'000);
+
+  auto plus_hour = ParseDateTimeMicros("2020-11-11 01:00:00");
+  ASSERT_TRUE(plus_hour.ok());
+  EXPECT_EQ(*plus_hour - *micros, 3600ll * 1'000'000);
+
+  auto date_only = ParseDateTimeMicros("1970-01-01");
+  ASSERT_TRUE(date_only.ok());
+  EXPECT_EQ(*date_only, 0);
+
+  EXPECT_FALSE(ParseDateTimeMicros("not a date").ok());
+  EXPECT_FALSE(ParseDateTimeMicros("2020-13-01 00:00:00").ok());
+}
+
+TEST(SqlParserTest, ParsesThePaperSampleQuery) {
+  auto query = ParseSql(
+      "SELECT log FROM request_log WHERE tenant_id = 12276 "
+      "AND ts >= '2020-11-11 00:00:00' AND ts <= '2020-11-11 01:00:00' "
+      "AND ip = '192.168.0.1' AND latency >= 100 AND fail = 'false'",
+      kSchema);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->tenant_id, 12276u);
+  EXPECT_EQ(query->ts_min, 1605052800ll * 1'000'000);
+  EXPECT_EQ(query->ts_max, 1605056400ll * 1'000'000);
+  EXPECT_EQ(query->select_columns, std::vector<std::string>{"log"});
+  ASSERT_EQ(query->predicates.size(), 3u);
+  EXPECT_EQ(query->predicates[0].column, "ip");
+  EXPECT_EQ(query->predicates[0].kind, Predicate::Kind::kStringEq);
+  EXPECT_EQ(query->predicates[1].column, "latency");
+  EXPECT_EQ(query->predicates[1].op, CompareOp::kGe);
+  EXPECT_EQ(query->predicates[1].int_value, 100);
+  EXPECT_EQ(query->predicates[2].str_value, "false");
+}
+
+TEST(SqlParserTest, MatchAndLimitAndStar) {
+  auto query = ParseSql(
+      "select * from request_log where tenant_id = 7 and "
+      "log match 'connection timeout' limit 50",
+      kSchema);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_TRUE(query->select_columns.empty());  // * = all columns
+  EXPECT_EQ(query->limit, 50u);
+  ASSERT_EQ(query->predicates.size(), 1u);
+  EXPECT_EQ(query->predicates[0].kind, Predicate::Kind::kMatch);
+  EXPECT_EQ(query->predicates[0].str_value, "connection timeout");
+}
+
+TEST(SqlParserTest, MultiColumnSelectAndIntTs) {
+  auto query = ParseSql(
+      "SELECT ts, ip, latency FROM request_log "
+      "WHERE tenant_id = 1 AND ts > 1000 AND ts < 2000 AND latency != 0",
+      kSchema);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->select_columns.size(), 3u);
+  EXPECT_EQ(query->ts_min, 1001);  // strict bound folded
+  EXPECT_EQ(query->ts_max, 1999);
+  ASSERT_EQ(query->predicates.size(), 1u);
+  EXPECT_EQ(query->predicates[0].op, CompareOp::kNe);
+}
+
+TEST(SqlParserTest, RejectsMalformedQueries) {
+  const char* bad[] = {
+      "",
+      "SELECT",
+      "SELECT log",
+      "SELECT log FROM",
+      "SELECT log FROM t WHERE",
+      "SELECT log FROM t WHERE nope = 1 AND tenant_id = 1",
+      "SELECT log FROM t WHERE tenant_id = 1 AND ip = 5",       // type err
+      "SELECT log FROM t WHERE tenant_id = 1 AND latency = 'x'",  // type err
+      "SELECT log FROM t WHERE tenant_id = 1 AND ip < 'a'",     // str ineq
+      "SELECT log FROM t WHERE tenant_id = 1 AND log MATCH 5",
+      "SELECT log FROM t WHERE tenant_id = 1 LIMIT 0",
+      "SELECT log FROM t WHERE tenant_id = 1 LIMIT -5",
+      "SELECT log FROM t WHERE tenant_id = 1 garbage",
+      "SELECT log FROM t WHERE ip = '1.2.3.4'",  // tenant not bound
+      "SELECT log FROM t WHERE tenant_id = 1 AND ip = 'unterminated",
+  };
+  for (const char* sql : bad) {
+    EXPECT_FALSE(ParseSql(sql, kSchema).ok()) << sql;
+  }
+}
+
+TEST(SqlParserTest, CaseInsensitiveKeywords) {
+  auto query = ParseSql(
+      "sElEcT log FrOm request_log wHeRe tenant_id = 2 AnD fail = 'true'",
+      kSchema);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->tenant_id, 2u);
+}
+
+TEST(SqlParserTest, EndToEndThroughLogStore) {
+  LogStoreOptions options;
+  options.engine.cache_options.ssd_dir.clear();
+  auto db = LogStore::Open(options);
+  ASSERT_TRUE(db.ok());
+
+  logblock::RowBatch batch((*db)->schema());
+  batch.AddRow({logblock::Value::Int64(9), logblock::Value::Int64(1500),
+                logblock::Value::String("10.1.1.1"),
+                logblock::Value::Int64(450), logblock::Value::String("true"),
+                logblock::Value::String("POST /api failed: timeout")});
+  batch.AddRow({logblock::Value::Int64(9), logblock::Value::Int64(1600),
+                logblock::Value::String("10.1.1.2"),
+                logblock::Value::Int64(20), logblock::Value::String("false"),
+                logblock::Value::String("GET /api ok")});
+  ASSERT_TRUE((*db)->Append(9, batch).ok());
+  ASSERT_TRUE((*db)->Flush().ok());
+
+  auto query = ParseSql(
+      "SELECT ip FROM request_log WHERE tenant_id = 9 AND latency >= 100 "
+      "AND log MATCH 'timeout'",
+      (*db)->schema());
+  ASSERT_TRUE(query.ok());
+  auto result = (*db)->Query(*query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0].s, "10.1.1.1");
+}
+
+}  // namespace
+}  // namespace logstore::query

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "workload/loggen.h"
+#include "workload/querygen.h"
+#include "workload/zipfian.h"
+
+namespace logstore::workload {
+namespace {
+
+TEST(ZipfianSharesTest, SumToOneAndDecrease) {
+  for (double theta : {0.0, 0.5, 0.99}) {
+    const auto shares = ZipfianShares(1000, theta);
+    double total = 0;
+    for (size_t k = 0; k < shares.size(); ++k) {
+      total += shares[k];
+      if (k > 0) {
+        EXPECT_LE(shares[k], shares[k - 1]) << "theta " << theta;
+      }
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(ZipfianSharesTest, ThetaZeroIsUniform) {
+  const auto shares = ZipfianShares(100, 0.0);
+  for (double share : shares) EXPECT_NEAR(share, 0.01, 1e-12);
+}
+
+TEST(ZipfianSharesTest, HigherThetaIsMoreSkewed) {
+  const auto mild = ZipfianShares(1000, 0.4);
+  const auto heavy = ZipfianShares(1000, 0.99);
+  EXPECT_GT(heavy[0], mild[0]);
+  EXPECT_LT(heavy[999], mild[999]);
+}
+
+TEST(ZipfianGeneratorTest, SamplesMatchAnalyticWeights) {
+  const uint64_t n = 100;
+  ZipfianGenerator gen(n, 0.99, 7);
+  std::vector<uint64_t> counts(n, 0);
+  const int kSamples = 200'000;
+  for (int i = 0; i < kSamples; ++i) {
+    const uint64_t v = gen.Next();
+    ASSERT_LT(v, n);
+    counts[v]++;
+  }
+  // Head ranks within 15% relative error of the analytic mass.
+  for (uint64_t k : {0ull, 1ull, 4ull}) {
+    const double expected = gen.Weight(k) * kSamples;
+    EXPECT_NEAR(counts[k], expected, expected * 0.15) << "rank " << k;
+  }
+  // Rank order roughly preserved at the head.
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[4]);
+}
+
+TEST(ZipfianGeneratorTest, ThetaZeroCoversUniformly) {
+  ZipfianGenerator gen(10, 0.0, 3);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10'000; ++i) counts[gen.Next()]++;
+  for (int count : counts) {
+    EXPECT_GT(count, 700);
+    EXPECT_LT(count, 1300);
+  }
+}
+
+TEST(LogGeneratorTest, SchemaAndOrdering) {
+  LogGenerator gen(1);
+  const auto batch = gen.Generate(5, 1000, 0, 1'000'000);
+  EXPECT_TRUE(batch.schema() == logblock::RequestLogSchema());
+  ASSERT_EQ(batch.num_rows(), 1000u);
+  int64_t prev_ts = INT64_MIN;
+  for (uint32_t r = 0; r < batch.num_rows(); ++r) {
+    EXPECT_EQ(batch.Int64At(0, r), 5);  // tenant_id column
+    const int64_t ts = batch.Int64At(1, r);
+    EXPECT_GE(ts, prev_ts);  // timestamps non-decreasing
+    EXPECT_GE(ts, 0);
+    EXPECT_LT(ts, 1'000'000);
+    prev_ts = ts;
+  }
+}
+
+TEST(LogGeneratorTest, FailuresClusterInIncidentWindows) {
+  LogGenerator gen(2);
+  // Span 48 windows (6 days at 3h/window) so each window id repeats.
+  const int64_t span = 48 * LogGenerator::kWindowMicros;
+  const auto batch = gen.Generate(3, 50'000, 0, span);
+  std::map<uint64_t, int> failures_per_window;
+  std::map<uint64_t, int> rows_per_window;
+  for (uint32_t r = 0; r < batch.num_rows(); ++r) {
+    const uint64_t window = static_cast<uint64_t>(
+        batch.Int64At(1, r) / LogGenerator::kWindowMicros) %
+        LogGenerator::kWindows;
+    rows_per_window[window]++;
+    if (batch.StringAt(4, r) == "true") failures_per_window[window]++;
+  }
+  // Two incident windows exist and hold the bulk of failures.
+  int windows_with_many_failures = 0;
+  int total_failures = 0;
+  for (auto& [w, f] : failures_per_window) total_failures += f;
+  ASSERT_GT(total_failures, 0);
+  for (auto& [w, f] : failures_per_window) {
+    if (f > total_failures / 10) ++windows_with_many_failures;
+  }
+  EXPECT_LE(windows_with_many_failures, 4);
+
+  // Incident failures have spike latencies.
+  for (uint32_t r = 0; r < batch.num_rows(); ++r) {
+    if (batch.StringAt(4, r) == "false") {
+      EXPECT_LT(batch.Int64At(3, r), 250);
+    }
+  }
+}
+
+TEST(LogGeneratorTest, DeterministicForSeed) {
+  LogGenerator a(9), b(9);
+  const auto batch_a = a.Generate(1, 100, 0, 1000);
+  const auto batch_b = b.Generate(1, 100, 0, 1000);
+  for (uint32_t r = 0; r < 100; ++r) {
+    EXPECT_EQ(batch_a.StringAt(5, r), batch_b.StringAt(5, r));
+  }
+}
+
+TEST(QueryGeneratorTest, ProducesSixValidQueries) {
+  QueryGenerator gen(4);
+  const auto queries = gen.TenantQuerySet(17, 0, 1'000'000);
+  ASSERT_EQ(queries.size(), 6u);
+  const auto schema = logblock::RequestLogSchema();
+  for (const auto& q : queries) {
+    EXPECT_EQ(q.tenant_id, 17u);
+    EXPECT_LE(q.ts_min, q.ts_max);
+    EXPECT_GT(q.limit, 0u);
+    for (const auto& pred : q.predicates) {
+      EXPECT_GE(schema.FindColumn(pred.column), 0) << pred.column;
+    }
+    for (const auto& col : q.select_columns) {
+      EXPECT_GE(schema.FindColumn(col), 0) << col;
+    }
+  }
+}
+
+TEST(QueryGeneratorTest, CoversThePaperTemplate) {
+  QueryGenerator gen(4);
+  const auto queries = gen.TenantQuerySet(1, 0, 1000);
+  // The last query is the full §5.1 template: ip + latency + fail.
+  const auto& full = queries.back();
+  ASSERT_EQ(full.predicates.size(), 3u);
+  EXPECT_EQ(full.predicates[0].column, "ip");
+  EXPECT_EQ(full.predicates[1].column, "latency");
+  EXPECT_EQ(full.predicates[2].column, "fail");
+}
+
+}  // namespace
+}  // namespace logstore::workload
