@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_traffic_control.dir/bench_fig12_traffic_control.cc.o"
+  "CMakeFiles/bench_fig12_traffic_control.dir/bench_fig12_traffic_control.cc.o.d"
+  "bench_fig12_traffic_control"
+  "bench_fig12_traffic_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_traffic_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

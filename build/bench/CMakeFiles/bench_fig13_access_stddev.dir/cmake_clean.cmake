@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_access_stddev.dir/bench_fig13_access_stddev.cc.o"
+  "CMakeFiles/bench_fig13_access_stddev.dir/bench_fig13_access_stddev.cc.o.d"
+  "bench_fig13_access_stddev"
+  "bench_fig13_access_stddev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_access_stddev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

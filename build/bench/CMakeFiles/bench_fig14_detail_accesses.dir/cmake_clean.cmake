@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_detail_accesses.dir/bench_fig14_detail_accesses.cc.o"
+  "CMakeFiles/bench_fig14_detail_accesses.dir/bench_fig14_detail_accesses.cc.o.d"
+  "bench_fig14_detail_accesses"
+  "bench_fig14_detail_accesses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_detail_accesses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_io_ablation.dir/bench_io_ablation.cc.o"
+  "CMakeFiles/bench_io_ablation.dir/bench_io_ablation.cc.o.d"
+  "bench_io_ablation"
+  "bench_io_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_io_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

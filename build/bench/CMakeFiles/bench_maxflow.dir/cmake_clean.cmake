@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_maxflow.dir/bench_maxflow.cc.o"
+  "CMakeFiles/bench_maxflow.dir/bench_maxflow.cc.o.d"
+  "bench_maxflow"
+  "bench_maxflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_maxflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

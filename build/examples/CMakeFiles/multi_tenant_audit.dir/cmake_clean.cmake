@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_audit.dir/multi_tenant_audit.cpp.o"
+  "CMakeFiles/multi_tenant_audit.dir/multi_tenant_audit.cpp.o.d"
+  "multi_tenant_audit"
+  "multi_tenant_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

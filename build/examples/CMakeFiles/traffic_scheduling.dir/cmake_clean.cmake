@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_scheduling.dir/traffic_scheduling.cpp.o"
+  "CMakeFiles/traffic_scheduling.dir/traffic_scheduling.cpp.o.d"
+  "traffic_scheduling"
+  "traffic_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

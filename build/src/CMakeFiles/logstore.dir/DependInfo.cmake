@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/block_manager.cc" "src/CMakeFiles/logstore.dir/cache/block_manager.cc.o" "gcc" "src/CMakeFiles/logstore.dir/cache/block_manager.cc.o.d"
+  "/root/repo/src/cache/ssd_block_cache.cc" "src/CMakeFiles/logstore.dir/cache/ssd_block_cache.cc.o" "gcc" "src/CMakeFiles/logstore.dir/cache/ssd_block_cache.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "src/CMakeFiles/logstore.dir/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/logstore.dir/cluster/cluster.cc.o.d"
+  "/root/repo/src/cluster/controller.cc" "src/CMakeFiles/logstore.dir/cluster/controller.cc.o" "gcc" "src/CMakeFiles/logstore.dir/cluster/controller.cc.o.d"
+  "/root/repo/src/cluster/data_builder.cc" "src/CMakeFiles/logstore.dir/cluster/data_builder.cc.o" "gcc" "src/CMakeFiles/logstore.dir/cluster/data_builder.cc.o.d"
+  "/root/repo/src/cluster/traffic_sim.cc" "src/CMakeFiles/logstore.dir/cluster/traffic_sim.cc.o" "gcc" "src/CMakeFiles/logstore.dir/cluster/traffic_sim.cc.o.d"
+  "/root/repo/src/cluster/worker.cc" "src/CMakeFiles/logstore.dir/cluster/worker.cc.o" "gcc" "src/CMakeFiles/logstore.dir/cluster/worker.cc.o.d"
+  "/root/repo/src/common/clock.cc" "src/CMakeFiles/logstore.dir/common/clock.cc.o" "gcc" "src/CMakeFiles/logstore.dir/common/clock.cc.o.d"
+  "/root/repo/src/common/coding.cc" "src/CMakeFiles/logstore.dir/common/coding.cc.o" "gcc" "src/CMakeFiles/logstore.dir/common/coding.cc.o.d"
+  "/root/repo/src/common/crc32c.cc" "src/CMakeFiles/logstore.dir/common/crc32c.cc.o" "gcc" "src/CMakeFiles/logstore.dir/common/crc32c.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/logstore.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/logstore.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/threadpool.cc" "src/CMakeFiles/logstore.dir/common/threadpool.cc.o" "gcc" "src/CMakeFiles/logstore.dir/common/threadpool.cc.o.d"
+  "/root/repo/src/compress/codec.cc" "src/CMakeFiles/logstore.dir/compress/codec.cc.o" "gcc" "src/CMakeFiles/logstore.dir/compress/codec.cc.o.d"
+  "/root/repo/src/consensus/raft.cc" "src/CMakeFiles/logstore.dir/consensus/raft.cc.o" "gcc" "src/CMakeFiles/logstore.dir/consensus/raft.cc.o.d"
+  "/root/repo/src/core/logstore.cc" "src/CMakeFiles/logstore.dir/core/logstore.cc.o" "gcc" "src/CMakeFiles/logstore.dir/core/logstore.cc.o.d"
+  "/root/repo/src/flow/balancer.cc" "src/CMakeFiles/logstore.dir/flow/balancer.cc.o" "gcc" "src/CMakeFiles/logstore.dir/flow/balancer.cc.o.d"
+  "/root/repo/src/flow/dinic.cc" "src/CMakeFiles/logstore.dir/flow/dinic.cc.o" "gcc" "src/CMakeFiles/logstore.dir/flow/dinic.cc.o.d"
+  "/root/repo/src/index/bkd_tree.cc" "src/CMakeFiles/logstore.dir/index/bkd_tree.cc.o" "gcc" "src/CMakeFiles/logstore.dir/index/bkd_tree.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "src/CMakeFiles/logstore.dir/index/inverted_index.cc.o" "gcc" "src/CMakeFiles/logstore.dir/index/inverted_index.cc.o.d"
+  "/root/repo/src/logblock/format.cc" "src/CMakeFiles/logstore.dir/logblock/format.cc.o" "gcc" "src/CMakeFiles/logstore.dir/logblock/format.cc.o.d"
+  "/root/repo/src/logblock/logblock_map.cc" "src/CMakeFiles/logstore.dir/logblock/logblock_map.cc.o" "gcc" "src/CMakeFiles/logstore.dir/logblock/logblock_map.cc.o.d"
+  "/root/repo/src/logblock/logblock_reader.cc" "src/CMakeFiles/logstore.dir/logblock/logblock_reader.cc.o" "gcc" "src/CMakeFiles/logstore.dir/logblock/logblock_reader.cc.o.d"
+  "/root/repo/src/logblock/logblock_writer.cc" "src/CMakeFiles/logstore.dir/logblock/logblock_writer.cc.o" "gcc" "src/CMakeFiles/logstore.dir/logblock/logblock_writer.cc.o.d"
+  "/root/repo/src/objectstore/file_object_store.cc" "src/CMakeFiles/logstore.dir/objectstore/file_object_store.cc.o" "gcc" "src/CMakeFiles/logstore.dir/objectstore/file_object_store.cc.o.d"
+  "/root/repo/src/objectstore/memory_object_store.cc" "src/CMakeFiles/logstore.dir/objectstore/memory_object_store.cc.o" "gcc" "src/CMakeFiles/logstore.dir/objectstore/memory_object_store.cc.o.d"
+  "/root/repo/src/objectstore/simulated_object_store.cc" "src/CMakeFiles/logstore.dir/objectstore/simulated_object_store.cc.o" "gcc" "src/CMakeFiles/logstore.dir/objectstore/simulated_object_store.cc.o.d"
+  "/root/repo/src/objectstore/tar_file.cc" "src/CMakeFiles/logstore.dir/objectstore/tar_file.cc.o" "gcc" "src/CMakeFiles/logstore.dir/objectstore/tar_file.cc.o.d"
+  "/root/repo/src/prefetch/prefetch_service.cc" "src/CMakeFiles/logstore.dir/prefetch/prefetch_service.cc.o" "gcc" "src/CMakeFiles/logstore.dir/prefetch/prefetch_service.cc.o.d"
+  "/root/repo/src/query/block_executor.cc" "src/CMakeFiles/logstore.dir/query/block_executor.cc.o" "gcc" "src/CMakeFiles/logstore.dir/query/block_executor.cc.o.d"
+  "/root/repo/src/query/engine.cc" "src/CMakeFiles/logstore.dir/query/engine.cc.o" "gcc" "src/CMakeFiles/logstore.dir/query/engine.cc.o.d"
+  "/root/repo/src/query/sql_parser.cc" "src/CMakeFiles/logstore.dir/query/sql_parser.cc.o" "gcc" "src/CMakeFiles/logstore.dir/query/sql_parser.cc.o.d"
+  "/root/repo/src/rowstore/row_store.cc" "src/CMakeFiles/logstore.dir/rowstore/row_store.cc.o" "gcc" "src/CMakeFiles/logstore.dir/rowstore/row_store.cc.o.d"
+  "/root/repo/src/rowstore/wal.cc" "src/CMakeFiles/logstore.dir/rowstore/wal.cc.o" "gcc" "src/CMakeFiles/logstore.dir/rowstore/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logblock_test.dir/logblock_test.cc.o"
+  "CMakeFiles/logblock_test.dir/logblock_test.cc.o.d"
+  "logblock_test"
+  "logblock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logblock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
