@@ -30,8 +30,10 @@ std::shared_ptr<const std::string> BlockManager::Get(const std::string& key) {
   if (auto block = memory_->Get(key)) return block;
   if (ssd_ != nullptr) {
     if (auto block = ssd_->Get(key)) {
-      // Promote to the memory level for subsequent hits.
-      memory_->Insert(key, block, block->size());
+      // Promote to the memory level for subsequent hits. The SSD level
+      // still holds the bytes, so the promoted entry must not spill back
+      // to SSD when it is evicted from memory again.
+      memory_->Insert(key, block, block->size(), /*spill_on_evict=*/false);
       return block;
     }
   }

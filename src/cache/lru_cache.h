@@ -38,26 +38,43 @@ class LruCache {
 
   // Inserts (or replaces) `key` with `value` of logical size `charge`,
   // evicting LRU entries to fit. Values larger than the whole capacity are
-  // not cached.
+  // rejected up front: the rejection counts no insert and leaves any
+  // existing entry for the same key untouched.
+  //
+  // `spill_on_evict = false` suppresses the eviction callback when this
+  // entry is later evicted — used for promotions from a lower cache level
+  // that already holds the bytes.
   void Insert(const std::string& key, std::shared_ptr<V> value,
-              uint64_t charge) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stats_ != nullptr) stats_->inserts++;
-    auto it = map_.find(key);
-    if (it != map_.end()) {
-      used_ -= it->second->charge;
-      lru_.erase(it->second->lru_pos);
-      map_.erase(it);
+              uint64_t charge, bool spill_on_evict = true) {
+    std::vector<Victim> victims;
+    EvictionCallback on_evict;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (charge > capacity_) return;
+      if (stats_ != nullptr) stats_->inserts++;
+      auto it = map_.find(key);
+      if (it != map_.end()) {
+        used_ -= it->second->charge;
+        lru_.erase(it->second->lru_pos);
+        map_.erase(it);
+      }
+      auto entry = std::make_shared<Entry>();
+      entry->value = std::move(value);
+      entry->charge = charge;
+      entry->spill_on_evict = spill_on_evict;
+      lru_.push_front(key);
+      entry->lru_pos = lru_.begin();
+      map_[key] = entry;
+      used_ += charge;
+      CollectEvictionsLocked(&victims);
+      on_evict = on_evict_;
     }
-    if (charge > capacity_) return;
-    auto entry = std::make_shared<Entry>();
-    entry->value = std::move(value);
-    entry->charge = charge;
-    lru_.push_front(key);
-    entry->lru_pos = lru_.begin();
-    map_[key] = entry;
-    used_ += charge;
-    EvictLocked();
+    // Callbacks run after the shard mutex is released: the SSD-spill
+    // callback does disk IO, and a callback that re-enters the cache must
+    // not deadlock.
+    if (on_evict) {
+      for (Victim& v : victims) on_evict(v.key, v.value, v.charge);
+    }
   }
 
   // Returns the value and refreshes recency, or nullptr.
@@ -120,14 +137,26 @@ class LruCache {
   struct Entry {
     std::shared_ptr<V> value;
     uint64_t charge = 0;
+    bool spill_on_evict = true;
     typename std::list<std::string>::iterator lru_pos;
   };
 
-  void EvictLocked() {
+  struct Victim {
+    std::string key;
+    std::shared_ptr<V> value;
+    uint64_t charge;
+  };
+
+  // Detaches LRU entries until the cache fits, appending the ones whose
+  // eviction should be announced to `victims` for the caller to process
+  // after releasing the mutex.
+  void CollectEvictionsLocked(std::vector<Victim>* victims) {
     while (used_ > capacity_ && !lru_.empty()) {
-      const std::string& victim = lru_.back();
+      const std::string victim = lru_.back();
       auto it = map_.find(victim);
-      if (on_evict_) on_evict_(victim, it->second->value, it->second->charge);
+      if (it->second->spill_on_evict) {
+        victims->push_back({victim, it->second->value, it->second->charge});
+      }
       used_ -= it->second->charge;
       map_.erase(it);
       lru_.pop_back();
@@ -158,8 +187,8 @@ class ShardedLruCache {
   }
 
   void Insert(const std::string& key, std::shared_ptr<V> value,
-              uint64_t charge) {
-    Shard(key).Insert(key, std::move(value), charge);
+              uint64_t charge, bool spill_on_evict = true) {
+    Shard(key).Insert(key, std::move(value), charge, spill_on_evict);
   }
   std::shared_ptr<V> Get(const std::string& key) { return Shard(key).Get(key); }
   bool Contains(const std::string& key) const {

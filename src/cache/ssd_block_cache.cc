@@ -1,16 +1,28 @@
 #include "cache/ssd_block_cache.h"
 
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 
+#include "common/coding.h"
 #include "common/hash.h"
 
 namespace logstore::cache {
 
 namespace fs = std::filesystem;
 
+namespace {
+
+// Cache-file layout: magic, key length, key bytes, then the block data.
+// The embedded key is what makes hash-collisions on the file name safe.
+constexpr char kFileMagic[4] = {'S', 'B', 'C', '1'};
+constexpr size_t kHeaderFixedSize = sizeof(kFileMagic) + sizeof(uint32_t);
+
+}  // namespace
+
 Result<std::unique_ptr<SsdBlockCache>> SsdBlockCache::Open(
-    const std::string& dir, uint64_t capacity_bytes, CacheStats* stats) {
+    const std::string& dir, uint64_t capacity_bytes, CacheStats* stats,
+    int hash_bits) {
   std::error_code ec;
   fs::create_directories(dir, ec);
   if (ec) {
@@ -18,7 +30,7 @@ Result<std::unique_ptr<SsdBlockCache>> SsdBlockCache::Open(
                            ec.message());
   }
   return std::unique_ptr<SsdBlockCache>(
-      new SsdBlockCache(dir, capacity_bytes, stats));
+      new SsdBlockCache(dir, capacity_bytes, stats, hash_bits));
 }
 
 SsdBlockCache::~SsdBlockCache() {
@@ -27,37 +39,60 @@ SsdBlockCache::~SsdBlockCache() {
   fs::remove_all(dir_, ec);
 }
 
-std::string SsdBlockCache::PathFor(const std::string& key) const {
-  // Keys contain '/' and '#'; store under a hash-derived name.
+uint64_t SsdBlockCache::FileHash(const std::string& key) const {
+  const uint64_t h = Hash64(key);
+  if (hash_bits_ >= 64) return h;
+  return h & ((uint64_t{1} << hash_bits_) - 1);
+}
+
+std::string SsdBlockCache::PathForHash(uint64_t file_hash) const {
   char name[32];
   snprintf(name, sizeof(name), "%016llx.blk",
-           static_cast<unsigned long long>(Hash64(key)));
+           static_cast<unsigned long long>(file_hash));
   return dir_ + "/" + name;
 }
 
 void SsdBlockCache::Insert(const std::string& key, const std::string& data) {
   if (data.size() > capacity_) return;
-  const std::string path = PathFor(key);
+  const uint64_t file_hash = FileHash(key);
+  const std::string path = PathForHash(file_hash);
+
+  std::string header;
+  header.append(kFileMagic, sizeof(kFileMagic));
+  PutFixed32(&header, static_cast<uint32_t>(key.size()));
+  header.append(key);
+
+  bool written = false;
   {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) return;  // best effort
-    out.write(data.data(), static_cast<std::streamsize>(data.size()));
-    if (!out) {
-      std::error_code ec;
-      fs::remove(path, ec);
-      return;
+    if (out) {
+      out.write(header.data(), static_cast<std::streamsize>(header.size()));
+      out.write(data.data(), static_cast<std::streamsize>(data.size()));
+      written = static_cast<bool>(out);
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  if (stats_ != nullptr) stats_->inserts++;
-  auto it = index_.find(key);
-  if (it != index_.end()) {
-    used_ -= it->second.size;
-    lru_.erase(it->second.lru_pos);
-    index_.erase(it);
+  if (!written) {
+    std::error_code ec;
+    fs::remove(path, ec);
   }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // The file was just overwritten (or destroyed on a failed write): the key
+  // that previously owned it no longer has its bytes on disk.
+  auto owner = file_owner_.find(file_hash);
+  if (owner != file_owner_.end() && owner->second != key) {
+    DetachEntryLocked(owner->second);
+  }
+  if (!written) {  // best effort: drop all bookkeeping for this file
+    DetachEntryLocked(key);
+    file_owner_.erase(file_hash);
+    return;
+  }
+  if (stats_ != nullptr) stats_->inserts++;
+  DetachEntryLocked(key);
   lru_.push_front(key);
   index_[key] = Entry{data.size(), lru_.begin()};
+  file_owner_[file_hash] = key;
   used_ += data.size();
   EvictLocked();
 }
@@ -74,16 +109,43 @@ std::shared_ptr<const std::string> SsdBlockCache::Get(const std::string& key) {
     lru_.push_front(key);
     it->second.lru_pos = lru_.begin();
   }
-  std::ifstream in(PathFor(key), std::ios::binary | std::ios::ate);
-  if (!in) {
-    if (stats_ != nullptr) stats_->misses++;
-    return nullptr;
+
+  const uint64_t file_hash = FileHash(key);
+  bool verified = false;
+  std::shared_ptr<std::string> data;
+  {
+    std::ifstream in(PathForHash(file_hash), std::ios::binary | std::ios::ate);
+    if (in) {
+      const auto file_size = static_cast<uint64_t>(in.tellg());
+      const uint64_t min_size = kHeaderFixedSize + key.size();
+      if (file_size >= min_size) {
+        std::string header(min_size, '\0');
+        in.seekg(0);
+        in.read(header.data(), static_cast<std::streamsize>(min_size));
+        if (in &&
+            header.compare(0, sizeof(kFileMagic), kFileMagic,
+                           sizeof(kFileMagic)) == 0 &&
+            DecodeFixed32(header.data() + sizeof(kFileMagic)) == key.size() &&
+            header.compare(kHeaderFixedSize, key.size(), key) == 0) {
+          const uint64_t data_size = file_size - min_size;
+          data = std::make_shared<std::string>(static_cast<size_t>(data_size),
+                                               '\0');
+          in.read(data->data(), static_cast<std::streamsize>(data_size));
+          verified = static_cast<bool>(in);
+        }
+      }
+    }
   }
-  const auto size = in.tellg();
-  auto data = std::make_shared<std::string>(static_cast<size_t>(size), '\0');
-  in.seekg(0);
-  in.read(data->data(), size);
-  if (!in) {
+
+  if (!verified) {
+    // The file is gone, unreadable, or holds another key's bytes: the index
+    // entry is stale — drop it and report a miss rather than wrong data.
+    std::lock_guard<std::mutex> lock(mu_);
+    DetachEntryLocked(key);
+    auto owner = file_owner_.find(file_hash);
+    if (owner != file_owner_.end() && owner->second == key) {
+      file_owner_.erase(owner);
+    }
     if (stats_ != nullptr) stats_->misses++;
     return nullptr;
   }
@@ -106,6 +168,14 @@ size_t SsdBlockCache::entry_count() const {
   return index_.size();
 }
 
+void SsdBlockCache::DetachEntryLocked(const std::string& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  used_ -= it->second.size;
+  lru_.erase(it->second.lru_pos);
+  index_.erase(it);
+}
+
 void SsdBlockCache::EvictLocked() {
   while (used_ > capacity_ && !lru_.empty()) {
     const std::string victim = lru_.back();
@@ -113,8 +183,13 @@ void SsdBlockCache::EvictLocked() {
     auto it = index_.find(victim);
     used_ -= it->second.size;
     index_.erase(it);
-    std::error_code ec;
-    fs::remove(PathFor(victim), ec);
+    const uint64_t file_hash = FileHash(victim);
+    auto owner = file_owner_.find(file_hash);
+    if (owner != file_owner_.end() && owner->second == victim) {
+      file_owner_.erase(owner);
+      std::error_code ec;
+      fs::remove(PathForHash(file_hash), ec);
+    }
     if (stats_ != nullptr) stats_->evictions++;
   }
 }

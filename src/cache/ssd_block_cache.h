@@ -18,20 +18,30 @@ namespace logstore::cache {
 // spill to local SSD (a directory of small files with an in-memory LRU
 // index). Much larger than the memory cache (paper: 8 GB vs 200 GB) and
 // still far cheaper to read than the object store.
+//
+// Files are named by a hash of the key, so two keys can collide onto the
+// same file. Every file carries a header with the full key; Get verifies
+// it and treats a mismatch as a miss, and Insert detaches the index entry
+// of any key whose file it overwrites — colliding keys can never serve
+// each other's bytes.
 class SsdBlockCache {
  public:
   // `dir` is created if missing; pre-existing files are ignored (the cache
-  // is a best-effort accelerator, not a durability layer).
+  // is a best-effort accelerator, not a durability layer). `hash_bits`
+  // narrows the file-name hash to its low N bits — production uses the
+  // default 64; tests shrink it to force collisions.
   static Result<std::unique_ptr<SsdBlockCache>> Open(const std::string& dir,
                                                      uint64_t capacity_bytes,
-                                                     CacheStats* stats = nullptr);
+                                                     CacheStats* stats = nullptr,
+                                                     int hash_bits = 64);
 
   ~SsdBlockCache();
 
   // Writes the block to disk; evicts LRU files over capacity.
   void Insert(const std::string& key, const std::string& data);
 
-  // Reads a block back, refreshing recency; nullptr on miss or IO error.
+  // Reads a block back, refreshing recency; nullptr on miss, IO error, or
+  // header/key mismatch.
   std::shared_ptr<const std::string> Get(const std::string& key);
 
   bool Contains(const std::string& key) const;
@@ -40,22 +50,34 @@ class SsdBlockCache {
   size_t entry_count() const;
 
  private:
-  SsdBlockCache(std::string dir, uint64_t capacity_bytes, CacheStats* stats)
-      : dir_(std::move(dir)), capacity_(capacity_bytes), stats_(stats) {}
+  SsdBlockCache(std::string dir, uint64_t capacity_bytes, CacheStats* stats,
+                int hash_bits)
+      : dir_(std::move(dir)),
+        capacity_(capacity_bytes),
+        stats_(stats),
+        hash_bits_(hash_bits) {}
 
-  std::string PathFor(const std::string& key) const;
+  uint64_t FileHash(const std::string& key) const;
+  std::string PathForHash(uint64_t file_hash) const;
+
+  // Removes `key` from index_/lru_/used_ if present. Does not touch the
+  // file or file_owner_.
+  void DetachEntryLocked(const std::string& key);
   void EvictLocked();
 
   const std::string dir_;
   const uint64_t capacity_;
   CacheStats* stats_;
+  const int hash_bits_;
 
   mutable std::mutex mu_;
   struct Entry {
-    uint64_t size;
+    uint64_t size;  // data bytes (header excluded)
     std::list<std::string>::iterator lru_pos;
   };
   std::unordered_map<std::string, Entry> index_;
+  // file-name hash -> key whose bytes currently live in that file.
+  std::unordered_map<uint64_t, std::string> file_owner_;
   std::list<std::string> lru_;  // front = most recent
   uint64_t used_ = 0;
 };

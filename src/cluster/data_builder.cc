@@ -7,7 +7,13 @@ namespace logstore::cluster {
 DataBuilder::DataBuilder(objectstore::ObjectStore* store,
                          logblock::LogBlockMap* map,
                          DataBuilderOptions options)
-    : store_(store), map_(map), options_(std::move(options)) {}
+    : store_(store), map_(map), options_(std::move(options)) {
+  if (options_.use_retry) {
+    retry_store_ = std::make_unique<objectstore::RetryingObjectStore>(
+        store, options_.retry_options);
+    store_ = retry_store_.get();
+  }
+}
 
 Result<int> DataBuilder::BuildOnce(rowstore::RowStore* row_store) {
   const rowstore::RowStore::BuildSnapshot snapshot =

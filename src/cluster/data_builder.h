@@ -5,10 +5,13 @@
 #include <cstdint>
 #include <string>
 
+#include <memory>
+
 #include "common/result.h"
 #include "logblock/logblock_map.h"
 #include "logblock/logblock_writer.h"
 #include "objectstore/object_store.h"
+#include "objectstore/retrying_object_store.h"
 #include "rowstore/row_store.h"
 
 namespace logstore::cluster {
@@ -23,6 +26,11 @@ struct DataBuilderOptions {
   // Object keys: <prefix><tenant>/<sequence>.tar — one OSS "directory" per
   // tenant holding its chronological LogBlocks.
   std::string key_prefix = "tenants/";
+  // Uploads go through a bounded-retry wrapper: a transiently failed Put
+  // must not abort the build pass (the row store is only truncated after
+  // every upload succeeded, so a giveup keeps the rows safe regardless).
+  bool use_retry = true;
+  objectstore::RetryOptions retry_options;
 };
 
 // The remote-archiving stage (§3, phase two): converts row-store snapshots
@@ -47,8 +55,15 @@ class DataBuilder {
   uint64_t rows_archived() const { return rows_archived_.load(); }
   uint64_t bytes_uploaded() const { return bytes_uploaded_.load(); }
 
+  // Upload retry/giveup counters; nullptr when use_retry is off.
+  const objectstore::RetryStats* retry_stats() const {
+    return retry_store_ == nullptr ? nullptr : &retry_store_->retry_stats();
+  }
+
  private:
+  // Effective store for uploads (retry wrapper when enabled).
   objectstore::ObjectStore* store_;
+  std::unique_ptr<objectstore::RetryingObjectStore> retry_store_;
   logblock::LogBlockMap* map_;
   const DataBuilderOptions options_;
 

@@ -21,10 +21,17 @@ Result<std::unique_ptr<LogStore>> LogStore::Open(LogStoreOptions options) {
     base = std::move(opened).value();
   }
   if (db->options_.simulate_object_latency) {
-    db->store_ = std::make_unique<objectstore::SimulatedObjectStore>(
+    base = std::make_unique<objectstore::SimulatedObjectStore>(
         std::move(base), db->options_.simulated);
-  } else {
-    db->store_ = std::move(base);
+  }
+  if (db->options_.inject_object_faults) {
+    base = std::make_unique<objectstore::FaultInjectingObjectStore>(
+        std::move(base), db->options_.fault_options);
+  }
+  db->store_ = std::move(base);
+  if (db->options_.use_retry) {
+    db->retry_store_ = std::make_unique<objectstore::RetryingObjectStore>(
+        db->store_.get(), db->options_.retry_options);
   }
 
   db->row_store_ = std::make_unique<rowstore::RowStore>(db->options_.schema);
@@ -37,7 +44,7 @@ Result<std::unique_ptr<LogStore>> LogStore::Open(LogStoreOptions options) {
 
   // Recover the catalog checkpoint, if one exists: reopening a store picks
   // up every LogBlock archived by previous runs.
-  auto manifest = db->store_->Get(kCatalogKey);
+  auto manifest = db->catalog_store()->Get(kCatalogKey);
   if (manifest.ok()) {
     Slice in(*manifest);
     LOGSTORE_RETURN_IF_ERROR(
@@ -64,7 +71,7 @@ Result<std::unique_ptr<LogStore>> LogStore::Open(LogStoreOptions options) {
 Status LogStore::CheckpointCatalog() {
   std::string manifest;
   metadata_.EncodeTo(&manifest);
-  return store_->Put(kCatalogKey, manifest);
+  return catalog_store()->Put(kCatalogKey, manifest);
 }
 
 Status LogStore::Append(uint64_t tenant, const logblock::RowBatch& rows) {
@@ -105,7 +112,7 @@ Result<query::QueryResult> LogStore::Query(const query::LogQuery& query) {
 Result<int> LogStore::Expire(uint64_t tenant, int64_t cutoff_ts) {
   const auto expired = metadata_.ExpireBefore(tenant, cutoff_ts);
   for (const auto& entry : expired) {
-    LOGSTORE_RETURN_IF_ERROR(store_->Delete(entry.object_key));
+    LOGSTORE_RETURN_IF_ERROR(catalog_store()->Delete(entry.object_key));
   }
   if (!expired.empty()) {
     LOGSTORE_RETURN_IF_ERROR(CheckpointCatalog());

@@ -9,7 +9,9 @@
 #include "logblock/logblock_map.h"
 #include "logblock/row_batch.h"
 #include "logblock/schema.h"
+#include "objectstore/fault_injecting_object_store.h"
 #include "objectstore/object_store.h"
+#include "objectstore/retrying_object_store.h"
 #include "objectstore/simulated_object_store.h"
 #include "query/engine.h"
 #include "query/predicate.h"
@@ -42,6 +44,15 @@ struct LogStoreOptions {
   // Injects OSS-like latency/bandwidth on every object-store request.
   bool simulate_object_latency = false;
   objectstore::SimulatedStoreOptions simulated;
+  // Injects transient object-store faults (errors, short reads, latency
+  // spikes) for resilience testing; the retry layers in the engine and the
+  // data builder must absorb them.
+  bool inject_object_faults = false;
+  objectstore::FaultInjectionOptions fault_options;
+  // Bounded retries for the facade's own catalog and expiration IO (the
+  // engine and data builder carry their own retry wrappers).
+  bool use_retry = true;
+  objectstore::RetryOptions retry_options;
 
   query::EngineOptions engine;
   cluster::DataBuilderOptions builder;
@@ -118,6 +129,14 @@ class LogStore {
 
   LogStoreOptions options_;
   std::unique_ptr<objectstore::ObjectStore> store_;
+  // Retry wrapper around store_ for catalog/expire IO issued by the facade
+  // itself; catalog_store() returns store_.get() when retries are off.
+  std::unique_ptr<objectstore::RetryingObjectStore> retry_store_;
+  objectstore::ObjectStore* catalog_store() {
+    return retry_store_ != nullptr
+               ? static_cast<objectstore::ObjectStore*>(retry_store_.get())
+               : store_.get();
+  }
   std::unique_ptr<rowstore::RowStore> row_store_;
   logblock::LogBlockMap metadata_;
   std::unique_ptr<cluster::DataBuilder> builder_;

@@ -7,6 +7,24 @@
 
 namespace logstore::logblock {
 
+namespace {
+
+// A source returning fewer bytes than a member's recorded extent means the
+// object was truncated in flight (or on the store). Classified as IOError —
+// the transient/retryable class — not Corruption, so a retrying source
+// above can be given another chance by the caller.
+Status CheckFullRead(const std::string& bytes, uint64_t want,
+                     const char* what) {
+  if (bytes.size() < want) {
+    return Status::IOError(std::string("truncated read of ") + what +
+                           ": got " + std::to_string(bytes.size()) + " of " +
+                           std::to_string(want) + " bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<std::unique_ptr<LogBlockReader>> LogBlockReader::Open(
     std::shared_ptr<LogBlockSource> source) {
   // 1. Fixed-size prologue tells us the tar header extent.
@@ -19,6 +37,7 @@ Result<std::unique_ptr<LogBlockReader>> LogBlockReader::Open(
   // 2. Fetch the full tar header and parse the manifest.
   auto head = source->ReadRange(0, *header_size);
   if (!head.ok()) return head.status();
+  LOGSTORE_RETURN_IF_ERROR(CheckFullRead(*head, *header_size, "tar header"));
   auto tar = objectstore::TarReader::Parse(*head);
   if (!tar.ok()) return tar.status();
 
@@ -27,6 +46,8 @@ Result<std::unique_ptr<LogBlockReader>> LogBlockReader::Open(
   if (!meta_member.ok()) return meta_member.status();
   auto meta_bytes = source->ReadRange(meta_member->offset, meta_member->size);
   if (!meta_bytes.ok()) return meta_bytes.status();
+  LOGSTORE_RETURN_IF_ERROR(
+      CheckFullRead(*meta_bytes, meta_member->size, "meta member"));
   Slice meta_in(*meta_bytes);
   auto meta = LogBlockMeta::DecodeFrom(&meta_in);
   if (!meta.ok()) return meta.status();
@@ -73,6 +94,7 @@ Result<std::shared_ptr<index::InvertedIndexDict>> LogBlockReader::InvertedDict(
   if (!range.ok()) return range.status();
   auto bytes = source_->ReadRange(range->offset, range->size);
   if (!bytes.ok()) return bytes.status();
+  LOGSTORE_RETURN_IF_ERROR(CheckFullRead(*bytes, range->size, "index dict"));
   auto dict = index::InvertedIndexDict::Open(std::move(bytes).value());
   if (!dict.ok()) return dict.status();
   auto shared =
@@ -91,6 +113,7 @@ Result<index::RowIdSet> LogBlockReader::FetchPostings(
   }
   auto bytes = source_->ReadRange(member->offset + ref.offset, ref.length);
   if (!bytes.ok()) return bytes.status();
+  LOGSTORE_RETURN_IF_ERROR(CheckFullRead(*bytes, ref.length, "postings"));
   return index::DecodePostings(*bytes, ref.doc_count, meta_.row_count);
 }
 
@@ -156,6 +179,7 @@ Result<std::shared_ptr<index::BkdTreeReader>> LogBlockReader::BkdIndex(
   if (!range.ok()) return range.status();
   auto bytes = source_->ReadRange(range->offset, range->size);
   if (!bytes.ok()) return bytes.status();
+  LOGSTORE_RETURN_IF_ERROR(CheckFullRead(*bytes, range->size, "bkd index"));
   auto reader = index::BkdTreeReader::Open(std::move(bytes).value());
   if (!reader.ok()) return reader.status();
   auto shared =
@@ -171,6 +195,7 @@ Result<DecodedColumnBlock> LogBlockReader::ReadColumnBlock(size_t col,
   if (!range.ok()) return range.status();
   auto chunk = source_->ReadRange(range->offset, range->size);
   if (!chunk.ok()) return chunk.status();
+  LOGSTORE_RETURN_IF_ERROR(CheckFullRead(*chunk, range->size, "column block"));
 
   const ColumnBlockMeta& block_meta = meta_.columns[col].blocks[block_idx];
   Slice in(*chunk);

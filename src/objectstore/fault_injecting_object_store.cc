@@ -1,0 +1,105 @@
+#include "objectstore/fault_injecting_object_store.h"
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace logstore::objectstore {
+
+FaultInjectingObjectStore::FaultInjectingObjectStore(
+    ObjectStore* base, FaultInjectionOptions options, Clock* clock)
+    : base_(base), options_(options), clock_(clock) {}
+
+FaultInjectingObjectStore::FaultInjectingObjectStore(
+    std::unique_ptr<ObjectStore> base, FaultInjectionOptions options,
+    Clock* clock)
+    : owned_(std::move(base)),
+      base_(owned_.get()),
+      options_(options),
+      clock_(clock) {}
+
+FaultInjectingObjectStore::Fate FaultInjectingObjectStore::NextFate(
+    bool mutation) {
+  const uint64_t op = op_counter_.fetch_add(1, std::memory_order_relaxed);
+  fault_stats_.ops.fetch_add(1, std::memory_order_relaxed);
+  Random rng(HashCombine(options_.seed, op));
+  Fate fate;
+  fate.latency_spike = rng.NextDouble() < options_.latency_spike_rate;
+  const bool exempt = mutation && !options_.fail_mutations;
+  fate.fail = !exempt && rng.NextDouble() < options_.error_rate;
+  fate.short_read = !fate.fail && rng.NextDouble() < options_.short_read_rate;
+  fate.truncate_fraction = rng.NextDouble();
+
+  if (fate.latency_spike) {
+    fault_stats_.injected_latency_spikes.fetch_add(1,
+                                                   std::memory_order_relaxed);
+    if (options_.latency_spike_us > 0) {
+      clock_->SleepMicros(options_.latency_spike_us);
+    }
+  }
+  if (fate.fail) {
+    fault_stats_.injected_errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  return fate;
+}
+
+Status FaultInjectingObjectStore::Put(const std::string& key,
+                                      const Slice& data) {
+  if (NextFate(/*mutation=*/true).fail) {
+    return Status::IOError("injected fault: Put " + key);
+  }
+  return base_->Put(key, data);
+}
+
+Result<std::string> FaultInjectingObjectStore::Get(const std::string& key) {
+  if (NextFate(/*mutation=*/false).fail) {
+    return Status::IOError("injected fault: Get " + key);
+  }
+  return base_->Get(key);
+}
+
+Result<std::string> FaultInjectingObjectStore::GetRange(const std::string& key,
+                                                        uint64_t offset,
+                                                        uint64_t length) {
+  const Fate fate = NextFate(/*mutation=*/false);
+  if (fate.fail) {
+    return Status::IOError("injected fault: GetRange " + key);
+  }
+  auto result = base_->GetRange(key, offset, length);
+  if (result.ok() && fate.short_read && result->size() > 1) {
+    // A strict prefix: at least one byte short, at least one byte returned
+    // (an empty response would be indistinguishable from a zero-length
+    // object tail).
+    const size_t keep = 1 + static_cast<size_t>(fate.truncate_fraction *
+                                                (result->size() - 1));
+    if (keep < result->size()) {
+      fault_stats_.injected_short_reads.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      result->resize(keep);
+    }
+  }
+  return result;
+}
+
+Result<uint64_t> FaultInjectingObjectStore::Head(const std::string& key) {
+  if (NextFate(/*mutation=*/false).fail) {
+    return Status::IOError("injected fault: Head " + key);
+  }
+  return base_->Head(key);
+}
+
+Result<std::vector<std::string>> FaultInjectingObjectStore::List(
+    const std::string& prefix) {
+  if (NextFate(/*mutation=*/false).fail) {
+    return Status::IOError("injected fault: List " + prefix);
+  }
+  return base_->List(prefix);
+}
+
+Status FaultInjectingObjectStore::Delete(const std::string& key) {
+  if (NextFate(/*mutation=*/true).fail) {
+    return Status::IOError("injected fault: Delete " + key);
+  }
+  return base_->Delete(key);
+}
+
+}  // namespace logstore::objectstore

@@ -1,0 +1,91 @@
+#ifndef LOGSTORE_OBJECTSTORE_FAULT_INJECTING_OBJECT_STORE_H_
+#define LOGSTORE_OBJECTSTORE_FAULT_INJECTING_OBJECT_STORE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "objectstore/object_store.h"
+
+namespace logstore::objectstore {
+
+// Fault model for a flaky remote object store. All probabilities are per
+// operation and drawn from a deterministic per-op stream: operation N of a
+// store seeded with S always sees the same fate, independent of thread
+// interleaving, so failure tests are reproducible.
+struct FaultInjectionOptions {
+  // Probability that an operation fails with IOError before reaching the
+  // backend (connection reset / 5xx).
+  double error_rate = 0.0;
+  // Probability that a successful GetRange returns a strict prefix of the
+  // requested bytes (truncated response body).
+  double short_read_rate = 0.0;
+  // Probability of sleeping `latency_spike_us` before serving (tail
+  // latency / throttling).
+  double latency_spike_rate = 0.0;
+  int64_t latency_spike_us = 0;
+  // Root of the deterministic per-op fault stream.
+  uint64_t seed = 42;
+  // When false, Put/Delete are exempt from error injection (read-path-only
+  // fault campaigns).
+  bool fail_mutations = true;
+};
+
+struct FaultStats {
+  std::atomic<uint64_t> ops{0};
+  std::atomic<uint64_t> injected_errors{0};
+  std::atomic<uint64_t> injected_short_reads{0};
+  std::atomic<uint64_t> injected_latency_spikes{0};
+
+  void Reset() {
+    ops = injected_errors = injected_short_reads = injected_latency_spikes = 0;
+  }
+};
+
+// Decorator usable around any ObjectStore (companion to
+// SimulatedObjectStore, which models cost; this one models failure). Either
+// borrows the backend or owns it.
+class FaultInjectingObjectStore : public ObjectStore {
+ public:
+  FaultInjectingObjectStore(ObjectStore* base, FaultInjectionOptions options,
+                            Clock* clock = SystemClock::Default());
+  FaultInjectingObjectStore(std::unique_ptr<ObjectStore> base,
+                            FaultInjectionOptions options,
+                            Clock* clock = SystemClock::Default());
+
+  Status Put(const std::string& key, const Slice& data) override;
+  Result<std::string> Get(const std::string& key) override;
+  Result<std::string> GetRange(const std::string& key, uint64_t offset,
+                               uint64_t length) override;
+  Result<uint64_t> Head(const std::string& key) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+  Status Delete(const std::string& key) override;
+  ObjectStoreStats& stats() override { return base_->stats(); }
+
+  const FaultStats& fault_stats() const { return fault_stats_; }
+  const FaultInjectionOptions& options() const { return options_; }
+
+ private:
+  // Per-op fate, decided from one deterministic draw sequence.
+  struct Fate {
+    bool fail = false;
+    bool short_read = false;
+    bool latency_spike = false;
+    // Scales the truncated length for short reads, in [0, 1).
+    double truncate_fraction = 0.0;
+  };
+  Fate NextFate(bool mutation);
+
+  std::unique_ptr<ObjectStore> owned_;
+  ObjectStore* base_;
+  const FaultInjectionOptions options_;
+  Clock* clock_;
+  std::atomic<uint64_t> op_counter_{0};
+  FaultStats fault_stats_;
+};
+
+}  // namespace logstore::objectstore
+
+#endif  // LOGSTORE_OBJECTSTORE_FAULT_INJECTING_OBJECT_STORE_H_

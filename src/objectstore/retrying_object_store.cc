@@ -1,0 +1,134 @@
+#include "objectstore/retrying_object_store.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace logstore::objectstore {
+
+namespace {
+
+inline const Status& StatusOf(const Status& status) { return status; }
+template <typename T>
+inline const Status& StatusOf(const Result<T>& result) {
+  return result.status();
+}
+
+}  // namespace
+
+RetryingObjectStore::RetryingObjectStore(ObjectStore* base,
+                                         RetryOptions options, Clock* clock)
+    : base_(base), options_(options), clock_(clock) {}
+
+RetryingObjectStore::RetryingObjectStore(std::unique_ptr<ObjectStore> base,
+                                         RetryOptions options, Clock* clock)
+    : owned_(std::move(base)),
+      base_(owned_.get()),
+      options_(options),
+      clock_(clock) {}
+
+bool RetryingObjectStore::IsRetryable(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kIOError:
+    case StatusCode::kUnavailable:
+    case StatusCode::kTimedOut:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kAborted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool RetryingObjectStore::BackoffOrGiveUp(int retry_index,
+                                          int64_t deadline_us) {
+  double backoff = static_cast<double>(options_.initial_backoff_us);
+  for (int i = 1; i < retry_index; ++i) backoff *= options_.backoff_multiplier;
+  backoff = std::min(backoff, static_cast<double>(options_.max_backoff_us));
+  Random rng(HashCombine(options_.seed,
+                         call_counter_.fetch_add(1, std::memory_order_relaxed)));
+  const int64_t sleep_us =
+      static_cast<int64_t>(backoff * (1.0 - options_.jitter * rng.NextDouble()));
+  if (deadline_us > 0 && clock_->NowMicros() + sleep_us > deadline_us) {
+    return false;
+  }
+  if (sleep_us > 0) clock_->SleepMicros(sleep_us);
+  return true;
+}
+
+template <typename Fn>
+auto RetryingObjectStore::RetryLoop(Fn attempt) -> decltype(attempt()) {
+  const int64_t deadline_us =
+      options_.call_deadline_us > 0
+          ? clock_->NowMicros() + options_.call_deadline_us
+          : 0;
+  const int max_attempts = std::max(1, options_.max_attempts);
+  int tries = 0;
+  while (true) {
+    ++tries;
+    retry_stats_.attempts.fetch_add(1, std::memory_order_relaxed);
+    auto result = attempt();
+    if (result.ok()) return result;
+    if (!IsRetryable(StatusOf(result))) return result;
+    if (tries >= max_attempts || !BackoffOrGiveUp(tries, deadline_us)) {
+      retry_stats_.giveups.fetch_add(1, std::memory_order_relaxed);
+      return result;
+    }
+    retry_stats_.retries.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Status RetryingObjectStore::Put(const std::string& key, const Slice& data) {
+  return RetryLoop([&] { return base_->Put(key, data); });
+}
+
+Result<std::string> RetryingObjectStore::Get(const std::string& key) {
+  return RetryLoop([&] { return base_->Get(key); });
+}
+
+Result<std::string> RetryingObjectStore::GetRange(const std::string& key,
+                                                  uint64_t offset,
+                                                  uint64_t length) {
+  return RetryLoop([&]() -> Result<std::string> {
+    auto result = base_->GetRange(key, offset, length);
+    if (!result.ok() || !options_.verify_short_reads ||
+        result->size() >= length) {
+      return result;
+    }
+    // Fewer bytes than requested: legitimate only when the range ran past
+    // the end of the object. Ask the store how big the object really is.
+    auto object_size = base_->Head(key);
+    if (!object_size.ok()) {
+      if (IsRetryable(object_size.status())) {
+        return Status::IOError("short-read verification Head failed: " +
+                               object_size.status().ToString());
+      }
+      return object_size.status();
+    }
+    const uint64_t available = *object_size > offset ? *object_size - offset : 0;
+    const uint64_t expected = std::min<uint64_t>(length, available);
+    if (result->size() < expected) {
+      retry_stats_.short_reads.fetch_add(1, std::memory_order_relaxed);
+      return Status::IOError(
+          "short read: got " + std::to_string(result->size()) + " of " +
+          std::to_string(expected) + " bytes of " + key);
+    }
+    return result;
+  });
+}
+
+Result<uint64_t> RetryingObjectStore::Head(const std::string& key) {
+  return RetryLoop([&] { return base_->Head(key); });
+}
+
+Result<std::vector<std::string>> RetryingObjectStore::List(
+    const std::string& prefix) {
+  return RetryLoop([&] { return base_->List(prefix); });
+}
+
+Status RetryingObjectStore::Delete(const std::string& key) {
+  return RetryLoop([&] { return base_->Delete(key); });
+}
+
+}  // namespace logstore::objectstore

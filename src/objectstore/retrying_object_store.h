@@ -1,0 +1,95 @@
+#ifndef LOGSTORE_OBJECTSTORE_RETRYING_OBJECT_STORE_H_
+#define LOGSTORE_OBJECTSTORE_RETRYING_OBJECT_STORE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "objectstore/object_store.h"
+
+namespace logstore::objectstore {
+
+// Retry policy for transient object-store failures. Cloud stores treat
+// request failure as the common case (throttling, connection resets, tail
+// timeouts); callers above this layer should only ever see an error when
+// the object genuinely cannot be read.
+struct RetryOptions {
+  // Total tries per call, including the first. <= 1 disables retries.
+  int max_attempts = 4;
+  // Exponential backoff between attempts: initial * multiplier^(n-1),
+  // capped at max_backoff_us, then shrunk by up to `jitter` fraction so
+  // synchronized retry storms decorrelate.
+  int64_t initial_backoff_us = 1000;
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_us = 200'000;
+  double jitter = 0.5;
+  // Budget for one logical call, attempts plus backoff sleeps. A retry is
+  // not started if it cannot begin within the deadline. 0 = unlimited.
+  int64_t call_deadline_us = 5'000'000;
+  // Treat a GetRange that returns fewer bytes than a Head of the object
+  // says it should as a retryable truncated response. Costs one Head per
+  // suspected short read (ranges ending at the object tail).
+  bool verify_short_reads = true;
+  // Deterministic jitter stream (tests).
+  uint64_t seed = 0;
+};
+
+struct RetryStats {
+  std::atomic<uint64_t> attempts{0};      // every try, incl. first
+  std::atomic<uint64_t> retries{0};       // re-tries after a transient error
+  std::atomic<uint64_t> giveups{0};       // transient error surfaced anyway
+  std::atomic<uint64_t> short_reads{0};   // truncated GetRange detected
+
+  void Reset() { attempts = retries = giveups = short_reads = 0; }
+};
+
+// Decorator adding bounded retries with exponential backoff + jitter around
+// any ObjectStore. Retryable: IOError, Unavailable, TimedOut,
+// ResourceExhausted, Aborted — the transient class. Everything else
+// (NotFound, InvalidArgument, Corruption, ...) surfaces immediately.
+class RetryingObjectStore : public ObjectStore {
+ public:
+  RetryingObjectStore(ObjectStore* base, RetryOptions options = {},
+                      Clock* clock = SystemClock::Default());
+  RetryingObjectStore(std::unique_ptr<ObjectStore> base,
+                      RetryOptions options = {},
+                      Clock* clock = SystemClock::Default());
+
+  Status Put(const std::string& key, const Slice& data) override;
+  Result<std::string> Get(const std::string& key) override;
+  Result<std::string> GetRange(const std::string& key, uint64_t offset,
+                               uint64_t length) override;
+  Result<uint64_t> Head(const std::string& key) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+  Status Delete(const std::string& key) override;
+  ObjectStoreStats& stats() override { return base_->stats(); }
+
+  const RetryStats& retry_stats() const { return retry_stats_; }
+  const RetryOptions& options() const { return options_; }
+
+  static bool IsRetryable(const Status& status);
+
+ private:
+  // Runs `attempt` (returning a Status-like or Result-like object) under
+  // the retry policy; `classify` maps a successful attempt to OK or to a
+  // synthetic retryable error (short-read detection).
+  template <typename Fn>
+  auto RetryLoop(Fn attempt) -> decltype(attempt());
+
+  // Backoff before retry number `retry_index` (1-based); returns false if
+  // the call deadline would be exceeded.
+  bool BackoffOrGiveUp(int retry_index, int64_t deadline_us);
+
+  std::unique_ptr<ObjectStore> owned_;
+  ObjectStore* base_;
+  const RetryOptions options_;
+  Clock* clock_;
+  std::atomic<uint64_t> call_counter_{0};
+  RetryStats retry_stats_;
+};
+
+}  // namespace logstore::objectstore
+
+#endif  // LOGSTORE_OBJECTSTORE_RETRYING_OBJECT_STORE_H_

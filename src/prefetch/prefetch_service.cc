@@ -90,7 +90,10 @@ Result<std::shared_ptr<const std::string>> PrefetchService::GetOrFetchBlock(
     }
     fetch_done_.notify_all();
 
-    if (!data.ok()) return data.status();
+    if (!data.ok()) {
+      fetch_errors_++;
+      return data.status();
+    }
     return first_block;
   }
 }
@@ -139,7 +142,10 @@ Result<std::string> PrefetchService::Read(const std::string& object_key,
   if (cache_ == nullptr) {
     fetches_issued_++;
     auto data = store_->GetRange(object_key, offset, size);
-    if (!data.ok()) return data.status();
+    if (!data.ok()) {
+      fetch_errors_++;
+      return data.status();
+    }
     if (data->size() != size) {
       return Status::IOError("short read: object smaller than range");
     }

@@ -59,6 +59,11 @@ class PrefetchService {
   // in-flight dedup).
   uint64_t fetches_issued() const { return fetches_issued_.load(); }
 
+  // Number of issued fetches whose ranged GET failed (after whatever retry
+  // layer the store carries gave up). Blocking reads surface the error;
+  // failed prefetches degrade to a later blocking read.
+  uint64_t fetch_errors() const { return fetch_errors_.load(); }
+
   const PrefetchOptions& options() const { return options_; }
 
  private:
@@ -80,6 +85,7 @@ class PrefetchService {
   std::condition_variable fetch_done_;
   std::set<std::string> in_flight_;
   std::atomic<uint64_t> fetches_issued_{0};
+  std::atomic<uint64_t> fetch_errors_{0};
 };
 
 }  // namespace logstore::prefetch

@@ -43,6 +43,11 @@ QueryEngine::QueryEngine(objectstore::ObjectStore* store,
 Result<std::unique_ptr<QueryEngine>> QueryEngine::Open(
     objectstore::ObjectStore* store, const EngineOptions& options) {
   std::unique_ptr<QueryEngine> engine(new QueryEngine(store, options));
+  if (options.use_retry) {
+    engine->retry_store_ = std::make_unique<objectstore::RetryingObjectStore>(
+        store, options.retry_options);
+    engine->store_ = engine->retry_store_.get();
+  }
   if (options.use_cache) {
     auto cache = cache::BlockManager::Open(options.cache_options);
     if (!cache.ok()) return cache.status();
@@ -55,7 +60,7 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::Open(
   // without a cache it still provides the Read() API but each read goes to
   // the store.
   engine->prefetch_ = std::make_unique<prefetch::PrefetchService>(
-      store, engine->cache_.get(),
+      engine->store_, engine->cache_.get(),
       prefetch::PrefetchOptions{
           .threads = options.prefetch_threads,
           .block_size = options.io_block_size,

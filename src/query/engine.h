@@ -12,6 +12,7 @@
 #include "logblock/logblock_map.h"
 #include "logblock/logblock_reader.h"
 #include "objectstore/object_store.h"
+#include "objectstore/retrying_object_store.h"
 #include "prefetch/prefetch_service.h"
 #include "query/block_executor.h"
 #include "query/predicate.h"
@@ -23,6 +24,12 @@ struct EngineOptions {
   bool use_data_skipping = true;
   bool use_cache = true;
   bool use_prefetch = true;
+
+  // Wrap the store with bounded retry + backoff so transient object-store
+  // failures (throttling, connection resets, truncated responses) are
+  // absorbed below the query instead of failing it.
+  bool use_retry = true;
+  objectstore::RetryOptions retry_options;
 
   int prefetch_threads = 32;
   uint64_t io_block_size = 64 * 1024;
@@ -74,6 +81,10 @@ class QueryEngine {
 
   cache::BlockManager* block_manager() { return cache_.get(); }
   prefetch::PrefetchService* prefetch_service() { return prefetch_.get(); }
+  // Retry/giveup counters of the read path; nullptr when use_retry is off.
+  const objectstore::RetryStats* retry_stats() const {
+    return retry_store_ == nullptr ? nullptr : &retry_store_->retry_stats();
+  }
   const EngineOptions& options() const { return options_; }
 
   // Drops all cached state (for cold-cache measurements).
@@ -85,7 +96,10 @@ class QueryEngine {
   Result<std::shared_ptr<logblock::LogBlockReader>> OpenReader(
       const std::string& object_key);
 
+  // Effective store for all engine IO: the retry wrapper when enabled,
+  // otherwise the caller's store directly.
   objectstore::ObjectStore* store_;
+  std::unique_ptr<objectstore::RetryingObjectStore> retry_store_;
   EngineOptions options_;
   std::unique_ptr<cache::BlockManager> cache_;
   std::unique_ptr<prefetch::PrefetchService> prefetch_;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -76,6 +77,48 @@ TEST(LruCacheTest, EvictionCallbackFires) {
   cache.Insert("b", Block("bbbb"), 4);
   ASSERT_EQ(evicted.size(), 1u);
   EXPECT_EQ(evicted[0], "a");
+}
+
+// Regression: the eviction callback used to run while the cache mutex was
+// held, so a callback touching the same cache self-deadlocked. It must be
+// safe for the callback to re-enter the cache.
+TEST(LruCacheTest, EvictionCallbackMayReenterCache) {
+  LruCache<const std::string> cache(8);
+  std::vector<std::string> evicted;
+  cache.set_eviction_callback(
+      [&](const std::string& key, const std::shared_ptr<const std::string>&,
+          uint64_t) {
+        evicted.push_back(key);
+        // Re-entrant reads and writes: both took the mutex recursively
+        // before the fix.
+        (void)cache.Get(key);
+        cache.Insert("reentrant-" + key, Block("r"), 1);
+      });
+  cache.Insert("a", Block("aaaa"), 4);
+  cache.Insert("b", Block("bbbb"), 4);
+  cache.Insert("c", Block("cccc"), 4);  // evicts a; re-entrant insert
+                                        // cascades to evict b as well
+  ASSERT_EQ(evicted.size(), 2u);
+  EXPECT_EQ(evicted[0], "a");
+  EXPECT_EQ(evicted[1], "b");
+  EXPECT_NE(cache.Get("reentrant-a"), nullptr);
+  EXPECT_NE(cache.Get("reentrant-b"), nullptr);
+}
+
+// Regression: an oversized insert used to count an insert, erase any
+// existing entry for the key, and only then reject the new value — losing
+// the old entry and skewing stats.
+TEST(LruCacheTest, OversizedInsertKeepsExistingEntry) {
+  CacheStats stats;
+  LruCache<const std::string> cache(5, &stats);
+  cache.Insert("a", Block("xx"), 2);
+  cache.Insert("a", Block("0123456789"), 10);  // larger than capacity
+  auto got = cache.Get("a");
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, "xx");
+  EXPECT_EQ(cache.used_bytes(), 2u);
+  EXPECT_EQ(stats.inserts.load(), 1u);
+  EXPECT_EQ(stats.evictions.load(), 0u);
 }
 
 TEST(ShardedLruCacheTest, SpreadsAcrossShards) {
@@ -170,6 +213,94 @@ TEST_F(SsdCacheTest, BlockManagerSpillsToSsdAndPromotes) {
   ASSERT_NE(a, nullptr);
   EXPECT_EQ(*a, std::string(40, 'a'));
   EXPECT_EQ((*manager)->ssd_stats().hits.load(), 1u);
+}
+
+// Regression: cache files are named by a hash of the key; two colliding
+// keys share one file. The seed served whichever bytes were written last
+// under either key. With the embedded-key header, a collision overwrite
+// turns the older key into a miss instead of wrong data.
+TEST_F(SsdCacheTest, HashCollisionsDoNotServeWrongBytes) {
+  CacheStats stats;
+  auto cache = SsdBlockCache::Open(dir_.string(), 1 << 20, &stats,
+                                   /*hash_bits=*/4);
+  ASSERT_TRUE(cache.ok());
+
+  // Find two distinct keys whose low-4-bit file hashes collide.
+  auto masked = [](const std::string& key) { return Hash64(key) & 0xf; };
+  const std::string first = "key0";
+  std::string second;
+  for (int i = 1; second.empty(); ++i) {
+    std::string candidate = "key" + std::to_string(i);
+    if (masked(candidate) == masked(first)) second = candidate;
+  }
+
+  (*cache)->Insert(first, "bytes-of-first");
+  ASSERT_NE((*cache)->Get(first), nullptr);
+  (*cache)->Insert(second, "bytes-of-second");
+
+  // `first`'s file was overwritten: it must read as a miss, never as
+  // `second`'s bytes.
+  EXPECT_EQ((*cache)->Get(first), nullptr);
+  auto got = (*cache)->Get(second);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, "bytes-of-second");
+  EXPECT_EQ((*cache)->entry_count(), 1u);
+
+  // Evicting/overwriting `second` must not resurrect `first`.
+  (*cache)->Insert(first, "fresh-first");
+  got = (*cache)->Get(first);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, "fresh-first");
+  EXPECT_EQ((*cache)->Get(second), nullptr);
+}
+
+TEST_F(SsdCacheTest, TamperedFileReadsAsMiss) {
+  auto cache = SsdBlockCache::Open(dir_.string(), 1 << 20);
+  ASSERT_TRUE(cache.ok());
+  (*cache)->Insert("obj#7", "block-bytes");
+  ASSERT_NE((*cache)->Get("obj#7"), nullptr);
+
+  // Corrupt the header of the single cache file on disk.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    std::fstream file(entry.path(), std::ios::binary | std::ios::in |
+                                        std::ios::out);
+    ASSERT_TRUE(file.is_open());
+    file.seekp(0);
+    file.write("XXXX", 4);  // clobber the magic
+  }
+
+  EXPECT_EQ((*cache)->Get("obj#7"), nullptr);
+  // The stale index entry is dropped; later inserts work normally.
+  EXPECT_EQ((*cache)->entry_count(), 0u);
+  (*cache)->Insert("obj#7", "replacement");
+  auto got = (*cache)->Get("obj#7");
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, "replacement");
+}
+
+// Regression: a block promoted memory<-SSD was re-spilled to SSD when it
+// aged out of memory again, rewriting bytes the SSD level still holds.
+TEST_F(SsdCacheTest, PromotionDoesNotRespillToSsd) {
+  BlockManagerOptions options;
+  options.memory_capacity_bytes = 64;  // one 40-byte block at a time
+  options.memory_shards = 1;
+  options.ssd_dir = dir_.string();
+  options.ssd_capacity_bytes = 1 << 20;
+  auto manager = BlockManager::Open(options);
+  ASSERT_TRUE(manager.ok());
+
+  (*manager)->Insert("a", Block(std::string(40, 'a')));
+  (*manager)->Insert("b", Block(std::string(40, 'b')));  // a -> SSD
+  EXPECT_EQ((*manager)->ssd_stats().inserts.load(), 1u);
+
+  ASSERT_NE((*manager)->Get("a"), nullptr);  // promote a; b -> SSD
+  EXPECT_EQ((*manager)->ssd_stats().inserts.load(), 2u);
+
+  // Evicting the promoted copy of `a` must not write to SSD again: the SSD
+  // level already holds it.
+  (*manager)->Insert("c", Block(std::string(40, 'c')));
+  EXPECT_EQ((*manager)->ssd_stats().inserts.load(), 2u);
+  ASSERT_NE((*manager)->Get("a"), nullptr);  // still served from SSD
 }
 
 TEST_F(SsdCacheTest, BlockManagerWithoutSsdStillCaches) {

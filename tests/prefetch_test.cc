@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "cache/block_manager.h"
 #include "common/random.h"
@@ -132,6 +135,50 @@ TEST_F(PrefetchServiceTest, ParallelPrefetchOverlapsLatency) {
   // And the data must be readable without further IO cost.
   auto got = service.Read("obj", 1000, 2000);
   ASSERT_TRUE(got.ok());
+}
+
+TEST_F(PrefetchServiceTest, ConcurrentReadersOfSameRunFetchOnce) {
+  // Many threads read the same uncached run at once. The in-flight set must
+  // collapse them onto a single ranged GET, and every reader must still see
+  // byte-exact data. Simulated latency keeps the race window wide open.
+  objectstore::SimulatedStoreOptions sim;
+  sim.first_byte_latency_us = 5000;  // 5 ms: all threads pile up in-flight
+  sim.bandwidth_bytes_per_us = 1e9;
+  sim.max_concurrent_requests = 64;
+  sim.time_scale = 1.0;
+  const std::string data = MakeObject(64 * 1024, 6);
+  auto base = std::make_unique<objectstore::MemoryObjectStore>();
+  ASSERT_TRUE(base->Put("obj", data).ok());
+  objectstore::SimulatedObjectStore slow(std::move(base), sim);
+
+  PrefetchService service(&slow, cache_.get(),
+                          {.threads = 8, .block_size = 4096});
+
+  constexpr int kThreads = 16;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      // Same run of blocks for everyone, offsets staggered inside it.
+      auto got = service.Read("obj", 100, 16000);
+      if (!got.ok()) {
+        failures++;
+      } else if (*got != data.substr(100, 16000)) {
+        mismatches++;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  // One coalesced fetch for the whole run; losers of the race waited on the
+  // in-flight entry instead of issuing their own GET.
+  EXPECT_EQ(service.fetches_issued(), 1u);
+  EXPECT_EQ(slow.stats().range_gets.load(), 1u);
+  EXPECT_EQ(service.fetch_errors(), 0u);
 }
 
 TEST_F(PrefetchServiceTest, WorksWithoutCache) {
