@@ -30,10 +30,11 @@ std::shared_ptr<const std::string> BlockManager::Get(const std::string& key) {
   if (auto block = memory_->Get(key)) return block;
   if (ssd_ != nullptr) {
     if (auto block = ssd_->Get(key)) {
-      // Promote to the memory level for subsequent hits. The SSD level
-      // still holds the bytes, so the promoted entry must not spill back
-      // to SSD when it is evicted from memory again.
-      memory_->Insert(key, block, block->size(), /*spill_on_evict=*/false);
+      // Promote to the memory level for subsequent hits. The levels are
+      // exclusive: the SSD copy is released so the bytes are charged once,
+      // and a later memory eviction spills the block back down.
+      ssd_->Erase(key);
+      memory_->Insert(key, block, block->size(), /*spill_on_evict=*/true);
       return block;
     }
   }

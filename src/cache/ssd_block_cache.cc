@@ -153,6 +153,18 @@ std::shared_ptr<const std::string> SsdBlockCache::Get(const std::string& key) {
   return data;
 }
 
+void SsdBlockCache::Erase(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DetachEntryLocked(key);
+  const uint64_t file_hash = FileHash(key);
+  auto owner = file_owner_.find(file_hash);
+  if (owner != file_owner_.end() && owner->second == key) {
+    file_owner_.erase(owner);
+    std::error_code ec;
+    fs::remove(PathForHash(file_hash), ec);
+  }
+}
+
 bool SsdBlockCache::Contains(const std::string& key) const {
   std::lock_guard<std::mutex> lock(mu_);
   return index_.count(key) > 0;

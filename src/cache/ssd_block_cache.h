@@ -46,6 +46,11 @@ class SsdBlockCache {
 
   bool Contains(const std::string& key) const;
 
+  // Drops `key` and deletes its file if this key owns it (used when a block
+  // is promoted to the memory level: the two levels are exclusive, so the
+  // SSD copy is released rather than left double-charged).
+  void Erase(const std::string& key);
+
   uint64_t used_bytes() const;
   size_t entry_count() const;
 

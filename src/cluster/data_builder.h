@@ -50,6 +50,7 @@ class DataBuilder {
   // Restarts object-key numbering after catalog recovery, so new LogBlocks
   // never collide with keys already on the store.
   void set_next_sequence(uint64_t sequence) { sequence_.store(sequence); }
+  uint64_t next_sequence() const { return sequence_.load(); }
 
   uint64_t blocks_built() const { return blocks_built_.load(); }
   uint64_t rows_archived() const { return rows_archived_.load(); }

@@ -20,21 +20,65 @@ Worker::Worker(uint32_t id, objectstore::ObjectStore* store,
     // Replica 2: WAL-only (stores the log, applies nothing) — the §3
     // storage-cost trade-off.
     auto apply_to = [this](rowstore::RowStore* target) {
-      return [this, target](uint64_t, const std::string& payload) {
-        auto record = rowstore::DecodeWalRecord(payload, options_.schema);
-        if (record.ok()) target->Append(record->tenant_id, record->rows);
+      return [this, target](uint64_t index, const std::string& payload) {
+        // Empty payloads are recovery no-op barriers, not data.
+        if (!payload.empty()) {
+          auto record = rowstore::DecodeWalRecord(payload, options_.schema);
+          if (record.ok()) target->Append(record->tenant_id, record->rows);
+        }
+        if (target == primary_store_.get()) {
+          applied_index_to_seq_[index] = primary_store_->last_seq();
+        }
       };
     };
     raft_->SetApplyFn(0, apply_to(primary_store_.get()));
     raft_->SetApplyFn(1, apply_to(replica_store_.get()));
     raft_->SetApplyFn(2, consensus::ApplyFn());  // WAL-only
-    raft_->WaitForLeader();
+
+    if (!options_.wal_dir.empty()) {
+      // Durable mode: recover each replica's WAL (after SetApplyFn — that
+      // recreates the node) and attach it as the raft persistence layer.
+      for (int i = 0; i < 3; ++i) {
+        auto wal = consensus::DurableLog::Open(
+            options_.wal_dir + "/node-" + std::to_string(i), options_.wal);
+        if (!wal.ok()) {
+          wal_status_ = wal.status();
+          wals_.clear();
+          return;
+        }
+        wals_.push_back(std::move(wal).value());
+        raft_->AttachPersistence(i, wals_[i].get(), &wals_[i]->recovered());
+      }
+      // The builder's object-key numbering rides in the watermark cookie of
+      // the primary's WAL, so recovered uploads never collide with
+      // LogBlocks already on the object store.
+      builder_->set_next_sequence(wals_[0]->recovered().watermark_aux);
+
+      const int leader = raft_->WaitForLeader();
+      if (leader >= 0 &&
+          raft_->node(leader).log_size() >
+              raft_->node(leader).log_base_index()) {
+        // Recovered entries carry earlier terms, and Raft §5.4.2 forbids
+        // committing those by counting. A no-op barrier in the new term
+        // re-commits everything beneath it, replaying committed entries
+        // into the row stores through the normal apply path.
+        const uint64_t barrier = raft_->node(leader).log_size() + 1;
+        raft_->node(leader).Propose("").IgnoreError();
+        for (int i = 0;
+             i < 1000 && raft_->node(0).last_applied() < barrier; ++i) {
+          raft_->Tick(10);
+        }
+      }
+    } else {
+      raft_->WaitForLeader();
+    }
   }
 }
 
 Status Worker::Write(uint32_t shard, uint64_t tenant,
                      const logblock::RowBatch& rows) {
   if (options_.replicated) {
+    if (!wal_status_.ok()) return wal_status_;
     // Synchronous commit: propose on the leader and pump the group until
     // the entry is applied (models "the synchronization can only be
     // completed after most of the followers have persisted the WAL").
@@ -52,6 +96,11 @@ Status Worker::Write(uint32_t shard, uint64_t tenant,
     if (raft_->node(0).last_applied() < target) {
       return Status::TimedOut("replication did not complete");
     }
+    // Group commit: the ack below promises durability on every replica
+    // under kOnSync as well as kPerRecord.
+    if (!wals_.empty()) {
+      LOGSTORE_RETURN_IF_ERROR(raft_->SyncAll());
+    }
   } else {
     primary_store_->Append(tenant, rows);
   }
@@ -63,8 +112,34 @@ Status Worker::Write(uint32_t shard, uint64_t tenant,
   return Status::OK();
 }
 
-Result<int> Worker::RunBuildPass() {
-  return builder_->BuildOnce(primary_store_.get());
+Result<int> Worker::RunBuildPass(bool advance_watermark) {
+  auto built = builder_->BuildOnce(primary_store_.get());
+  if (built.ok() && advance_watermark && !wals_.empty()) {
+    AdvanceWalWatermark();
+  }
+  return built;
+}
+
+void Worker::AdvanceWalWatermark() {
+  // Translate the row store's checkpoint (rows through archived_seq are on
+  // the object store) into the largest entry index whose rows are ALL
+  // archived. SnapshotForBuild can cut mid-entry, so an entry straddling
+  // the checkpoint keeps the watermark below it until the next pass.
+  const uint64_t archived = primary_store_->archived_seq();
+  uint64_t watermark = 0;
+  for (const auto& [index, seq] : applied_index_to_seq_) {
+    if (seq > archived) break;
+    watermark = index;
+  }
+  if (watermark == 0) return;
+  const uint64_t aux = builder_->next_sequence();
+  for (int i = 0; i < raft_->num_nodes(); ++i) {
+    // Per-node: clamped to that node's own applied point, so a lagging
+    // replica retains its segments until it catches up.
+    raft_->node(i).AdvanceWatermark(watermark, aux).IgnoreError();
+  }
+  applied_index_to_seq_.erase(applied_index_to_seq_.begin(),
+                              applied_index_to_seq_.upper_bound(watermark));
 }
 
 logblock::RowBatch Worker::ScanRealtime(

@@ -9,6 +9,7 @@
 
 #include "cluster/data_builder.h"
 #include "common/result.h"
+#include "consensus/durable_log.h"
 #include "consensus/raft.h"
 #include "logblock/logblock_map.h"
 #include "objectstore/object_store.h"
@@ -25,6 +26,15 @@ struct WorkerOptions {
   bool replicated = false;
   consensus::RaftOptions raft;
   DataBuilderOptions builder;
+
+  // Non-empty (with replicated=true): each replica keeps a durable WAL at
+  // <wal_dir>/node-<i>, so constructing a worker over an existing directory
+  // is a process restart — term, vote and log reload from disk, committed
+  // entries replay into the row stores, and the builder's object-key
+  // sequence resumes from the recovered watermark cookie. Empty: in-memory
+  // replication only (the original simulation behavior).
+  std::string wal_dir;
+  consensus::DurableLogOptions wal;
 };
 
 // One execution-layer worker (Figure 3): local WAL + row store, a data
@@ -40,12 +50,20 @@ class Worker {
 
   // Local-write phase: WAL + replication + row-store apply. Returns
   // ResourceExhausted under backpressure (BFC), letting the client retry
-  // at a reduced rate.
+  // at a reduced rate. An OK return means the batch is applied on the
+  // primary AND durable on every replica WAL (SyncAll ran) — the crash
+  // harness holds the worker to exactly this promise.
   Status Write(uint32_t shard, uint64_t tenant,
                const logblock::RowBatch& rows);
 
   // Remote-archive phase: one data-builder pass. Returns LogBlocks built.
-  Result<int> RunBuildPass();
+  // With `advance_watermark` (the normal path), a successful pass then
+  // persists the archived-through watermark into every replica WAL and
+  // deletes log segments wholly below it. Passing false models a crash in
+  // the window between upload completion and watermark persist: recovery
+  // replays those entries again (at-least-once archiving; acked data is
+  // never lost, duplicate LogBlocks are possible).
+  Result<int> RunBuildPass(bool advance_watermark = true);
 
   // Real-time query path over un-archived rows.
   logblock::RowBatch ScanRealtime(
@@ -54,6 +72,16 @@ class Worker {
 
   rowstore::RowStore* row_store() { return primary_store_.get(); }
   const DataBuilder& builder() const { return *builder_; }
+
+  // Durable-WAL introspection (null when wal_dir is unset / not
+  // replicated). After SimulateCrash on the returned logs, destroy the
+  // worker and construct a new one over the same wal_dir.
+  consensus::DurableLog* wal(int node) {
+    return node < static_cast<int>(wals_.size()) ? wals_[node].get() : nullptr;
+  }
+  consensus::RaftCluster* raft() { return raft_.get(); }
+  // Error from opening/recovering the WALs; Write fails with it when set.
+  const Status& wal_status() const { return wal_status_; }
 
   // Monitor metrics: rows written per shard and per tenant since the last
   // harvest (§4.1.3: "It collects tenant traffic f(Ki), shard load f(Pj)
@@ -66,6 +94,10 @@ class Worker {
   TrafficSnapshot HarvestTraffic();
 
  private:
+  // Persists the largest fully-archived entry index into every replica WAL
+  // and GCs segments below it.
+  void AdvanceWalWatermark();
+
   const uint32_t id_;
   WorkerOptions options_;
 
@@ -74,6 +106,14 @@ class Worker {
   std::unique_ptr<rowstore::RowStore> primary_store_;
   std::unique_ptr<rowstore::RowStore> replica_store_;
   std::unique_ptr<consensus::RaftCluster> raft_;
+
+  // Durable WALs, one per replica, indexed like raft nodes.
+  std::vector<std::unique_ptr<consensus::DurableLog>> wals_;
+  Status wal_status_ = Status::OK();
+  // Apply-order map from raft entry index to the primary row store's last
+  // seq after applying it; lets the build pass translate "rows archived
+  // through seq S" into "entries archived through index I" for WAL GC.
+  std::map<uint64_t, uint64_t> applied_index_to_seq_;
 
   std::unique_ptr<DataBuilder> builder_;
 

@@ -90,6 +90,9 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  // Explicitly discard an error (documents intent at the call site).
+  void IgnoreError() const {}
+
   std::string ToString() const {
     if (ok()) return "OK";
     return std::string(CodeName(code_)) + ": " + message_;

@@ -16,6 +16,31 @@ RaftNode::RaftNode(int id, int cluster_size, RaftOptions options,
   ResetElectionTimer();
 }
 
+void RaftNode::AttachPersistence(RaftPersistence* persistence,
+                                 const RecoveredState* recovered) {
+  persistence_ = persistence;
+  if (recovered == nullptr) return;
+  term_ = recovered->term;
+  voted_for_ = recovered->voted_for;
+  log_base_index_ = recovered->base_index;
+  log_base_term_ = recovered->base_term;
+  log_ = recovered->entries;
+  // Entries at or below the base were archived before the crash and are
+  // never re-applied; everything above re-commits through the protocol
+  // (the embedder drives a no-op barrier to force it, Raft §5.4.2).
+  commit_index_ = log_base_index_;
+  last_applied_ = log_base_index_;
+  std::fill(next_index_.begin(), next_index_.end(), LastLogIndex() + 1);
+  std::fill(match_index_.begin(), match_index_.end(), 0);
+}
+
+void RaftNode::PersistHardState() {
+  if (persistence_ == nullptr) return;
+  // A failed persist (only possible after a simulated crash, when the
+  // embedder is about to tear the node down) must not crash the tick loop.
+  persistence_->PersistHardState(term_, voted_for_).IgnoreError();
+}
+
 void RaftNode::ResetElectionTimer() {
   election_elapsed_ms_ = 0;
   election_timeout_ms_ = static_cast<int>(
@@ -41,23 +66,48 @@ Status RaftNode::Propose(std::string payload) {
   return Status::OK();
 }
 
+Status RaftNode::AdvanceWatermark(uint64_t index, uint64_t aux) {
+  // Only applied entries may be archived, and the base never moves back.
+  index = std::min(index, last_applied_);
+  if (index < log_base_index_) return Status::OK();
+  const uint64_t term = TermAt(index);
+  if (persistence_ != nullptr) {
+    LOGSTORE_RETURN_IF_ERROR(persistence_->PersistWatermark(index, term, aux));
+  }
+  log_.erase(log_.begin(), log_.begin() + (index - log_base_index_));
+  log_base_index_ = index;
+  log_base_term_ = term;
+  // A peer's next_index below the base would make us fabricate entries we
+  // no longer hold; clamp (see header: no InstallSnapshot by design).
+  for (uint64_t& next : next_index_) {
+    next = std::max(next, log_base_index_ + 1);
+  }
+  return Status::OK();
+}
+
+Status RaftNode::SyncWal() {
+  if (persistence_ == nullptr) return Status::OK();
+  return persistence_->Sync();
+}
+
 void RaftNode::Restart() {
   role_ = Role::kFollower;
   leader_hint_ = -1;
-  commit_index_ = 0;   // volatile; recomputed from the leader
-  last_applied_ = 0;   // state machine is rebuilt by re-applying
+  commit_index_ = log_base_index_;  // volatile; recomputed from the leader
+  last_applied_ = log_base_index_;  // state machine is rebuilt by re-applying
   votes_received_ = 0;
   heartbeat_elapsed_ms_ = 0;
   sync_queue_.clear();
   sync_queue_bytes_ = 0;
   apply_queue_.clear();
   apply_queue_bytes_ = 0;
-  std::fill(next_index_.begin(), next_index_.end(), log_.size() + 1);
+  std::fill(next_index_.begin(), next_index_.end(), LastLogIndex() + 1);
   std::fill(match_index_.begin(), match_index_.end(), 0);
   ResetElectionTimer();
 }
 
 void RaftNode::BecomeFollower(uint64_t term, int leader_hint) {
+  const bool term_changed = term != term_;
   term_ = term;
   role_ = Role::kFollower;
   if (leader_hint >= 0) leader_hint_ = leader_hint;
@@ -66,6 +116,7 @@ void RaftNode::BecomeFollower(uint64_t term, int leader_hint) {
   // clients observe kUnavailable on subsequent writes and re-route.
   sync_queue_.clear();
   sync_queue_bytes_ = 0;
+  if (term_changed) PersistHardState();
   ResetElectionTimer();
 }
 
@@ -74,6 +125,7 @@ void RaftNode::BecomeCandidate(std::vector<Message>* out) {
   role_ = Role::kCandidate;
   voted_for_ = id_;
   votes_received_ = 1;  // own vote
+  PersistHardState();
   ResetElectionTimer();
   for (int peer = 0; peer < cluster_size_; ++peer) {
     if (peer == id_) continue;
@@ -82,7 +134,7 @@ void RaftNode::BecomeCandidate(std::vector<Message>* out) {
     m.from = id_;
     m.to = peer;
     m.term = term_;
-    m.last_log_index = log_.size();
+    m.last_log_index = LastLogIndex();
     m.last_log_term = LastLogTerm();
     out->push_back(std::move(m));
   }
@@ -93,9 +145,9 @@ void RaftNode::BecomeLeader(std::vector<Message>* out) {
   role_ = Role::kLeader;
   leader_hint_ = id_;
   heartbeat_elapsed_ms_ = 0;
-  std::fill(next_index_.begin(), next_index_.end(), log_.size() + 1);
+  std::fill(next_index_.begin(), next_index_.end(), LastLogIndex() + 1);
   std::fill(match_index_.begin(), match_index_.end(), 0);
-  match_index_[id_] = log_.size();
+  match_index_[id_] = LastLogIndex();
   BroadcastAppendEntries(out);  // immediate heartbeat asserts leadership
 }
 
@@ -106,13 +158,12 @@ Message RaftNode::MakeAppendFor(int peer) const {
   m.to = peer;
   m.term = term_;
   m.prev_log_index = next_index_[peer] - 1;
-  m.prev_log_term =
-      m.prev_log_index == 0 ? 0 : log_[m.prev_log_index - 1].term;
-  const uint64_t last = log_.size();
+  m.prev_log_term = m.prev_log_index == 0 ? 0 : TermAt(m.prev_log_index);
+  const uint64_t last = LastLogIndex();
   uint64_t next = next_index_[peer];
   for (int n = 0; next <= last && n < options_.max_entries_per_append;
        ++next, ++n) {
-    m.entries.push_back(log_[next - 1]);
+    m.entries.push_back(log_at(next));
   }
   m.leader_commit = commit_index_;
   return m;
@@ -127,8 +178,8 @@ void RaftNode::BroadcastAppendEntries(std::vector<Message>* out) {
 
 void RaftNode::AdvanceCommit() {
   // Raft §5.4.2: only entries of the current term commit by counting.
-  for (uint64_t n = log_.size(); n > commit_index_; --n) {
-    if (log_[n - 1].term != term_) break;
+  for (uint64_t n = LastLogIndex(); n > commit_index_; --n) {
+    if (TermAt(n) != term_) break;
     int replicas = 0;
     for (int peer = 0; peer < cluster_size_; ++peer) {
       if (match_index_[peer] >= n) ++replicas;
@@ -146,7 +197,7 @@ void RaftNode::DrainApplyQueue(int budget) {
          commit_index_) {
     const uint64_t next =
         last_applied_ + static_cast<uint64_t>(apply_queue_.size()) + 1;
-    const std::string& payload = log_[next - 1].payload;
+    const std::string& payload = log_at(next).payload;
     if (apply_queue_.size() >= options_.apply_queue_max_items ||
         (apply_queue_bytes_ + payload.size() >
              options_.apply_queue_max_bytes &&
@@ -174,12 +225,17 @@ void RaftNode::Tick(int ms, std::vector<Message>* out) {
     // window so a stalled commit (slow/backpressured followers) propagates
     // into a full sync queue.
     while (!sync_queue_.empty() &&
-           log_.size() - commit_index_ < options_.max_uncommitted_entries) {
+           LastLogIndex() - commit_index_ < options_.max_uncommitted_entries) {
       sync_queue_bytes_ -= sync_queue_.front().size();
       log_.push_back(LogEntry{term_, std::move(sync_queue_.front())});
       sync_queue_.pop_front();
+      // Under kOnSync this write reaches the disk at the embedder's group
+      // commit (SyncWal before the client ack), not here.
+      if (persistence_ != nullptr) {
+        persistence_->AppendEntry(LastLogIndex(), log_.back()).IgnoreError();
+      }
     }
-    match_index_[id_] = log_.size();
+    match_index_[id_] = LastLogIndex();
     if (cluster_size_ == 1) AdvanceCommit();
 
     heartbeat_elapsed_ms_ += ms;
@@ -211,10 +267,15 @@ void RaftNode::Receive(const Message& m, std::vector<Message>* out) {
       reply.term = term_;
       const bool log_ok =
           m.last_log_term > LastLogTerm() ||
-          (m.last_log_term == LastLogTerm() && m.last_log_index >= log_.size());
+          (m.last_log_term == LastLogTerm() &&
+           m.last_log_index >= LastLogIndex());
       if (m.term == term_ && log_ok &&
           (voted_for_ == -1 || voted_for_ == m.from)) {
         voted_for_ = m.from;
+        // The vote must be durable before the response leaves: a vote
+        // granted, forgotten in a crash, then granted to another candidate
+        // would elect two leaders for this term.
+        PersistHardState();
         reply.vote_granted = true;
         ResetElectionTimer();
       }
@@ -260,29 +321,43 @@ void RaftNode::Receive(const Message& m, std::vector<Message>* out) {
         break;
       }
 
-      // Log consistency check.
-      if (m.prev_log_index > log_.size() ||
-          (m.prev_log_index > 0 &&
-           log_[m.prev_log_index - 1].term != m.prev_log_term)) {
+      // Log consistency check. A prev below our base is consistent by
+      // construction: those entries are committed and archived here.
+      if (m.prev_log_index > LastLogIndex() ||
+          (m.prev_log_index > log_base_index_ &&
+           TermAt(m.prev_log_index) != m.prev_log_term)) {
         reply.success = false;
         out->push_back(std::move(reply));
         break;
       }
-      // Append, truncating conflicts.
+      // Append, truncating conflicts. Durability of the success ack below
+      // follows the sync policy: kPerRecord syncs inside AppendEntry,
+      // kOnSync defers to the embedder's group commit before the client
+      // ack (SyncAll).
       uint64_t index = m.prev_log_index;
       for (const LogEntry& entry : m.entries) {
         ++index;
-        if (index <= log_.size()) {
-          if (log_[index - 1].term != entry.term) {
-            log_.resize(index - 1);
+        if (index <= log_base_index_) continue;  // archived, already durable
+        if (index <= LastLogIndex()) {
+          if (TermAt(index) != entry.term) {
+            log_.resize(index - log_base_index_ - 1);
+            if (persistence_ != nullptr) {
+              persistence_->TruncateSuffix(index).IgnoreError();
+            }
             log_.push_back(entry);
+            if (persistence_ != nullptr) {
+              persistence_->AppendEntry(index, entry).IgnoreError();
+            }
           }
         } else {
           log_.push_back(entry);
+          if (persistence_ != nullptr) {
+            persistence_->AppendEntry(index, entry).IgnoreError();
+          }
         }
       }
       if (m.leader_commit > commit_index_) {
-        commit_index_ = std::min<uint64_t>(m.leader_commit, log_.size());
+        commit_index_ = std::min<uint64_t>(m.leader_commit, LastLogIndex());
       }
       reply.success = true;
       reply.match_index = m.prev_log_index + m.entries.size();
@@ -295,15 +370,19 @@ void RaftNode::Receive(const Message& m, std::vector<Message>* out) {
       if (m.success) {
         match_index_[m.from] = std::max(match_index_[m.from], m.match_index);
         next_index_[m.from] = match_index_[m.from] + 1;
+        // A duplicated old response can leave next_index below the base
+        // after compaction; clamp (entries below base no longer exist).
+        next_index_[m.from] =
+            std::max(next_index_[m.from], log_base_index_ + 1);
         AdvanceCommit();
         // Keep streaming if the follower is behind.
-        if (next_index_[m.from] <= log_.size()) {
+        if (next_index_[m.from] <= LastLogIndex()) {
           out->push_back(MakeAppendFor(m.from));
         }
       } else if (m.backpressured) {
         // Follower is applying slowly; retry later (next heartbeat) rather
         // than decrementing next_index.
-      } else if (next_index_[m.from] > 1) {
+      } else if (next_index_[m.from] > log_base_index_ + 1) {
         --next_index_[m.from];
         out->push_back(MakeAppendFor(m.from));
       }
@@ -331,7 +410,29 @@ void RaftCluster::SetApplyFn(int node, ApplyFn fn) {
       /*seed=*/rng_.Next(), std::move(fn));
 }
 
+void RaftCluster::AttachPersistence(int node, RaftPersistence* persistence,
+                                    const RecoveredState* recovered) {
+  nodes_[node]->AttachPersistence(persistence, recovered);
+}
+
+Status RaftCluster::SyncAll() {
+  for (auto& node : nodes_) {
+    LOGSTORE_RETURN_IF_ERROR(node->SyncWal());
+  }
+  return Status::OK();
+}
+
 void RaftCluster::DeliverAll(std::vector<Message>* messages) {
+  // Messages held back by the reorder injector re-enter one delivery batch
+  // (= one Tick step) later, so reordering is bounded, not starvation.
+  for (auto it = delayed_.begin(); it != delayed_.end();) {
+    if (--it->rounds_left <= 0) {
+      messages->push_back(std::move(it->message));
+      it = delayed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   // Deliver rounds until quiescent, so RPCs and their cascading responses
   // settle within one logical step.
   int rounds = 0;
@@ -340,7 +441,14 @@ void RaftCluster::DeliverAll(std::vector<Message>* messages) {
     for (const Message& m : *messages) {
       if (disconnected_[m.from] || disconnected_[m.to]) continue;
       if (drop_rate_ > 0.0 && rng_.NextDouble() < drop_rate_) continue;
+      if (reorder_rate_ > 0.0 && rng_.NextDouble() < reorder_rate_) {
+        delayed_.push_back({m, static_cast<int>(rng_.Uniform(3)) + 1});
+        continue;
+      }
       nodes_[m.to]->Receive(m, &next);
+      if (duplicate_rate_ > 0.0 && rng_.NextDouble() < duplicate_rate_) {
+        nodes_[m.to]->Receive(m, &next);
+      }
     }
     *messages = std::move(next);
   }

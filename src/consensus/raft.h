@@ -12,6 +12,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "consensus/raft_persistence.h"
 
 namespace logstore::consensus {
 
@@ -23,6 +24,20 @@ namespace logstore::consensus {
 // node rejects further input, propagating backpressure upstream until the
 // client's write rate is limited, instead of letting internal queues
 // "explode" and make the node unresponsive.
+//
+// Persistent state (term, vote, log) can be backed by a RaftPersistence
+// (see durable_log.h): the node notifies it on every term/vote change and
+// log append/truncate, so a real process restart reloads state from disk
+// via AttachPersistence. Without one attached, behavior is the original
+// in-memory simulation.
+//
+// The log carries a base offset (log_base_index_/log_base_term_): entries
+// at or below the base have been archived to the object store (the durable
+// watermark) and are dropped from memory and from WAL segments. There is no
+// InstallSnapshot RPC — the embedder must only advance the watermark past
+// entries every live replica has applied (Worker does, via its coordinated
+// build pass); a follower that falls below a leader's base can never catch
+// up and stays behind, which the harness asserts never happens.
 //
 // The implementation is tick-driven and single-threaded per cluster: a
 // harness (RaftCluster) advances virtual time and shuttles messages, which
@@ -101,6 +116,14 @@ class RaftNode {
   RaftNode(int id, int cluster_size, RaftOptions options, uint64_t seed,
            ApplyFn apply_fn);
 
+  // Installs the durability layer. With `recovered` non-null, term, vote,
+  // log and base are reloaded from it first (process-restart path);
+  // commit/applied restart at the base and committed entries re-commit and
+  // re-apply through the normal protocol once a leader emerges. Call before
+  // the first Tick.
+  void AttachPersistence(RaftPersistence* persistence,
+                         const RecoveredState* recovered);
+
   // Client write: enqueue a payload for replication. Fails with
   // kUnavailable when not leader, kResourceExhausted when the sync queue is
   // at its BFC limit.
@@ -112,13 +135,27 @@ class RaftNode {
   // Delivers one inbound message, producing responses.
   void Receive(const Message& message, std::vector<Message>* out);
 
+  // Declares entries through `index` archived: persists a watermark record
+  // (with the embedder cookie `aux`), garbage-collects WAL segments wholly
+  // below it, and drops the in-memory prefix. Clamped to last_applied().
+  Status AdvanceWatermark(uint64_t index, uint64_t aux);
+
+  // Group-commit point: flushes WAL appends buffered under kOnSync. Call
+  // before acknowledging a client write.
+  Status SyncWal();
+
   int id() const { return id_; }
   Role role() const { return role_; }
   uint64_t term() const { return term_; }
   uint64_t commit_index() const { return commit_index_; }
   uint64_t last_applied() const { return last_applied_; }
-  uint64_t log_size() const { return log_.size(); }
-  const LogEntry& log_at(uint64_t index) const { return log_[index - 1]; }
+  // Index of the newest entry (log indexes are global and 1-based; entries
+  // at or below log_base_index() have been archived and dropped).
+  uint64_t log_size() const { return log_base_index_ + log_.size(); }
+  uint64_t log_base_index() const { return log_base_index_; }
+  const LogEntry& log_at(uint64_t index) const {
+    return log_[index - log_base_index_ - 1];
+  }
   size_t sync_queue_depth() const { return sync_queue_.size(); }
   size_t apply_queue_depth() const { return apply_queue_.size(); }
   int leader_hint() const { return leader_hint_; }
@@ -136,20 +173,32 @@ class RaftNode {
   void AdvanceCommit();
   void DrainApplyQueue(int budget);
   void ResetElectionTimer();
+  uint64_t LastLogIndex() const { return log_base_index_ + log_.size(); }
   uint64_t LastLogTerm() const {
-    return log_.empty() ? 0 : log_.back().term;
+    return log_.empty() ? log_base_term_ : log_.back().term;
   }
+  uint64_t TermAt(uint64_t index) const {
+    return index == log_base_index_ ? log_base_term_
+                                    : log_[index - log_base_index_ - 1].term;
+  }
+  // Mirror a term/vote change to the durability layer (no-op when none).
+  void PersistHardState();
 
   const int id_;
   const int cluster_size_;
   const RaftOptions options_;
   Random rng_;
   ApplyFn apply_fn_;
+  RaftPersistence* persistence_ = nullptr;  // not owned; may be null
 
   // Persistent state.
   uint64_t term_ = 0;
   int voted_for_ = -1;
-  std::vector<LogEntry> log_;  // 1-based indexing via log_at()
+  // In-memory suffix of the log: log_[i] holds global index
+  // log_base_index_ + 1 + i.
+  std::vector<LogEntry> log_;
+  uint64_t log_base_index_ = 0;
+  uint64_t log_base_term_ = 0;
 
   // Volatile state.
   Role role_ = Role::kFollower;
@@ -173,14 +222,19 @@ class RaftNode {
   uint64_t apply_queue_bytes_ = 0;
 };
 
-// Harness owning a full cluster: routes messages, injects delays/drops,
-// advances time. Deterministic given a seed.
+// Harness owning a full cluster: routes messages, injects drops, duplicates
+// and bounded reordering, advances time. Deterministic given a seed.
 class RaftCluster {
  public:
   RaftCluster(int num_nodes, RaftOptions options, uint64_t seed = 42);
 
   // Per-node apply callbacks must be installed before first Tick.
   void SetApplyFn(int node, ApplyFn fn);
+
+  // Installs a node's durability layer (after SetApplyFn — installing an
+  // apply fn recreates the node and would discard the attachment).
+  void AttachPersistence(int node, RaftPersistence* persistence,
+                         const RecoveredState* recovered);
 
   // Advances all nodes by `ms` (in steps), delivering messages in between.
   void Tick(int ms);
@@ -192,6 +246,10 @@ class RaftCluster {
   // Proposes on the current leader.
   Status Propose(std::string payload);
 
+  // Flushes every node's WAL (group commit); first error wins. Call before
+  // acknowledging a write so acked ⇒ durable under kOnSync too.
+  Status SyncAll();
+
   RaftNode& node(int id) { return *nodes_[id]; }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   int leader() const;
@@ -202,6 +260,11 @@ class RaftCluster {
   bool IsConnected(int node) const { return !disconnected_[node]; }
   // Fraction of messages dropped on otherwise-connected links.
   void SetDropRate(double rate) { drop_rate_ = rate; }
+  // Fraction of delivered messages that are delivered twice.
+  void SetDuplicateRate(double rate) { duplicate_rate_ = rate; }
+  // Fraction of messages held back and re-injected 1–3 delivery rounds
+  // later (bounded reordering).
+  void SetReorderRate(double rate) { reorder_rate_ = rate; }
 
  private:
   void DeliverAll(std::vector<Message>* messages);
@@ -211,6 +274,13 @@ class RaftCluster {
   std::vector<std::unique_ptr<RaftNode>> nodes_;
   std::vector<bool> disconnected_;
   double drop_rate_ = 0.0;
+  double duplicate_rate_ = 0.0;
+  double reorder_rate_ = 0.0;
+  struct DelayedMessage {
+    Message message;
+    int rounds_left = 0;
+  };
+  std::vector<DelayedMessage> delayed_;
 };
 
 }  // namespace logstore::consensus

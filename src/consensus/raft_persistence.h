@@ -1,0 +1,66 @@
+#ifndef LOGSTORE_CONSENSUS_RAFT_PERSISTENCE_H_
+#define LOGSTORE_CONSENSUS_RAFT_PERSISTENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace logstore::consensus {
+
+struct LogEntry;
+
+// State reloaded from a durable log on restart. `entries[i]` carries log
+// index `base_index + 1 + i`; entries at or below `base_index` were archived
+// to the object store before the crash (the durable watermark) and are never
+// replayed into the row store again.
+struct RecoveredState {
+  uint64_t term = 0;
+  int voted_for = -1;
+  // Archived-through watermark: index/term of the newest compacted entry.
+  uint64_t base_index = 0;
+  uint64_t base_term = 0;
+  // Opaque embedder cookie persisted with the watermark (the data builder's
+  // object-key sequence, so recovered uploads never collide with keys
+  // already on the store).
+  uint64_t watermark_aux = 0;
+  std::vector<LogEntry> entries;
+  // Bytes dropped from the tail of the newest segment because a final
+  // record was partial or failed its CRC (torn write repair).
+  uint64_t repaired_tail_bytes = 0;
+};
+
+// The durability boundary of the write path: RaftNode calls these on every
+// term/vote change and log mutation, so that a real process restart (unlike
+// the in-memory Restart() simulation) reloads term, vote and log from disk.
+// All calls happen on the single thread driving the node.
+class RaftPersistence {
+ public:
+  virtual ~RaftPersistence() = default;
+
+  // Term/vote. Must be durable before any message that depends on it is
+  // sent (a vote granted then forgotten can elect two leaders).
+  virtual Status PersistHardState(uint64_t term, int voted_for) = 0;
+
+  // Appends the entry at `index` (always last_index + 1 after any pending
+  // truncation).
+  virtual Status AppendEntry(uint64_t index, const LogEntry& entry) = 0;
+
+  // Discards entries with index >= `from_index` (leader-forced conflict
+  // resolution on a follower).
+  virtual Status TruncateSuffix(uint64_t from_index) = 0;
+
+  // Records that entries through `index` (which has term `term`) are
+  // redundant with LogBlocks on the object store, then deletes log segments
+  // wholly below the watermark.
+  virtual Status PersistWatermark(uint64_t index, uint64_t term,
+                                  uint64_t aux) = 0;
+
+  // Flushes buffered appends per the sync policy (group commit point).
+  virtual Status Sync() = 0;
+};
+
+}  // namespace logstore::consensus
+
+#endif  // LOGSTORE_CONSENSUS_RAFT_PERSISTENCE_H_

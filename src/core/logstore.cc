@@ -1,8 +1,10 @@
 #include "core/logstore.h"
 
+#include "consensus/raft.h"
 #include "objectstore/file_object_store.h"
 #include "objectstore/memory_object_store.h"
 #include "objectstore/simulated_object_store.h"
+#include "rowstore/wal.h"
 
 namespace logstore {
 
@@ -65,6 +67,34 @@ Result<std::unique_ptr<LogStore>> LogStore::Open(LogStoreOptions options) {
   } else if (!manifest.status().IsNotFound()) {
     return manifest.status();
   }
+
+  if (!db->options_.wal_dir.empty()) {
+    auto wal =
+        consensus::DurableLog::Open(db->options_.wal_dir, db->options_.wal);
+    if (!wal.ok()) return wal.status();
+    db->wal_ = std::move(wal).value();
+    const consensus::RecoveredState& recovered = db->wal_->recovered();
+    // Key numbering must clear both the recovered catalog and the WAL
+    // watermark cookie (a crash between upload and checkpoint can leave
+    // the cookie ahead of the catalog).
+    db->builder_->set_next_sequence(
+        std::max(db->builder_->next_sequence(), recovered.watermark_aux));
+    // Replay un-archived entries: rows appended but not flushed before the
+    // crash become visible again. Entries at or below the watermark are
+    // already on the object store and stay out of the row store.
+    uint64_t index = recovered.base_index;
+    for (const consensus::LogEntry& entry : recovered.entries) {
+      ++index;
+      auto record =
+          rowstore::DecodeWalRecord(entry.payload, db->options_.schema);
+      if (record.ok()) {
+        db->row_store_->Append(record->tenant_id, record->rows);
+        db->rows_appended_ += record->rows.num_rows();
+      }
+      db->wal_index_to_seq_[index] = db->row_store_->last_seq();
+    }
+    db->next_wal_index_ = index + 1;
+  }
   return db;
 }
 
@@ -78,7 +108,22 @@ Status LogStore::Append(uint64_t tenant, const logblock::RowBatch& rows) {
   if (!(rows.schema() == options_.schema)) {
     return Status::InvalidArgument("batch schema does not match table schema");
   }
-  row_store_->Append(tenant, rows);
+  if (wal_ != nullptr) {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    // Write-ahead: the entry is journaled and (per the sync policy) on disk
+    // before the row store applies it — an OK return means the batch
+    // survives a crash.
+    consensus::LogEntry entry;
+    entry.term = 1;
+    entry.payload = rowstore::EncodeWalRecord(tenant, rows);
+    LOGSTORE_RETURN_IF_ERROR(wal_->AppendEntry(next_wal_index_, entry));
+    LOGSTORE_RETURN_IF_ERROR(wal_->Sync());
+    row_store_->Append(tenant, rows);
+    wal_index_to_seq_[next_wal_index_] = row_store_->last_seq();
+    ++next_wal_index_;
+  } else {
+    row_store_->Append(tenant, rows);
+  }
   rows_appended_ += rows.num_rows();
 
   if (options_.autoflush_rows != 0 &&
@@ -95,6 +140,24 @@ Result<int> LogStore::Flush() {
   if (!built.ok()) return built.status();
   if (*built > 0) {
     LOGSTORE_RETURN_IF_ERROR(CheckpointCatalog());
+    if (wal_ != nullptr) {
+      // Advance the archived-through watermark to the largest entry whose
+      // rows are ALL on the object store (a build pass can cut mid-entry),
+      // then GC segments wholly below it. A crash before this point merely
+      // replays the entries: at-least-once archiving, nothing lost.
+      const uint64_t archived = row_store_->archived_seq();
+      uint64_t watermark = 0;
+      for (const auto& [index, seq] : wal_index_to_seq_) {
+        if (seq > archived) break;
+        watermark = index;
+      }
+      if (watermark > 0) {
+        LOGSTORE_RETURN_IF_ERROR(wal_->PersistWatermark(
+            watermark, /*term=*/1, builder_->next_sequence()));
+        wal_index_to_seq_.erase(wal_index_to_seq_.begin(),
+                                wal_index_to_seq_.upper_bound(watermark));
+      }
+    }
   }
   return built;
 }

@@ -6,6 +6,7 @@
 
 #include "cluster/data_builder.h"
 #include "common/result.h"
+#include "consensus/durable_log.h"
 #include "logblock/logblock_map.h"
 #include "logblock/row_batch.h"
 #include "logblock/schema.h"
@@ -60,6 +61,15 @@ struct LogStoreOptions {
   // Automatically Flush() when the row store exceeds this many rows
   // (0 = manual flushing only).
   uint64_t autoflush_rows = 0;
+
+  // Non-empty: journal every Append into a durable segmented WAL at this
+  // directory before acknowledging it, and on Open replay un-archived
+  // entries (those above the archived-through watermark) back into the row
+  // store — so rows that were appended but not yet flushed survive a
+  // process crash. Flush advances the watermark and garbage-collects WAL
+  // segments whose entries are all on the object store.
+  std::string wal_dir;
+  consensus::DurableLogOptions wal;
 };
 
 class LogStore {
@@ -120,6 +130,8 @@ class LogStore {
   objectstore::ObjectStore* object_store() { return store_.get(); }
   query::QueryEngine* engine() { return engine_.get(); }
   logblock::LogBlockMap* metadata() { return &metadata_; }
+  // Null when wal_dir is unset.
+  consensus::DurableLog* wal() { return wal_.get(); }
 
  private:
   LogStore() = default;
@@ -141,6 +153,14 @@ class LogStore {
   logblock::LogBlockMap metadata_;
   std::unique_ptr<cluster::DataBuilder> builder_;
   std::unique_ptr<query::QueryEngine> engine_;
+
+  // Durable append journal (wal_dir mode). Guarded by flush_mu_ together
+  // with wal_index_to_seq_, which maps WAL entry index to the row store's
+  // last seq after applying it (translates the builder's checkpoint into
+  // the WAL GC watermark).
+  std::unique_ptr<consensus::DurableLog> wal_;
+  uint64_t next_wal_index_ = 1;
+  std::map<uint64_t, uint64_t> wal_index_to_seq_;
 
   std::mutex flush_mu_;
   std::atomic<uint64_t> rows_appended_{0};

@@ -1,5 +1,7 @@
 #include "objectstore/fault_injecting_object_store.h"
 
+#include <algorithm>
+
 #include "common/hash.h"
 #include "common/random.h"
 
@@ -16,6 +18,44 @@ FaultInjectingObjectStore::FaultInjectingObjectStore(
       base_(owned_.get()),
       options_(options),
       clock_(clock) {}
+
+void FaultInjectingObjectStore::SetBrownout(int64_t start_us, int64_t end_us) {
+  brownout_start_us_.store(start_us, std::memory_order_relaxed);
+  brownout_end_us_.store(end_us, std::memory_order_relaxed);
+}
+
+void FaultInjectingObjectStore::BlacklistKey(const std::string& key) {
+  std::lock_guard<std::mutex> lock(blacklist_mu_);
+  if (std::find(blacklist_.begin(), blacklist_.end(), key) ==
+      blacklist_.end()) {
+    blacklist_.push_back(key);
+  }
+}
+
+void FaultInjectingObjectStore::ClearBlacklist() {
+  std::lock_guard<std::mutex> lock(blacklist_mu_);
+  blacklist_.clear();
+}
+
+Status FaultInjectingObjectStore::Availability(const std::string& key) {
+  const int64_t now = clock_->NowMicros();
+  const int64_t start = brownout_start_us_.load(std::memory_order_relaxed);
+  const int64_t end = brownout_end_us_.load(std::memory_order_relaxed);
+  if (start < end && now >= start && now < end) {
+    fault_stats_.brownout_rejections.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("injected brownout: store unavailable");
+  }
+  {
+    std::lock_guard<std::mutex> lock(blacklist_mu_);
+    if (std::find(blacklist_.begin(), blacklist_.end(), key) !=
+        blacklist_.end()) {
+      fault_stats_.blacklist_rejections.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      return Status::Unavailable("injected blacklist: " + key);
+    }
+  }
+  return Status::OK();
+}
 
 FaultInjectingObjectStore::Fate FaultInjectingObjectStore::NextFate(
     bool mutation) {
@@ -44,6 +84,7 @@ FaultInjectingObjectStore::Fate FaultInjectingObjectStore::NextFate(
 
 Status FaultInjectingObjectStore::Put(const std::string& key,
                                       const Slice& data) {
+  LOGSTORE_RETURN_IF_ERROR(Availability(key));
   if (NextFate(/*mutation=*/true).fail) {
     return Status::IOError("injected fault: Put " + key);
   }
@@ -51,6 +92,7 @@ Status FaultInjectingObjectStore::Put(const std::string& key,
 }
 
 Result<std::string> FaultInjectingObjectStore::Get(const std::string& key) {
+  LOGSTORE_RETURN_IF_ERROR(Availability(key));
   if (NextFate(/*mutation=*/false).fail) {
     return Status::IOError("injected fault: Get " + key);
   }
@@ -60,6 +102,7 @@ Result<std::string> FaultInjectingObjectStore::Get(const std::string& key) {
 Result<std::string> FaultInjectingObjectStore::GetRange(const std::string& key,
                                                         uint64_t offset,
                                                         uint64_t length) {
+  LOGSTORE_RETURN_IF_ERROR(Availability(key));
   const Fate fate = NextFate(/*mutation=*/false);
   if (fate.fail) {
     return Status::IOError("injected fault: GetRange " + key);
@@ -81,6 +124,7 @@ Result<std::string> FaultInjectingObjectStore::GetRange(const std::string& key,
 }
 
 Result<uint64_t> FaultInjectingObjectStore::Head(const std::string& key) {
+  LOGSTORE_RETURN_IF_ERROR(Availability(key));
   if (NextFate(/*mutation=*/false).fail) {
     return Status::IOError("injected fault: Head " + key);
   }
@@ -89,6 +133,7 @@ Result<uint64_t> FaultInjectingObjectStore::Head(const std::string& key) {
 
 Result<std::vector<std::string>> FaultInjectingObjectStore::List(
     const std::string& prefix) {
+  LOGSTORE_RETURN_IF_ERROR(Availability(prefix));
   if (NextFate(/*mutation=*/false).fail) {
     return Status::IOError("injected fault: List " + prefix);
   }
@@ -96,6 +141,7 @@ Result<std::vector<std::string>> FaultInjectingObjectStore::List(
 }
 
 Status FaultInjectingObjectStore::Delete(const std::string& key) {
+  LOGSTORE_RETURN_IF_ERROR(Availability(key));
   if (NextFate(/*mutation=*/true).fail) {
     return Status::IOError("injected fault: Delete " + key);
   }

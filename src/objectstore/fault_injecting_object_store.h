@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -38,9 +39,12 @@ struct FaultStats {
   std::atomic<uint64_t> injected_errors{0};
   std::atomic<uint64_t> injected_short_reads{0};
   std::atomic<uint64_t> injected_latency_spikes{0};
+  std::atomic<uint64_t> brownout_rejections{0};
+  std::atomic<uint64_t> blacklist_rejections{0};
 
   void Reset() {
     ops = injected_errors = injected_short_reads = injected_latency_spikes = 0;
+    brownout_rejections = blacklist_rejections = 0;
   }
 };
 
@@ -67,7 +71,26 @@ class FaultInjectingObjectStore : public ObjectStore {
   const FaultStats& fault_stats() const { return fault_stats_; }
   const FaultInjectionOptions& options() const { return options_; }
 
+  // --- Correlated fault windows (unlike the i.i.d. per-op rates above,
+  // these model sustained outages, which is what actually exercises the
+  // retry layer's deadline path). ---
+
+  // Every operation whose clock time falls in [start_us, end_us) fails
+  // with kUnavailable (a whole-store brownout / throttling event).
+  // end_us <= start_us clears the window. Brownout checks consume no draws
+  // from the per-op fate stream, so the i.i.d. fault sequence outside the
+  // window is unchanged.
+  void SetBrownout(int64_t start_us, int64_t end_us);
+
+  // Key-addressed operations on `key` always fail with kUnavailable (a
+  // lost/unreachable object) until ClearBlacklist.
+  void BlacklistKey(const std::string& key);
+  void ClearBlacklist();
+
  private:
+  // Brownout/blacklist gate; non-OK short-circuits the operation.
+  Status Availability(const std::string& key);
+
   // Per-op fate, decided from one deterministic draw sequence.
   struct Fate {
     bool fail = false;
@@ -84,6 +107,12 @@ class FaultInjectingObjectStore : public ObjectStore {
   Clock* clock_;
   std::atomic<uint64_t> op_counter_{0};
   FaultStats fault_stats_;
+
+  // Correlated fault state.
+  std::atomic<int64_t> brownout_start_us_{0};
+  std::atomic<int64_t> brownout_end_us_{0};
+  mutable std::mutex blacklist_mu_;
+  std::vector<std::string> blacklist_;
 };
 
 }  // namespace logstore::objectstore

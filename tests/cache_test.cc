@@ -278,9 +278,11 @@ TEST_F(SsdCacheTest, TamperedFileReadsAsMiss) {
   EXPECT_EQ(*got, "replacement");
 }
 
-// Regression: a block promoted memory<-SSD was re-spilled to SSD when it
-// aged out of memory again, rewriting bytes the SSD level still holds.
-TEST_F(SsdCacheTest, PromotionDoesNotRespillToSsd) {
+// Regression (ROADMAP): an SSD hit used to be promoted by copying — the
+// block stayed charged at the SSD level AND in memory until the memory copy
+// aged out. The levels are exclusive now: promotion moves the block up, a
+// later memory eviction spills it back down.
+TEST_F(SsdCacheTest, PromotionIsExclusiveAcrossLevels) {
   BlockManagerOptions options;
   options.memory_capacity_bytes = 64;  // one 40-byte block at a time
   options.memory_shards = 1;
@@ -292,15 +294,27 @@ TEST_F(SsdCacheTest, PromotionDoesNotRespillToSsd) {
   (*manager)->Insert("a", Block(std::string(40, 'a')));
   (*manager)->Insert("b", Block(std::string(40, 'b')));  // a -> SSD
   EXPECT_EQ((*manager)->ssd_stats().inserts.load(), 1u);
+  EXPECT_EQ((*manager)->memory_used_bytes(), 40u);
+  EXPECT_EQ((*manager)->ssd_used_bytes(), 40u);
 
-  ASSERT_NE((*manager)->Get("a"), nullptr);  // promote a; b -> SSD
+  // Promoting `a` moves it up: the SSD copy is released (no double charge)
+  // and the displaced `b` spills down.
+  ASSERT_NE((*manager)->Get("a"), nullptr);
   EXPECT_EQ((*manager)->ssd_stats().inserts.load(), 2u);
+  EXPECT_EQ((*manager)->memory_used_bytes(), 40u);  // a
+  EXPECT_EQ((*manager)->ssd_used_bytes(), 40u);     // b only — a was moved
+  EXPECT_EQ((*manager)->memory_used_bytes() + (*manager)->ssd_used_bytes(),
+            80u);  // each block charged exactly once across the hierarchy
 
-  // Evicting the promoted copy of `a` must not write to SSD again: the SSD
-  // level already holds it.
-  (*manager)->Insert("c", Block(std::string(40, 'c')));
-  EXPECT_EQ((*manager)->ssd_stats().inserts.load(), 2u);
-  ASSERT_NE((*manager)->Get("a"), nullptr);  // still served from SSD
+  // The promoted copy is now the only copy, so when it ages out of memory
+  // it MUST spill back to SSD (the old no-respill rule would lose it from
+  // the cache hierarchy entirely).
+  (*manager)->Insert("c", Block(std::string(40, 'c')));  // evicts a
+  EXPECT_EQ((*manager)->ssd_stats().inserts.load(), 3u);
+  EXPECT_EQ((*manager)->ssd_used_bytes(), 80u);  // a and b
+  auto a = (*manager)->Get("a");                 // served from SSD
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(*a, std::string(40, 'a'));
 }
 
 TEST_F(SsdCacheTest, BlockManagerWithoutSsdStillCaches) {

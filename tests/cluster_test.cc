@@ -103,7 +103,10 @@ TEST(ControllerTest, RebalancesOnHotShard) {
   const auto decision = controller.RunTrafficControl(
       {{0, 3000}}, {{shard, 3000}}, {{controller.WorkerForShard(shard), 3000}});
   EXPECT_TRUE(decision.rebalanced);
-  const auto* weights = controller.routes().Get(0);
+  // routes() returns the table by value; keep it alive while we hold a
+  // pointer into it.
+  const auto updated = controller.routes();
+  const auto* weights = updated.Get(0);
   ASSERT_NE(weights, nullptr);
   EXPECT_GE(weights->size(), 4u);  // 3000 / 800 => 4 routes
 }

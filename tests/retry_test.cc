@@ -164,6 +164,107 @@ TEST(FaultInjectingStoreTest, MutationsExemptWhenConfigured) {
   EXPECT_FALSE(store.Get("k").ok());
 }
 
+TEST(FaultInjectingStoreTest, BrownoutRejectsEveryOpInWindow) {
+  MemoryObjectStore base;
+  ASSERT_TRUE(base.Put("k", "v").ok());
+  ManualClock clock;
+  FaultInjectingObjectStore store(&base, {}, &clock);
+
+  store.SetBrownout(1000, 5000);
+  EXPECT_TRUE(store.Get("k").ok());  // before the window
+  clock.Advance(1000);
+  EXPECT_TRUE(store.Get("k").status().IsUnavailable());
+  EXPECT_TRUE(store.Put("k2", "v").IsUnavailable());
+  EXPECT_TRUE(store.List("").status().IsUnavailable());
+  clock.Advance(4000);
+  EXPECT_TRUE(store.Get("k").ok());  // window end is exclusive
+  EXPECT_EQ(store.fault_stats().brownout_rejections.load(), 3u);
+}
+
+TEST(FaultInjectingStoreTest, BrownoutShorterThanRetryDeadlineRecovers) {
+  // The store browns out for 2.5ms; the retry schedule (1ms then 2ms of
+  // backoff) outlasts it, so the caller never sees the outage.
+  MemoryObjectStore base;
+  ASSERT_TRUE(base.Put("k", "payload").ok());
+  ManualClock clock;
+  FaultInjectingObjectStore faulty(&base, {}, &clock);
+  RetryOptions options;
+  options.max_attempts = 10;
+  options.initial_backoff_us = 1000;
+  options.backoff_multiplier = 2.0;
+  options.max_backoff_us = 100000;
+  options.jitter = 0.0;
+  options.call_deadline_us = 1000000;
+  RetryingObjectStore store(&faulty, options, &clock);
+
+  faulty.SetBrownout(0, 2500);
+  auto got = store.Get("k");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, "payload");
+  EXPECT_EQ(store.retry_stats().attempts.load(), 3u);  // t=0, t=1ms, t=3ms
+  EXPECT_EQ(store.retry_stats().giveups.load(), 0u);
+  EXPECT_EQ(faulty.fault_stats().brownout_rejections.load(), 2u);
+}
+
+TEST(FaultInjectingStoreTest, BrownoutLongerThanRetryDeadlineSurfaces) {
+  // The outage outlasts the caller's deadline: the retry layer gives up and
+  // surfaces the brownout's Unavailable instead of masking it forever.
+  MemoryObjectStore base;
+  ASSERT_TRUE(base.Put("k", "payload").ok());
+  ManualClock clock;
+  FaultInjectingObjectStore faulty(&base, {}, &clock);
+  RetryOptions options;
+  options.max_attempts = 10;
+  options.initial_backoff_us = 1000;
+  options.backoff_multiplier = 2.0;
+  options.max_backoff_us = 100000;
+  options.jitter = 0.0;
+  options.call_deadline_us = 1500;  // fits one 1ms backoff, not 1ms + 2ms
+  RetryingObjectStore store(&faulty, options, &clock);
+
+  faulty.SetBrownout(0, 1000000);
+  auto got = store.Get("k");
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsUnavailable()) << got.status().ToString();
+  EXPECT_EQ(store.retry_stats().attempts.load(), 2u);
+  EXPECT_EQ(store.retry_stats().giveups.load(), 1u);
+  // The outage ends; the next call succeeds without any reconfiguration.
+  clock.Set(1000000);
+  EXPECT_TRUE(store.Get("k").ok());
+}
+
+TEST(FaultInjectingStoreTest, BlacklistedKeyFailsOthersUnaffected) {
+  MemoryObjectStore base;
+  ASSERT_TRUE(base.Put("good", "g").ok());
+  ASSERT_TRUE(base.Put("bad", "b").ok());
+  FaultInjectingObjectStore store(&base, {});
+
+  store.BlacklistKey("bad");
+  EXPECT_TRUE(store.Get("bad").status().IsUnavailable());
+  EXPECT_TRUE(store.Head("bad").status().IsUnavailable());
+  EXPECT_TRUE(store.Delete("bad").IsUnavailable());
+  EXPECT_TRUE(store.Get("good").ok());
+  EXPECT_EQ(store.fault_stats().blacklist_rejections.load(), 3u);
+
+  store.ClearBlacklist();
+  EXPECT_TRUE(store.Get("bad").ok());
+}
+
+TEST(FaultInjectingStoreTest, BlacklistExhaustsRetriesOnThatKeyOnly) {
+  MemoryObjectStore base;
+  ASSERT_TRUE(base.Put("good", "g").ok());
+  ASSERT_TRUE(base.Put("bad", "b").ok());
+  ManualClock clock;
+  FaultInjectingObjectStore faulty(&base, {}, &clock);
+  RetryingObjectStore store(&faulty, FastRetryOptions(), &clock);
+
+  faulty.BlacklistKey("bad");
+  EXPECT_TRUE(store.Get("bad").status().IsUnavailable());
+  EXPECT_EQ(store.retry_stats().giveups.load(), 1u);
+  EXPECT_TRUE(store.Get("good").ok());
+  EXPECT_EQ(store.retry_stats().giveups.load(), 1u);
+}
+
 TEST(RetryingStoreTest, RetriesTransientErrorsUntilSuccess) {
   FlakyStore flaky;
   ASSERT_TRUE(flaky.base().Put("k", "payload").ok());

@@ -3,6 +3,8 @@
 #include <string>
 #include <vector>
 
+#include "common/coding.h"
+#include "common/crc32c.h"
 #include "logblock/schema.h"
 #include "rowstore/row_store.h"
 #include "rowstore/wal.h"
@@ -58,6 +60,83 @@ TEST(WalRecordTest, TruncationDetected) {
                                logblock::RequestLogSchema())
                    .ok());
   EXPECT_FALSE(DecodeWalRecord(Slice("xy"), logblock::RequestLogSchema()).ok());
+}
+
+// Wraps a hand-crafted record body with a VALID checksum, so decode gets
+// past the CRC and must survive the malformed body on its own.
+std::string FrameBody(const std::string& body) {
+  std::string out;
+  PutFixed32(&out, crc32c::Mask(crc32c::Value(body.data(), body.size())));
+  out.append(body);
+  return out;
+}
+
+TEST(WalRecordTest, BitFlippedCrcRejected) {
+  const std::string payload = EncodeWalRecord(1, OneRow(1, 0, "a", 1, "f", "l"));
+  // Flip one bit in each byte of the checksum itself (not the body).
+  for (size_t byte = 0; byte < 4; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupted = payload;
+      corrupted[byte] ^= static_cast<char>(1 << bit);
+      EXPECT_TRUE(DecodeWalRecord(corrupted, logblock::RequestLogSchema())
+                      .status()
+                      .IsCorruption())
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(WalRecordTest, TruncatedVarintHeaderRejected) {
+  // The tenant_id varint says "more bytes follow" and then the record ends.
+  EXPECT_TRUE(DecodeWalRecord(FrameBody("\x80"), logblock::RequestLogSchema())
+                  .status()
+                  .IsCorruption());
+  // Valid tenant_id, then a dangling row_count varint.
+  std::string body;
+  PutVarint64(&body, 7);
+  body.push_back('\x80');
+  EXPECT_TRUE(DecodeWalRecord(FrameBody(body), logblock::RequestLogSchema())
+                  .status()
+                  .IsCorruption());
+  // Empty body: no header at all.
+  EXPECT_TRUE(DecodeWalRecord(FrameBody(""), logblock::RequestLogSchema())
+                  .status()
+                  .IsCorruption());
+}
+
+TEST(WalRecordTest, RowCountOverclaimingPayloadRejected) {
+  // A record claiming far more rows than its payload holds must fail with a
+  // clean Corruption — never crash, over-read, or try to allocate for the
+  // claimed count up front.
+  for (uint32_t claimed : {2u, 1000u, 100000000u, 0xFFFFFFFFu}) {
+    std::string body;
+    PutVarint64(&body, 1);          // tenant
+    PutVarint32(&body, claimed);    // row_count lies
+    // Payload for exactly one row.
+    const RowBatch one = OneRow(1, 5, "ip", 9, "false", "only-row");
+    const logblock::Schema& schema = one.schema();
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      if (schema.column(c).type == logblock::ColumnType::kInt64) {
+        PutVarsint64(&body, one.Int64At(c, 0));
+      } else {
+        PutLengthPrefixedSlice(&body, one.StringAt(c, 0));
+      }
+    }
+    auto decoded = DecodeWalRecord(FrameBody(body), schema);
+    EXPECT_TRUE(decoded.status().IsCorruption()) << "claimed " << claimed;
+  }
+  // A string value whose length prefix overclaims the remaining bytes must
+  // not read past the end of the buffer either.
+  std::string body;
+  PutVarint64(&body, 1);
+  PutVarint32(&body, 1);
+  PutVarsint64(&body, 1);   // tenant column
+  PutVarsint64(&body, 5);   // ts column
+  PutVarint32(&body, 1u << 30);  // ip string claims 1GB
+  body.append("short");
+  EXPECT_TRUE(DecodeWalRecord(FrameBody(body), logblock::RequestLogSchema())
+                  .status()
+                  .IsCorruption());
 }
 
 TEST(RowStoreTest, AppendAssignsSequences) {
