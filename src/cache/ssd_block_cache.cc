@@ -1,5 +1,9 @@
 #include "cache/ssd_block_cache.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -110,19 +114,27 @@ std::shared_ptr<const std::string> SsdBlockCache::Get(const std::string& key) {
     it->second.lru_pos = lru_.begin();
   }
 
+  // Hit-path IO runs outside mu_ — the mutex above covered only the index
+  // and LRU touch — so parallel Gets overlap their disk reads instead of
+  // serializing behind one reader. pread carries its own offset (no shared
+  // seek state), and the readahead hint lets the kernel start pulling the
+  // block body while the header is still being verified.
   const uint64_t file_hash = FileHash(key);
   bool verified = false;
   std::shared_ptr<std::string> data;
-  {
-    std::ifstream in(PathForHash(file_hash), std::ios::binary | std::ios::ate);
-    if (in) {
-      const auto file_size = static_cast<uint64_t>(in.tellg());
+  const int fd = ::open(PathForHash(file_hash).c_str(), O_RDONLY);
+  if (fd >= 0) {
+#ifdef POSIX_FADV_WILLNEED
+    ::posix_fadvise(fd, 0, 0, POSIX_FADV_WILLNEED);
+#endif
+    struct stat st;
+    if (::fstat(fd, &st) == 0) {
+      const auto file_size = static_cast<uint64_t>(st.st_size);
       const uint64_t min_size = kHeaderFixedSize + key.size();
       if (file_size >= min_size) {
         std::string header(min_size, '\0');
-        in.seekg(0);
-        in.read(header.data(), static_cast<std::streamsize>(min_size));
-        if (in &&
+        if (::pread(fd, header.data(), min_size, 0) ==
+                static_cast<ssize_t>(min_size) &&
             header.compare(0, sizeof(kFileMagic), kFileMagic,
                            sizeof(kFileMagic)) == 0 &&
             DecodeFixed32(header.data() + sizeof(kFileMagic)) == key.size() &&
@@ -130,11 +142,13 @@ std::shared_ptr<const std::string> SsdBlockCache::Get(const std::string& key) {
           const uint64_t data_size = file_size - min_size;
           data = std::make_shared<std::string>(static_cast<size_t>(data_size),
                                                '\0');
-          in.read(data->data(), static_cast<std::streamsize>(data_size));
-          verified = static_cast<bool>(in);
+          verified = ::pread(fd, data->data(), data_size,
+                             static_cast<off_t>(min_size)) ==
+                     static_cast<ssize_t>(data_size);
         }
       }
     }
+    ::close(fd);
   }
 
   if (!verified) {

@@ -41,7 +41,8 @@ class SsdBlockCache {
   void Insert(const std::string& key, const std::string& data);
 
   // Reads a block back, refreshing recency; nullptr on miss, IO error, or
-  // header/key mismatch.
+  // header/key mismatch. The disk read happens outside the cache mutex
+  // (with a kernel readahead hint), so concurrent Gets overlap their IO.
   std::shared_ptr<const std::string> Get(const std::string& key);
 
   bool Contains(const std::string& key) const;

@@ -7,17 +7,44 @@ namespace logstore::cluster {
 Result<std::unique_ptr<Cluster>> Cluster::Open(
     objectstore::ObjectStore* store, ClusterDeploymentOptions options) {
   std::unique_ptr<Cluster> cluster(new Cluster());
+  cluster->options_ = options;
   cluster->store_ = store;
   cluster->controller_ = std::make_unique<Controller>(
       options.num_workers, options.shards_per_worker, options.controller);
   for (uint32_t w = 0; w < options.num_workers; ++w) {
     cluster->workers_.push_back(std::make_unique<Worker>(
-        w, store, cluster->controller_->metadata(), options.worker));
+        w, store, cluster->controller_->metadata(),
+        cluster->WorkerOptionsFor(w)));
+    // Fail fast: a worker that could not open/recover its WALs would
+    // reject every write anyway, and surfacing the recovery error here
+    // (rather than on the first Write) makes restart bugs visible.
+    LOGSTORE_RETURN_IF_ERROR(cluster->workers_.back()->wal_status());
   }
   auto engine = query::QueryEngine::Open(store, options.engine);
   if (!engine.ok()) return engine.status();
   cluster->engine_ = std::move(engine).value();
   return cluster;
+}
+
+WorkerOptions Cluster::WorkerOptionsFor(uint32_t id) const {
+  WorkerOptions worker_options = options_.worker;
+  if (!worker_options.wal_dir.empty()) {
+    worker_options.wal_dir += "/worker-" + std::to_string(id);
+  }
+  return worker_options;
+}
+
+Status Cluster::RestartWorker(uint32_t id) {
+  if (options_.worker.wal_dir.empty()) {
+    return Status::InvalidArgument(
+        "RestartWorker without wal_dir would lose acked writes");
+  }
+  // Destroy first (releases the WAL directories), then reconstruct over
+  // them: the Worker constructor IS the recovery path.
+  workers_[id].reset();
+  workers_[id] = std::make_unique<Worker>(id, store_, controller_->metadata(),
+                                          WorkerOptionsFor(id));
+  return workers_[id]->wal_status();
 }
 
 Status Cluster::Write(uint64_t tenant, const logblock::RowBatch& rows) {

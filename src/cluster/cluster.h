@@ -16,6 +16,10 @@ namespace logstore::cluster {
 struct ClusterDeploymentOptions {
   uint32_t num_workers = 4;
   uint32_t shards_per_worker = 4;
+  // `worker.wal_dir`, when set, is the base of the deployment's durable
+  // state: each worker's replica WALs live under <wal_dir>/worker-<id>, so
+  // re-Opening a cluster over the same directory is a full restart — every
+  // worker recovers its term/vote/log/watermark from disk.
   WorkerOptions worker;
   ControllerOptions controller;
   query::EngineOptions engine;
@@ -45,6 +49,12 @@ class Cluster {
   Controller::ControlDecision RunTrafficControl();
   Result<int> ExpireTenantData(uint64_t tenant, int64_t cutoff_ts);
 
+  // Tears one worker down and reconstructs it over its own wal_dir — a
+  // single worker-process restart inside a live deployment (durable mode
+  // only). Acked writes survive: they are either in LogBlocks on the
+  // object store or recovered from the worker's replica WALs.
+  Status RestartWorker(uint32_t id);
+
   Controller* controller() { return controller_.get(); }
   Worker* worker(uint32_t id) { return workers_[id].get(); }
   uint32_t num_workers() const { return static_cast<uint32_t>(workers_.size()); }
@@ -53,6 +63,11 @@ class Cluster {
  private:
   Cluster() : rng_(12345) {}
 
+  // Per-worker construction options (worker.wal_dir already rewritten to
+  // the worker's own subdirectory), kept for RestartWorker.
+  WorkerOptions WorkerOptionsFor(uint32_t id) const;
+
+  ClusterDeploymentOptions options_;
   objectstore::ObjectStore* store_ = nullptr;
   std::unique_ptr<Controller> controller_;
   std::vector<std::unique_ptr<Worker>> workers_;

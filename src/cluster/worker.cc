@@ -19,28 +19,16 @@ Worker::Worker(uint32_t id, objectstore::ObjectStore* store,
     // Replica 0: primary full row store. Replica 1: second full row store.
     // Replica 2: WAL-only (stores the log, applies nothing) — the §3
     // storage-cost trade-off.
-    auto apply_to = [this](rowstore::RowStore* target) {
-      return [this, target](uint64_t index, const std::string& payload) {
-        // Empty payloads are recovery no-op barriers, not data.
-        if (!payload.empty()) {
-          auto record = rowstore::DecodeWalRecord(payload, options_.schema);
-          if (record.ok()) target->Append(record->tenant_id, record->rows);
-        }
-        if (target == primary_store_.get()) {
-          applied_index_to_seq_[index] = primary_store_->last_seq();
-        }
-      };
-    };
-    raft_->SetApplyFn(0, apply_to(primary_store_.get()));
-    raft_->SetApplyFn(1, apply_to(replica_store_.get()));
-    raft_->SetApplyFn(2, consensus::ApplyFn());  // WAL-only
+    for (int i = 0; i < 3; ++i) {
+      raft_->SetApplyFn(i, MakeApplyFn(i));
+      InstallSnapshotHooks(i);
+    }
 
     if (!options_.wal_dir.empty()) {
       // Durable mode: recover each replica's WAL (after SetApplyFn — that
       // recreates the node) and attach it as the raft persistence layer.
       for (int i = 0; i < 3; ++i) {
-        auto wal = consensus::DurableLog::Open(
-            options_.wal_dir + "/node-" + std::to_string(i), options_.wal);
+        auto wal = consensus::DurableLog::Open(WalNodeDir(i), options_.wal);
         if (!wal.ok()) {
           wal_status_ = wal.status();
           wals_.clear();
@@ -73,6 +61,85 @@ Worker::Worker(uint32_t id, objectstore::ObjectStore* store,
       raft_->WaitForLeader();
     }
   }
+}
+
+consensus::ApplyFn Worker::MakeApplyFn(int node) {
+  rowstore::RowStore* target = store_for(node);
+  if (target == nullptr) return consensus::ApplyFn();  // WAL-only replica
+  return [this, target](uint64_t index, const std::string& payload) {
+    // Empty payloads are recovery no-op barriers, not data.
+    if (!payload.empty()) {
+      auto record = rowstore::DecodeWalRecord(payload, options_.schema);
+      if (record.ok()) target->Append(record->tenant_id, record->rows);
+    }
+    if (target == primary_store_.get()) {
+      applied_index_to_seq_[index] = primary_store_->last_seq();
+    }
+  };
+}
+
+consensus::InstallSnapshotFn Worker::MakeInstallFn(int node) {
+  return [this, node](uint64_t /*index*/, uint64_t aux,
+                      const std::string& /*state*/) {
+    // Everything the snapshot covers lives in LogBlocks on the object
+    // store (the aux cookie is the builder's object-key sequence at the
+    // time of the snapshot): drop the local rows and serve that prefix
+    // from shared storage — Taurus-style catch-up, no log replay.
+    rowstore::RowStore* target = store_for(node);
+    if (target != nullptr) target->ResetToArchived();
+    if (node == 0) {
+      // Mappings recorded before the snapshot refer to discarded rows.
+      applied_index_to_seq_.clear();
+      builder_->set_next_sequence(std::max(builder_->next_sequence(), aux));
+    }
+  };
+}
+
+void Worker::InstallSnapshotHooks(int node) {
+  // The leader-side state blob is empty by design: a LogStore snapshot is
+  // the watermark itself, because the state machine up to it is already in
+  // shared storage. The follower-side install hook does the local reset.
+  raft_->SetSnapshotHooks(
+      node, [](uint64_t, uint64_t) { return std::string(); },
+      MakeInstallFn(node));
+}
+
+Status Worker::CrashReplica(int node, consensus::CrashMode mode,
+                            uint64_t seed) {
+  if (wals_.empty()) {
+    return Status::InvalidArgument("crash injection needs a durable WAL");
+  }
+  raft_->Disconnect(node);
+  return wals_[node]->SimulateCrash(mode, seed);
+}
+
+Status Worker::RecoverReplica(int node) {
+  if (wals_.empty()) {
+    return Status::InvalidArgument("recovery needs a durable WAL");
+  }
+  // Release the dead log before reopening the directory.
+  wals_[node].reset();
+  auto wal = consensus::DurableLog::Open(WalNodeDir(node), options_.wal);
+  if (!wal.ok()) return wal.status();
+  wals_[node] = std::move(wal).value();
+  // A fresh raft node models the restarted process: volatile state is
+  // gone, term/vote/log reload from the recovered WAL.
+  raft_->RestartNode(node, MakeApplyFn(node));
+  raft_->AttachPersistence(node, wals_[node].get(), &wals_[node]->recovered());
+  InstallSnapshotHooks(node);
+  // The restarted process starts with an empty row store. Rows at or below
+  // the recovered base are in LogBlocks already; the rest re-apply through
+  // the protocol once the node rejoins (or arrive via InstallSnapshot if
+  // the group's base has moved past this replica's log).
+  rowstore::RowStore* target = store_for(node);
+  if (target != nullptr) target->ResetToArchived();
+  if (node == 0) {
+    applied_index_to_seq_.clear();
+    builder_->set_next_sequence(std::max(
+        builder_->next_sequence(), wals_[node]->recovered().watermark_aux));
+  }
+  raft_->Reconnect(node);
+  return Status::OK();
 }
 
 Status Worker::Write(uint32_t shard, uint64_t tenant,
@@ -135,7 +202,11 @@ void Worker::AdvanceWalWatermark() {
   const uint64_t aux = builder_->next_sequence();
   for (int i = 0; i < raft_->num_nodes(); ++i) {
     // Per-node: clamped to that node's own applied point, so a lagging
-    // replica retains its segments until it catches up.
+    // replica retains its segments until it catches up. Crashed replicas
+    // are skipped — the LIVE replicas' GC keeps advancing regardless (disk
+    // stays bounded with a member down), and the dead one is repaired with
+    // an InstallSnapshot when it returns rather than by retained segments.
+    if (raft_->disconnected(i)) continue;
     raft_->node(i).AdvanceWatermark(watermark, aux).IgnoreError();
   }
   applied_index_to_seq_.erase(applied_index_to_seq_.begin(),

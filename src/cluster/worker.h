@@ -83,6 +83,18 @@ class Worker {
   // Error from opening/recovering the WALs; Write fails with it when set.
   const Status& wal_status() const { return wal_status_; }
 
+  // Kills one replica in place (durable mode): partitions it from the
+  // group and mangles its WAL the way a crash at this instant could have.
+  // The surviving majority keeps accepting writes; WAL GC on the live
+  // replicas keeps advancing (their disk usage stays bounded).
+  Status CrashReplica(int node, consensus::CrashMode mode, uint64_t seed);
+  // Restarts a crashed replica: recovers its WAL, rebuilds the raft node
+  // from it (volatile state lost, like a real process restart) and rejoins
+  // the group. If the group's log base has moved past what this replica
+  // holds, the leader repairs it with an InstallSnapshot — drive ticks
+  // (e.g. via Write) to let it catch up.
+  Status RecoverReplica(int node);
+
   // Monitor metrics: rows written per shard and per tenant since the last
   // harvest (§4.1.3: "It collects tenant traffic f(Ki), shard load f(Pj)
   // and worker node load f(Dk)").
@@ -94,9 +106,23 @@ class Worker {
   TrafficSnapshot HarvestTraffic();
 
  private:
-  // Persists the largest fully-archived entry index into every replica WAL
-  // and GCs segments below it.
+  // Persists the largest fully-archived entry index into every live
+  // replica WAL and GCs segments below it.
   void AdvanceWalWatermark();
+
+  // The apply / snapshot-install behavior of one raft node, reusable for
+  // both construction and RecoverReplica (which rebuilds the node).
+  consensus::ApplyFn MakeApplyFn(int node);
+  consensus::InstallSnapshotFn MakeInstallFn(int node);
+  void InstallSnapshotHooks(int node);
+  rowstore::RowStore* store_for(int node) {
+    if (node == 0) return primary_store_.get();
+    if (node == 1) return replica_store_.get();
+    return nullptr;  // node 2 is WAL-only
+  }
+  std::string WalNodeDir(int node) const {
+    return options_.wal_dir + "/node-" + std::to_string(node);
+  }
 
   const uint32_t id_;
   WorkerOptions options_;

@@ -295,8 +295,21 @@ Status DurableLog::OpenActiveSegment() {
 }
 
 Status DurableLog::FsyncActive() {
+  if (!failed_.ok()) return failed_;
   if (fd_ < 0 || synced_bytes_ == written_bytes_) return Status::OK();
-  if (::fsync(fd_) != 0) return Status::IOError("wal: fsync failed");
+  ++fsyncs_issued_;
+  if (inject_sync_errors_ > 0) {
+    --inject_sync_errors_;
+    // Fail-stop, like a real post-fsync-failure: the kernel may already
+    // have discarded the dirty pages, so no later fsync can be trusted to
+    // cover the records written since the last good one.
+    failed_ = Status::IOError("wal: fsync failed (injected EIO); log wedged");
+    return failed_;
+  }
+  if (::fsync(fd_) != 0) {
+    failed_ = Status::IOError("wal: fsync failed; log wedged");
+    return failed_;
+  }
   synced_bytes_ = written_bytes_;
   return Status::OK();
 }
@@ -328,13 +341,35 @@ Status DurableLog::RotateLocked() {
 Status DurableLog::AppendRecord(uint8_t type, const std::string& body,
                                 bool force_sync) {
   if (dead_) return Status::IOError("wal: simulated crash; reopen required");
+  if (!failed_.ok()) return failed_;
   if (fd_ < 0) LOGSTORE_RETURN_IF_ERROR(OpenActiveSegment());
   if (active_.size >= options_.segment_target_bytes) {
     LOGSTORE_RETURN_IF_ERROR(RotateLocked());
   }
   const std::string framed = FrameRecord(type, body);
-  if (::write(fd_, framed.data(), framed.size()) !=
-      static_cast<ssize_t>(framed.size())) {
+  bool failed_write = false;
+  if (inject_append_errors_ > 0) {
+    --inject_append_errors_;
+    if (inject_append_partial_) {
+      // ENOSPC mid-record: half the frame lands before the write gives up.
+      (void)!::write(fd_, framed.data(), framed.size() / 2);
+    }
+    failed_write = true;
+  } else if (::write(fd_, framed.data(), framed.size()) !=
+             static_cast<ssize_t>(framed.size())) {
+    failed_write = true;
+  }
+  if (failed_write) {
+    // Roll the file back to the last record boundary. Leaving the partial
+    // bytes in place would interleave them with the next record, tearing
+    // the segment at a point recovery cannot repair; if even the rollback
+    // fails the log wedges rather than risk that.
+    if (::ftruncate(fd_, static_cast<off_t>(written_bytes_)) != 0 ||
+        ::lseek(fd_, static_cast<off_t>(written_bytes_), SEEK_SET) < 0) {
+      failed_ = Status::IOError(
+          "wal: rollback after failed append failed; log wedged");
+      return failed_;
+    }
     return Status::IOError("wal: write failed");
   }
   last_record_offset_ = written_bytes_;
@@ -349,6 +384,7 @@ Status DurableLog::AppendRecord(uint8_t type, const std::string& body,
 }
 
 Status DurableLog::PersistHardState(uint64_t term, int voted_for) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (term == term_ && voted_for == voted_for_) return Status::OK();
   term_ = term;
   voted_for_ = voted_for;
@@ -362,6 +398,7 @@ Status DurableLog::PersistHardState(uint64_t term, int voted_for) {
 }
 
 Status DurableLog::AppendEntry(uint64_t index, const LogEntry& entry) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (index != next_entry_index_) {
     return Status::InvalidArgument(
         "wal: non-contiguous append at " + std::to_string(index) +
@@ -378,6 +415,7 @@ Status DurableLog::AppendEntry(uint64_t index, const LogEntry& entry) {
 }
 
 Status DurableLog::TruncateSuffix(uint64_t from_index) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (from_index >= next_entry_index_) return Status::OK();
   std::string body;
   PutVarint64(&body, from_index);
@@ -388,6 +426,7 @@ Status DurableLog::TruncateSuffix(uint64_t from_index) {
 
 Status DurableLog::PersistWatermark(uint64_t index, uint64_t term,
                                     uint64_t aux) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (index < watermark_index_) return Status::OK();
   std::string body;
   PutVarint64(&body, index);
@@ -400,6 +439,12 @@ Status DurableLog::PersistWatermark(uint64_t index, uint64_t term,
   watermark_index_ = index;
   watermark_term_ = term;
   watermark_aux_ = aux;
+  if (index >= next_entry_index_) {
+    // Snapshot install: the log's contents jumped forward wholesale (the
+    // prefix now lives in shared storage), so the next append continues
+    // right above the snapshot instead of where the old log ended.
+    next_entry_index_ = index + 1;
+  }
   return DeleteSegmentsBelowWatermark();
 }
 
@@ -427,12 +472,27 @@ Status DurableLog::DeleteSegmentsBelowWatermark() {
 }
 
 Status DurableLog::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (dead_) return Status::IOError("wal: simulated crash; reopen required");
   if (options_.sync_policy == SyncPolicy::kNever) return Status::OK();
+  // Group commit: FsyncActive early-returns when a concurrent Sync that
+  // held the mutex first already flushed everything written so far.
   return FsyncActive();
 }
 
+void DurableLog::InjectAppendErrors(int count, bool partial_write) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inject_append_errors_ = count;
+  inject_append_partial_ = partial_write;
+}
+
+void DurableLog::InjectSyncErrors(int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inject_sync_errors_ = count;
+}
+
 std::vector<DurableLog::SegmentInfo> DurableLog::segments() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<SegmentInfo> out;
   for (const Segment& s : sealed_) {
     out.push_back({SegmentPath(s.seq), s.seq, s.max_entry_index, false});
@@ -445,6 +505,7 @@ std::vector<DurableLog::SegmentInfo> DurableLog::segments() const {
 }
 
 Status DurableLog::SimulateCrash(CrashMode mode, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;

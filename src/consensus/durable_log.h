@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -63,7 +64,16 @@ enum class CrashMode {
 // (torn-tail repair) instead of failing open; segments after the torn one
 // are dropped.
 //
-// Not thread-safe; the raft tick loop is single-threaded per node.
+// Thread-safe. Sync() group-commits: one fsync covers every record written
+// before it, so a caller whose bytes an earlier concurrent Sync already
+// flushed returns without issuing its own fsync (fsyncs_issued() counts
+// real flushes, letting tests assert the batching).
+//
+// Failure model: a failed append is rolled back to the previous record
+// boundary (the segment stays parseable and the next append is clean); a
+// failed fsync wedges the log permanently — after fsync fails, the kernel
+// may already have discarded the dirty pages, so no later "successful"
+// fsync can be trusted to cover them. Reopen the directory to resume.
 class DurableLog : public RaftPersistence {
  public:
   // Opens (creating the directory if needed) and recovers. Repairs a torn
@@ -91,7 +101,24 @@ class DurableLog : public RaftPersistence {
     bool active = false;
   };
   std::vector<SegmentInfo> segments() const;
-  uint64_t unsynced_bytes() const { return written_bytes_ - synced_bytes_; }
+  uint64_t unsynced_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return written_bytes_ - synced_bytes_;
+  }
+  uint64_t fsyncs_issued() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fsyncs_issued_;
+  }
+
+  // --- Deterministic IO-error injection (tests) ---
+  // The next `count` appends fail like ENOSPC. With `partial_write` the
+  // first half of the record reaches the file before the failure, so the
+  // rollback path (ftruncate to the last record boundary) is exercised;
+  // without it the write fails before any byte lands. Either way the
+  // append reports an error (never acked) and the segment stays parseable.
+  void InjectAppendErrors(int count, bool partial_write);
+  // The next `count` fsyncs fail like EIO; each wedges the log (fail-stop).
+  void InjectSyncErrors(int count);
 
   // --- Deterministic crash injection (tests) ---
   // Mangles the on-disk state the way a crash at this instant could have:
@@ -108,6 +135,7 @@ class DurableLog : public RaftPersistence {
   Status Recover();
   // Appends one framed record to the active segment, creating/rotating
   // segments as needed. `force_sync` overrides kOnSync (hard state).
+  // Callers hold mu_ (all private mutators assume mu_ held).
   Status AppendRecord(uint8_t type, const std::string& body, bool force_sync);
   Status OpenActiveSegment();  // creates the next segment with header records
   Status RotateLocked();
@@ -117,6 +145,12 @@ class DurableLog : public RaftPersistence {
 
   const std::string dir_;
   const DurableLogOptions options_;
+
+  // Guards every mutable field below. fsync happens with mu_ held: a
+  // concurrent Sync that queues on the mutex finds synced_bytes_ already
+  // covering its records and returns without a second flush — that queuing
+  // IS the group commit.
+  mutable std::mutex mu_;
 
   RecoveredState recovered_;
 
@@ -143,6 +177,12 @@ class DurableLog : public RaftPersistence {
   uint64_t synced_bytes_ = 0;       // covered by the last fsync
   uint64_t last_record_offset_ = 0;  // start of the newest record
   bool dead_ = false;               // SimulateCrash was called
+
+  uint64_t fsyncs_issued_ = 0;
+  Status failed_ = Status::OK();  // latched by a failed fsync (fail-stop)
+  int inject_append_errors_ = 0;
+  bool inject_append_partial_ = false;
+  int inject_sync_errors_ = 0;
 };
 
 }  // namespace logstore::consensus

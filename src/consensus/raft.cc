@@ -19,11 +19,13 @@ RaftNode::RaftNode(int id, int cluster_size, RaftOptions options,
 void RaftNode::AttachPersistence(RaftPersistence* persistence,
                                  const RecoveredState* recovered) {
   persistence_ = persistence;
+  persist_error_ = Status::OK();
   if (recovered == nullptr) return;
   term_ = recovered->term;
   voted_for_ = recovered->voted_for;
   log_base_index_ = recovered->base_index;
   log_base_term_ = recovered->base_term;
+  log_base_aux_ = recovered->watermark_aux;
   log_ = recovered->entries;
   // Entries at or below the base were archived before the crash and are
   // never re-applied; everything above re-commits through the protocol
@@ -36,9 +38,19 @@ void RaftNode::AttachPersistence(RaftPersistence* persistence,
 
 void RaftNode::PersistHardState() {
   if (persistence_ == nullptr) return;
-  // A failed persist (only possible after a simulated crash, when the
-  // embedder is about to tear the node down) must not crash the tick loop.
-  persistence_->PersistHardState(term_, voted_for_).IgnoreError();
+  // A failed persist must not crash the tick loop; it is latched instead so
+  // SyncWal (and so the write ack path) observes it.
+  NotePersistError(persistence_->PersistHardState(term_, voted_for_));
+}
+
+void RaftNode::NotePersistError(const Status& s) {
+  if (!s.ok() && persist_error_.ok()) persist_error_ = s;
+}
+
+void RaftNode::SetSnapshotHooks(SnapshotStateFn state_fn,
+                                InstallSnapshotFn install_fn) {
+  snapshot_state_fn_ = std::move(state_fn);
+  install_snapshot_fn_ = std::move(install_fn);
 }
 
 void RaftNode::ResetElectionTimer() {
@@ -72,13 +84,19 @@ Status RaftNode::AdvanceWatermark(uint64_t index, uint64_t aux) {
   if (index < log_base_index_) return Status::OK();
   const uint64_t term = TermAt(index);
   if (persistence_ != nullptr) {
-    LOGSTORE_RETURN_IF_ERROR(persistence_->PersistWatermark(index, term, aux));
+    const Status s = persistence_->PersistWatermark(index, term, aux);
+    if (!s.ok()) {
+      NotePersistError(s);
+      return s;
+    }
   }
   log_.erase(log_.begin(), log_.begin() + (index - log_base_index_));
   log_base_index_ = index;
   log_base_term_ = term;
+  log_base_aux_ = aux;
   // A peer's next_index below the base would make us fabricate entries we
-  // no longer hold; clamp (see header: no InstallSnapshot by design).
+  // no longer hold; clamp. When such a peer rejects the resulting append it
+  // is repaired with an InstallSnapshot instead of further decrements.
   for (uint64_t& next : next_index_) {
     next = std::max(next, log_base_index_ + 1);
   }
@@ -86,6 +104,7 @@ Status RaftNode::AdvanceWatermark(uint64_t index, uint64_t aux) {
 }
 
 Status RaftNode::SyncWal() {
+  if (!persist_error_.ok()) return persist_error_;
   if (persistence_ == nullptr) return Status::OK();
   return persistence_->Sync();
 }
@@ -230,9 +249,11 @@ void RaftNode::Tick(int ms, std::vector<Message>* out) {
       log_.push_back(LogEntry{term_, std::move(sync_queue_.front())});
       sync_queue_.pop_front();
       // Under kOnSync this write reaches the disk at the embedder's group
-      // commit (SyncWal before the client ack), not here.
+      // commit (SyncWal before the client ack), not here. A journaling
+      // failure is latched so that group commit refuses the ack.
       if (persistence_ != nullptr) {
-        persistence_->AppendEntry(LastLogIndex(), log_.back()).IgnoreError();
+        NotePersistError(
+            persistence_->AppendEntry(LastLogIndex(), log_.back()));
       }
     }
     match_index_[id_] = LastLogIndex();
@@ -255,7 +276,9 @@ void RaftNode::Tick(int ms, std::vector<Message>* out) {
 void RaftNode::Receive(const Message& m, std::vector<Message>* out) {
   if (m.term > term_) {
     voted_for_ = -1;
-    BecomeFollower(m.term, m.type == MessageType::kAppendEntries ? m.from : -1);
+    const bool from_leader = m.type == MessageType::kAppendEntries ||
+                             m.type == MessageType::kInstallSnapshot;
+    BecomeFollower(m.term, from_leader ? m.from : -1);
   }
 
   switch (m.type) {
@@ -342,17 +365,17 @@ void RaftNode::Receive(const Message& m, std::vector<Message>* out) {
           if (TermAt(index) != entry.term) {
             log_.resize(index - log_base_index_ - 1);
             if (persistence_ != nullptr) {
-              persistence_->TruncateSuffix(index).IgnoreError();
+              NotePersistError(persistence_->TruncateSuffix(index));
             }
             log_.push_back(entry);
             if (persistence_ != nullptr) {
-              persistence_->AppendEntry(index, entry).IgnoreError();
+              NotePersistError(persistence_->AppendEntry(index, entry));
             }
           }
         } else {
           log_.push_back(entry);
           if (persistence_ != nullptr) {
-            persistence_->AppendEntry(index, entry).IgnoreError();
+            NotePersistError(persistence_->AppendEntry(index, entry));
           }
         }
       }
@@ -385,10 +408,109 @@ void RaftNode::Receive(const Message& m, std::vector<Message>* out) {
       } else if (next_index_[m.from] > log_base_index_ + 1) {
         --next_index_[m.from];
         out->push_back(MakeAppendFor(m.from));
+      } else if (log_base_index_ > 0) {
+        // The follower needs entries at or below our base, which are
+        // compacted away: repair it with a snapshot instead (the state up
+        // to the base lives in shared storage, Taurus-style catch-up).
+        out->push_back(MakeSnapshotFor(m.from));
       }
       break;
     }
+
+    case MessageType::kInstallSnapshot: {
+      HandleInstallSnapshot(m, out);
+      break;
+    }
   }
+}
+
+Message RaftNode::MakeSnapshotFor(int peer) {
+  Message m;
+  m.type = MessageType::kInstallSnapshot;
+  m.from = id_;
+  m.to = peer;
+  m.term = term_;
+  m.snapshot_index = log_base_index_;
+  m.snapshot_term = log_base_term_;
+  m.snapshot_aux = log_base_aux_;
+  if (snapshot_state_fn_) {
+    m.snapshot_state = snapshot_state_fn_(log_base_index_, log_base_aux_);
+  }
+  m.leader_commit = commit_index_;
+  ++snapshots_sent_;
+  // Optimistically resume appends right after the snapshot; if the follower
+  // rejects them again (it never installed), the trigger above re-sends it.
+  next_index_[peer] = log_base_index_ + 1;
+  return m;
+}
+
+void RaftNode::HandleInstallSnapshot(const Message& m,
+                                     std::vector<Message>* out) {
+  Message reply;
+  reply.type = MessageType::kAppendResponse;
+  reply.from = id_;
+  reply.to = m.from;
+  reply.term = term_;
+  if (m.term < term_) {
+    reply.success = false;
+    out->push_back(std::move(reply));
+    return;
+  }
+  if (role_ != Role::kFollower) BecomeFollower(m.term, m.from);
+  leader_hint_ = m.from;
+  ResetElectionTimer();
+
+  if (m.snapshot_index <= last_applied_) {
+    // Stale or duplicated: everything the snapshot covers is applied here
+    // already. Installing it anyway would rewind last_applied_ and
+    // re-apply entries, so acknowledge progress and do nothing.
+    reply.success = true;
+    reply.match_index = last_applied_;
+    out->push_back(std::move(reply));
+    return;
+  }
+
+  // A snapshotted prefix is committed on a quorum, so a local suffix whose
+  // term lines up at the snapshot point can be kept; anything else (or a
+  // log that ends short of the snapshot) is discarded wholesale.
+  const bool retain_suffix = m.snapshot_index <= LastLogIndex() &&
+                             m.snapshot_index > log_base_index_ &&
+                             TermAt(m.snapshot_index) == m.snapshot_term;
+  if (retain_suffix) {
+    log_.erase(log_.begin(),
+               log_.begin() + (m.snapshot_index - log_base_index_));
+  } else {
+    log_.clear();
+    if (persistence_ != nullptr) {
+      // Drop journaled entries above the old base before the watermark
+      // record jumps the WAL's expected next index past the snapshot.
+      NotePersistError(persistence_->TruncateSuffix(log_base_index_ + 1));
+    }
+  }
+  log_base_index_ = m.snapshot_index;
+  log_base_term_ = m.snapshot_term;
+  log_base_aux_ = m.snapshot_aux;
+  if (persistence_ != nullptr) {
+    NotePersistError(persistence_->PersistWatermark(
+        m.snapshot_index, m.snapshot_term, m.snapshot_aux));
+  }
+  // The embedder rebuilds its state machine from shared storage (or the
+  // blob); entries the snapshot covers must never be applied again.
+  if (install_snapshot_fn_) {
+    install_snapshot_fn_(m.snapshot_index, m.snapshot_aux, m.snapshot_state);
+  }
+  apply_queue_.clear();
+  apply_queue_bytes_ = 0;
+  last_applied_ = m.snapshot_index;
+  commit_index_ =
+      std::max(std::min(commit_index_, LastLogIndex()), m.snapshot_index);
+  if (m.leader_commit > commit_index_) {
+    commit_index_ = std::min<uint64_t>(m.leader_commit, LastLogIndex());
+  }
+  ++snapshots_installed_;
+  reply.success = true;
+  reply.match_index = m.snapshot_index;
+  out->push_back(std::move(reply));
 }
 
 // ---------------------------------------------------------------------------
@@ -415,8 +537,25 @@ void RaftCluster::AttachPersistence(int node, RaftPersistence* persistence,
   nodes_[node]->AttachPersistence(persistence, recovered);
 }
 
+void RaftCluster::SetSnapshotHooks(int node, SnapshotStateFn state_fn,
+                                   InstallSnapshotFn install_fn) {
+  nodes_[node]->SetSnapshotHooks(std::move(state_fn), std::move(install_fn));
+}
+
+void RaftCluster::RestartNode(int node, ApplyFn fn) {
+  // A fresh object loses all volatile state, exactly like a process
+  // restart; the caller re-attaches persistence and hooks, then Reconnects.
+  disconnected_[node] = true;
+  SetApplyFn(node, std::move(fn));
+}
+
 Status RaftCluster::SyncAll() {
+  // Skip crashed/partitioned members: an acked write is durable on every
+  // live replica, and a quorum of those synced WALs is what recovery
+  // elects from — a stale rejoiner cannot win an election (vote log check),
+  // so acked writes survive any single-node loss.
   for (auto& node : nodes_) {
+    if (disconnected_[node->id()]) continue;
     LOGSTORE_RETURN_IF_ERROR(node->SyncWal());
   }
   return Status::OK();

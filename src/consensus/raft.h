@@ -33,11 +33,15 @@ namespace logstore::consensus {
 //
 // The log carries a base offset (log_base_index_/log_base_term_): entries
 // at or below the base have been archived to the object store (the durable
-// watermark) and are dropped from memory and from WAL segments. There is no
-// InstallSnapshot RPC — the embedder must only advance the watermark past
-// entries every live replica has applied (Worker does, via its coordinated
-// build pass); a follower that falls below a leader's base can never catch
-// up and stays behind, which the harness asserts never happens.
+// watermark) and are dropped from memory and from WAL segments. A follower
+// whose log ends below a leader's base is repaired with an InstallSnapshot
+// RPC: the snapshot is the base itself (index/term/embedder cookie) plus an
+// opaque state blob from the embedder — for LogStore the heavy state lives
+// in OSS-resident LogBlocks (Taurus-style catch-up from shared storage), so
+// the blob stays small and the RPC mostly re-points the follower at the
+// shared substrate. This is what lets the embedder advance the watermark
+// past a slow, partitioned or dead replica instead of pinning WAL growth on
+// the slowest member.
 //
 // The implementation is tick-driven and single-threaded per cluster: a
 // harness (RaftCluster) advances virtual time and shuttles messages, which
@@ -49,6 +53,7 @@ enum class MessageType {
   kVoteResponse,
   kAppendEntries,
   kAppendResponse,
+  kInstallSnapshot,
 };
 
 struct LogEntry {
@@ -72,10 +77,15 @@ struct Message {
   uint64_t prev_log_term = 0;
   std::vector<LogEntry> entries;
   uint64_t leader_commit = 0;
-  // kAppendResponse
+  // kAppendResponse (also acknowledges kInstallSnapshot)
   bool success = false;
   uint64_t match_index = 0;
   bool backpressured = false;  // rejection came from a full apply_queue
+  // kInstallSnapshot: the leader's log base and the embedder state blob.
+  uint64_t snapshot_index = 0;
+  uint64_t snapshot_term = 0;
+  uint64_t snapshot_aux = 0;
+  std::string snapshot_state;
 };
 
 enum class Role { kFollower, kCandidate, kLeader };
@@ -111,6 +121,19 @@ struct RaftOptions {
 // Applies committed entries; the worker's row store implements this.
 using ApplyFn = std::function<void(uint64_t index, const std::string& payload)>;
 
+// Produces the opaque state blob a leader ships in InstallSnapshot: the
+// state machine's content through `index` (whose watermark cookie is
+// `aux`). For LogStore the rows below the watermark already live in OSS
+// LogBlocks, so the blob is typically empty — the snapshot re-points the
+// follower at shared storage rather than copying state.
+using SnapshotStateFn = std::function<std::string(uint64_t index, uint64_t aux)>;
+
+// Installs a received snapshot: REPLACES the state machine's content with
+// the state through `index` described by (`aux`, `state`). Called before
+// last_applied jumps to `index`; entries above it re-apply normally.
+using InstallSnapshotFn =
+    std::function<void(uint64_t index, uint64_t aux, const std::string& state)>;
+
 class RaftNode {
  public:
   RaftNode(int id, int cluster_size, RaftOptions options, uint64_t seed,
@@ -123,6 +146,11 @@ class RaftNode {
   // the first Tick.
   void AttachPersistence(RaftPersistence* persistence,
                          const RecoveredState* recovered);
+
+  // Installs the snapshot callbacks (both optional). Without a state fn the
+  // leader ships an empty blob; without an install fn the follower only
+  // adopts the log base. Call before the first Tick.
+  void SetSnapshotHooks(SnapshotStateFn state_fn, InstallSnapshotFn install_fn);
 
   // Client write: enqueue a payload for replication. Fails with
   // kUnavailable when not leader, kResourceExhausted when the sync queue is
@@ -141,7 +169,10 @@ class RaftNode {
   Status AdvanceWatermark(uint64_t index, uint64_t aux);
 
   // Group-commit point: flushes WAL appends buffered under kOnSync. Call
-  // before acknowledging a client write.
+  // before acknowledging a client write. Returns the first persistence
+  // error this node has seen (a failed entry append wedges the node until
+  // it is restarted over a reopened WAL — acking on top of a diverged
+  // journal would break the durability promise).
   Status SyncWal();
 
   int id() const { return id_; }
@@ -153,6 +184,11 @@ class RaftNode {
   // at or below log_base_index() have been archived and dropped).
   uint64_t log_size() const { return log_base_index_ + log_.size(); }
   uint64_t log_base_index() const { return log_base_index_; }
+  uint64_t log_base_aux() const { return log_base_aux_; }
+  // How many snapshots this node has installed (tests).
+  uint64_t snapshots_installed() const { return snapshots_installed_; }
+  // How many snapshots this node has shipped as leader (tests).
+  uint64_t snapshots_sent() const { return snapshots_sent_; }
   const LogEntry& log_at(uint64_t index) const {
     return log_[index - log_base_index_ - 1];
   }
@@ -170,6 +206,8 @@ class RaftNode {
   void BecomeLeader(std::vector<Message>* out);
   void BroadcastAppendEntries(std::vector<Message>* out);
   Message MakeAppendFor(int peer) const;
+  Message MakeSnapshotFor(int peer);
+  void HandleInstallSnapshot(const Message& m, std::vector<Message>* out);
   void AdvanceCommit();
   void DrainApplyQueue(int budget);
   void ResetElectionTimer();
@@ -183,13 +221,21 @@ class RaftNode {
   }
   // Mirror a term/vote change to the durability layer (no-op when none).
   void PersistHardState();
+  // Latches the first persistence failure; SyncWal surfaces it so a write
+  // whose journaling failed is never acknowledged.
+  void NotePersistError(const Status& s);
 
   const int id_;
   const int cluster_size_;
   const RaftOptions options_;
   Random rng_;
   ApplyFn apply_fn_;
+  SnapshotStateFn snapshot_state_fn_;
+  InstallSnapshotFn install_snapshot_fn_;
   RaftPersistence* persistence_ = nullptr;  // not owned; may be null
+  // First persistence failure; sticky until the embedder rebuilds the node
+  // over a reopened WAL. SyncWal reports it so a wedged journal blocks acks.
+  Status persist_error_ = Status::OK();
 
   // Persistent state.
   uint64_t term_ = 0;
@@ -199,6 +245,8 @@ class RaftNode {
   std::vector<LogEntry> log_;
   uint64_t log_base_index_ = 0;
   uint64_t log_base_term_ = 0;
+  // Embedder cookie persisted with the watermark/snapshot at the base.
+  uint64_t log_base_aux_ = 0;
 
   // Volatile state.
   Role role_ = Role::kFollower;
@@ -213,6 +261,8 @@ class RaftNode {
   // Leader state.
   std::vector<uint64_t> next_index_;
   std::vector<uint64_t> match_index_;
+  uint64_t snapshots_installed_ = 0;
+  uint64_t snapshots_sent_ = 0;
 
   // BFC queues. sync_queue: payloads accepted from clients but not yet
   // appended+broadcast. apply_queue: committed entries awaiting apply.
@@ -236,6 +286,15 @@ class RaftCluster {
   void AttachPersistence(int node, RaftPersistence* persistence,
                          const RecoveredState* recovered);
 
+  // Installs a node's snapshot callbacks (after SetApplyFn, same reason).
+  void SetSnapshotHooks(int node, SnapshotStateFn state_fn,
+                        InstallSnapshotFn install_fn);
+
+  // Replaces the node with a fresh object (volatile state lost), modeling a
+  // single replica's process restart. Re-attach persistence and snapshot
+  // hooks afterwards; the node stays disconnected until Reconnect.
+  void RestartNode(int node, ApplyFn fn);
+
   // Advances all nodes by `ms` (in steps), delivering messages in between.
   void Tick(int ms);
 
@@ -246,8 +305,10 @@ class RaftCluster {
   // Proposes on the current leader.
   Status Propose(std::string payload);
 
-  // Flushes every node's WAL (group commit); first error wins. Call before
-  // acknowledging a write so acked ⇒ durable under kOnSync too.
+  // Flushes every CONNECTED node's WAL (group commit); first error wins.
+  // Call before acknowledging a write so acked ⇒ durable under kOnSync too.
+  // Disconnected replicas are skipped: a crashed member must not block the
+  // surviving quorum from acknowledging writes.
   Status SyncAll();
 
   RaftNode& node(int id) { return *nodes_[id]; }
@@ -257,6 +318,7 @@ class RaftCluster {
   // Fault injection.
   void Disconnect(int node);
   void Reconnect(int node);
+  bool disconnected(int node) const { return disconnected_[node]; }
   bool IsConnected(int node) const { return !disconnected_[node]; }
   // Fraction of messages dropped on otherwise-connected links.
   void SetDropRate(double rate) { drop_rate_ = rate; }

@@ -53,7 +53,10 @@ class RaftPersistence {
 
   // Records that entries through `index` (which has term `term`) are
   // redundant with LogBlocks on the object store, then deletes log segments
-  // wholly below the watermark.
+  // wholly below the watermark. `index` may jump PAST the end of the
+  // journaled log (an InstallSnapshot on a lagging follower): the
+  // implementation must accept the gap and expect the next AppendEntry at
+  // `index + 1` — the skipped entries live in shared storage, not the WAL.
   virtual Status PersistWatermark(uint64_t index, uint64_t term,
                                   uint64_t aux) = 0;
 

@@ -116,11 +116,20 @@ Status LogStore::Append(uint64_t tenant, const logblock::RowBatch& rows) {
     consensus::LogEntry entry;
     entry.term = 1;
     entry.payload = rowstore::EncodeWalRecord(tenant, rows);
+    // A failed append rolls the WAL back to the previous record boundary,
+    // so the index is NOT consumed and the next append retries it.
     LOGSTORE_RETURN_IF_ERROR(wal_->AppendEntry(next_wal_index_, entry));
-    LOGSTORE_RETURN_IF_ERROR(wal_->Sync());
+    // Past this point the WAL HAS consumed the index (the record is
+    // journaled, even if not yet on disk), so the counter must advance
+    // even when the sync fails — otherwise every later append would be
+    // rejected as non-contiguous. The batch is simply not acked and not
+    // applied: journaled-but-unacknowledged is a legal WAL state (recovery
+    // may or may not replay it; the client saw an error either way).
+    const uint64_t index = next_wal_index_++;
+    const Status synced = wal_->Sync();
+    if (!synced.ok()) return synced;
     row_store_->Append(tenant, rows);
-    wal_index_to_seq_[next_wal_index_] = row_store_->last_seq();
-    ++next_wal_index_;
+    wal_index_to_seq_[index] = row_store_->last_seq();
   } else {
     row_store_->Append(tenant, rows);
   }

@@ -78,6 +78,13 @@ void RowStore::TruncateUpTo(uint64_t seq) {
   if (seq > archived_seq_) archived_seq_ = seq;
 }
 
+void RowStore::ResetToArchived() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rows_.clear();
+  bytes_ = 0;
+  archived_seq_ = next_seq_ - 1;
+}
+
 bool RowStore::RowMatches(
     const Row& row, int64_t ts_min, int64_t ts_max,
     const std::vector<query::Predicate>& predicates) const {

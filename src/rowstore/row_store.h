@@ -50,6 +50,13 @@ class RowStore {
   // object store (the checkpoint advancing).
   void TruncateUpTo(uint64_t seq);
 
+  // Drops every retained row and marks everything issued so far as
+  // archived, as if a checkpoint covered the whole store. Used when a
+  // lagging replica installs a snapshot: all rows at or below the snapshot
+  // live in LogBlocks on the object store, and rows above it re-arrive
+  // through the replication protocol.
+  void ResetToArchived();
+
   // Real-time query path: scans retained rows of `tenant` within the ts
   // range, applying `predicates` (all must hold).
   logblock::RowBatch ScanTenant(

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <memory>
 
 #include "cluster/cluster.h"
@@ -228,6 +229,54 @@ TEST(ReplicatedClusterTest, WritesSurviveThroughRaft) {
   auto result = (*cluster)->Query(query);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->rows.size(), 1u);
+}
+
+TEST(ReplicatedClusterTest, DurableWorkerRestartKeepsAckedWrites) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "cluster_test_durable";
+  fs::remove_all(dir);
+
+  objectstore::MemoryObjectStore store;
+  ClusterDeploymentOptions options;
+  options.num_workers = 1;
+  options.shards_per_worker = 1;
+  options.worker.schema = logblock::RequestLogSchema();
+  options.worker.replicated = true;
+  options.worker.wal_dir = dir.string();  // each worker gets a subdirectory
+  options.engine.prefetch_threads = 2;
+  options.engine.cache_options.ssd_dir.clear();
+  auto cluster = Cluster::Open(&store, options);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+
+  ASSERT_TRUE((*cluster)->Write(3, OneRow(3, 50, "durable")).ok());
+  ASSERT_TRUE((*cluster)->RestartWorker(0).ok());
+
+  // The acked write survives the worker process restart via its WAL.
+  query::LogQuery query;
+  query.tenant_id = 3;
+  auto result = (*cluster)->Query(query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 1u);
+
+  cluster->reset();
+  fs::remove_all(dir);
+}
+
+TEST(ReplicatedClusterTest, RestartWithoutWalDirIsRejected) {
+  objectstore::MemoryObjectStore store;
+  ClusterDeploymentOptions options;
+  options.num_workers = 1;
+  options.shards_per_worker = 1;
+  options.worker.schema = logblock::RequestLogSchema();
+  options.worker.replicated = true;  // no wal_dir: in-memory consensus only
+  options.engine.prefetch_threads = 2;
+  options.engine.cache_options.ssd_dir.clear();
+  auto cluster = Cluster::Open(&store, options);
+  ASSERT_TRUE(cluster.ok());
+
+  // Restarting a worker with no journal would silently lose acked writes;
+  // the cluster refuses instead of pretending.
+  EXPECT_FALSE((*cluster)->RestartWorker(0).ok());
 }
 
 TrafficSimOptions SimOptions(double theta, BalancePolicy policy) {

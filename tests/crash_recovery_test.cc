@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster.h"
 #include "cluster/worker.h"
 #include "common/random.h"
 #include "core/logstore.h"
@@ -233,6 +234,338 @@ TEST(CrashRecoveryTest, WorkerSurvivesSeededCrashCycles) {
     RunWorkerSeed(static_cast<uint64_t>(seed));
     if (::testing::Test::HasFatalFailure()) return;
   }
+}
+
+// ---------------------------------------------------------------------------
+// InstallSnapshot catch-up: a dead replica must not pin WAL growth, and must
+// catch up from shared storage once the log prefix it needs is gone.
+// ---------------------------------------------------------------------------
+
+TEST(CrashRecoveryTest, DeadReplicaDoesNotPinWalGcAndCatchesUpViaSnapshot) {
+  const fs::path dir =
+      fs::temp_directory_path() / "crash_recovery_snapshot_catchup";
+  fs::remove_all(dir);
+  objectstore::MemoryObjectStore store;
+  logblock::LogBlockMap map;
+
+  WorkerOptions options;
+  options.schema = logblock::RequestLogSchema();
+  options.replicated = true;
+  options.wal_dir = dir.string();
+  options.wal.sync_policy = SyncPolicy::kOnSync;
+  options.wal.segment_target_bytes = 512;  // tiny: every round rotates
+
+  auto worker = std::make_unique<Worker>(1, &store, &map, options);
+  ASSERT_TRUE(worker->wal_status().ok());
+
+  std::set<std::string> acked;
+  uint64_t next_marker = 0;
+  auto write_acked = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      const uint64_t tenant = 1 + (next_marker % 2);
+      const std::string marker = "snap-m" + std::to_string(next_marker++);
+      ASSERT_TRUE(
+          worker->Write(0, tenant, MarkerRow(tenant, 100 + i, marker)).ok());
+      acked.insert(marker);
+    }
+  };
+
+  write_acked(4);
+  const int victim = 1;
+  ASSERT_TRUE(
+      worker->CrashReplica(victim, CrashMode::kDropUnsynced, 7).ok());
+  const uint64_t victim_log_end = worker->raft()->node(victim).log_size();
+
+  // The group keeps writing and archiving with one replica dead. Live
+  // replicas' WAL GC must keep advancing — the dead member pins nothing.
+  for (int round = 0; round < 8; ++round) {
+    write_acked(3);
+    auto built = worker->RunBuildPass();
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+  }
+  for (int node = 0; node < 3; ++node) {
+    if (node == victim) continue;
+    // Everything is archived, so retention is capped by the snapshot: the
+    // dozens of rotated-out segments this run produced are gone.
+    EXPECT_LE(worker->wal(node)->segments().size(), 4u) << "node " << node;
+  }
+  const int leader = worker->raft()->WaitForLeader();
+  ASSERT_GE(leader, 0);
+  ASSERT_GT(worker->raft()->node(leader).log_base_index(), victim_log_end)
+      << "GC did not pass the dead replica's log; snapshot not required";
+
+  // The restarted replica's log now ends below every live log's base, so
+  // AppendEntries cannot repair it: it must take an InstallSnapshot.
+  ASSERT_TRUE(worker->RecoverReplica(victim).ok());
+  write_acked(2);
+  worker->raft()->Tick(2000);
+
+  EXPECT_GE(worker->raft()->node(victim).snapshots_installed(), 1u);
+  EXPECT_EQ(worker->raft()->node(victim).last_applied(),
+            worker->raft()->node(0).last_applied());
+
+  // Nothing acknowledged was lost across the whole episode — including
+  // after a final full process restart.
+  worker = std::make_unique<Worker>(1, &store, &map, options);
+  ASSERT_TRUE(worker->wal_status().ok());
+  std::set<std::string> visible;
+  CollectVisibleMarkers(*worker, store, map, &visible);
+  if (::testing::Test::HasFatalFailure()) return;
+  for (const std::string& marker : acked) {
+    ASSERT_TRUE(visible.count(marker)) << "lost " << marker;
+  }
+  CheckSegmentInvariant(*worker);
+  worker.reset();
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Rolling restarts: kill and recover each replica in turn, under write load,
+// with occasional archive passes forcing snapshot catch-up. Seeded.
+// ---------------------------------------------------------------------------
+
+void RunRollingRestartSeed(uint64_t seed) {
+  SCOPED_TRACE("rolling seed " + std::to_string(seed));
+  Random rng(seed * 0x9e3779b9 + 17);
+
+  const fs::path dir =
+      fs::temp_directory_path() / ("crash_recovery_rolling_" +
+                                   std::to_string(seed));
+  fs::remove_all(dir);
+  objectstore::MemoryObjectStore store;
+  logblock::LogBlockMap map;
+
+  WorkerOptions options;
+  options.schema = logblock::RequestLogSchema();
+  options.replicated = true;
+  options.wal_dir = dir.string();
+  options.wal.sync_policy =
+      rng.OneIn(2) ? SyncPolicy::kPerRecord : SyncPolicy::kOnSync;
+  options.wal.segment_target_bytes = 256 + rng.Uniform(768);
+
+  auto worker = std::make_unique<Worker>(1, &store, &map, options);
+  ASSERT_TRUE(worker->wal_status().ok());
+
+  std::set<std::string> acked;
+  uint64_t next_marker = 0;
+  auto write_acked = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      const uint64_t tenant = 1 + rng.Uniform(2);
+      const std::string marker = "roll" + std::to_string(seed) + "-m" +
+                                 std::to_string(next_marker++);
+      ASSERT_TRUE(
+          worker->Write(0, tenant, MarkerRow(tenant, 100 + i, marker)).ok());
+      acked.insert(marker);
+    }
+  };
+
+  write_acked(2 + static_cast<int>(rng.Uniform(3)));
+  // Two full rolling sweeps: every replica (primary, second full copy,
+  // WAL-only) dies and returns once per sweep, in a seed-shuffled order.
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    const int first = static_cast<int>(rng.Uniform(3));
+    for (int k = 0; k < 3; ++k) {
+      const int victim = (first + k) % 3;
+      const CrashMode mode =
+          rng.OneIn(2) ? CrashMode::kDropUnsynced : CrashMode::kTornWrite;
+      ASSERT_TRUE(worker->CrashReplica(victim, mode, rng.Next()).ok());
+
+      // While the victim is down: the surviving majority keeps acking
+      // (never when the primary row store itself is the victim — its
+      // worker cannot serve), and sometimes archives, advancing WAL GC
+      // past what the victim holds so its return needs a snapshot.
+      if (victim != 0) {
+        write_acked(1 + static_cast<int>(rng.Uniform(4)));
+        if (rng.OneIn(2)) {
+          auto built = worker->RunBuildPass();
+          ASSERT_TRUE(built.ok()) << built.status().ToString();
+        }
+      }
+
+      ASSERT_TRUE(worker->RecoverReplica(victim).ok());
+      write_acked(1);  // pumps ticks; drives catch-up (or InstallSnapshot)
+      worker->raft()->Tick(500);
+
+      std::set<std::string> visible;
+      CollectVisibleMarkers(*worker, store, map, &visible);
+      if (::testing::Test::HasFatalFailure()) return;
+      for (const std::string& marker : acked) {
+        ASSERT_TRUE(visible.count(marker))
+            << "sweep " << sweep << " victim " << victim << " lost "
+            << marker;
+      }
+    }
+  }
+
+  // Full process restart at the end: recovery from disk alone.
+  worker = std::make_unique<Worker>(1, &store, &map, options);
+  ASSERT_TRUE(worker->wal_status().ok());
+  std::set<std::string> visible;
+  CollectVisibleMarkers(*worker, store, map, &visible);
+  if (::testing::Test::HasFatalFailure()) return;
+  for (const std::string& marker : acked) {
+    ASSERT_TRUE(visible.count(marker)) << "restart lost " << marker;
+  }
+  CheckSegmentInvariant(*worker);
+  worker.reset();
+  fs::remove_all(dir);
+}
+
+TEST(CrashRecoveryTest, RollingReplicaRestartsLoseNoAckedWrites) {
+  const int seeds = SeedCount();
+  for (int seed = 1; seed <= seeds; ++seed) {
+    RunRollingRestartSeed(static_cast<uint64_t>(seed));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Disk-full / IO-error injection: a write the WAL refused must never be
+// acked, must never wedge the group permanently, and must leave every
+// segment parseable.
+// ---------------------------------------------------------------------------
+
+TEST(CrashRecoveryTest, EnospcOnReplicaAppendFailsTheAckUntilRepaired) {
+  const fs::path dir = fs::temp_directory_path() / "crash_recovery_enospc";
+  fs::remove_all(dir);
+  objectstore::MemoryObjectStore store;
+  logblock::LogBlockMap map;
+
+  WorkerOptions options;
+  options.schema = logblock::RequestLogSchema();
+  options.replicated = true;
+  options.wal_dir = dir.string();
+  options.wal.sync_policy = SyncPolicy::kOnSync;
+
+  auto worker = std::make_unique<Worker>(1, &store, &map, options);
+  ASSERT_TRUE(worker->wal_status().ok());
+  ASSERT_TRUE(worker->Write(0, 1, MarkerRow(1, 100, "pre-enospc")).ok());
+
+  // ENOSPC mid-record on one replica's journal. The entry may still reach
+  // the in-memory logs, but SyncAll must surface the journaling failure:
+  // the client never sees an ack it could rely on.
+  const int victim = 2;  // WAL-only replica: pure journal, no row store
+  worker->wal(victim)->InjectAppendErrors(1, /*partial_write=*/true);
+  EXPECT_FALSE(worker->Write(0, 1, MarkerRow(1, 101, "refused-1")).ok());
+  // The replica's memory and disk diverged; it stays fail-stop (every
+  // later ack attempt fails) until repaired by a restart of that replica.
+  EXPECT_FALSE(worker->Write(0, 1, MarkerRow(1, 102, "refused-2")).ok());
+
+  worker->raft()->Disconnect(victim);  // model the operator killing it
+  ASSERT_TRUE(worker->RecoverReplica(victim).ok());
+  ASSERT_TRUE(worker->Write(0, 1, MarkerRow(1, 103, "post-repair")).ok());
+
+  // Across a full restart: both acked writes present, torn nothing.
+  worker = std::make_unique<Worker>(1, &store, &map, options);
+  ASSERT_TRUE(worker->wal_status().ok());
+  std::set<std::string> visible;
+  CollectVisibleMarkers(*worker, store, map, &visible);
+  if (::testing::Test::HasFatalFailure()) return;
+  EXPECT_TRUE(visible.count("pre-enospc"));
+  EXPECT_TRUE(visible.count("post-repair"));
+  for (int node = 0; node < 3; ++node) {
+    EXPECT_EQ(worker->wal(node)->recovered().repaired_tail_bytes, 0u)
+        << "ENOSPC rollback left a torn record on node " << node;
+  }
+  worker.reset();
+  fs::remove_all(dir);
+}
+
+TEST(CrashRecoveryTest, EioOnFsyncWedgesReplicaUntilRepaired) {
+  const fs::path dir = fs::temp_directory_path() / "crash_recovery_eio";
+  fs::remove_all(dir);
+  objectstore::MemoryObjectStore store;
+  logblock::LogBlockMap map;
+
+  WorkerOptions options;
+  options.schema = logblock::RequestLogSchema();
+  options.replicated = true;
+  options.wal_dir = dir.string();
+  options.wal.sync_policy = SyncPolicy::kOnSync;
+
+  auto worker = std::make_unique<Worker>(1, &store, &map, options);
+  ASSERT_TRUE(worker->wal_status().ok());
+  ASSERT_TRUE(worker->Write(0, 1, MarkerRow(1, 100, "pre-eio")).ok());
+
+  const int victim = 1;
+  worker->wal(victim)->InjectSyncErrors(1);
+  // EIO at the group-commit fsync: no ack, and the wedge is sticky (a
+  // failed fsync cannot be retried into success).
+  EXPECT_FALSE(worker->Write(0, 1, MarkerRow(1, 101, "refused-1")).ok());
+  EXPECT_FALSE(worker->Write(0, 1, MarkerRow(1, 102, "refused-2")).ok());
+
+  worker->raft()->Disconnect(victim);
+  ASSERT_TRUE(worker->RecoverReplica(victim).ok());
+  ASSERT_TRUE(worker->Write(0, 1, MarkerRow(1, 103, "post-repair")).ok());
+
+  worker = std::make_unique<Worker>(1, &store, &map, options);
+  ASSERT_TRUE(worker->wal_status().ok());
+  std::set<std::string> visible;
+  CollectVisibleMarkers(*worker, store, map, &visible);
+  if (::testing::Test::HasFatalFailure()) return;
+  EXPECT_TRUE(visible.count("pre-eio"));
+  EXPECT_TRUE(visible.count("post-repair"));
+  worker.reset();
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-worker cluster: rolling worker-process restarts over per-worker
+// durable WAL directories.
+// ---------------------------------------------------------------------------
+
+TEST(CrashRecoveryTest, ClusterRollingWorkerRestartsLoseNoAckedWrites) {
+  const fs::path dir =
+      fs::temp_directory_path() / "crash_recovery_cluster_rolling";
+  fs::remove_all(dir);
+  objectstore::MemoryObjectStore store;
+
+  cluster::ClusterDeploymentOptions options;
+  options.num_workers = 2;
+  options.shards_per_worker = 2;
+  options.worker.schema = logblock::RequestLogSchema();
+  options.worker.replicated = true;
+  options.worker.wal_dir = dir.string();
+  options.worker.wal.sync_policy = SyncPolicy::kOnSync;
+  options.worker.wal.segment_target_bytes = 1024;
+
+  auto cluster = cluster::Cluster::Open(&store, options);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+
+  std::set<std::string> acked;
+  uint64_t next_marker = 0;
+  auto write_acked = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      const uint64_t tenant = 1 + (next_marker % 2);
+      const std::string marker = "cluster-m" + std::to_string(next_marker++);
+      ASSERT_TRUE(
+          (*cluster)->Write(tenant, MarkerRow(tenant, 500 + i, marker)).ok());
+      acked.insert(marker);
+    }
+  };
+
+  write_acked(6);
+  auto built = (*cluster)->RunBuildPass();
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+  // Restart every worker in turn, writing between restarts so each one
+  // recovers while its peers carry live, partially archived state.
+  for (uint32_t w = 0; w < (*cluster)->num_workers(); ++w) {
+    ASSERT_TRUE((*cluster)->RestartWorker(w).ok()) << "worker " << w;
+    write_acked(4);
+  }
+
+  std::set<std::string> visible;
+  logblock::LogBlockMap* map = (*cluster)->controller()->metadata();
+  for (uint32_t w = 0; w < (*cluster)->num_workers(); ++w) {
+    CollectVisibleMarkers(*(*cluster)->worker(w), store, *map, &visible);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  for (const std::string& marker : acked) {
+    EXPECT_TRUE(visible.count(marker)) << "lost " << marker;
+  }
+  cluster->reset();
+  fs::remove_all(dir);
 }
 
 // ---------------------------------------------------------------------------

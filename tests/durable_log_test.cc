@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "consensus/raft.h"
@@ -286,6 +288,127 @@ TEST_F(DurableLogTest, HardStateSurvivesGcViaSegmentHeaders) {
   EXPECT_TRUE(log->recovered().entries.empty());
   // Life goes on after GC: the next entry index continues from the base.
   EXPECT_TRUE(log->AppendEntry(31, Entry(10, "after-gc")).ok());
+}
+
+// --- Group-commit fsync batching ---
+
+TEST_F(DurableLogTest, RedundantSyncsShareOneFsync) {
+  DurableLogOptions options;
+  options.sync_policy = SyncPolicy::kOnSync;
+  auto log = MustOpen(options);
+  ASSERT_TRUE(log->AppendEntry(1, Entry(1, "a")).ok());
+  ASSERT_TRUE(log->AppendEntry(2, Entry(1, "b")).ok());
+  ASSERT_TRUE(log->AppendEntry(3, Entry(1, "c")).ok());
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(log->Sync().ok());
+  // One flush covered all three records; the four extra Syncs found
+  // nothing new to write and issued no fsync of their own.
+  EXPECT_EQ(log->fsyncs_issued(), 1u);
+  ASSERT_TRUE(log->AppendEntry(4, Entry(1, "d")).ok());
+  ASSERT_TRUE(log->Sync().ok());
+  ASSERT_TRUE(log->Sync().ok());
+  EXPECT_EQ(log->fsyncs_issued(), 2u);
+  EXPECT_EQ(log->unsynced_bytes(), 0u);
+}
+
+TEST_F(DurableLogTest, ConcurrentSyncersBatchBehindTheWriter) {
+  // One writer appends while several committers hammer Sync — the Worker's
+  // SyncAll-before-ack pattern. Every fsync must cover new bytes, so the
+  // flush count is bounded by the append count no matter how the threads
+  // interleave, and the recovered log must be complete.
+  DurableLogOptions options;
+  options.sync_policy = SyncPolicy::kOnSync;
+  constexpr int kAppends = 100;
+  {
+    auto log = MustOpen(options);
+    std::atomic<bool> done{false};
+    std::vector<std::thread> syncers;
+    for (int t = 0; t < 4; ++t) {
+      syncers.emplace_back([&log, &done] {
+        while (!done.load()) {
+          ASSERT_TRUE(log->Sync().ok());
+        }
+      });
+    }
+    for (int i = 1; i <= kAppends; ++i) {
+      ASSERT_TRUE(log->AppendEntry(i, Entry(1, "payload-" +
+                                                   std::to_string(i))).ok());
+    }
+    done.store(true);
+    for (auto& t : syncers) t.join();
+    ASSERT_TRUE(log->Sync().ok());
+    EXPECT_LE(log->fsyncs_issued(), static_cast<uint64_t>(kAppends) + 1);
+    EXPECT_EQ(log->unsynced_bytes(), 0u);
+  }
+  auto log = MustOpen(options);
+  ASSERT_EQ(log->recovered().entries.size(), static_cast<size_t>(kAppends));
+  EXPECT_EQ(log->recovered().entries.back().payload,
+            "payload-" + std::to_string(kAppends));
+}
+
+// --- Append / fsync error paths ---
+
+TEST_F(DurableLogTest, FailedAppendIsNotAckedAndIsRetryable) {
+  DurableLogOptions options;
+  options.sync_policy = SyncPolicy::kOnSync;
+  {
+    auto log = MustOpen(options);
+    ASSERT_TRUE(log->AppendEntry(1, Entry(1, "kept")).ok());
+    log->InjectAppendErrors(1, /*partial_write=*/false);
+    EXPECT_TRUE(log->AppendEntry(2, Entry(1, "refused")).IsIOError());
+    // The index was not consumed: the same append retries cleanly.
+    ASSERT_TRUE(log->AppendEntry(2, Entry(1, "retried")).ok());
+    ASSERT_TRUE(log->Sync().ok());
+  }
+  auto log = MustOpen(options);
+  ASSERT_EQ(log->recovered().entries.size(), 2u);
+  EXPECT_EQ(log->recovered().entries[1].payload, "retried");
+  EXPECT_EQ(log->recovered().repaired_tail_bytes, 0u);
+}
+
+TEST_F(DurableLogTest, PartialWriteRollsBackToRecordBoundary) {
+  // ENOSPC strikes halfway through a record: the half-written frame must
+  // be rolled back so the next append starts at a clean boundary — with no
+  // torn-tail repair needed at recovery (the segment never tore).
+  DurableLogOptions options;
+  options.sync_policy = SyncPolicy::kOnSync;
+  {
+    auto log = MustOpen(options);
+    ASSERT_TRUE(log->AppendEntry(1, Entry(1, "kept")).ok());
+    log->InjectAppendErrors(1, /*partial_write=*/true);
+    EXPECT_TRUE(
+        log->AppendEntry(2, Entry(1, "half-written-victim")).IsIOError());
+    ASSERT_TRUE(log->AppendEntry(2, Entry(1, "clean")).ok());
+    ASSERT_TRUE(log->Sync().ok());
+  }
+  auto log = MustOpen(options);
+  ASSERT_EQ(log->recovered().entries.size(), 2u);
+  EXPECT_EQ(log->recovered().entries[0].payload, "kept");
+  EXPECT_EQ(log->recovered().entries[1].payload, "clean");
+  EXPECT_EQ(log->recovered().repaired_tail_bytes, 0u);
+}
+
+TEST_F(DurableLogTest, FsyncFailureWedgesTheLogUntilReopen) {
+  DurableLogOptions options;
+  options.sync_policy = SyncPolicy::kOnSync;
+  {
+    auto log = MustOpen(options);
+    ASSERT_TRUE(log->AppendEntry(1, Entry(1, "acked")).ok());
+    ASSERT_TRUE(log->Sync().ok());
+    ASSERT_TRUE(log->AppendEntry(2, Entry(1, "doomed")).ok());
+    log->InjectSyncErrors(1);
+    EXPECT_TRUE(log->Sync().IsIOError());
+    // EIO on fsync is fail-stop: the kernel may have dropped the dirty
+    // pages, so no later call may pretend to succeed.
+    EXPECT_TRUE(log->Sync().IsIOError());
+    EXPECT_TRUE(log->AppendEntry(3, Entry(1, "rejected")).IsIOError());
+  }
+  // Reopen recovers a valid record-bounded prefix and accepts appends.
+  auto log = MustOpen(options);
+  ASSERT_GE(log->recovered().entries.size(), 1u);
+  EXPECT_EQ(log->recovered().entries[0].payload, "acked");
+  const uint64_t next =
+      log->recovered().base_index + log->recovered().entries.size() + 1;
+  EXPECT_TRUE(log->AppendEntry(next, Entry(2, "after-reopen")).ok());
 }
 
 }  // namespace

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "consensus/durable_log.h"
 #include "consensus/raft.h"
 
 namespace logstore::consensus {
@@ -345,6 +347,200 @@ TEST(RaftTest, ConvergesUnderDuplicationReorderingAndLoss) {
           << "seed " << seed << " node " << n;
     }
   }
+}
+
+// --- InstallSnapshot: repairing a follower the log can no longer reach ---
+
+// A toy replicated state machine whose snapshot is the applied map itself,
+// serialized as "index:payload\n" lines. (The production embedder ships an
+// EMPTY blob because its state lives in object-store LogBlocks; encoding
+// real state here proves the blob plumbing end to end.)
+struct SnapshotHarness {
+  std::map<int, std::map<uint64_t, std::string>> state;  // node -> applied
+  std::map<int, uint64_t> install_aux;                   // node -> last aux
+
+  void Wire(RaftCluster* cluster, int node) {
+    cluster->SetApplyFn(node,
+                        [this, node](uint64_t index, const std::string& p) {
+                          state[node][index] = p;
+                        });
+    cluster->SetSnapshotHooks(
+        node,
+        [this, node](uint64_t index, uint64_t) {
+          std::string blob;
+          for (const auto& [i, p] : state[node]) {
+            if (i <= index) blob += std::to_string(i) + ":" + p + "\n";
+          }
+          return blob;
+        },
+        [this, node](uint64_t, uint64_t aux, const std::string& blob) {
+          install_aux[node] = aux;
+          state[node].clear();
+          size_t pos = 0;
+          while (pos < blob.size()) {
+            const size_t colon = blob.find(':', pos);
+            const size_t nl = blob.find('\n', colon);
+            state[node][std::stoull(blob.substr(pos, colon - pos))] =
+                blob.substr(colon + 1, nl - colon - 1);
+            pos = nl + 1;
+          }
+        });
+  }
+};
+
+TEST(RaftTest, SnapshotRepairsFollowerBehindCompaction) {
+  RaftCluster cluster(3, FastOptions(), 41);
+  SnapshotHarness harness;
+  for (int i = 0; i < 3; ++i) harness.Wire(&cluster, i);
+  const int leader = cluster.WaitForLeader();
+  ASSERT_GE(leader, 0);
+
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(cluster.Propose("e" + std::to_string(i)).ok());
+  }
+  cluster.Tick(500);
+
+  // One follower dies; the group keeps committing and then compacts its
+  // log past everything the dead follower ever saw.
+  const int follower = (leader + 1) % 3;
+  cluster.Disconnect(follower);
+  for (int i = 5; i < 10; ++i) {
+    ASSERT_TRUE(cluster.Propose("e" + std::to_string(i)).ok());
+  }
+  cluster.Tick(500);
+  for (int i = 0; i < 3; ++i) {
+    if (i == follower) continue;
+    ASSERT_TRUE(cluster.node(i).AdvanceWatermark(8, /*aux=*/42).ok());
+    EXPECT_EQ(cluster.node(i).log_base_index(), 8u);
+  }
+
+  // On rejoin, AppendEntries cannot reach the follower (its log ends at 5,
+  // the leader's starts above 8): the leader must ship a snapshot.
+  cluster.Reconnect(follower);
+  cluster.Tick(2000);
+
+  EXPECT_GE(cluster.node(leader).snapshots_sent(), 1u);
+  EXPECT_EQ(cluster.node(follower).snapshots_installed(), 1u);
+  EXPECT_EQ(cluster.node(follower).log_base_index(), 8u);
+  EXPECT_EQ(cluster.node(follower).log_base_aux(), 42u);
+  EXPECT_EQ(harness.install_aux[follower], 42u);
+  EXPECT_EQ(cluster.node(follower).last_applied(), 10u);
+  // The follower's machine equals the leader's: 1..8 from the snapshot
+  // blob, 9..10 re-applied through the protocol.
+  ASSERT_EQ(harness.state[follower].size(), 10u);
+  for (uint64_t i = 1; i <= 10; ++i) {
+    EXPECT_EQ(harness.state[follower][i], "e" + std::to_string(i - 1));
+  }
+}
+
+TEST(RaftTest, StaleSnapshotDoesNotRewindFollower) {
+  RaftCluster cluster(3, FastOptions(), 42);
+  SnapshotHarness harness;
+  for (int i = 0; i < 3; ++i) harness.Wire(&cluster, i);
+  const int leader = cluster.WaitForLeader();
+  ASSERT_GE(leader, 0);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(cluster.Propose("e" + std::to_string(i)).ok());
+  }
+  cluster.Tick(500);
+
+  // Hand-deliver a duplicated/stale snapshot that covers a prefix the
+  // follower already applied. It must be acknowledged (match advances, so
+  // the leader un-sticks) but MUST NOT reinstall or re-apply anything.
+  const int follower = (leader + 1) % 3;
+  const auto before = harness.state[follower];
+  Message stale;
+  stale.type = MessageType::kInstallSnapshot;
+  stale.from = leader;
+  stale.to = follower;
+  stale.term = cluster.node(leader).term();
+  stale.snapshot_index = 3;
+  stale.snapshot_term = cluster.node(leader).log_at(3).term;
+  stale.snapshot_state = "999:poison\n";
+  std::vector<Message> replies;
+  cluster.node(follower).Receive(stale, &replies);
+
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].type, MessageType::kAppendResponse);
+  EXPECT_TRUE(replies[0].success);
+  EXPECT_EQ(replies[0].match_index, 6u);  // acknowledges real progress
+  EXPECT_EQ(cluster.node(follower).snapshots_installed(), 0u);
+  EXPECT_EQ(cluster.node(follower).last_applied(), 6u);
+  EXPECT_EQ(harness.state[follower], before);  // no poison, no rewind
+}
+
+TEST(RaftTest, SnapshotCatchUpSurvivesUnreliableNetwork) {
+  // Duplicated and reordered snapshot/append traffic: installs must stay
+  // idempotent and the group must still converge exactly once.
+  for (uint64_t seed : {51, 52, 53}) {
+    RaftCluster cluster(3, FastOptions(), seed);
+    SnapshotHarness harness;
+    for (int i = 0; i < 3; ++i) harness.Wire(&cluster, i);
+    const int leader = cluster.WaitForLeader();
+    ASSERT_GE(leader, 0) << "seed " << seed;
+    const int follower = (leader + 1) % 3;
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(cluster.Propose("e" + std::to_string(i)).ok());
+    }
+    cluster.Tick(500);
+    cluster.Disconnect(follower);
+    for (int i = 4; i < 8; ++i) {
+      ASSERT_TRUE(cluster.Propose("e" + std::to_string(i)).ok());
+    }
+    cluster.Tick(500);
+    for (int i = 0; i < 3; ++i) {
+      if (i == follower) continue;
+      ASSERT_TRUE(cluster.node(i).AdvanceWatermark(7, /*aux=*/7).ok());
+    }
+    cluster.SetDuplicateRate(0.3);
+    cluster.SetReorderRate(0.2);
+    cluster.Reconnect(follower);
+    cluster.Tick(3000);
+    cluster.SetDuplicateRate(0.0);
+    cluster.SetReorderRate(0.0);
+    cluster.Tick(1000);
+
+    EXPECT_EQ(cluster.node(follower).last_applied(), 8u) << "seed " << seed;
+    ASSERT_EQ(harness.state[follower].size(), 8u) << "seed " << seed;
+    for (uint64_t i = 1; i <= 8; ++i) {
+      EXPECT_EQ(harness.state[follower][i], "e" + std::to_string(i - 1))
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(RaftTest, DurableWalAcceptsPostSnapshotAppends) {
+  // The WAL of a follower that took a snapshot must accept the next append
+  // at snapshot_index + 1 (the watermark jumped past its old log end) and
+  // recover the jumped base after a restart.
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "raft_snapshot_wal_test";
+  fs::remove_all(dir);
+
+  {
+    auto wal = DurableLog::Open(dir.string());
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    LogEntry entry;
+    entry.term = 1;
+    entry.payload = "old";
+    ASSERT_TRUE((*wal)->AppendEntry(1, entry).ok());
+    ASSERT_TRUE((*wal)->AppendEntry(2, entry).ok());
+    // InstallSnapshot at index 9: truncate the stale suffix, then the
+    // watermark jumps the expected next index to 10.
+    ASSERT_TRUE((*wal)->TruncateSuffix(1).ok());
+    ASSERT_TRUE((*wal)->PersistWatermark(9, 3, 77).ok());
+    entry.payload = "new";
+    EXPECT_TRUE((*wal)->AppendEntry(10, entry).ok());
+  }
+  auto wal = DurableLog::Open(dir.string());
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  EXPECT_EQ((*wal)->recovered().base_index, 9u);
+  EXPECT_EQ((*wal)->recovered().base_term, 3u);
+  EXPECT_EQ((*wal)->recovered().watermark_aux, 77u);
+  ASSERT_EQ((*wal)->recovered().entries.size(), 1u);
+  EXPECT_EQ((*wal)->recovered().entries[0].payload, "new");
+  fs::remove_all(dir);
 }
 
 }  // namespace
