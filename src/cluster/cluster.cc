@@ -1,6 +1,9 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <filesystem>
+
+#include "rowstore/wal.h"
 
 namespace logstore::cluster {
 
@@ -35,6 +38,28 @@ WorkerOptions Cluster::WorkerOptionsFor(uint32_t id) const {
 }
 
 Status Cluster::RestartWorker(uint32_t id) {
+  if (id >= workers_.size()) return Status::InvalidArgument("no such worker");
+  if (!controller_->WorkerAlive(id)) {
+    // Rejoin after failover. The old journal's tail was already recovered
+    // (or declared lost) by FailoverWorker and re-routed to survivors;
+    // replaying it here would resurrect those rows as duplicates, so the
+    // directory is wiped — this is the point at which a failed-over
+    // worker's WAL segments may finally be deleted — and the worker comes
+    // back as a fresh empty instance with no shards.
+    workers_[id].reset();
+    if (!options_.worker.wal_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(WorkerOptionsFor(id).wal_dir, ec);
+      if (ec) {
+        return Status::IOError("wipe of failed-over WAL dir failed: " +
+                               ec.message());
+      }
+    }
+    workers_[id] = std::make_unique<Worker>(
+        id, store_, controller_->metadata(), WorkerOptionsFor(id));
+    LOGSTORE_RETURN_IF_ERROR(workers_[id]->wal_status());
+    return controller_->ReviveWorker(id);
+  }
   if (options_.worker.wal_dir.empty()) {
     return Status::InvalidArgument(
         "RestartWorker without wal_dir would lose acked writes");
@@ -45,6 +70,143 @@ Status Cluster::RestartWorker(uint32_t id) {
   workers_[id] = std::make_unique<Worker>(id, store_, controller_->metadata(),
                                           WorkerOptionsFor(id));
   return workers_[id]->wal_status();
+}
+
+Status Cluster::KillWorker(uint32_t id) {
+  if (id >= workers_.size()) return Status::InvalidArgument("no such worker");
+  if (workers_[id] == nullptr) {
+    return Status::AlreadyExists("worker already dead");
+  }
+  // Fence first so any concurrent broker write fails instead of acking
+  // into a store that is about to disappear, then destroy the object —
+  // releasing its WAL file handles but leaving the directory on disk for
+  // the failover tail recovery.
+  workers_[id]->Fence();
+  workers_[id].reset();
+  return Status::OK();
+}
+
+Result<Cluster::FailoverReport> Cluster::FailoverWorker(uint32_t id) {
+  if (id >= workers_.size()) return Status::InvalidArgument("no such worker");
+  // Wedged-but-running worker: terminate the process before reassigning,
+  // so its replica WALs are closed and it can never ack again.
+  if (workers_[id] != nullptr) {
+    workers_[id]->Fence();
+    workers_[id].reset();
+  }
+
+  auto decision = controller_->FailoverWorker(id);
+  if (!decision.ok()) return decision.status();
+
+  FailoverReport report;
+  report.worker = id;
+  report.moved = decision->moved;
+  LOGSTORE_RETURN_IF_ERROR(RecoverTail(id, &report));
+  return report;
+}
+
+Status Cluster::RecoverTail(uint32_t id, FailoverReport* report) {
+  // Tail recovery: everything acked but not archived lives in the dead
+  // worker's replica WALs. Re-ingest it through the broker write path —
+  // the placement map now routes those tenants' shards to survivors.
+  if (options_.worker.wal_dir.empty()) {
+    report->tail_lost = true;  // no journal was ever kept
+    return Status::OK();
+  }
+  const std::string wal_dir = WorkerOptionsFor(id).wal_dir;
+
+  // Merge the recovered suffixes of all replicas, keyed by raft index with
+  // higher terms winning conflicts: an acked entry was fsynced on every
+  // replica, so it survives as long as at least one directory is readable.
+  std::map<uint64_t, consensus::LogEntry> tail;
+  uint64_t archived_through = 0;
+  int readable = 0;
+  for (int node = 0; node < 3; ++node) {
+    const std::string node_dir = wal_dir + "/node-" + std::to_string(node);
+    if (!std::filesystem::exists(node_dir)) continue;
+    auto wal = consensus::DurableLog::Open(node_dir, options_.worker.wal);
+    if (!wal.ok()) continue;  // unreadable replica: others may still serve
+    ++readable;
+    const consensus::RecoveredState& recovered = (*wal)->recovered();
+    archived_through = std::max(archived_through, recovered.base_index);
+    for (size_t i = 0; i < recovered.entries.size(); ++i) {
+      const uint64_t index = recovered.base_index + 1 + i;
+      auto it = tail.find(index);
+      if (it == tail.end() || recovered.entries[i].term > it->second.term) {
+        tail[index] = recovered.entries[i];
+      }
+    }
+  }
+  if (readable == 0) {
+    // Machine (and its disks) gone: the un-archived tail is lost. Data at
+    // or below the archived-through watermark is safe in LogBlocks; this
+    // is the data-loss boundary the deployment accepted by running one
+    // worker per WAL directory.
+    report->tail_lost = true;
+    return Status::OK();
+  }
+
+  for (const auto& [index, entry] : tail) {
+    if (index <= archived_through) continue;  // already in LogBlocks
+    if (entry.payload.empty()) continue;      // recovery no-op barrier
+    auto record =
+        rowstore::DecodeWalRecord(entry.payload, options_.worker.schema);
+    if (!record.ok()) continue;  // un-acked torn tail entry
+    LOGSTORE_RETURN_IF_ERROR(Write(record->tenant_id, record->rows));
+    ++report->tail_entries_recovered;
+    report->tail_rows_recovered += record->rows.num_rows();
+  }
+  return Status::OK();
+}
+
+std::vector<WorkerHealth> Cluster::HarvestHealth() {
+  std::vector<WorkerHealth> reports;
+  for (uint32_t id = 0; id < workers_.size(); ++id) {
+    if (workers_[id] == nullptr) {
+      WorkerHealth dead;
+      dead.worker_id = id;
+      dead.process_alive = false;
+      dead.fenced = !controller_->WorkerAlive(id);
+      reports.push_back(dead);
+    } else {
+      reports.push_back(workers_[id]->Health());
+    }
+  }
+  return reports;
+}
+
+Result<Cluster::ControlCycleReport> Cluster::RunControlCycle() {
+  ControlCycleReport report;
+  // Phase 1: fence every worker that cannot durably ack and mark it dead
+  // in the controller. All placement moves land before any tail recovery,
+  // so with multiple simultaneous failures a recovered write can never be
+  // routed at a worker this same cycle is about to declare dead.
+  for (const WorkerHealth& health : HarvestHealth()) {
+    if (!controller_->WorkerAlive(health.worker_id)) continue;  // done
+    if (health.CanAck()) continue;
+    if (controller_->live_worker_count() <= 1) {
+      return Status::Unavailable(
+          "worker " + std::to_string(health.worker_id) +
+          " is unhealthy but is the last live worker");
+    }
+    if (workers_[health.worker_id] != nullptr) {
+      workers_[health.worker_id]->Fence();
+      workers_[health.worker_id].reset();
+    }
+    auto decision = controller_->FailoverWorker(health.worker_id);
+    if (!decision.ok()) return decision.status();
+    FailoverReport failover;
+    failover.worker = health.worker_id;
+    failover.moved = decision->moved;
+    report.failovers.push_back(std::move(failover));
+  }
+  // Phase 2: recover each dead worker's un-archived WAL tail into the
+  // (now final) placement.
+  for (FailoverReport& failover : report.failovers) {
+    LOGSTORE_RETURN_IF_ERROR(RecoverTail(failover.worker, &failover));
+  }
+  report.traffic = RunTrafficControl();
+  return report;
 }
 
 Status Cluster::Write(uint64_t tenant, const logblock::RowBatch& rows) {
@@ -58,7 +220,24 @@ Status Cluster::Write(uint64_t tenant, const logblock::RowBatch& rows) {
     }
   }
   const uint32_t worker_id = controller_->WorkerForShard(shard);
+  // Liveness check before dereferencing: between a worker's death and the
+  // next control cycle the routes still point at its shards. That window
+  // is a retryable condition for the client, not a crash for the broker.
+  if (workers_[worker_id] == nullptr || !controller_->WorkerAlive(worker_id)) {
+    return Status::Unavailable("worker " + std::to_string(worker_id) +
+                               " for shard " + std::to_string(shard) +
+                               " is dead; retry after the control cycle");
+  }
+  const uint64_t epoch = controller_->placement_epoch();
   LOGSTORE_RETURN_IF_ERROR(workers_[worker_id]->Write(shard, tenant, rows));
+  // Fencing: if a failover reassigned this worker's shards while the write
+  // was in flight, the rows may sit in a store nobody will archive. Refuse
+  // the ack; the client retries against the new placement.
+  if (controller_->placement_epoch() != epoch &&
+      !controller_->WorkerAlive(worker_id)) {
+    return Status::Unavailable("worker " + std::to_string(worker_id) +
+                               " was fenced during the write; not acked");
+  }
 
   std::lock_guard<std::mutex> lock(metrics_mu_);
   tenant_traffic_[tenant] += rows.num_rows();
@@ -72,8 +251,11 @@ Result<query::QueryResult> Cluster::Query(const query::LogQuery& query) {
   auto result = engine_->Execute(query, *controller_->metadata());
   if (!result.ok()) return result.status();
 
-  // Merge the real-time stores: rows not yet archived.
+  // Merge the real-time stores: rows not yet archived. Dead workers hold
+  // nothing queryable — their un-archived tail was re-ingested into the
+  // survivors at failover.
   for (auto& worker : workers_) {
+    if (worker == nullptr) continue;
     const logblock::RowBatch realtime = worker->ScanRealtime(
         query.tenant_id, query.ts_min, query.ts_max, query.predicates);
     LOGSTORE_RETURN_IF_ERROR(
@@ -85,6 +267,7 @@ Result<query::QueryResult> Cluster::Query(const query::LogQuery& query) {
 Result<int> Cluster::RunBuildPass() {
   int total = 0;
   for (auto& worker : workers_) {
+    if (worker == nullptr) continue;  // dead worker: nothing to archive
     auto built = worker->RunBuildPass();
     if (!built.ok()) return built.status();
     total += *built;

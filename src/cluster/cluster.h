@@ -37,6 +37,9 @@ class Cluster {
       objectstore::ObjectStore* store, ClusterDeploymentOptions options);
 
   // Broker write path: pick a shard by routing weight, write to its worker.
+  // Returns kUnavailable (retryable) when the routed worker is dead and the
+  // control cycle has not yet reassigned its shards — the client retries
+  // after RunControlCycle instead of crashing into a null worker.
   Status Write(uint64_t tenant, const logblock::RowBatch& rows);
 
   // Broker read path: archived LogBlocks (via the query engine) merged with
@@ -53,7 +56,48 @@ class Cluster {
   // single worker-process restart inside a live deployment (durable mode
   // only). Acked writes survive: they are either in LogBlocks on the
   // object store or recovered from the worker's replica WALs.
+  //
+  // For a FAILED-OVER worker this is the rejoin path instead: its tail was
+  // already recovered (or declared lost) by FailoverWorker and re-routed to
+  // survivors, so the old journal is wiped and the worker rejoins as a
+  // fresh empty instance, eligible for future placement.
   Status RestartWorker(uint32_t id);
+
+  // --- Failover subsystem ---
+
+  // Simulates a worker-process death: the Worker object is fenced and
+  // destroyed (WAL file handles released), its on-disk WAL directory left
+  // behind. Writes routed to it return kUnavailable until RunControlCycle
+  // (or an explicit FailoverWorker) reassigns its shards.
+  Status KillWorker(uint32_t id);
+
+  // One failover: fence + destroy the worker if its process is still up
+  // (the wedged-replica case), reassign its shards to survivors through the
+  // controller, then recover the un-archived tail of its per-worker WAL
+  // directory by re-ingesting it through the broker write path (the routes
+  // now point at survivors). A missing/unreadable WAL directory declares
+  // the tail lost up to the archived-through watermark instead of failing.
+  struct FailoverReport {
+    uint32_t worker = 0;
+    std::map<uint32_t, uint32_t> moved;  // shard -> surviving worker
+    uint64_t tail_entries_recovered = 0;  // WAL entries re-ingested
+    uint64_t tail_rows_recovered = 0;     // rows inside those entries
+    bool tail_lost = false;  // no WAL dir: tail gone, archived prefix safe
+  };
+  Result<FailoverReport> FailoverWorker(uint32_t id);
+
+  // Health harvest (monitor input): one report per worker. A worker whose
+  // process died gets a synthesized report with process_alive=false.
+  std::vector<WorkerHealth> HarvestHealth();
+
+  // The full monitor->failover->balancer->router cycle: harvest health,
+  // fail over every worker that cannot durably ack (dead process, wedged
+  // replica, lost quorum, broken WAL), then run traffic control.
+  struct ControlCycleReport {
+    std::vector<FailoverReport> failovers;
+    Controller::ControlDecision traffic;
+  };
+  Result<ControlCycleReport> RunControlCycle();
 
   Controller* controller() { return controller_.get(); }
   Worker* worker(uint32_t id) { return workers_[id].get(); }
@@ -66,6 +110,13 @@ class Cluster {
   // Per-worker construction options (worker.wal_dir already rewritten to
   // the worker's own subdirectory), kept for RestartWorker.
   WorkerOptions WorkerOptionsFor(uint32_t id) const;
+
+  // The tail-recovery half of a failover: re-ingests the un-archived
+  // suffix of the dead worker's replica WALs through the broker write
+  // path, filling the recovery fields of `report`. Must run only after
+  // EVERY dead worker of the cycle is marked dead in the controller, or a
+  // recovered write could be routed at a worker about to be failed over.
+  Status RecoverTail(uint32_t id, FailoverReport* report);
 
   ClusterDeploymentOptions options_;
   objectstore::ObjectStore* store_ = nullptr;

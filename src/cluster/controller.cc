@@ -8,6 +8,11 @@ Controller::Controller(uint32_t num_workers, uint32_t shards_per_worker,
       options_(options),
       num_workers_(num_workers),
       num_shards_(num_workers * shards_per_worker) {
+  placement_.reserve(num_shards_);
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    placement_.push_back(s / shards_per_worker_);
+  }
+  worker_alive_.assign(num_workers_, true);
   for (uint32_t s = 0; s < num_shards_; ++s) ring_.AddNode(s);
   switch (options_.policy) {
     case BalancePolicy::kGreedy:
@@ -24,11 +29,94 @@ Controller::Controller(uint32_t num_workers, uint32_t shards_per_worker,
 uint32_t Controller::AddWorker() {
   std::lock_guard<std::mutex> lock(mu_);
   const uint32_t worker = num_workers_++;
+  worker_alive_.push_back(true);
   for (uint32_t s = 0; s < shards_per_worker_; ++s) {
     ring_.AddNode(num_shards_ + s);
+    placement_.push_back(worker);
   }
   num_shards_ += shards_per_worker_;
   return worker;
+}
+
+std::vector<uint32_t> Controller::ShardsOfWorker(uint32_t worker) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint32_t> shards;
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    if (placement_[s] == worker) shards.push_back(s);
+  }
+  return shards;
+}
+
+uint32_t Controller::live_worker_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t live = 0;
+  for (bool alive : worker_alive_) live += alive ? 1 : 0;
+  return live;
+}
+
+Result<Controller::FailoverDecision> Controller::FailoverWorker(
+    uint32_t worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (worker >= num_workers_) {
+    return Status::InvalidArgument("no such worker");
+  }
+  if (!worker_alive_[worker]) {
+    return Status::AlreadyExists("worker already failed over");
+  }
+  // Survivors, by current shard count then last harvested load: the
+  // capacity-aware target order for reassignment.
+  std::vector<uint32_t> survivors;
+  for (uint32_t w = 0; w < num_workers_; ++w) {
+    if (w != worker && worker_alive_[w]) survivors.push_back(w);
+  }
+  if (survivors.empty()) {
+    return Status::Unavailable(
+        "cannot fail over the last live worker; no survivors");
+  }
+
+  worker_alive_[worker] = false;
+  ++placement_epoch_;  // fences the dead worker's in-flight acks
+
+  std::map<uint32_t, uint32_t> shard_counts;
+  for (uint32_t s = 0; s < num_shards_; ++s) ++shard_counts[placement_[s]];
+
+  FailoverDecision decision;
+  decision.worker = worker;
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    if (placement_[s] != worker) continue;
+    uint32_t best = survivors[0];
+    for (uint32_t candidate : survivors) {
+      const auto count = [&](uint32_t w) { return shard_counts[w]; };
+      const auto load = [&](uint32_t w) {
+        auto it = last_worker_loads_.find(w);
+        return it == last_worker_loads_.end() ? int64_t{0} : it->second;
+      };
+      if (std::pair(count(candidate), load(candidate)) <
+          std::pair(count(best), load(best))) {
+        best = candidate;
+      }
+    }
+    placement_[s] = best;
+    ++shard_counts[best];
+    decision.moved[s] = best;
+  }
+  // Tenant routes key on shards, so every route follows its shard to the
+  // new worker without being rewritten; the next balancer cycle re-weights
+  // against the survivors' measured loads as usual.
+  decision.epoch = placement_epoch_;
+  return decision;
+}
+
+Status Controller::ReviveWorker(uint32_t worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (worker >= num_workers_) {
+    return Status::InvalidArgument("no such worker");
+  }
+  if (worker_alive_[worker]) {
+    return Status::AlreadyExists("worker is already live");
+  }
+  worker_alive_[worker] = true;  // empty: owns no shards until assigned
+  return Status::OK();
 }
 
 void Controller::EnsureTenantRoute(uint64_t tenant) {
@@ -56,13 +144,16 @@ flow::ClusterState Controller::BuildState(
   }
   for (uint32_t s = 0; s < num_shards_; ++s) {
     auto it = shard_loads.find(s);
-    state.shards.push_back({s, WorkerForShard(s), options_.shard_capacity,
+    // placement_ read directly: callers hold mu_ (WorkerForShard would
+    // re-lock it).
+    state.shards.push_back({s, placement_[s], options_.shard_capacity,
                             it == shard_loads.end() ? 0 : it->second});
   }
   for (uint32_t w = 0; w < num_workers_; ++w) {
     auto it = worker_loads.find(w);
     state.workers.push_back({w, options_.worker_capacity,
-                             it == worker_loads.end() ? 0 : it->second});
+                             it == worker_loads.end() ? 0 : it->second,
+                             worker_alive_[w]});
   }
   return state;
 }
@@ -72,6 +163,7 @@ Controller::ControlDecision Controller::RunTrafficControl(
     const std::map<uint32_t, int64_t>& shard_loads,
     const std::map<uint32_t, int64_t>& worker_loads) {
   std::lock_guard<std::mutex> lock(mu_);
+  last_worker_loads_ = worker_loads;  // capacity signal for failover targets
   ControlDecision decision;
   if (balancer_ == nullptr) return decision;  // kNone policy
 

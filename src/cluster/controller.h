@@ -57,10 +57,16 @@ class Controller {
   // Current write routing table (brokers copy it).
   flow::RouteTable routes() const;
 
-  // Shard -> worker placement.
+  // Shard -> worker placement: a dynamic map, seeded with the uniform
+  // shard/shards_per_worker layout and rewritten by FailoverWorker. (The
+  // FoundationDB Record Layer lesson: placement must be a lookup, not a
+  // formula, or no shard can ever move.)
   uint32_t WorkerForShard(uint32_t shard) const {
-    return shard / shards_per_worker_;
+    std::lock_guard<std::mutex> lock(mu_);
+    return placement_[shard];
   }
+  // Shards currently placed on `worker`, ascending.
+  std::vector<uint32_t> ShardsOfWorker(uint32_t worker) const;
   uint32_t num_shards() const {
     std::lock_guard<std::mutex> lock(mu_);
     return num_shards_;
@@ -69,6 +75,39 @@ class Controller {
     std::lock_guard<std::mutex> lock(mu_);
     return num_workers_;
   }
+
+  // --- Worker liveness / failover ---
+
+  bool WorkerAlive(uint32_t worker) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return worker < worker_alive_.size() && worker_alive_[worker];
+  }
+  uint32_t live_worker_count() const;
+
+  // Bumped on every failover; brokers snapshot it around a write to detect
+  // a placement change that raced with the write (the fencing epoch).
+  uint64_t placement_epoch() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return placement_epoch_;
+  }
+
+  // The failover decision of the monitor->balancer->router cycle: marks
+  // `worker` dead, fences it out of the placement epoch, and reassigns its
+  // shards to survivors — capacity-aware, least-loaded first, using the
+  // loads harvested by the last control cycle. Tenant routes reference
+  // shards, not workers, so every route follows its shard automatically.
+  // Fails when the worker is already dead or is the last live worker.
+  struct FailoverDecision {
+    uint32_t worker = 0;
+    uint64_t epoch = 0;                  // placement epoch after the failover
+    std::map<uint32_t, uint32_t> moved;  // shard -> surviving worker
+  };
+  Result<FailoverDecision> FailoverWorker(uint32_t worker);
+
+  // Rejoin after RestartWorker: the worker comes back alive, empty, with no
+  // shards — eligible as a target for future failovers and scale-out, but
+  // nothing moves back to it eagerly.
+  Status ReviveWorker(uint32_t worker);
 
   // ScaleCluster (Algorithm 1 lines 23-27): provisions one more worker and
   // its shards ("add new shards; add new workers"). New shards join the
@@ -99,6 +138,12 @@ class Controller {
   uint32_t num_shards_;   // guarded by mu_
 
   mutable std::mutex mu_;
+  std::vector<uint32_t> placement_;   // shard -> worker, guarded by mu_
+  std::vector<bool> worker_alive_;    // guarded by mu_
+  uint64_t placement_epoch_ = 0;      // guarded by mu_
+  // Worker loads from the last monitor harvest, for capacity-aware
+  // failover target selection. Guarded by mu_.
+  std::map<uint32_t, int64_t> last_worker_loads_;
   flow::ConsistentHashRing ring_;
   flow::RouteTable routes_;
   std::unique_ptr<flow::Balancer> balancer_;

@@ -142,8 +142,28 @@ Status Worker::RecoverReplica(int node) {
   return Status::OK();
 }
 
+WorkerHealth Worker::Health() const {
+  WorkerHealth health;
+  health.worker_id = id_;
+  health.fenced = fenced_.load();
+  health.wal_ok = wal_status_.ok();
+  health.replicated = options_.replicated;
+  if (raft_ != nullptr) {
+    const consensus::GroupHealth group = raft_->Health();
+    health.num_replicas = raft_->num_nodes();
+    health.connected_replicas = group.connected;
+    health.wedged_replicas = group.wedged_connected;
+    health.has_leader = group.leader >= 0;
+  }
+  return health;
+}
+
 Status Worker::Write(uint32_t shard, uint64_t tenant,
                      const logblock::RowBatch& rows) {
+  if (fenced_.load()) {
+    return Status::Unavailable("worker " + std::to_string(id_) +
+                               " is fenced (failed over)");
+  }
   if (options_.replicated) {
     if (!wal_status_.ok()) return wal_status_;
     // Synchronous commit: propose on the leader and pump the group until

@@ -1,6 +1,7 @@
 #ifndef LOGSTORE_CLUSTER_WORKER_H_
 #define LOGSTORE_CLUSTER_WORKER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -35,6 +36,34 @@ struct WorkerOptions {
   // replication only (the original simulation behavior).
   std::string wal_dir;
   consensus::DurableLogOptions wal;
+};
+
+// Aggregated health of one worker, harvested by the cluster's control
+// cycle alongside the monitor metrics (the signal layer the controller's
+// FailoverWorker decision consumes). `process_alive` is filled in by the
+// harvester: a worker whose process died cannot report anything, so the
+// cluster synthesizes a dead report for it.
+struct WorkerHealth {
+  uint32_t worker_id = 0;
+  bool process_alive = true;
+  bool fenced = false;       // failed over; must not acknowledge writes
+  bool wal_ok = true;        // WAL open/recovery succeeded
+  bool replicated = false;
+  int num_replicas = 0;
+  int connected_replicas = 0;
+  int wedged_replicas = 0;   // connected members with sticky persist errors
+  bool has_leader = true;
+
+  // Whether this worker can durably acknowledge a write right now. A false
+  // answer from a live process means the worker is wedged (sticky
+  // persist_error_, lost quorum, broken WAL) — exactly the state that used
+  // to degrade the deployment silently.
+  bool CanAck() const {
+    if (!process_alive || fenced || !wal_ok) return false;
+    if (!replicated) return true;
+    return has_leader && wedged_replicas == 0 &&
+           connected_replicas >= num_replicas / 2 + 1;
+  }
 };
 
 // One execution-layer worker (Figure 3): local WAL + row store, a data
@@ -95,6 +124,18 @@ class Worker {
   // (e.g. via Write) to let it catch up.
   Status RecoverReplica(int node);
 
+  // Health snapshot for the control cycle: WAL status, replica
+  // connectivity, leader presence, and latched persistence errors.
+  WorkerHealth Health() const;
+
+  // Fencing: after the controller fails this worker over, its shards belong
+  // to survivors, so a late write accepted here would be acknowledged into
+  // a store nobody archives. Fence() makes every later Write fail with
+  // kUnavailable; it is irreversible for this object (the worker rejoins
+  // the deployment only as a fresh instance via Cluster::RestartWorker).
+  void Fence() { fenced_.store(true); }
+  bool fenced() const { return fenced_.load(); }
+
   // Monitor metrics: rows written per shard and per tenant since the last
   // harvest (§4.1.3: "It collects tenant traffic f(Ki), shard load f(Pj)
   // and worker node load f(Dk)").
@@ -142,6 +183,7 @@ class Worker {
   std::map<uint64_t, uint64_t> applied_index_to_seq_;
 
   std::unique_ptr<DataBuilder> builder_;
+  std::atomic<bool> fenced_{false};
 
   mutable std::mutex traffic_mu_;
   TrafficSnapshot traffic_;

@@ -106,7 +106,12 @@ Status RaftNode::AdvanceWatermark(uint64_t index, uint64_t aux) {
 Status RaftNode::SyncWal() {
   if (!persist_error_.ok()) return persist_error_;
   if (persistence_ == nullptr) return Status::OK();
-  return persistence_->Sync();
+  // Latch a failed group-commit fsync like any other persistence failure:
+  // the journal is fail-stop, so this node must never ack again, and the
+  // health report has to show the wedge (not just the one refused write).
+  Status s = persistence_->Sync();
+  NotePersistError(s);
+  return s;
 }
 
 void RaftNode::Restart() {
@@ -613,6 +618,25 @@ int RaftCluster::leader() const {
     }
   }
   return -1;
+}
+
+GroupHealth RaftCluster::Health() const {
+  GroupHealth health;
+  health.leader = leader();
+  for (const auto& node : nodes_) {
+    ReplicaHealth replica;
+    replica.node = node->id();
+    replica.connected = !disconnected_[node->id()];
+    replica.persist_ok = node->persist_error().ok();
+    replica.role = node->role();
+    replica.last_applied = node->last_applied();
+    if (replica.connected) {
+      ++health.connected;
+      if (!replica.persist_ok) ++health.wedged_connected;
+    }
+    health.replicas.push_back(std::move(replica));
+  }
+  return health;
 }
 
 int RaftCluster::WaitForLeader(int max_ms) {

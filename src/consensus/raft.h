@@ -195,6 +195,11 @@ class RaftNode {
   size_t sync_queue_depth() const { return sync_queue_.size(); }
   size_t apply_queue_depth() const { return apply_queue_.size(); }
   int leader_hint() const { return leader_hint_; }
+  // First persistence failure this node has latched (sticky until the
+  // embedder rebuilds the node over a reopened WAL). A non-OK value means
+  // the replica is wedged fail-stop: it will never acknowledge another
+  // write, and a health monitor should schedule its repair or failover.
+  const Status& persist_error() const { return persist_error_; }
 
   // Simulated crash/restart: volatile state is lost, persistent state
   // (term, vote, log) survives.
@@ -272,6 +277,32 @@ class RaftNode {
   uint64_t apply_queue_bytes_ = 0;
 };
 
+// Per-replica health, exported by RaftCluster::Health(). This is the raw
+// signal layer the embedder (cluster::Worker) aggregates into a
+// WorkerHealth report for the controller's failover decision.
+struct ReplicaHealth {
+  int node = -1;
+  bool connected = false;   // member of the group (not Disconnect()ed)
+  bool persist_ok = true;   // no sticky persist_error_ latched
+  Role role = Role::kFollower;
+  uint64_t last_applied = 0;
+};
+
+struct GroupHealth {
+  int leader = -1;               // -1: no leader among connected members
+  int connected = 0;             // connected member count
+  int wedged_connected = 0;      // connected members with a persist error
+  std::vector<ReplicaHealth> replicas;
+
+  // A group can durably acknowledge writes only with a leader, a connected
+  // majority, and no wedged member inside that majority (SyncAll flushes
+  // every connected WAL, so one wedged connected replica fails every ack).
+  bool CanAck(int cluster_size) const {
+    return leader >= 0 && wedged_connected == 0 &&
+           connected >= cluster_size / 2 + 1;
+  }
+};
+
 // Harness owning a full cluster: routes messages, injects drops, duplicates
 // and bounded reordering, advances time. Deterministic given a seed.
 class RaftCluster {
@@ -314,6 +345,10 @@ class RaftCluster {
   RaftNode& node(int id) { return *nodes_[id]; }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   int leader() const;
+
+  // Aggregated per-replica health: connectivity, leader presence, and
+  // sticky persistence errors. Cheap; safe to call every control cycle.
+  GroupHealth Health() const;
 
   // Fault injection.
   void Disconnect(int node);

@@ -115,7 +115,11 @@ bool NeedsScaleOut(const ClusterState& state) {
   double total_capacity = 0;
   for (const WorkerStat& worker : state.workers) {
     total_load += worker.load;
-    total_capacity += state.alpha * static_cast<double>(worker.capacity);
+    // A dead worker's nameplate capacity must not mask saturation of the
+    // survivors.
+    if (worker.alive) {
+      total_capacity += state.alpha * static_cast<double>(worker.capacity);
+    }
   }
   return static_cast<double>(total_load) > total_capacity;
 }
@@ -258,9 +262,11 @@ BalanceResult MaxFlowBalancer::Schedule(const ClusterState& state) {
     }
     for (size_t k = 0; k < state.workers.size(); ++k) {
       graph.AddEdge(worker_node(k), sink,
-                    static_cast<int64_t>(
-                        state.alpha *
-                        static_cast<double>(state.workers[k].capacity)));
+                    state.workers[k].alive
+                        ? static_cast<int64_t>(
+                              state.alpha *
+                              static_cast<double>(state.workers[k].capacity))
+                        : 0);
     }
 
     Solved solved;

@@ -39,6 +39,11 @@ struct WorkerStat {
   uint32_t id = 0;
   int64_t capacity = 0;  // c(D_k)
   int64_t load = 0;      // f(D_k), measured
+  // Failed-over workers stay in the stats with alive=false: they carry no
+  // shards, contribute zero capacity to scale-out math, and the flow
+  // network gives them a zero-capacity sink edge so no plan can route
+  // traffic toward them.
+  bool alive = true;
 };
 
 struct ClusterState {

@@ -57,6 +57,46 @@ class RouteTable {
 
   size_t TenantCount() const { return rules_.size(); }
 
+  // Sum of one tenant's route weights (0 when the tenant has no route).
+  // Every producer of this table (initial placement, both balancers)
+  // normalizes to 1.0 — "each tenant's weights sum to 100%" — which the
+  // placement property tests assert through this accessor.
+  double WeightSum(uint64_t tenant) const {
+    const ShardWeights* weights = Get(tenant);
+    if (weights == nullptr) return 0;
+    double total = 0;
+    for (const auto& [_, w] : *weights) total += w;
+    return total;
+  }
+
+  // Structural validity: every routed tenant has at least one shard, no
+  // negative weights, and weights sum to 1 within `tolerance`. On failure
+  // fills `error` (when non-null) with the offending tenant.
+  bool Validate(double tolerance = 1e-6, std::string* error = nullptr) const {
+    for (const auto& [tenant, weights] : rules_) {
+      double total = 0;
+      for (const auto& [shard, w] : weights) {
+        (void)shard;
+        if (w < 0) {
+          if (error != nullptr) {
+            *error = "tenant " + std::to_string(tenant) + " negative weight";
+          }
+          return false;
+        }
+        total += w;
+      }
+      if (weights.empty() || total < 1.0 - tolerance ||
+          total > 1.0 + tolerance) {
+        if (error != nullptr) {
+          *error = "tenant " + std::to_string(tenant) +
+                   " weights sum to " + std::to_string(total);
+        }
+        return false;
+      }
+    }
+    return true;
+  }
+
   const std::map<uint64_t, ShardWeights>& rules() const { return rules_; }
 
   // Read-side merge (§4.1.5): during a transition, reads must be forwarded

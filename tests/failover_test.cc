@@ -1,0 +1,761 @@
+// Seeded fault-injection suite for controller-driven worker failover.
+//
+// The deployment promise under test (§3 availability story): because
+// LogBlocks live in shared object storage and the row store is Raft-
+// replicated into per-worker durable WALs, a worker is disposable. Killing
+// any single worker mid-workload must lose zero acknowledged rows: the
+// control cycle detects the death through the exported health signals,
+// reassigns the dead worker's shards to survivors (tenant routes follow
+// their shards), recovers the un-archived WAL tail by re-ingesting it
+// through the broker write path, and the dead worker can later rejoin as a
+// fresh empty instance via Cluster::RestartWorker.
+//
+// Every scenario drives a model oracle — the per-tenant multiset of marker
+// strings whose Write() was acknowledged — and asserts Cluster::Query
+// returns exactly those markers (set-equality where duplicates are
+// impossible; coverage-without-fabrication where the at-least-once
+// archiving window legally duplicates, or where an un-acked write's
+// indeterminate fate may legally resurrect it).
+//
+// Seeds default to a quick smoke count; CI raises FAILOVER_SEEDS.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/controller.h"
+#include "common/random.h"
+#include "consensus/durable_log.h"
+#include "objectstore/memory_object_store.h"
+
+namespace logstore::cluster {
+namespace {
+
+namespace fs = std::filesystem;
+
+using consensus::CrashMode;
+using consensus::SyncPolicy;
+using logblock::RowBatch;
+using logblock::Value;
+
+int SeedCount() {
+  const char* env = std::getenv("FAILOVER_SEEDS");
+  if (env != nullptr && *env != '\0') return std::atoi(env);
+  return 4;  // local smoke; CI raises this
+}
+
+RowBatch MarkerRow(uint64_t tenant, int64_t ts, const std::string& marker) {
+  RowBatch batch(logblock::RequestLogSchema());
+  batch.AddRow({Value::Int64(static_cast<int64_t>(tenant)), Value::Int64(ts),
+                Value::String("10.0.0.1"), Value::Int64(5),
+                Value::String("false"), Value::String(marker)});
+  return batch;
+}
+
+// The model oracle: markers per tenant whose Write() returned OK.
+using Oracle = std::map<uint64_t, std::multiset<std::string>>;
+
+std::multiset<std::string> QueryMarkers(Cluster& cluster, uint64_t tenant) {
+  query::LogQuery query;
+  query.tenant_id = tenant;
+  query.select_columns = {"log"};
+  auto result = cluster.Query(query);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  std::multiset<std::string> markers;
+  if (result.ok()) {
+    for (const auto& row : result->rows) markers.insert(row[0].s);
+  }
+  return markers;
+}
+
+// Exact check: queries return the oracle's rows, nothing lost, nothing
+// duplicated, nothing fabricated.
+void ExpectOracleExact(Cluster& cluster, const Oracle& oracle,
+                       const std::string& context) {
+  for (const auto& [tenant, expected] : oracle) {
+    const auto visible = QueryMarkers(cluster, tenant);
+    EXPECT_EQ(visible, expected) << context << ": tenant " << tenant;
+  }
+}
+
+// Relaxed check: every acked marker is visible, and everything visible is
+// either acked (duplicates allowed — the at-least-once archiving window)
+// or explicitly listed in `maybe` (un-acked writes whose fate is
+// indeterminate). Nothing else may be fabricated.
+void ExpectOracleCovered(Cluster& cluster, const Oracle& oracle,
+                         const std::string& context,
+                         const Oracle& maybe = {}) {
+  for (const auto& [tenant, expected] : oracle) {
+    const auto visible = QueryMarkers(cluster, tenant);
+    for (const auto& marker : expected) {
+      EXPECT_TRUE(visible.count(marker) > 0)
+          << context << ": tenant " << tenant << " lost acked " << marker;
+    }
+    auto maybe_it = maybe.find(tenant);
+    for (const auto& marker : visible) {
+      const bool allowed =
+          expected.count(marker) > 0 ||
+          (maybe_it != maybe.end() && maybe_it->second.count(marker) > 0);
+      EXPECT_TRUE(allowed) << context << ": tenant " << tenant
+                           << " fabricated " << marker;
+    }
+  }
+}
+
+// Placement/route invariants that must hold at every quiescent point:
+// every shard is owned by a live worker, and every route targets a live
+// worker's shard with the tenant's weights summing to 100%.
+void CheckPlacementInvariants(Controller& controller,
+                              const std::string& context) {
+  for (uint32_t s = 0; s < controller.num_shards(); ++s) {
+    EXPECT_TRUE(controller.WorkerAlive(controller.WorkerForShard(s)))
+        << context << ": shard " << s << " owned by dead worker "
+        << controller.WorkerForShard(s);
+  }
+  const flow::RouteTable routes = controller.routes();
+  std::string error;
+  EXPECT_TRUE(routes.Validate(1e-6, &error)) << context << ": " << error;
+  for (const auto& [tenant, weights] : routes.rules()) {
+    for (const auto& [shard, weight] : weights) {
+      (void)weight;
+      EXPECT_TRUE(controller.WorkerAlive(controller.WorkerForShard(shard)))
+          << context << ": tenant " << tenant << " routes to shard " << shard
+          << " on dead worker";
+    }
+  }
+}
+
+// Mangles every replica WAL of a worker the way its process crash could
+// have, then destroys the worker object (the process death).
+void CrashAndKill(Cluster& cluster, uint32_t victim, CrashMode mode,
+                  Random* rng) {
+  Worker* worker = cluster.worker(victim);
+  ASSERT_NE(worker, nullptr);
+  for (int node = 0; node < 3; ++node) {
+    ASSERT_TRUE(worker->wal(node)->SimulateCrash(mode, rng->Next()).ok());
+  }
+  ASSERT_TRUE(cluster.KillWorker(victim).ok());
+}
+
+class FailoverTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    cluster_.reset();
+    store_.reset();
+    if (!dir_.empty()) fs::remove_all(dir_);
+  }
+
+  // A durable replicated deployment over per-worker WAL directories.
+  void OpenCluster(const std::string& name, uint32_t num_workers,
+                   uint32_t shards_per_worker, uint64_t seed) {
+    dir_ = fs::temp_directory_path() / ("failover_" + name);
+    fs::remove_all(dir_);
+    store_ = std::make_unique<objectstore::MemoryObjectStore>();
+    ClusterDeploymentOptions options;
+    options.num_workers = num_workers;
+    options.shards_per_worker = shards_per_worker;
+    options.worker.schema = logblock::RequestLogSchema();
+    options.worker.replicated = true;
+    options.worker.wal_dir = dir_.string();
+    options.worker.wal.sync_policy =
+        seed % 2 == 0 ? SyncPolicy::kOnSync : SyncPolicy::kPerRecord;
+    options.worker.wal.segment_target_bytes = 512 + (seed % 7) * 128;
+    auto cluster = Cluster::Open(store_.get(), options);
+    ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+    cluster_ = std::move(cluster).value();
+  }
+
+  // The worker currently serving `tenant` (its initial single-shard route).
+  uint32_t WorkerOfTenant(uint64_t tenant) {
+    cluster_->controller()->EnsureTenantRoute(tenant);
+    const flow::RouteTable routes = cluster_->controller()->routes();
+    const auto* weights = routes.Get(tenant);
+    EXPECT_NE(weights, nullptr);
+    EXPECT_FALSE(weights->empty());
+    return cluster_->controller()->WorkerForShard(weights->begin()->first);
+  }
+
+  // Writes `n` acked marker batches across `num_tenants` tenants, retrying
+  // through the control cycle when the routed worker is dead (the
+  // documented client contract). Only acked writes enter the oracle.
+  void WriteAcked(int n, int num_tenants, Random* rng) {
+    for (int i = 0; i < n; ++i) {
+      WriteAckedTo(1 + rng->Uniform(num_tenants));
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+
+  // One acked marker write to a specific tenant (oracle updated).
+  void WriteAckedTo(uint64_t tenant) {
+    const std::string marker = prefix_ + "-m" + std::to_string(next_marker_++);
+    const int64_t ts = 1000 + static_cast<int64_t>(next_marker_);
+    Status status = cluster_->Write(tenant, MarkerRow(tenant, ts, marker));
+    int retries = 0;
+    while (!status.ok() && retries++ < 3) {
+      // kUnavailable before the control cycle has run is the documented
+      // retryable condition; anything else is a real failure.
+      ASSERT_EQ(status.code(), StatusCode::kUnavailable) << status.ToString();
+      auto cycle = cluster_->RunControlCycle();
+      ASSERT_TRUE(cycle.ok()) << cycle.status().ToString();
+      status = cluster_->Write(tenant, MarkerRow(tenant, ts, marker));
+    }
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    oracle_[tenant].insert(marker);
+  }
+
+  fs::path dir_;
+  std::unique_ptr<objectstore::MemoryObjectStore> store_;
+  std::unique_ptr<Cluster> cluster_;
+  Oracle oracle_;
+  std::string prefix_ = "fo";
+  uint64_t next_marker_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Kill a worker mid-write-workload: zero acked rows lost, queries exact.
+// ---------------------------------------------------------------------------
+
+TEST_F(FailoverTest, KillWorkerMidWriteLosesNoAckedRows) {
+  const int seeds = SeedCount();
+  for (int seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    oracle_.clear();
+    next_marker_ = 0;
+    prefix_ = "kill" + std::to_string(seed);
+    TearDown();
+    OpenCluster("kill_mid_write_" + std::to_string(seed), 3, 2, seed);
+    if (::testing::Test::HasFatalFailure()) return;
+    Random rng(seed * 7919 + 3);
+
+    WriteAcked(12, 6, &rng);
+    if (::testing::Test::HasFatalFailure()) return;
+    // Some rounds archive part of the history first, so the recovery path
+    // must merge LogBlocks with the WAL tail.
+    if (rng.OneIn(2)) {
+      auto built = cluster_->RunBuildPass();
+      ASSERT_TRUE(built.ok()) << built.status().ToString();
+    }
+    WriteAcked(8, 6, &rng);
+    if (::testing::Test::HasFatalFailure()) return;
+
+    const uint32_t victim = static_cast<uint32_t>(rng.Uniform(3));
+    const CrashMode mode =
+        rng.OneIn(2) ? CrashMode::kDropUnsynced : CrashMode::kTornWrite;
+    CrashAndKill(*cluster_, victim, mode, &rng);
+    if (::testing::Test::HasFatalFailure()) return;
+
+    // The health harvest reports the dead process; the control cycle fails
+    // it over and recovers the tail.
+    auto cycle = cluster_->RunControlCycle();
+    ASSERT_TRUE(cycle.ok()) << cycle.status().ToString();
+    ASSERT_EQ(cycle->failovers.size(), 1u);
+    EXPECT_EQ(cycle->failovers[0].worker, victim);
+    EXPECT_FALSE(cycle->failovers[0].tail_lost);
+    CheckPlacementInvariants(*cluster_->controller(), "post-failover");
+    EXPECT_TRUE(cluster_->controller()->ShardsOfWorker(victim).empty());
+
+    // The tail replay is exactly-once here (no build-window crash), so the
+    // oracle must match exactly: nothing lost, duplicated, or fabricated.
+    ExpectOracleExact(*cluster_, oracle_, "after failover");
+
+    // The deployment keeps serving: writes, archiving, queries.
+    WriteAcked(6, 6, &rng);
+    if (::testing::Test::HasFatalFailure()) return;
+    auto built = cluster_->RunBuildPass();
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    ExpectOracleExact(*cluster_, oracle_, "after post-failover writes");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kill in the window between LogBlock upload and watermark persist: the
+// at-least-once archiving window. Nothing lost; duplicates legal.
+// ---------------------------------------------------------------------------
+
+TEST_F(FailoverTest, KillDuringBuildPassLosesNothing) {
+  const int seeds = SeedCount();
+  for (int seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    oracle_.clear();
+    next_marker_ = 0;
+    prefix_ = "build" + std::to_string(seed);
+    TearDown();
+    OpenCluster("kill_build_" + std::to_string(seed), 3, 2, seed);
+    if (::testing::Test::HasFatalFailure()) return;
+    Random rng(seed * 104729 + 11);
+
+    WriteAcked(10, 4, &rng);
+    if (::testing::Test::HasFatalFailure()) return;
+
+    // The victim's build pass uploads LogBlocks but "crashes" before the
+    // watermark persists; the WAL tail still covers the uploaded rows.
+    const uint32_t victim = static_cast<uint32_t>(rng.Uniform(3));
+    auto built = cluster_->worker(victim)->RunBuildPass(false);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    CrashAndKill(*cluster_, victim, CrashMode::kDropUnsynced, &rng);
+    if (::testing::Test::HasFatalFailure()) return;
+
+    auto cycle = cluster_->RunControlCycle();
+    ASSERT_TRUE(cycle.ok()) << cycle.status().ToString();
+    ASSERT_EQ(cycle->failovers.size(), 1u);
+    CheckPlacementInvariants(*cluster_->controller(), "post-failover");
+
+    // Rows both uploaded and replayed from the tail may appear twice
+    // (at-least-once archiving); acked rows must all appear, and nothing
+    // the oracle never acked may appear.
+    ExpectOracleCovered(*cluster_, oracle_, "after build-window failover");
+
+    WriteAcked(5, 4, &rng);
+    if (::testing::Test::HasFatalFailure()) return;
+    ExpectOracleCovered(*cluster_, oracle_, "after post-failover writes");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wedge via ENOSPC/EIO: a sticky persist error must surface in the health
+// report and trigger failover instead of silently degrading the deployment.
+// ---------------------------------------------------------------------------
+
+TEST_F(FailoverTest, WedgedReplicaSurfacesInHealthAndTriggersFailover) {
+  OpenCluster("wedge", 3, 2, 2);
+  if (::testing::Test::HasFatalFailure()) return;
+  Random rng(4242);
+
+  WriteAcked(10, 4, &rng);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  // The victim is whichever worker serves tenant 1, so the wedged worker
+  // deterministically sees an ack attempt (that is what latches
+  // persist_error_ on the raft node).
+  const uint32_t victim = WorkerOfTenant(1);
+
+  // EIO at the group-commit fsync of one replica journal: the write is
+  // refused (never acked) and the replica wedges fail-stop.
+  cluster_->worker(victim)->wal(1)->InjectSyncErrors(1);
+  EXPECT_FALSE(cluster_->Write(1, MarkerRow(1, 5000, "never-acked")).ok());
+
+  // The health signal the ROADMAP said was missing: the wedge is visible.
+  const WorkerHealth health = cluster_->worker(victim)->Health();
+  EXPECT_EQ(health.wedged_replicas, 1);
+  EXPECT_FALSE(health.CanAck());
+
+  // The control cycle acts on it: the victim is failed over, its tail
+  // recovered.
+  auto cycle = cluster_->RunControlCycle();
+  ASSERT_TRUE(cycle.ok()) << cycle.status().ToString();
+  ASSERT_EQ(cycle->failovers.size(), 1u);
+  EXPECT_EQ(cycle->failovers[0].worker, victim);
+  EXPECT_FALSE(cluster_->controller()->WorkerAlive(victim));
+  CheckPlacementInvariants(*cluster_->controller(), "post-wedge-failover");
+
+  // The refused write is indeterminate, like any un-acked write: it was
+  // appended to the healthy replica journals before the wedge, so tail
+  // recovery may legally resurrect it — but must never lose acked rows or
+  // fabricate anything else.
+  Oracle maybe;
+  maybe[1].insert("never-acked");
+  ExpectOracleCovered(*cluster_, oracle_, "after wedge failover", maybe);
+
+  // Writes keep flowing to the survivors.
+  WriteAcked(6, 4, &rng);
+  if (::testing::Test::HasFatalFailure()) return;
+  ExpectOracleCovered(*cluster_, oracle_, "after post-wedge writes", maybe);
+}
+
+// ---------------------------------------------------------------------------
+// Failover then rejoin: the dead worker returns as a fresh empty worker,
+// eligible as a target for the NEXT failover.
+// ---------------------------------------------------------------------------
+
+TEST_F(FailoverTest, FailedOverWorkerRejoinsFreshAndTakesNewShards) {
+  OpenCluster("rejoin", 3, 2, 1);
+  if (::testing::Test::HasFatalFailure()) return;
+  Random rng(777);
+
+  WriteAcked(12, 6, &rng);
+  if (::testing::Test::HasFatalFailure()) return;
+  CrashAndKill(*cluster_, 1, CrashMode::kDropUnsynced, &rng);
+  if (::testing::Test::HasFatalFailure()) return;
+  auto cycle = cluster_->RunControlCycle();
+  ASSERT_TRUE(cycle.ok()) << cycle.status().ToString();
+  ASSERT_EQ(cycle->failovers.size(), 1u);
+  ExpectOracleExact(*cluster_, oracle_, "after first failover");
+
+  // Rejoin: fresh, empty, live, no shards — and healthy.
+  ASSERT_TRUE(cluster_->RestartWorker(1).ok());
+  EXPECT_TRUE(cluster_->controller()->WorkerAlive(1));
+  EXPECT_TRUE(cluster_->controller()->ShardsOfWorker(1).empty());
+  EXPECT_TRUE(cluster_->worker(1)->Health().CanAck());
+  ExpectOracleExact(*cluster_, oracle_, "after rejoin");
+
+  // A later failover reassigns onto the rejoined worker (it has the fewest
+  // shards), proving it is a real placement target again.
+  WriteAcked(6, 6, &rng);
+  if (::testing::Test::HasFatalFailure()) return;
+  CrashAndKill(*cluster_, 2, CrashMode::kTornWrite, &rng);
+  if (::testing::Test::HasFatalFailure()) return;
+  cycle = cluster_->RunControlCycle();
+  ASSERT_TRUE(cycle.ok()) << cycle.status().ToString();
+  ASSERT_EQ(cycle->failovers.size(), 1u);
+  bool rejoined_got_shards = false;
+  for (const auto& [shard, worker] : cycle->failovers[0].moved) {
+    (void)shard;
+    if (worker == 1) rejoined_got_shards = true;
+  }
+  EXPECT_TRUE(rejoined_got_shards);
+  CheckPlacementInvariants(*cluster_->controller(), "post-second-failover");
+  ExpectOracleExact(*cluster_, oracle_, "after second failover");
+
+  WriteAcked(6, 6, &rng);
+  if (::testing::Test::HasFatalFailure()) return;
+  ExpectOracleExact(*cluster_, oracle_, "final");
+}
+
+// ---------------------------------------------------------------------------
+// Double failure: two of four workers die; both fail over; nothing lost.
+// ---------------------------------------------------------------------------
+
+TEST_F(FailoverTest, DoubleWorkerFailureLosesNothing) {
+  const int seeds = SeedCount();
+  for (int seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    oracle_.clear();
+    next_marker_ = 0;
+    prefix_ = "dbl" + std::to_string(seed);
+    TearDown();
+    OpenCluster("double_" + std::to_string(seed), 4, 2, seed);
+    if (::testing::Test::HasFatalFailure()) return;
+    Random rng(seed * 31337 + 5);
+
+    WriteAcked(16, 8, &rng);
+    if (::testing::Test::HasFatalFailure()) return;
+    if (rng.OneIn(2)) {
+      auto built = cluster_->RunBuildPass();
+      ASSERT_TRUE(built.ok()) << built.status().ToString();
+    }
+    WriteAcked(8, 8, &rng);
+    if (::testing::Test::HasFatalFailure()) return;
+
+    const uint32_t first = static_cast<uint32_t>(rng.Uniform(4));
+    uint32_t second = static_cast<uint32_t>(rng.Uniform(4));
+    while (second == first) second = static_cast<uint32_t>(rng.Uniform(4));
+    CrashAndKill(*cluster_, first, CrashMode::kDropUnsynced, &rng);
+    if (::testing::Test::HasFatalFailure()) return;
+    CrashAndKill(*cluster_, second, CrashMode::kTornWrite, &rng);
+    if (::testing::Test::HasFatalFailure()) return;
+
+    // One control cycle handles both: placements move first, then both
+    // tails recover into the surviving pair.
+    auto cycle = cluster_->RunControlCycle();
+    ASSERT_TRUE(cycle.ok()) << cycle.status().ToString();
+    ASSERT_EQ(cycle->failovers.size(), 2u);
+    CheckPlacementInvariants(*cluster_->controller(), "post-double-failover");
+    ExpectOracleExact(*cluster_, oracle_, "after double failover");
+
+    WriteAcked(8, 8, &rng);
+    if (::testing::Test::HasFatalFailure()) return;
+    ExpectOracleExact(*cluster_, oracle_, "after post-failover writes");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite fix: a write routed to a dead worker before the control cycle
+// runs is a retryable kUnavailable, not a crash.
+// ---------------------------------------------------------------------------
+
+TEST_F(FailoverTest, WriteToDeadWorkerIsRetryableUntilControlCycleRuns) {
+  OpenCluster("retryable", 2, 2, 1);
+  if (::testing::Test::HasFatalFailure()) return;
+  Random rng(99);
+
+  WriteAcked(8, 4, &rng);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  // Kill the worker serving tenant 1 WITHOUT running the control cycle:
+  // the stale route must surface as retryable, not as a crash.
+  const uint32_t victim = WorkerOfTenant(1);
+  CrashAndKill(*cluster_, victim, CrashMode::kDropUnsynced, &rng);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  const Status stale = cluster_->Write(1, MarkerRow(1, 9000, "stale-route"));
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.code(), StatusCode::kUnavailable) << stale.ToString();
+
+  auto cycle = cluster_->RunControlCycle();
+  ASSERT_TRUE(cycle.ok()) << cycle.status().ToString();
+  ASSERT_TRUE(cluster_->Write(1, MarkerRow(1, 9001, "retried")).ok());
+  oracle_[1].insert("retried");
+  ExpectOracleExact(*cluster_, oracle_, "after retry");
+}
+
+// ---------------------------------------------------------------------------
+// Satellite regression: AdvanceWalWatermark on survivors never touches the
+// dead worker's WAL directory; its segments are deleted only at rejoin,
+// after the tail was recovered. A vanished directory is declared loss
+// bounded by the archived watermark, never a crash.
+// ---------------------------------------------------------------------------
+
+TEST_F(FailoverTest, DeadWorkerWalSurvivesUntilTailRecoveredThenRejoinWipes) {
+  OpenCluster("wal_retention", 3, 2, 2);
+  if (::testing::Test::HasFatalFailure()) return;
+  Random rng(1234);
+
+  const uint32_t victim = WorkerOfTenant(1);
+
+  WriteAcked(12, 6, &rng);
+  if (::testing::Test::HasFatalFailure()) return;
+  auto built = cluster_->RunBuildPass();  // archive a prefix
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  // A guaranteed un-archived tail on the victim: acked writes to a tenant
+  // it serves, after the build pass.
+  for (int i = 0; i < 3; ++i) {
+    WriteAckedTo(1);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+
+  CrashAndKill(*cluster_, victim, CrashMode::kDropUnsynced, &rng);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  const fs::path victim_dir = dir_ / ("worker-" + std::to_string(victim));
+  auto segment_count = [&victim_dir]() {
+    size_t count = 0;
+    for (int node = 0; node < 3; ++node) {
+      const fs::path node_dir = victim_dir / ("node-" + std::to_string(node));
+      if (!fs::exists(node_dir)) continue;
+      for (const auto& entry : fs::directory_iterator(node_dir)) {
+        (void)entry;
+        ++count;
+      }
+    }
+    return count;
+  };
+  const size_t segments_at_death = segment_count();
+  ASSERT_GT(segments_at_death, 0u);
+
+  // Survivors keep writing, archiving and GC-ing their own WALs. The dead
+  // worker's directory must not shrink: its tail is not yet recovered.
+  // Writes target tenants served by survivors, so the client retry path
+  // does not trigger the failover before the assertions below.
+  std::vector<uint64_t> survivor_tenants;
+  for (uint64_t t = 10; t < 60 && survivor_tenants.size() < 4; ++t) {
+    if (WorkerOfTenant(t) != victim) survivor_tenants.push_back(t);
+  }
+  ASSERT_FALSE(survivor_tenants.empty());
+  for (int i = 0; i < 8; ++i) {
+    WriteAckedTo(survivor_tenants[i % survivor_tenants.size()]);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  built = cluster_->RunBuildPass();
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  EXPECT_EQ(segment_count(), segments_at_death)
+      << "survivor watermark advance touched the dead worker's WAL";
+
+  // Failover recovers the un-archived tail (the post-build writes to
+  // tenant 1 were never archived, so there must be entries to replay).
+  auto cycle = cluster_->RunControlCycle();
+  ASSERT_TRUE(cycle.ok()) << cycle.status().ToString();
+  ASSERT_EQ(cycle->failovers.size(), 1u);
+  EXPECT_FALSE(cycle->failovers[0].tail_lost);
+  EXPECT_GT(cycle->failovers[0].tail_entries_recovered, 0u);
+  ExpectOracleExact(*cluster_, oracle_, "after failover");
+
+  // The recovered journal still exists after failover — only the rejoin
+  // deletes it (so a failover interrupted before its ack can re-run).
+  EXPECT_GT(segment_count(), 0u);
+  ASSERT_TRUE(cluster_->RestartWorker(victim).ok());
+  // The rejoined worker's journal is fresh: its raft log holds nothing.
+  EXPECT_EQ(cluster_->worker(victim)->raft()->node(0).log_size(),
+            cluster_->worker(victim)->raft()->node(0).log_base_index());
+  ExpectOracleExact(*cluster_, oracle_, "after rejoin wipe");
+}
+
+TEST_F(FailoverTest, VanishedWalDirDeclaresTailLostAtArchivedWatermark) {
+  OpenCluster("lost_dir", 3, 2, 1);
+  if (::testing::Test::HasFatalFailure()) return;
+  Random rng(555);
+
+  WriteAcked(10, 4, &rng);
+  if (::testing::Test::HasFatalFailure()) return;
+  auto built = cluster_->RunBuildPass();  // everything so far archived
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const Oracle archived = oracle_;
+
+  WriteAcked(6, 4, &rng);  // acked tail; the victim's share dies with it
+  if (::testing::Test::HasFatalFailure()) return;
+
+  const uint32_t victim = 2;
+  ASSERT_TRUE(cluster_->KillWorker(victim).ok());
+  fs::remove_all(dir_ / ("worker-" + std::to_string(victim)));  // disks gone
+
+  auto cycle = cluster_->RunControlCycle();
+  ASSERT_TRUE(cycle.ok()) << cycle.status().ToString();
+  ASSERT_EQ(cycle->failovers.size(), 1u);
+  EXPECT_TRUE(cycle->failovers[0].tail_lost);
+  EXPECT_EQ(cycle->failovers[0].tail_entries_recovered, 0u);
+
+  // The data-loss boundary: everything archived-through remains visible;
+  // acked-but-unarchived rows on the lost machine are gone, and nothing is
+  // fabricated.
+  for (const auto& [tenant, expected] : archived) {
+    const auto visible = QueryMarkers(*cluster_, tenant);
+    for (const auto& marker : expected) {
+      EXPECT_TRUE(visible.count(marker) > 0)
+          << "archived marker " << marker << " lost";
+    }
+    for (const auto& marker : visible) {
+      EXPECT_TRUE(oracle_[tenant].count(marker) > 0)
+          << "fabricated marker " << marker;
+    }
+  }
+  CheckPlacementInvariants(*cluster_->controller(), "post-lost-dir");
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: the dynamic placement map and RouteTable through seeded
+// failover / rejoin / scale-out cycles.
+// ---------------------------------------------------------------------------
+
+TEST(PlacementPropertyTest, SeededFailoverRejoinCyclesKeepInvariants) {
+  const int seeds = std::max(SeedCount(), 4);
+  for (int seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Random rng(static_cast<uint64_t>(seed) * 6364136223846793005ull +
+               1442695040888963407ull);
+
+    ControllerOptions options;
+    options.shard_capacity = 1000;
+    options.worker_capacity = 4000;
+    options.edge_max_flow = 800;
+    Controller controller(static_cast<uint32_t>(3 + rng.Uniform(3)),
+                          static_cast<uint32_t>(1 + rng.Uniform(3)), options);
+    for (uint64_t tenant = 1; tenant <= 20; ++tenant) {
+      controller.EnsureTenantRoute(tenant);
+    }
+
+    uint64_t last_epoch = controller.placement_epoch();
+    for (int op = 0; op < 40; ++op) {
+      const uint32_t n = controller.num_workers();
+      std::vector<uint32_t> live, dead;
+      for (uint32_t w = 0; w < n; ++w) {
+        (controller.WorkerAlive(w) ? live : dead).push_back(w);
+      }
+      const uint32_t pick = static_cast<uint32_t>(rng.Uniform(10));
+      if (pick < 5 && live.size() > 1) {
+        const uint32_t victim = live[rng.Uniform(live.size())];
+        auto decision = controller.FailoverWorker(victim);
+        ASSERT_TRUE(decision.ok()) << decision.status().ToString();
+        // The fencing epoch strictly advances: no token is ever reused.
+        EXPECT_GT(decision->epoch, last_epoch);
+        last_epoch = decision->epoch;
+        // Every moved shard landed on a live survivor.
+        for (const auto& [shard, worker] : decision->moved) {
+          EXPECT_TRUE(controller.WorkerAlive(worker)) << "shard " << shard;
+        }
+        EXPECT_TRUE(controller.ShardsOfWorker(victim).empty());
+      } else if (pick < 7 && !dead.empty()) {
+        ASSERT_TRUE(
+            controller.ReviveWorker(dead[rng.Uniform(dead.size())]).ok());
+      } else if (pick < 8) {
+        controller.AddWorker();
+      } else {
+        // A traffic-control cycle with random hot load must also keep the
+        // route table valid.
+        std::map<uint64_t, int64_t> tenants;
+        std::map<uint32_t, int64_t> shards;
+        std::map<uint32_t, int64_t> workers;
+        for (uint64_t t = 1; t <= 20; ++t) {
+          tenants[t] = static_cast<int64_t>(rng.Uniform(2000));
+        }
+        const flow::RouteTable routes = controller.routes();
+        for (const auto& [tenant, weights] : routes.rules()) {
+          for (const auto& [shard, weight] : weights) {
+            const int64_t flow = static_cast<int64_t>(weight * tenants[tenant]);
+            shards[shard] += flow;
+            workers[controller.WorkerForShard(shard)] += flow;
+          }
+        }
+        controller.RunTrafficControl(tenants, shards, workers);
+      }
+
+      // The standing invariants, after every operation.
+      for (uint32_t s = 0; s < controller.num_shards(); ++s) {
+        EXPECT_TRUE(controller.WorkerAlive(controller.WorkerForShard(s)))
+            << "shard " << s << " on dead worker after op " << op;
+      }
+      const flow::RouteTable current = controller.routes();
+      std::string error;
+      EXPECT_TRUE(current.Validate(1e-6, &error)) << error;
+      for (const auto& [tenant, weights] : current.rules()) {
+        (void)tenant;
+        for (const auto& [shard, weight] : weights) {
+          (void)weight;
+          EXPECT_TRUE(
+              controller.WorkerAlive(controller.WorkerForShard(shard)));
+        }
+      }
+    }
+  }
+}
+
+TEST(PlacementPropertyTest, PlacementRoundTripsThroughFailoverAndRejoin) {
+  Controller controller(4, 2);
+  std::vector<uint32_t> before;
+  for (uint32_t s = 0; s < 8; ++s) {
+    before.push_back(controller.WorkerForShard(s));
+  }
+
+  auto decision = controller.FailoverWorker(1);
+  ASSERT_TRUE(decision.ok());
+  EXPECT_EQ(decision->moved.size(), 2u);  // worker 1 owned shards 2,3
+  EXPECT_FALSE(controller.WorkerAlive(1));
+  // Double failover of the same worker is rejected (idempotence guard).
+  EXPECT_FALSE(controller.FailoverWorker(1).ok());
+
+  ASSERT_TRUE(controller.ReviveWorker(1).ok());
+  EXPECT_TRUE(controller.WorkerAlive(1));
+  EXPECT_TRUE(controller.ShardsOfWorker(1).empty());
+  // Double revive is rejected too.
+  EXPECT_FALSE(controller.ReviveWorker(1).ok());
+
+  // Round trip: every shard still has exactly one live owner; shards that
+  // never belonged to worker 1 did not move.
+  for (uint32_t s = 0; s < 8; ++s) {
+    EXPECT_TRUE(controller.WorkerAlive(controller.WorkerForShard(s)));
+    if (before[s] != 1) {
+      EXPECT_EQ(controller.WorkerForShard(s), before[s]);
+    }
+  }
+
+  // Failing over another worker now prefers the empty rejoined worker 1.
+  auto second = controller.FailoverWorker(2);
+  ASSERT_TRUE(second.ok());
+  for (const auto& [shard, worker] : second->moved) {
+    (void)shard;
+    EXPECT_EQ(worker, 1u);
+  }
+}
+
+TEST(PlacementPropertyTest, LastLiveWorkerCannotBeFailedOver) {
+  Controller controller(2, 2);
+  ASSERT_TRUE(controller.FailoverWorker(0).ok());
+  auto last = controller.FailoverWorker(1);
+  EXPECT_FALSE(last.ok());
+  EXPECT_EQ(last.status().code(), StatusCode::kUnavailable);
+  // The refused failover changed nothing.
+  EXPECT_TRUE(controller.WorkerAlive(1));
+  for (uint32_t s = 0; s < controller.num_shards(); ++s) {
+    EXPECT_EQ(controller.WorkerForShard(s), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace logstore::cluster
