@@ -7,7 +7,9 @@
 // hours for 1000 tenants"), scaled down to run on a laptop.
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cluster/data_builder.h"
@@ -102,6 +104,33 @@ inline void BuildDataset(const DatasetOptions& options, bool simulate_oss,
 
 // Wall-clock helper.
 inline int64_t NowUs() { return SystemClock::Default()->NowMicros(); }
+
+// BENCH_SMOKE=1 shrinks the dataset and thread sweep so CI can run the
+// figure benches as a fast regression smoke instead of a full measurement.
+inline bool BenchSmoke() {
+  const char* v = std::getenv("BENCH_SMOKE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+// The machine-readable companion to each figure's stdout table.
+inline void WriteBenchJson(const std::string& path, const std::string& json) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+// Minimal number formatter for the JSON emitters (2 decimal places).
+inline std::string JsonNum(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
 
 }  // namespace logstore::bench
 

@@ -15,12 +15,20 @@ Result<std::unique_ptr<BlockManager>> BlockManager::Open(
                                    &manager->ssd_stats_);
     if (!ssd.ok()) return ssd.status();
     manager->ssd_ = std::move(ssd).value();
-    // Spill memory evictions to the SSD level.
+    // Spill memory evictions to the SSD level; victims of one insert spill
+    // as a batch, so adjacent blocks aging out together land in one run
+    // file and can be read back with one ranged read.
     SsdBlockCache* ssd_ptr = manager->ssd_.get();
-    manager->memory_->set_eviction_callback(
-        [ssd_ptr](const std::string& key,
-                  const std::shared_ptr<const std::string>& value, uint64_t) {
-          ssd_ptr->Insert(key, *value);
+    manager->memory_->set_batch_eviction_callback(
+        [ssd_ptr](
+            std::vector<LruCache<const std::string>::Evicted>&& victims) {
+          std::vector<std::pair<std::string, std::shared_ptr<const std::string>>>
+              batch;
+          batch.reserve(victims.size());
+          for (auto& v : victims) {
+            batch.emplace_back(std::move(v.key), std::move(v.value));
+          }
+          ssd_ptr->InsertBatch(batch);
         });
   }
   return manager;
@@ -32,13 +40,47 @@ std::shared_ptr<const std::string> BlockManager::Get(const std::string& key) {
     if (auto block = ssd_->Get(key)) {
       // Promote to the memory level for subsequent hits. The levels are
       // exclusive: the SSD copy is released so the bytes are charged once,
-      // and a later memory eviction spills the block back down.
-      ssd_->Erase(key);
+      // and a later memory eviction spills the block back down. Insert into
+      // memory BEFORE erasing from SSD: a concurrent Get of the same key
+      // that misses SSD mid-promotion then finds the block on its memory
+      // re-check instead of reporting a spurious miss.
       memory_->Insert(key, block, block->size(), /*spill_on_evict=*/true);
+      ssd_->Erase(key);
       return block;
     }
+    // A racing promotion may have moved the block from SSD to memory
+    // between the two probes above.
+    if (auto block = memory_->Get(key)) return block;
   }
   return nullptr;
+}
+
+std::vector<std::shared_ptr<const std::string>> BlockManager::GetBatch(
+    const std::vector<std::string>& keys) {
+  std::vector<std::shared_ptr<const std::string>> out(keys.size());
+  std::vector<std::string> ssd_keys;
+  std::vector<size_t> ssd_slots;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    out[i] = memory_->Get(keys[i]);
+    if (out[i] == nullptr && ssd_ != nullptr) {
+      ssd_keys.push_back(keys[i]);
+      ssd_slots.push_back(i);
+    }
+  }
+  if (ssd_keys.empty()) return out;
+  auto ssd_blocks = ssd_->GetBatch(ssd_keys);
+  for (size_t j = 0; j < ssd_keys.size(); ++j) {
+    if (ssd_blocks[j] != nullptr) {
+      // Same exclusive promotion as Get (insert-then-erase).
+      memory_->Insert(ssd_keys[j], ssd_blocks[j], ssd_blocks[j]->size(),
+                      /*spill_on_evict=*/true);
+      ssd_->Erase(ssd_keys[j]);
+      out[ssd_slots[j]] = std::move(ssd_blocks[j]);
+    } else if (auto block = memory_->Get(ssd_keys[j])) {
+      out[ssd_slots[j]] = std::move(block);  // racing promotion landed it
+    }
+  }
+  return out;
 }
 
 void BlockManager::Insert(const std::string& key,

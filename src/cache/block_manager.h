@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cache/lru_cache.h"
 #include "cache/ssd_block_cache.h"
@@ -22,7 +23,9 @@ struct BlockManagerOptions {
 
 // The block manager of §5.2 (Figure 9): a two-level file-block cache.
 // Inserts land in the memory block cache; evicted blocks spill to the SSD
-// block cache; SSD hits are promoted back into memory.
+// block cache (adjacent blocks evicted together spill into one run file);
+// SSD hits are promoted back into memory. All operations are thread-safe:
+// parallel query execution probes one manager from many threads at once.
 class BlockManager {
  public:
   static Result<std::unique_ptr<BlockManager>> Open(
@@ -30,6 +33,12 @@ class BlockManager {
 
   // Looks up a block in memory, then SSD. SSD hits are promoted.
   std::shared_ptr<const std::string> Get(const std::string& key);
+
+  // Batched lookup for a run of (typically adjacent) blocks: one slot per
+  // key, nullptr on miss. SSD-resident blocks sharing a run file are read
+  // with one coalesced ranged pread and promoted like Get.
+  std::vector<std::shared_ptr<const std::string>> GetBatch(
+      const std::vector<std::string>& keys);
 
   // Inserts into the memory level (spilling may push older blocks to SSD).
   void Insert(const std::string& key, std::shared_ptr<const std::string> block);

@@ -48,6 +48,7 @@ class LruCache {
               uint64_t charge, bool spill_on_evict = true) {
     std::vector<Victim> victims;
     EvictionCallback on_evict;
+    BatchEvictionCallback on_evict_batch;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (charge > capacity_) return;
@@ -68,11 +69,22 @@ class LruCache {
       used_ += charge;
       CollectEvictionsLocked(&victims);
       on_evict = on_evict_;
+      on_evict_batch = on_evict_batch_;
     }
     // Callbacks run after the shard mutex is released: the SSD-spill
     // callback does disk IO, and a callback that re-enters the cache must
-    // not deadlock.
-    if (on_evict) {
+    // not deadlock. When a batch callback is set it receives all victims of
+    // this insert at once (so adjacent blocks evicted together can spill
+    // into one file); otherwise each victim is announced individually.
+    if (victims.empty()) return;
+    if (on_evict_batch) {
+      std::vector<Evicted> batch;
+      batch.reserve(victims.size());
+      for (Victim& v : victims) {
+        batch.push_back({std::move(v.key), std::move(v.value), v.charge});
+      }
+      on_evict_batch(std::move(batch));
+    } else if (on_evict) {
       for (Victim& v : victims) on_evict(v.key, v.value, v.charge);
     }
   }
@@ -133,6 +145,19 @@ class LruCache {
     on_evict_ = std::move(cb);
   }
 
+  // Batch variant: one call per insert with every victim it displaced, in
+  // LRU order. Takes precedence over the per-victim callback when set.
+  struct Evicted {
+    std::string key;
+    std::shared_ptr<V> value;
+    uint64_t charge;
+  };
+  using BatchEvictionCallback = std::function<void(std::vector<Evicted>&&)>;
+  void set_batch_eviction_callback(BatchEvictionCallback cb) {
+    std::lock_guard<std::mutex> lock(mu_);
+    on_evict_batch_ = std::move(cb);
+  }
+
  private:
   struct Entry {
     std::shared_ptr<V> value;
@@ -171,6 +196,7 @@ class LruCache {
   std::list<std::string> lru_;  // front = most recent
   uint64_t used_ = 0;
   EvictionCallback on_evict_;
+  BatchEvictionCallback on_evict_batch_;
 };
 
 // Hash-sharded LRU: reduces mutex contention for the hot block-cache path.
@@ -212,6 +238,10 @@ class ShardedLruCache {
 
   void set_eviction_callback(typename LruCache<V>::EvictionCallback cb) {
     for (auto& shard : shards_) shard->set_eviction_callback(cb);
+  }
+  void set_batch_eviction_callback(
+      typename LruCache<V>::BatchEvictionCallback cb) {
+    for (auto& shard : shards_) shard->set_batch_eviction_callback(cb);
   }
 
  private:

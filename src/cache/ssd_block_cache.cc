@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -17,10 +18,19 @@ namespace fs = std::filesystem;
 
 namespace {
 
-// Cache-file layout: magic, key length, key bytes, then the block data.
-// The embedded key is what makes hash-collisions on the file name safe.
+// Per-block on-disk layout: magic, key length, key bytes, then the block
+// data. A run file is simply several of these back to back. The embedded
+// key is what makes hash-collisions on the file name safe.
 constexpr char kFileMagic[4] = {'S', 'B', 'C', '1'};
 constexpr size_t kHeaderFixedSize = sizeof(kFileMagic) + sizeof(uint32_t);
+
+void AppendBlockRecord(std::string* out, const std::string& key,
+                       const std::string& data) {
+  out->append(kFileMagic, sizeof(kFileMagic));
+  PutFixed32(out, static_cast<uint32_t>(key.size()));
+  out->append(key);
+  out->append(data);
+}
 
 }  // namespace
 
@@ -61,17 +71,15 @@ void SsdBlockCache::Insert(const std::string& key, const std::string& data) {
   const uint64_t file_hash = FileHash(key);
   const std::string path = PathForHash(file_hash);
 
-  std::string header;
-  header.append(kFileMagic, sizeof(kFileMagic));
-  PutFixed32(&header, static_cast<uint32_t>(key.size()));
-  header.append(key);
+  std::string payload;
+  payload.reserve(kHeaderFixedSize + key.size() + data.size());
+  AppendBlockRecord(&payload, key, data);
 
   bool written = false;
   {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (out) {
-      out.write(header.data(), static_cast<std::streamsize>(header.size()));
-      out.write(data.data(), static_cast<std::streamsize>(data.size()));
+      out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
       written = static_cast<bool>(out);
     }
   }
@@ -81,27 +89,105 @@ void SsdBlockCache::Insert(const std::string& key, const std::string& data) {
   }
 
   std::lock_guard<std::mutex> lock(mu_);
-  // The file was just overwritten (or destroyed on a failed write): the key
-  // that previously owned it no longer has its bytes on disk.
-  auto owner = file_owner_.find(file_hash);
-  if (owner != file_owner_.end() && owner->second != key) {
-    DetachEntryLocked(owner->second);
-  }
-  if (!written) {  // best effort: drop all bookkeeping for this file
-    DetachEntryLocked(key);
-    file_owner_.erase(file_hash);
+  // The file was just overwritten (or destroyed on a failed write): every
+  // key whose bytes previously lived in it no longer has them on disk.
+  DetachFileOwnersLocked(file_hash);
+  if (!written) {  // best effort: drop all bookkeeping for this key
+    DetachEntryLocked(key, /*unlink_empty=*/false);
     return;
   }
   if (stats_ != nullptr) stats_->inserts++;
-  DetachEntryLocked(key);
-  lru_.push_front(key);
-  index_[key] = Entry{data.size(), lru_.begin()};
-  file_owner_[file_hash] = key;
-  used_ += data.size();
+  RecordInsertLocked(key, file_hash, /*header_offset=*/0, data.size());
   EvictLocked();
 }
 
+void SsdBlockCache::InsertBatch(
+    const std::vector<std::pair<std::string, std::shared_ptr<const std::string>>>&
+        blocks) {
+  if (blocks.empty()) return;
+  if (blocks.size() == 1) {
+    Insert(blocks[0].first, *blocks[0].second);
+    return;
+  }
+  uint64_t total = 0;
+  for (const auto& [key, data] : blocks) {
+    total += kHeaderFixedSize + key.size() + data->size();
+  }
+  if (total > capacity_) {
+    // A run this large would immediately evict itself; store the pieces
+    // individually so each is subject to its own capacity check.
+    for (const auto& [key, data] : blocks) Insert(key, *data);
+    return;
+  }
+
+  // One run file named by the first key's hash; blocks laid out back to
+  // back, each with its own verifiable header.
+  const uint64_t file_hash = FileHash(blocks[0].first);
+  const std::string path = PathForHash(file_hash);
+  std::string payload;
+  payload.reserve(total);
+  std::vector<uint64_t> offsets;
+  offsets.reserve(blocks.size());
+  for (const auto& [key, data] : blocks) {
+    offsets.push_back(payload.size());
+    AppendBlockRecord(&payload, key, *data);
+  }
+
+  bool written = false;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (out) {
+      out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+      written = static_cast<bool>(out);
+    }
+  }
+  if (!written) {
+    std::error_code ec;
+    fs::remove(path, ec);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  DetachFileOwnersLocked(file_hash);
+  if (!written) return;
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    // A duplicate key inside one batch would leave a dangling offset; keep
+    // the first occurrence (later ones are unreachable bytes in the file).
+    if (index_.count(blocks[i].first) != 0 &&
+        index_[blocks[i].first].file_hash == file_hash) {
+      continue;
+    }
+    if (stats_ != nullptr) stats_->inserts++;
+    RecordInsertLocked(blocks[i].first, file_hash, offsets[i],
+                       blocks[i].second->size());
+  }
+  EvictLocked();
+}
+
+std::shared_ptr<std::string> SsdBlockCache::ReadVerified(
+    int fd, const Located& loc) const {
+  const uint64_t header_size = kHeaderFixedSize + loc.key.size();
+  std::string header(header_size, '\0');
+  if (::pread(fd, header.data(), header_size,
+              static_cast<off_t>(loc.header_offset)) !=
+          static_cast<ssize_t>(header_size) ||
+      header.compare(0, sizeof(kFileMagic), kFileMagic, sizeof(kFileMagic)) !=
+          0 ||
+      DecodeFixed32(header.data() + sizeof(kFileMagic)) != loc.key.size() ||
+      header.compare(kHeaderFixedSize, loc.key.size(), loc.key) != 0) {
+    return nullptr;
+  }
+  auto data =
+      std::make_shared<std::string>(static_cast<size_t>(loc.size), '\0');
+  if (::pread(fd, data->data(), loc.size,
+              static_cast<off_t>(loc.header_offset + header_size)) !=
+      static_cast<ssize_t>(loc.size)) {
+    return nullptr;
+  }
+  return data;
+}
+
 std::shared_ptr<const std::string> SsdBlockCache::Get(const std::string& key) {
+  Located loc;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(key);
@@ -112,6 +198,8 @@ std::shared_ptr<const std::string> SsdBlockCache::Get(const std::string& key) {
     lru_.erase(it->second.lru_pos);
     lru_.push_front(key);
     it->second.lru_pos = lru_.begin();
+    loc = {0, key, it->second.file_hash, it->second.header_offset,
+           it->second.size};
   }
 
   // Hit-path IO runs outside mu_ — the mutex above covered only the index
@@ -119,47 +207,25 @@ std::shared_ptr<const std::string> SsdBlockCache::Get(const std::string& key) {
   // serializing behind one reader. pread carries its own offset (no shared
   // seek state), and the readahead hint lets the kernel start pulling the
   // block body while the header is still being verified.
-  const uint64_t file_hash = FileHash(key);
-  bool verified = false;
   std::shared_ptr<std::string> data;
-  const int fd = ::open(PathForHash(file_hash).c_str(), O_RDONLY);
+  const int fd = ::open(PathForHash(loc.file_hash).c_str(), O_RDONLY);
   if (fd >= 0) {
 #ifdef POSIX_FADV_WILLNEED
-    ::posix_fadvise(fd, 0, 0, POSIX_FADV_WILLNEED);
+    ::posix_fadvise(fd, static_cast<off_t>(loc.header_offset),
+                    static_cast<off_t>(kHeaderFixedSize + key.size() +
+                                       loc.size),
+                    POSIX_FADV_WILLNEED);
 #endif
-    struct stat st;
-    if (::fstat(fd, &st) == 0) {
-      const auto file_size = static_cast<uint64_t>(st.st_size);
-      const uint64_t min_size = kHeaderFixedSize + key.size();
-      if (file_size >= min_size) {
-        std::string header(min_size, '\0');
-        if (::pread(fd, header.data(), min_size, 0) ==
-                static_cast<ssize_t>(min_size) &&
-            header.compare(0, sizeof(kFileMagic), kFileMagic,
-                           sizeof(kFileMagic)) == 0 &&
-            DecodeFixed32(header.data() + sizeof(kFileMagic)) == key.size() &&
-            header.compare(kHeaderFixedSize, key.size(), key) == 0) {
-          const uint64_t data_size = file_size - min_size;
-          data = std::make_shared<std::string>(static_cast<size_t>(data_size),
-                                               '\0');
-          verified = ::pread(fd, data->data(), data_size,
-                             static_cast<off_t>(min_size)) ==
-                     static_cast<ssize_t>(data_size);
-        }
-      }
-    }
+    ranged_reads_++;
+    data = ReadVerified(fd, loc);
     ::close(fd);
   }
 
-  if (!verified) {
+  if (data == nullptr) {
     // The file is gone, unreadable, or holds another key's bytes: the index
     // entry is stale — drop it and report a miss rather than wrong data.
     std::lock_guard<std::mutex> lock(mu_);
-    DetachEntryLocked(key);
-    auto owner = file_owner_.find(file_hash);
-    if (owner != file_owner_.end() && owner->second == key) {
-      file_owner_.erase(owner);
-    }
+    DetachEntryLocked(key, /*unlink_empty=*/false);
     if (stats_ != nullptr) stats_->misses++;
     return nullptr;
   }
@@ -167,16 +233,97 @@ std::shared_ptr<const std::string> SsdBlockCache::Get(const std::string& key) {
   return data;
 }
 
+std::vector<std::shared_ptr<const std::string>> SsdBlockCache::GetBatch(
+    const std::vector<std::string>& keys) {
+  std::vector<std::shared_ptr<const std::string>> out(keys.size());
+  std::vector<Located> found;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      auto it = index_.find(keys[i]);
+      if (it == index_.end()) {
+        if (stats_ != nullptr) stats_->misses++;
+        continue;
+      }
+      lru_.erase(it->second.lru_pos);
+      lru_.push_front(keys[i]);
+      it->second.lru_pos = lru_.begin();
+      found.push_back({i, keys[i], it->second.file_hash,
+                       it->second.header_offset, it->second.size});
+    }
+  }
+  if (found.empty()) return out;
+
+  // Group by file and read each file's blocks with one coalesced pread
+  // spanning from the first to the last requested extent.
+  std::stable_sort(found.begin(), found.end(),
+                   [](const Located& a, const Located& b) {
+                     return a.file_hash != b.file_hash
+                                ? a.file_hash < b.file_hash
+                                : a.header_offset < b.header_offset;
+                   });
+  std::vector<std::string> stale;
+  for (size_t g = 0; g < found.size();) {
+    size_t g_end = g + 1;
+    while (g_end < found.size() &&
+           found[g_end].file_hash == found[g].file_hash) {
+      ++g_end;
+    }
+    const int fd = ::open(PathForHash(found[g].file_hash).c_str(), O_RDONLY);
+    if (fd < 0) {
+      for (size_t i = g; i < g_end; ++i) stale.push_back(found[i].key);
+      g = g_end;
+      continue;
+    }
+    const uint64_t span_begin = found[g].header_offset;
+    const Located& last = found[g_end - 1];
+    const uint64_t span_end = last.header_offset + kHeaderFixedSize +
+                              last.key.size() + last.size;
+    std::string span(static_cast<size_t>(span_end - span_begin), '\0');
+    ranged_reads_++;
+    const bool span_ok =
+        ::pread(fd, span.data(), span.size(),
+                static_cast<off_t>(span_begin)) ==
+        static_cast<ssize_t>(span.size());
+    ::close(fd);
+    for (size_t i = g; i < g_end; ++i) {
+      const Located& loc = found[i];
+      const uint64_t header_size = kHeaderFixedSize + loc.key.size();
+      const uint64_t rel = loc.header_offset - span_begin;
+      bool verified = false;
+      if (span_ok && rel + header_size + loc.size <= span.size()) {
+        verified =
+            span.compare(rel, sizeof(kFileMagic), kFileMagic,
+                         sizeof(kFileMagic)) == 0 &&
+            DecodeFixed32(span.data() + rel + sizeof(kFileMagic)) ==
+                loc.key.size() &&
+            span.compare(rel + kHeaderFixedSize, loc.key.size(), loc.key) == 0;
+      }
+      if (verified) {
+        out[loc.slot] = std::make_shared<const std::string>(
+            span.substr(static_cast<size_t>(rel + header_size),
+                        static_cast<size_t>(loc.size)));
+        if (stats_ != nullptr) stats_->hits++;
+      } else {
+        stale.push_back(loc.key);
+      }
+    }
+    g = g_end;
+  }
+
+  if (!stale.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::string& key : stale) {
+      DetachEntryLocked(key, /*unlink_empty=*/false);
+      if (stats_ != nullptr) stats_->misses++;
+    }
+  }
+  return out;
+}
+
 void SsdBlockCache::Erase(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
-  DetachEntryLocked(key);
-  const uint64_t file_hash = FileHash(key);
-  auto owner = file_owner_.find(file_hash);
-  if (owner != file_owner_.end() && owner->second == key) {
-    file_owner_.erase(owner);
-    std::error_code ec;
-    fs::remove(PathForHash(file_hash), ec);
-  }
+  DetachEntryLocked(key, /*unlink_empty=*/true);
 }
 
 bool SsdBlockCache::Contains(const std::string& key) const {
@@ -194,28 +341,55 @@ size_t SsdBlockCache::entry_count() const {
   return index_.size();
 }
 
-void SsdBlockCache::DetachEntryLocked(const std::string& key) {
+void SsdBlockCache::RecordInsertLocked(const std::string& key,
+                                       uint64_t file_hash,
+                                       uint64_t header_offset, uint64_t size) {
+  DetachEntryLocked(key, /*unlink_empty=*/true);
+  lru_.push_front(key);
+  index_[key] = Entry{size, file_hash, header_offset, lru_.begin()};
+  file_owner_[file_hash].push_back(key);
+  used_ += size;
+}
+
+void SsdBlockCache::DetachEntryLocked(const std::string& key,
+                                      bool unlink_empty) {
   auto it = index_.find(key);
   if (it == index_.end()) return;
+  const uint64_t file_hash = it->second.file_hash;
   used_ -= it->second.size;
   lru_.erase(it->second.lru_pos);
   index_.erase(it);
+  auto owner = file_owner_.find(file_hash);
+  if (owner == file_owner_.end()) return;
+  auto& keys = owner->second;
+  keys.erase(std::remove(keys.begin(), keys.end(), key), keys.end());
+  if (keys.empty()) {
+    file_owner_.erase(owner);
+    if (unlink_empty) {
+      std::error_code ec;
+      fs::remove(PathForHash(file_hash), ec);
+    }
+  }
+}
+
+void SsdBlockCache::DetachFileOwnersLocked(uint64_t file_hash) {
+  auto owner = file_owner_.find(file_hash);
+  if (owner == file_owner_.end()) return;
+  const std::vector<std::string> keys = owner->second;
+  for (const std::string& key : keys) {
+    auto it = index_.find(key);
+    if (it == index_.end()) continue;
+    used_ -= it->second.size;
+    lru_.erase(it->second.lru_pos);
+    index_.erase(it);
+  }
+  file_owner_.erase(file_hash);
 }
 
 void SsdBlockCache::EvictLocked() {
   while (used_ > capacity_ && !lru_.empty()) {
     const std::string victim = lru_.back();
-    lru_.pop_back();
-    auto it = index_.find(victim);
-    used_ -= it->second.size;
-    index_.erase(it);
-    const uint64_t file_hash = FileHash(victim);
-    auto owner = file_owner_.find(file_hash);
-    if (owner != file_owner_.end() && owner->second == victim) {
-      file_owner_.erase(owner);
-      std::error_code ec;
-      fs::remove(PathForHash(file_hash), ec);
-    }
+    DetachEntryLocked(victim, /*unlink_empty=*/true);
     if (stats_ != nullptr) stats_->evictions++;
   }
 }

@@ -1,12 +1,15 @@
 #ifndef LOGSTORE_CACHE_SSD_BLOCK_CACHE_H_
 #define LOGSTORE_CACHE_SSD_BLOCK_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "cache/lru_cache.h"
 #include "common/result.h"
@@ -19,11 +22,18 @@ namespace logstore::cache {
 // index). Much larger than the memory cache (paper: 8 GB vs 200 GB) and
 // still far cheaper to read than the object store.
 //
-// Files are named by a hash of the key, so two keys can collide onto the
-// same file. Every file carries a header with the full key; Get verifies
-// it and treats a mismatch as a miss, and Insert detaches the index entry
-// of any key whose file it overwrites — colliding keys can never serve
-// each other's bytes.
+// Files are named by a hash of a key, so two keys can collide onto the
+// same file. Every stored block carries a header with its full key; Get
+// verifies it and treats a mismatch as a miss, and Insert detaches the
+// index entries of any keys whose file it overwrites — colliding keys can
+// never serve each other's bytes.
+//
+// Adjacent blocks evicted together are spilled through InsertBatch into one
+// run file (named by the first key's hash), and GetBatch reads every
+// requested block living in the same file with one coalesced ranged pread —
+// a sequential SSD-resident scan costs a handful of large reads instead of
+// one open/read/close per block. A run file's disk bytes are reclaimed when
+// its last live block is evicted.
 class SsdBlockCache {
  public:
   // `dir` is created if missing; pre-existing files are ignored (the cache
@@ -40,20 +50,37 @@ class SsdBlockCache {
   // Writes the block to disk; evicts LRU files over capacity.
   void Insert(const std::string& key, const std::string& data);
 
+  // Writes a batch of blocks (typically adjacent blocks of one object,
+  // evicted from the memory level together) into a single run file, so a
+  // later GetBatch of the same blocks is one ranged read. Falls back to
+  // per-key files when the batch alone exceeds the cache capacity.
+  void InsertBatch(
+      const std::vector<std::pair<std::string, std::shared_ptr<const std::string>>>&
+          blocks);
+
   // Reads a block back, refreshing recency; nullptr on miss, IO error, or
   // header/key mismatch. The disk read happens outside the cache mutex
   // (with a kernel readahead hint), so concurrent Gets overlap their IO.
   std::shared_ptr<const std::string> Get(const std::string& key);
 
+  // Batched lookup: returns one slot per key (nullptr on miss). Blocks that
+  // live in the same file are fetched with one coalesced ranged pread.
+  std::vector<std::shared_ptr<const std::string>> GetBatch(
+      const std::vector<std::string>& keys);
+
   bool Contains(const std::string& key) const;
 
-  // Drops `key` and deletes its file if this key owns it (used when a block
-  // is promoted to the memory level: the two levels are exclusive, so the
-  // SSD copy is released rather than left double-charged).
+  // Drops `key` and deletes its file if no other live block remains in it
+  // (used when a block is promoted to the memory level: the two levels are
+  // exclusive, so the SSD copy is released rather than left double-charged).
   void Erase(const std::string& key);
 
   uint64_t used_bytes() const;
   size_t entry_count() const;
+
+  // Number of disk read spans issued by Get/GetBatch — with run files,
+  // fewer spans than blocks means adjacent reads were coalesced.
+  uint64_t ranged_reads() const { return ranged_reads_.load(); }
 
  private:
   SsdBlockCache(std::string dir, uint64_t capacity_bytes, CacheStats* stats,
@@ -63,12 +90,39 @@ class SsdBlockCache {
         stats_(stats),
         hash_bits_(hash_bits) {}
 
+  struct Entry {
+    uint64_t size;           // data bytes (header excluded)
+    uint64_t file_hash;      // file the bytes live in (not always Hash(key))
+    uint64_t header_offset;  // offset of this block's header in the file
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  // A located block, resolved under the mutex for IO outside it.
+  struct Located {
+    size_t slot;  // index into the GetBatch result vector
+    std::string key;
+    uint64_t file_hash;
+    uint64_t header_offset;
+    uint64_t size;
+  };
+
   uint64_t FileHash(const std::string& key) const;
   std::string PathForHash(uint64_t file_hash) const;
 
-  // Removes `key` from index_/lru_/used_ if present. Does not touch the
-  // file or file_owner_.
-  void DetachEntryLocked(const std::string& key);
+  // Verifies `key`'s header+data at its recorded extent of `fd`; returns
+  // the data or nullptr.
+  std::shared_ptr<std::string> ReadVerified(int fd, const Located& loc) const;
+
+  // Removes `key` from index_/lru_/used_ and from its file's owner list;
+  // deletes the file when it holds no other live block and `unlink_empty`.
+  void DetachEntryLocked(const std::string& key, bool unlink_empty);
+
+  // Drops every live key whose bytes sit in `file_hash` (the file is being
+  // overwritten).
+  void DetachFileOwnersLocked(uint64_t file_hash);
+
+  void RecordInsertLocked(const std::string& key, uint64_t file_hash,
+                          uint64_t header_offset, uint64_t size);
   void EvictLocked();
 
   const std::string dir_;
@@ -77,15 +131,12 @@ class SsdBlockCache {
   const int hash_bits_;
 
   mutable std::mutex mu_;
-  struct Entry {
-    uint64_t size;  // data bytes (header excluded)
-    std::list<std::string>::iterator lru_pos;
-  };
   std::unordered_map<std::string, Entry> index_;
-  // file-name hash -> key whose bytes currently live in that file.
-  std::unordered_map<uint64_t, std::string> file_owner_;
+  // file-name hash -> keys whose bytes currently live in that file.
+  std::unordered_map<uint64_t, std::vector<std::string>> file_owner_;
   std::list<std::string> lru_;  // front = most recent
   uint64_t used_ = 0;
+  std::atomic<uint64_t> ranged_reads_{0};
 };
 
 }  // namespace logstore::cache

@@ -38,6 +38,42 @@ class RowIdSet {
     for (uint32_t r = begin; r < end; ++r) Add(r);
   }
 
+  // True if any row in [begin, end) is present. Word-at-a-time, so probing
+  // a column block's whole row range costs O(rows/64), not O(rows).
+  bool AnyInRange(uint32_t begin, uint32_t end) const {
+    if (begin >= end || begin >= num_rows_) return false;
+    if (end > num_rows_) end = num_rows_;
+    const uint32_t first_word = begin >> 6;
+    const uint32_t last_word = (end - 1) >> 6;
+    const uint64_t head_mask = ~0ull << (begin & 63);
+    const uint64_t tail_mask = (end & 63) == 0 ? ~0ull : (1ull << (end & 63)) - 1;
+    if (first_word == last_word) {
+      return (words_[first_word] & head_mask & tail_mask) != 0;
+    }
+    if ((words_[first_word] & head_mask) != 0) return true;
+    for (uint32_t w = first_word + 1; w < last_word; ++w) {
+      if (words_[w] != 0) return true;
+    }
+    return (words_[last_word] & tail_mask) != 0;
+  }
+
+  // Removes every row in [begin, end), word-at-a-time.
+  void RemoveRange(uint32_t begin, uint32_t end) {
+    if (begin >= end || begin >= num_rows_) return;
+    if (end > num_rows_) end = num_rows_;
+    const uint32_t first_word = begin >> 6;
+    const uint32_t last_word = (end - 1) >> 6;
+    const uint64_t head_mask = ~0ull << (begin & 63);
+    const uint64_t tail_mask = (end & 63) == 0 ? ~0ull : (1ull << (end & 63)) - 1;
+    if (first_word == last_word) {
+      words_[first_word] &= ~(head_mask & tail_mask);
+      return;
+    }
+    words_[first_word] &= ~head_mask;
+    for (uint32_t w = first_word + 1; w < last_word; ++w) words_[w] = 0;
+    words_[last_word] &= ~tail_mask;
+  }
+
   void IntersectWith(const RowIdSet& other) {
     const size_t n = words_.size() < other.words_.size() ? words_.size()
                                                          : other.words_.size();

@@ -32,9 +32,12 @@ class LogBlockSource {
 
   // Hint that `ranges` will be read soon. Implementations may fetch them in
   // parallel into a cache (§5.2's parallel prefetch); the default is a
-  // no-op.
-  virtual Status Prefetch(const std::vector<ByteRange>& ranges) {
+  // no-op. `owner` tags the request so a shared prefetch pool can schedule
+  // fairly across concurrent queries (0 = untagged).
+  virtual Status Prefetch(const std::vector<ByteRange>& ranges,
+                          uint64_t owner = 0) {
     (void)ranges;
+    (void)owner;
     return Status::OK();
   }
 };
@@ -112,8 +115,8 @@ class LogBlockReader {
   Result<size_t> BlockIndexForRow(size_t col, uint32_t row) const;
 
   // Forwards a prefetch hint to the underlying source (§5.2).
-  Status Prefetch(const std::vector<ByteRange>& ranges) {
-    return source_->Prefetch(ranges);
+  Status Prefetch(const std::vector<ByteRange>& ranges, uint64_t owner = 0) {
+    return source_->Prefetch(ranges, owner);
   }
 
  private:

@@ -40,8 +40,9 @@ class CachedObjectSource : public logblock::LogBlockSource {
     return service_->Read(key_, offset, size);
   }
 
-  Status Prefetch(const std::vector<ByteRange>& ranges) override {
-    service_->Prefetch(key_, ranges);
+  Status Prefetch(const std::vector<ByteRange>& ranges,
+                  uint64_t owner = 0) override {
+    service_->Prefetch(owner, key_, ranges);
     return Status::OK();
   }
 

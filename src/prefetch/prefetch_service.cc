@@ -98,7 +98,7 @@ Result<std::shared_ptr<const std::string>> PrefetchService::GetOrFetchBlock(
   }
 }
 
-void PrefetchService::Prefetch(const std::string& object_key,
+void PrefetchService::Prefetch(uint64_t owner, const std::string& object_key,
                                const std::vector<ByteRange>& ranges) {
   if (cache_ == nullptr) return;
 
@@ -111,7 +111,11 @@ void PrefetchService::Prefetch(const std::string& object_key,
     for (uint64_t b = first; b <= last; ++b) blocks.insert(b);
   }
 
-  // Merge: group consecutive missing blocks into runs; one task per run.
+  // Merge: group consecutive missing blocks into runs, then queue the runs
+  // under this owner. Dispatcher tasks service owners round-robin, so a
+  // query that enqueues hundreds of runs shares the pool fairly with a
+  // query that enqueues one.
+  std::vector<PendingRun> runs;
   auto it = blocks.begin();
   while (it != blocks.end()) {
     const uint64_t run_start = *it;
@@ -126,10 +130,51 @@ void PrefetchService::Prefetch(const std::string& object_key,
     if (cache_->Contains(BlockKey(object_key, run_start)) && run_len == 1) {
       continue;
     }
-    pool_->Schedule([this, object_key, run_start, run_len] {
-      // Errors are ignored: a failed prefetch degrades to a blocking read.
-      (void)GetOrFetchBlock(object_key, run_start, run_len);
-    });
+    runs.push_back({object_key, run_start, run_len});
+  }
+  if (runs.empty()) return;
+
+  int spawn = 0;
+  {
+    std::lock_guard<std::mutex> lock(fair_mu_);
+    auto& queue = pending_[owner];
+    for (auto& run : runs) queue.push_back(std::move(run));
+    // One dispatcher per runnable unit of work, capped at the pool width.
+    int total_pending = 0;
+    for (const auto& [_, q] : pending_) {
+      total_pending += static_cast<int>(q.size());
+    }
+    while (dispatchers_ + spawn < pool_->num_threads() &&
+           dispatchers_ + spawn < total_pending) {
+      ++spawn;
+    }
+    dispatchers_ += spawn;
+  }
+  for (int i = 0; i < spawn; ++i) {
+    pool_->Schedule([this] { DispatchLoop(); });
+  }
+}
+
+void PrefetchService::DispatchLoop() {
+  while (true) {
+    PendingRun run;
+    {
+      std::lock_guard<std::mutex> lock(fair_mu_);
+      if (pending_.empty()) {
+        --dispatchers_;
+        return;
+      }
+      // Round-robin: the first owner strictly after the last-served one,
+      // wrapping to the smallest.
+      auto it = pending_.upper_bound(rr_last_owner_);
+      if (it == pending_.end()) it = pending_.begin();
+      rr_last_owner_ = it->first;
+      run = std::move(it->second.front());
+      it->second.pop_front();
+      if (it->second.empty()) pending_.erase(it);
+    }
+    // Errors are ignored: a failed prefetch degrades to a blocking read.
+    (void)GetOrFetchBlock(run.object_key, run.first_block, run.run_len);
   }
 }
 
@@ -155,10 +200,27 @@ Result<std::string> PrefetchService::Read(const std::string& object_key,
   const uint64_t first = offset / options_.block_size;
   const uint64_t last = (offset + size - 1) / options_.block_size;
 
+  // Multi-block span: probe the cache for the whole run at once, so blocks
+  // that spilled to SSD together come back with one ranged file read
+  // instead of one open/read/close per block.
+  std::vector<std::shared_ptr<const std::string>> cached;
+  if (last > first) {
+    std::vector<std::string> keys;
+    keys.reserve(last - first + 1);
+    for (uint64_t b = first; b <= last; ++b) {
+      keys.push_back(BlockKey(object_key, b));
+    }
+    cached = cache_->GetBatch(keys);
+  }
+
   std::string out;
   out.reserve(size);
   for (uint64_t b = first; b <= last; ++b) {
-    auto block = GetOrFetchBlock(object_key, b, last - b + 1);
+    Result<std::shared_ptr<const std::string>> block =
+        (b - first) < cached.size() && cached[b - first] != nullptr
+            ? Result<std::shared_ptr<const std::string>>(
+                  std::move(cached[b - first]))
+            : GetOrFetchBlock(object_key, b, last - b + 1);
     if (!block.ok()) return block.status();
     const uint64_t block_start = b * options_.block_size;
     const uint64_t want_start = std::max(offset, block_start);

@@ -2,6 +2,8 @@
 #define LOGSTORE_PREFETCH_PREFETCH_SERVICE_H_
 
 #include <condition_variable>
+#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -43,8 +45,17 @@ class PrefetchService {
 
   // Schedules asynchronous fetches of the aligned blocks covering `ranges`
   // into the cache. Returns immediately.
-  void Prefetch(const std::string& object_key,
+  //
+  // `owner` identifies the issuing query: pending fetch runs are queued per
+  // owner and dispatched round-robin across owners, so one wide query that
+  // floods the pool cannot starve the prefetches of queries arriving behind
+  // it. Owner 0 is the shared/untagged bucket.
+  void Prefetch(uint64_t owner, const std::string& object_key,
                 const std::vector<ByteRange>& ranges);
+  void Prefetch(const std::string& object_key,
+                const std::vector<ByteRange>& ranges) {
+    Prefetch(0, object_key, ranges);
+  }
 
   // Reads [offset, offset+size) of `object_key` via the aligned block
   // cache. Blocks on in-flight fetches of the same blocks instead of
@@ -76,6 +87,17 @@ class PrefetchService {
       const std::string& object_key, uint64_t block_idx,
       uint64_t fetch_limit);
 
+  // One coalesced run of adjacent missing blocks awaiting fetch.
+  struct PendingRun {
+    std::string object_key;
+    uint64_t first_block = 0;
+    uint64_t run_len = 0;
+  };
+
+  // Pool-thread body: drains pending_ runs round-robin across owners until
+  // the queue is empty, then retires itself.
+  void DispatchLoop();
+
   objectstore::ObjectStore* store_;
   cache::BlockManager* cache_;
   const PrefetchOptions options_;
@@ -86,6 +108,13 @@ class PrefetchService {
   std::set<std::string> in_flight_;
   std::atomic<uint64_t> fetches_issued_{0};
   std::atomic<uint64_t> fetch_errors_{0};
+
+  // Fair prefetch queue (guarded by fair_mu_): per-owner FIFO deques,
+  // serviced round-robin by up to `threads` dispatcher tasks.
+  std::mutex fair_mu_;
+  std::map<uint64_t, std::deque<PendingRun>> pending_;
+  uint64_t rr_last_owner_ = 0;
+  int dispatchers_ = 0;
 };
 
 }  // namespace logstore::prefetch

@@ -122,6 +122,14 @@ bool EvalOnDecoded(const logblock::DecodedColumnBlock& block, uint32_t offset,
   return false;
 }
 
+// True when the parallel scheduler asked this executor to stop.
+bool Cancelled(const ExecOptions& options) {
+  return options.cancel != nullptr &&
+         options.cancel->load(std::memory_order_relaxed);
+}
+
+Status CancelledStatus() { return Status::Aborted("query cancelled"); }
+
 // Evaluates one residual predicate against the candidate set by scanning
 // (and SMA-skipping) the column's blocks.
 Status ApplyResidual(LogBlockReader* reader, const BoundPredicate& bp,
@@ -130,27 +138,20 @@ Status ApplyResidual(LogBlockReader* reader, const BoundPredicate& bp,
   const auto& col_meta = reader->meta().columns[bp.col];
 
   // Plan: find blocks that still hold candidate rows and survive block SMA.
+  // The candidate probe is a word-level bitmap range test, so the whole
+  // plan costs one pass over the RowIdSet per column instead of a
+  // Contains() probe per row of every block.
   std::vector<size_t> to_scan;
   for (size_t b = 0; b < col_meta.blocks.size(); ++b) {
     const auto& block = col_meta.blocks[b];
-    bool has_candidate = false;
-    for (uint32_t r = block.first_row; r < block.first_row + block.row_count;
-         ++r) {
-      if (candidates->Contains(r)) {
-        has_candidate = true;
-        break;
-      }
-    }
-    if (!has_candidate) {
+    const uint32_t block_end = block.first_row + block.row_count;
+    if (!candidates->AnyInRange(block.first_row, block_end)) {
       ++stats->column_blocks_skipped;
       continue;
     }
     if (options.use_data_skipping && BlockSmaSkips(block, bp)) {
       // Block SMA proves no row in this block matches: drop them all.
-      for (uint32_t r = block.first_row;
-           r < block.first_row + block.row_count; ++r) {
-        candidates->Remove(r);
-      }
+      candidates->RemoveRange(block.first_row, block_end);
       ++stats->column_blocks_skipped;
       continue;
     }
@@ -164,10 +165,11 @@ Status ApplyResidual(LogBlockReader* reader, const BoundPredicate& bp,
       auto range = reader->ColumnBlockRange(bp.col, b);
       if (range.ok()) ranges.push_back(*range);
     }
-    (void)reader->Prefetch(ranges);
+    (void)reader->Prefetch(ranges, options.prefetch_owner);
   }
 
   for (size_t b : to_scan) {
+    if (Cancelled(options)) return CancelledStatus();
     auto decoded = reader->ReadColumnBlock(bp.col, b);
     if (!decoded.ok()) return decoded.status();
     ++stats->column_blocks_scanned;
@@ -253,13 +255,16 @@ Result<BlockExecResult> ExecuteOnLogBlock(LogBlockReader* reader,
         auto range = reader->MemberRange(member_name);
         if (range.ok()) index_ranges.push_back(*range);
       }
-      if (!index_ranges.empty()) (void)reader->Prefetch(index_ranges);
+      if (!index_ranges.empty()) {
+        (void)reader->Prefetch(index_ranges, options.prefetch_owner);
+      }
     }
     for (const BoundPredicate& bp : preds) {
       if (!IndexServes(*reader, bp)) {
         residual.push_back(&bp);
         continue;
       }
+      if (Cancelled(options)) return CancelledStatus();
       auto rows = ProbeIndex(reader, bp, num_rows);
       if (!rows.ok()) return rows.status();
       ++result.stats.index_probes;
@@ -272,6 +277,7 @@ Result<BlockExecResult> ExecuteOnLogBlock(LogBlockReader* reader,
 
   // Figure 8 step 4: residual predicates via block SMA + scan.
   for (const BoundPredicate* bp : residual) {
+    if (Cancelled(options)) return CancelledStatus();
     LOGSTORE_RETURN_IF_ERROR(
         ApplyResidual(reader, *bp, options, &candidates, &result.stats));
     if (candidates.Empty()) return result;
@@ -302,27 +308,33 @@ Result<BlockExecResult> ExecuteOnLogBlock(LogBlockReader* reader,
     std::vector<ByteRange> ranges;
     for (size_t c : out_cols) {
       const auto& blocks = reader->meta().columns[c].blocks;
-      for (size_t b = 0; b < blocks.size(); ++b) {
+      // `rows` is ascending and blocks partition the row space in order, so
+      // one forward sweep finds every block holding a surviving row.
+      size_t next_row = 0;
+      for (size_t b = 0; b < blocks.size() && next_row < rows.size(); ++b) {
         const auto& block = blocks[b];
-        bool needed = false;
-        for (uint32_t r : rows) {
-          if (r >= block.first_row && r < block.first_row + block.row_count) {
-            needed = true;
-            break;
-          }
+        const uint32_t block_end = block.first_row + block.row_count;
+        while (next_row < rows.size() && rows[next_row] < block.first_row) {
+          ++next_row;
         }
-        if (needed) {
+        if (next_row < rows.size() && rows[next_row] < block_end) {
           auto range = reader->ColumnBlockRange(c, b);
           if (range.ok()) ranges.push_back(*range);
+          while (next_row < rows.size() && rows[next_row] < block_end) {
+            ++next_row;
+          }
         }
       }
     }
-    if (ranges.size() > 1) (void)reader->Prefetch(ranges);
+    if (ranges.size() > 1) {
+      (void)reader->Prefetch(ranges, options.prefetch_owner);
+    }
   }
 
   // Gather column-wise, then transpose to rows.
   std::vector<std::vector<Value>> columns(out_cols.size());
   for (size_t i = 0; i < out_cols.size(); ++i) {
+    if (Cancelled(options)) return CancelledStatus();
     auto values = reader->ReadValuesAt(out_cols[i], rows);
     if (!values.ok()) return values.status();
     columns[i] = std::move(values).value();

@@ -1,6 +1,7 @@
 #ifndef LOGSTORE_QUERY_BLOCK_EXECUTOR_H_
 #define LOGSTORE_QUERY_BLOCK_EXECUTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -19,6 +20,14 @@ struct ExecOptions {
   // Issue Prefetch hints so the source can load upcoming blocks in
   // parallel (§5.2). When false, all reads are serial and on-demand.
   bool use_prefetch = true;
+  // Owner tag forwarded with prefetch hints so the shared prefetch pool can
+  // schedule fairly across concurrent queries (0 = untagged).
+  uint64_t prefetch_owner = 0;
+  // Cooperative cancellation: when set and it becomes true, the executor
+  // stops between IO/scan steps and returns Status::Aborted. The parallel
+  // scheduler uses this for limit-aware early termination and to drain
+  // in-flight work after another block failed.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct BlockExecStats {

@@ -1,6 +1,8 @@
 #include "query/engine.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <mutex>
 
 #include "prefetch/cached_source.h"
 
@@ -65,6 +67,9 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::Open(
           .threads = options.prefetch_threads,
           .block_size = options.io_block_size,
           .max_coalesced_bytes = options.max_coalesced_bytes});
+  if (options.query_threads > 1) {
+    engine->query_pool_ = std::make_unique<ThreadPool>(options.query_threads);
+  }
   return engine;
 }
 
@@ -111,46 +116,200 @@ Result<QueryResult> QueryEngine::Execute(const LogQuery& query,
   ExecOptions exec_options;
   exec_options.use_data_skipping = options_.use_data_skipping;
   exec_options.use_prefetch = options_.use_cache && options_.use_prefetch;
+  // Distinct owner per query: the prefetch service schedules pending runs
+  // round-robin across owners, so one wide scan cannot starve others.
+  exec_options.prefetch_owner =
+      next_query_owner_.fetch_add(1, std::memory_order_relaxed);
 
+  Status status = (query_pool_ != nullptr && blocks.size() > 1)
+                      ? ExecuteParallel(query, blocks, exec_options, &result)
+                      : ExecuteSerial(query, blocks, exec_options, &result);
+  if (!status.ok()) return status;
+
+  result.stats.exec.rows_matched = static_cast<uint32_t>(result.rows.size());
+  result.stats.elapsed_us = SystemClock::Default()->NowMicros() - start_us;
+  return result;
+}
+
+Status QueryEngine::ExecuteSerial(
+    const LogQuery& query, const std::vector<logblock::LogBlockEntry>& blocks,
+    const ExecOptions& exec_options, QueryResult* result) {
   uint32_t remaining = query.limit;
   for (const logblock::LogBlockEntry& entry : blocks) {
     auto reader = OpenReader(entry.object_key);
     if (!reader.ok()) return reader.status();
+
+    // Resolve output column names from the first opened reader (all blocks
+    // of a tenant table share the schema) instead of re-opening blocks[0]
+    // after the scan.
+    if (result->columns.empty()) {
+      if (query.select_columns.empty()) {
+        for (const auto& col : (*reader)->schema().columns()) {
+          result->columns.push_back(col.name);
+        }
+      } else {
+        result->columns = query.select_columns;
+      }
+    }
 
     LogQuery block_query = query;
     if (query.limit != 0) block_query.limit = remaining;
     auto exec = ExecuteOnLogBlock(reader->get(), block_query, exec_options);
     if (!exec.ok()) return exec.status();
     if (exec->stats.skipped_by_column_sma) {
-      ++result.stats.logblocks_sma_skipped;
+      ++result->stats.logblocks_sma_skipped;
     }
-    result.stats.exec.MergeFrom(exec->stats);
-    for (auto& row : exec->rows) result.rows.push_back(std::move(row));
+    result->stats.exec.MergeFrom(exec->stats);
+    for (auto& row : exec->rows) result->rows.push_back(std::move(row));
 
     if (query.limit != 0) {
-      if (result.rows.size() >= query.limit) break;
-      remaining = query.limit - static_cast<uint32_t>(result.rows.size());
+      if (result->rows.size() >= query.limit) break;
+      remaining = query.limit - static_cast<uint32_t>(result->rows.size());
     }
   }
+  return Status::OK();
+}
 
-  // Resolve output column names from the first block's schema (all blocks
-  // of a tenant table share it).
-  if (!blocks.empty()) {
-    if (query.select_columns.empty()) {
-      auto reader = OpenReader(blocks[0].object_key);
-      if (reader.ok()) {
-        for (const auto& col : (*reader)->schema().columns()) {
-          result.columns.push_back(col.name);
+Status QueryEngine::ExecuteParallel(
+    const LogQuery& query, const std::vector<logblock::LogBlockEntry>& blocks,
+    ExecOptions exec_options, QueryResult* result) {
+  const size_t n = blocks.size();
+
+  // Cooperative cancellation, shared by every block task of this query.
+  std::atomic<bool> cancel{false};
+  exec_options.cancel = &cancel;
+
+  struct BlockSlot {
+    Status status;             // Aborted = cooperatively cancelled
+    bool ran = false;          // true iff exec holds a real result
+    BlockExecResult exec;
+    std::vector<std::string> columns;  // schema names (select list empty)
+  };
+  std::vector<BlockSlot> slots(n);
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t pending = n;
+  std::vector<char> done(n, 0);
+  size_t prefix_len = 0;    // blocks [0, prefix_len) have all completed
+  uint64_t prefix_rows = 0;  // rows matched inside that completed prefix
+
+  // Pipelined prefetch: warm the head of upcoming objects (the tar header
+  // plus the meta member, which the writer lays out first) so opening those
+  // readers hits the cache instead of paying a cold object-store round
+  // trip. The cursor only moves forward; concurrent tasks claim disjoint
+  // ranges.
+  std::atomic<size_t> warm_cursor{0};
+  auto warm_ahead = [&](size_t upto) {
+    if (cache_ == nullptr || !exec_options.use_prefetch) return;
+    upto = std::min(upto, n);
+    size_t claimed = warm_cursor.load(std::memory_order_relaxed);
+    while (claimed < upto && !warm_cursor.compare_exchange_weak(
+                                 claimed, upto, std::memory_order_relaxed)) {
+    }
+    for (size_t i = claimed; i < upto; ++i) {
+      prefetch_->Prefetch(exec_options.prefetch_owner, blocks[i].object_key,
+                          {ByteRange{0, options_.io_block_size * 2}});
+    }
+  };
+  const size_t lookahead =
+      static_cast<size_t>(options_.query_threads) +
+      static_cast<size_t>(std::max(options_.pipeline_depth, 0));
+  warm_ahead(lookahead);
+
+  auto run_block = [&](size_t i) {
+    BlockSlot& slot = slots[i];
+    if (cancel.load(std::memory_order_acquire)) {
+      slot.status = Status::Aborted("query cancelled");
+    } else {
+      warm_ahead(i + 1 + lookahead);
+      auto reader = OpenReader(blocks[i].object_key);
+      if (!reader.ok()) {
+        slot.status = reader.status();
+      } else {
+        if (query.select_columns.empty()) {
+          for (const auto& col : (*reader)->schema().columns()) {
+            slot.columns.push_back(col.name);
+          }
+        }
+        // Execute with the query's full limit: per-block evaluation is
+        // limit-independent up to the final row trim, so concatenating the
+        // per-block results in map order and trimming once at merge time
+        // is byte-identical to the serial remaining-limit chain.
+        auto exec = ExecuteOnLogBlock(reader->get(), query, exec_options);
+        if (exec.ok()) {
+          slot.ran = true;
+          slot.exec = std::move(exec).value();
+        } else {
+          slot.status = exec.status();
         }
       }
-    } else {
-      result.columns = query.select_columns;
     }
+
+    std::lock_guard<std::mutex> lock(mu);
+    done[i] = 1;
+    if (!slot.status.ok() && !slot.status.IsAborted()) {
+      // Real failure: stop feeding IO to in-flight tasks. The merge still
+      // reports the lowest-index real error deterministically.
+      cancel.store(true, std::memory_order_release);
+    }
+    while (prefix_len < n && done[prefix_len] != 0) {
+      if (slots[prefix_len].ran) {
+        prefix_rows += slots[prefix_len].exec.rows.size();
+      }
+      ++prefix_len;
+    }
+    if (query.limit != 0 && prefix_rows >= query.limit) {
+      // Limit secured in completed-prefix order: every block the serial
+      // path would have visited is done and already supplies `limit` rows,
+      // so all in-flight work (strictly higher block index) is provably
+      // beyond the limit cut. Never fires speculatively.
+      cancel.store(true, std::memory_order_release);
+    }
+    if (--pending == 0) done_cv.notify_all();
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    query_pool_->Schedule([&run_block, i] { run_block(i); });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [&] { return pending == 0; });
   }
 
-  result.stats.exec.rows_matched = static_cast<uint32_t>(result.rows.size());
-  result.stats.elapsed_us = SystemClock::Default()->NowMicros() - start_us;
-  return result;
+  // Deterministic merge in LogBlock-map order, trimming at the limit.
+  for (size_t i = 0; i < n; ++i) {
+    BlockSlot& slot = slots[i];
+    if (!slot.ran) {
+      // This block failed, or was cooperatively aborted after a later
+      // block's real failure triggered cancellation (a limit-triggered
+      // cancel never aborts a block the merge reaches before the limit
+      // cut). Either way, report the lowest-index real error.
+      for (size_t j = i; j < n; ++j) {
+        if (!slots[j].status.ok() && !slots[j].status.IsAborted()) {
+          return slots[j].status;
+        }
+      }
+      return slot.status;  // defensive: all-aborted cannot happen
+    }
+    if (result->columns.empty()) {
+      if (query.select_columns.empty()) {
+        result->columns = slot.columns;
+      } else {
+        result->columns = query.select_columns;
+      }
+    }
+    if (slot.exec.stats.skipped_by_column_sma) {
+      ++result->stats.logblocks_sma_skipped;
+    }
+    result->stats.exec.MergeFrom(slot.exec.stats);
+    for (auto& row : slot.exec.rows) {
+      if (query.limit != 0 && result->rows.size() >= query.limit) break;
+      result->rows.push_back(std::move(row));
+    }
+    if (query.limit != 0 && result->rows.size() >= query.limit) break;
+  }
+  return Status::OK();
 }
 
 std::vector<logblock::Value> QueryEngine::Column(const QueryResult& result,

@@ -1,6 +1,7 @@
 #ifndef LOGSTORE_QUERY_ENGINE_H_
 #define LOGSTORE_QUERY_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "cache/lru_cache.h"
 #include "common/clock.h"
 #include "common/result.h"
+#include "common/threadpool.h"
 #include "logblock/logblock_map.h"
 #include "logblock/logblock_reader.h"
 #include "objectstore/object_store.h"
@@ -30,6 +32,18 @@ struct EngineOptions {
   // absorbed below the query instead of failing it.
   bool use_retry = true;
   objectstore::RetryOptions retry_options;
+
+  // Parallel query execution (§5.2/Figure 17): LogBlocks of one query are
+  // scanned concurrently by a per-engine pool of this many threads, with
+  // results merged back in LogBlock-map order so output is byte-identical
+  // to the serial path. 1 (or 0) disables the pool — blocks are visited
+  // strictly serially, the pre-parallel behavior.
+  int query_threads = 8;
+  // While up to query_threads blocks scan, the scheduler keeps this many
+  // FURTHER blocks warming: their object heads (tar header + meta member)
+  // are prefetched so opening the next reader is a cache hit instead of a
+  // cold object-store round trip. Requires use_cache.
+  int pipeline_depth = 4;
 
   int prefetch_threads = 32;
   uint64_t io_block_size = 64 * 1024;
@@ -96,6 +110,19 @@ class QueryEngine {
   Result<std::shared_ptr<logblock::LogBlockReader>> OpenReader(
       const std::string& object_key);
 
+  // One-block-at-a-time scan loop (query_threads <= 1, or a single pruned
+  // block). Ground truth for the parallel scheduler's output.
+  Status ExecuteSerial(const LogQuery& query,
+                       const std::vector<logblock::LogBlockEntry>& blocks,
+                       const ExecOptions& exec_options, QueryResult* result);
+
+  // Schedules ExecuteOnLogBlock tasks across the pool, pipelines reader
+  // opens/prefetches ahead, cancels cooperatively once a limit is secured
+  // in completed-prefix order, and merges results in block order.
+  Status ExecuteParallel(const LogQuery& query,
+                         const std::vector<logblock::LogBlockEntry>& blocks,
+                         ExecOptions exec_options, QueryResult* result);
+
   // Effective store for all engine IO: the retry wrapper when enabled,
   // otherwise the caller's store directly.
   objectstore::ObjectStore* store_;
@@ -105,6 +132,10 @@ class QueryEngine {
   std::unique_ptr<prefetch::PrefetchService> prefetch_;
   cache::CacheStats object_cache_stats_;
   std::unique_ptr<cache::LruCache<logblock::LogBlockReader>> object_cache_;
+  // Shared by all concurrent Execute calls; null when query_threads <= 1.
+  std::unique_ptr<ThreadPool> query_pool_;
+  // Distinct owner tag per Execute, for fair prefetch scheduling.
+  std::atomic<uint64_t> next_query_owner_{1};
 };
 
 }  // namespace logstore::query

@@ -361,5 +361,138 @@ TEST_F(SsdCacheTest, ParallelGetsDoNotSerializeOrCorrupt) {
   EXPECT_EQ(stats.hits.load(), 8 * 200);
 }
 
+TEST_F(SsdCacheTest, InsertBatchReadsBackWithOneRangedRead) {
+  auto cache = SsdBlockCache::Open(dir_.string(), 1 << 20);
+  ASSERT_TRUE(cache.ok());
+
+  std::vector<std::pair<std::string, std::shared_ptr<const std::string>>> batch;
+  std::vector<std::string> keys;
+  for (int b = 0; b < 8; ++b) {
+    keys.push_back("obj#" + std::to_string(b));
+    batch.emplace_back(keys.back(),
+                       Block(std::string(512, static_cast<char>('a' + b))));
+  }
+  (*cache)->InsertBatch(batch);
+  EXPECT_EQ((*cache)->entry_count(), 8u);
+
+  // All eight blocks live in one run file, so the batched lookup must cost
+  // exactly one disk read span.
+  EXPECT_EQ((*cache)->ranged_reads(), 0u);
+  auto got = (*cache)->GetBatch(keys);
+  ASSERT_EQ(got.size(), keys.size());
+  for (int b = 0; b < 8; ++b) {
+    ASSERT_NE(got[b], nullptr) << keys[b];
+    EXPECT_EQ(*got[b], std::string(512, static_cast<char>('a' + b)));
+  }
+  EXPECT_EQ((*cache)->ranged_reads(), 1u);
+
+  // Single-key Get still works against a run file.
+  auto single = (*cache)->Get("obj#3");
+  ASSERT_NE(single, nullptr);
+  EXPECT_EQ(*single, std::string(512, 'd'));
+}
+
+TEST_F(SsdCacheTest, GetBatchReportsMissesAndSurvivesPartialErase) {
+  auto cache = SsdBlockCache::Open(dir_.string(), 1 << 20);
+  ASSERT_TRUE(cache.ok());
+  std::vector<std::pair<std::string, std::shared_ptr<const std::string>>> batch;
+  for (int b = 0; b < 4; ++b) {
+    batch.emplace_back("run#" + std::to_string(b), Block("data-" + std::to_string(b)));
+  }
+  (*cache)->InsertBatch(batch);
+
+  // Erasing one member of the run must not disturb its neighbors' extents.
+  (*cache)->Erase("run#1");
+  auto got = (*cache)->GetBatch({"run#0", "run#1", "run#2", "missing"});
+  ASSERT_NE(got[0], nullptr);
+  EXPECT_EQ(*got[0], "data-0");
+  EXPECT_EQ(got[1], nullptr);
+  ASSERT_NE(got[2], nullptr);
+  EXPECT_EQ(*got[2], "data-2");
+  EXPECT_EQ(got[3], nullptr);
+
+  // Dropping the rest reclaims the run file's bytes.
+  (*cache)->Erase("run#0");
+  (*cache)->Erase("run#2");
+  (*cache)->Erase("run#3");
+  EXPECT_EQ((*cache)->used_bytes(), 0u);
+  EXPECT_EQ((*cache)->entry_count(), 0u);
+}
+
+TEST_F(SsdCacheTest, BlockManagerBatchSpillAndBatchRead) {
+  // Adjacent blocks aging out of memory in one eviction wave must land in
+  // one run file and come back through GetBatch (with promotion, like Get).
+  BlockManagerOptions options;
+  options.memory_capacity_bytes = 8 * 512;  // exactly the run
+  options.memory_shards = 1;
+  options.ssd_dir = dir_.string();
+  options.ssd_capacity_bytes = 1 << 20;
+  auto manager = BlockManager::Open(options);
+  ASSERT_TRUE(manager.ok());
+
+  std::vector<std::string> keys;
+  for (int b = 0; b < 8; ++b) {
+    keys.push_back("obj#" + std::to_string(b));
+    (*manager)->Insert(keys.back(),
+                       Block(std::string(512, static_cast<char>('a' + b))));
+  }
+  // One oversized insert displaces the whole run as a single batch.
+  (*manager)->Insert("big", Block(std::string(8 * 512, 'z')));
+  EXPECT_EQ((*manager)->memory_stats().evictions.load(), 8u);
+  EXPECT_GT((*manager)->ssd_used_bytes(), 0u);
+
+  auto got = (*manager)->GetBatch(keys);
+  ASSERT_EQ(got.size(), keys.size());
+  for (int b = 0; b < 8; ++b) {
+    ASSERT_NE(got[b], nullptr) << keys[b];
+    EXPECT_EQ(*got[b], std::string(512, static_cast<char>('a' + b)));
+  }
+  EXPECT_EQ((*manager)->ssd_stats().hits.load(), 8u);
+  // Promotion is exclusive: the run's SSD copies were released. Only "big"
+  // remains below — it was displaced by the first promotion.
+  EXPECT_EQ((*manager)->ssd_used_bytes(), 8u * 512);
+}
+
+TEST_F(SsdCacheTest, ConcurrentPromotionNeverMissesBothLevels) {
+  // Regression for the promotion race: Get used to erase the SSD copy
+  // before the memory insert was visible, so a concurrent Get of the same
+  // key could miss both levels even though the block was cached. Hammer
+  // promotion from many threads; a cached key must never read as absent.
+  BlockManagerOptions options;
+  options.memory_capacity_bytes = 4096;
+  options.memory_shards = 1;
+  options.ssd_dir = dir_.string();
+  options.ssd_capacity_bytes = 1 << 20;
+  auto manager = BlockManager::Open(options);
+  ASSERT_TRUE(manager.ok());
+
+  // Seed all keys, then displace the lot to SSD with one capacity-sized
+  // insert. During the racing phase the working set fits in memory again,
+  // so every key lives in exactly one level at all times.
+  constexpr int kKeys = 64;
+  auto payload = [](int k) {
+    return std::string(40, static_cast<char>('a' + k % 26));
+  };
+  for (int k = 0; k < kKeys; ++k) {
+    (*manager)->Insert("k" + std::to_string(k), Block(payload(k)));
+  }
+  (*manager)->Insert("big", Block(std::string(4096, 'z')));
+  EXPECT_GE((*manager)->memory_stats().evictions.load(),
+            static_cast<uint64_t>(kKeys));
+
+  std::atomic<int> missing{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int k = 0; k < kKeys; ++k) {
+        auto got = (*manager)->Get("k" + std::to_string(k));
+        if (got == nullptr || *got != payload(k)) missing.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(missing.load(), 0);
+}
+
 }  // namespace
 }  // namespace logstore::cache

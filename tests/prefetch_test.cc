@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -235,6 +237,113 @@ TEST_F(PrefetchServiceTest, DirectSourceBypassesCache) {
   ASSERT_TRUE(got.ok());
   EXPECT_EQ(*got, "23456");
   EXPECT_TRUE(source.Prefetch({{0, 10}}).ok());  // default no-op
+}
+
+// Records GetRange key order and blocks the FIRST fetch until released, so
+// a test can enqueue prefetch work while the (single) dispatcher is pinned.
+class BlockingRecordingStore : public objectstore::ObjectStore {
+ public:
+  explicit BlockingRecordingStore(objectstore::ObjectStore* base)
+      : base_(base) {}
+
+  Status Put(const std::string& key, const Slice& data) override {
+    return base_->Put(key, data);
+  }
+  Result<std::string> Get(const std::string& key) override {
+    return base_->Get(key);
+  }
+  Result<std::string> GetRange(const std::string& key, uint64_t offset,
+                               uint64_t length) override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      keys_.push_back(key);
+      const bool first = keys_.size() == 1;
+      started_.notify_all();
+      if (first) gate_.wait(lock, [&] { return gate_open_; });
+    }
+    return base_->GetRange(key, offset, length);
+  }
+  Result<uint64_t> Head(const std::string& key) override {
+    return base_->Head(key);
+  }
+  Result<std::vector<std::string>> List(const std::string& prefix) override {
+    return base_->List(prefix);
+  }
+  Status Delete(const std::string& key) override { return base_->Delete(key); }
+  objectstore::ObjectStoreStats& stats() override { return base_->stats(); }
+
+  void WaitForFirstFetch() {
+    std::unique_lock<std::mutex> lock(mu_);
+    started_.wait(lock, [&] { return !keys_.empty(); });
+  }
+  void OpenGate() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      gate_open_ = true;
+    }
+    gate_.notify_all();
+  }
+  std::vector<std::string> keys() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return keys_;
+  }
+
+ private:
+  objectstore::ObjectStore* base_;
+  std::mutex mu_;
+  std::condition_variable started_, gate_;
+  bool gate_open_ = false;
+  std::vector<std::string> keys_;
+};
+
+TEST_F(PrefetchServiceTest, OwnersAreServedRoundRobin) {
+  // A wide query flooding the prefetch queue must not starve a concurrent
+  // narrow one: pending runs are queued per owner and dispatched
+  // round-robin, so owner 2's single run is served right after owner 1's
+  // in-flight fetch — not behind its whole backlog.
+  ASSERT_TRUE(store_->Put("A", MakeObject(8192, 7)).ok());
+  ASSERT_TRUE(store_->Put("B", MakeObject(1024, 8)).ok());
+  BlockingRecordingStore recording(store_.get());
+
+  // One dispatcher thread; coalescing capped at one block so owner 1's
+  // request splits into 8 independent runs.
+  PrefetchService service(&recording, cache_.get(),
+                          {.threads = 1,
+                           .block_size = 1024,
+                           .max_coalesced_bytes = 1024});
+
+  service.Prefetch(/*owner=*/1, "A", {{0, 8192}});
+  recording.WaitForFirstFetch();  // dispatcher now pinned on A's first run
+  service.Prefetch(/*owner=*/2, "B", {{0, 1024}});
+  recording.OpenGate();
+  service.WaitIdle();
+
+  const auto keys = recording.keys();
+  ASSERT_EQ(keys.size(), 9u);
+  EXPECT_EQ(keys[0], "A");
+  EXPECT_EQ(keys[1], "B") << "owner 2 was starved behind owner 1's backlog";
+  for (size_t i = 2; i < keys.size(); ++i) EXPECT_EQ(keys[i], "A");
+
+  // Everything actually landed in the cache.
+  auto b = service.Read("B", 0, 1024);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(recording.keys().size(), 9u) << "Read(B) should be a cache hit";
+}
+
+TEST_F(PrefetchServiceTest, UntaggedPrefetchStillWorks) {
+  // The owner-less overload (legacy call sites) funnels into owner 0.
+  const std::string data = MakeObject(4096, 9);
+  ASSERT_TRUE(store_->Put("obj", data).ok());
+  PrefetchService service(store_.get(), cache_.get(),
+                          {.threads = 2, .block_size = 1024});
+  service.Prefetch("obj", {{0, 4096}});
+  service.WaitIdle();
+  const uint64_t fetched = service.fetches_issued();
+  EXPECT_GT(fetched, 0u);
+  auto got = service.Read("obj", 0, 4096);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, data);
+  EXPECT_EQ(service.fetches_issued(), fetched) << "Read should hit the cache";
 }
 
 }  // namespace
