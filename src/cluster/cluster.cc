@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <thread>
 
+#include "common/hash.h"
 #include "rowstore/wal.h"
 
 namespace logstore::cluster {
@@ -14,19 +16,36 @@ Result<std::unique_ptr<Cluster>> Cluster::Open(
   cluster->store_ = store;
   cluster->controller_ = std::make_unique<Controller>(
       options.num_workers, options.shards_per_worker, options.controller);
+  const int slots = options.admission_slots > 0
+                        ? options.admission_slots
+                        : std::max(2 * options.engine.query_threads, 2);
+  cluster->admission_ = std::make_unique<query::AdmissionGovernor>(slots);
   for (uint32_t w = 0; w < options.num_workers; ++w) {
-    cluster->workers_.push_back(std::make_unique<Worker>(
+    cluster->workers_.push_back(std::make_shared<Worker>(
         w, store, cluster->controller_->metadata(),
         cluster->WorkerOptionsFor(w)));
     // Fail fast: a worker that could not open/recover its WALs would
     // reject every write anyway, and surfacing the recovery error here
     // (rather than on the first Write) makes restart bugs visible.
     LOGSTORE_RETURN_IF_ERROR(cluster->workers_.back()->wal_status());
+    auto worker_engine = cluster->OpenEngine();
+    if (!worker_engine.ok()) return worker_engine.status();
+    cluster->worker_engines_.push_back(std::move(worker_engine).value());
   }
-  auto engine = query::QueryEngine::Open(store, options.engine);
+  query::EngineOptions broker_options = options.engine;
+  broker_options.admission = cluster->admission_.get();
+  auto engine = query::QueryEngine::Open(store, broker_options);
   if (!engine.ok()) return engine.status();
   cluster->engine_ = std::move(engine).value();
   return cluster;
+}
+
+Result<std::shared_ptr<query::QueryEngine>> Cluster::OpenEngine() {
+  query::EngineOptions engine_options = options_.engine;
+  engine_options.admission = admission_.get();
+  auto engine = query::QueryEngine::Open(store_, engine_options);
+  if (!engine.ok()) return engine.status();
+  return std::shared_ptr<query::QueryEngine>(std::move(engine).value());
 }
 
 WorkerOptions Cluster::WorkerOptionsFor(uint32_t id) const {
@@ -37,8 +56,49 @@ WorkerOptions Cluster::WorkerOptionsFor(uint32_t id) const {
   return worker_options;
 }
 
+std::shared_ptr<Worker> Cluster::WorkerRef(uint32_t id) const {
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  return id < workers_.size() ? workers_[id] : nullptr;
+}
+
+void Cluster::SnapshotEndpoints(
+    std::vector<std::shared_ptr<Worker>>* workers,
+    std::vector<std::shared_ptr<query::QueryEngine>>* engines) const {
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  if (workers != nullptr) *workers = workers_;
+  if (engines != nullptr) *engines = worker_engines_;
+}
+
+std::shared_ptr<Worker> Cluster::FenceAndRemoveWorker(uint32_t id) {
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  std::shared_ptr<Worker> worker = std::move(workers_[id]);
+  workers_[id] = nullptr;
+  worker_engines_[id] = nullptr;
+  // Fence before the slot swap is visible: a broker write already holding
+  // the old reference fails instead of acking into a store about to
+  // disappear. Readers holding it may finish their realtime scan — their
+  // epoch/seqlock re-check refuses the result afterwards.
+  if (worker != nullptr) worker->Fence();
+  return worker;
+}
+
+query::QueryEngine* Cluster::worker_engine(uint32_t id) {
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  return id < worker_engines_.size() ? worker_engines_[id].get() : nullptr;
+}
+
+void Cluster::ClearQueryCaches() {
+  engine_->ClearCaches();
+  std::vector<std::shared_ptr<query::QueryEngine>> engines;
+  SnapshotEndpoints(nullptr, &engines);
+  for (auto& engine : engines) {
+    if (engine != nullptr) engine->ClearCaches();
+  }
+}
+
 Status Cluster::RestartWorker(uint32_t id) {
-  if (id >= workers_.size()) return Status::InvalidArgument("no such worker");
+  if (id >= num_workers()) return Status::InvalidArgument("no such worker");
+  ControlMutation mutation(&control_seq_);
   if (!controller_->WorkerAlive(id)) {
     // Rejoin after failover. The old journal's tail was already recovered
     // (or declared lost) by FailoverWorker and re-routed to survivors;
@@ -46,7 +106,7 @@ Status Cluster::RestartWorker(uint32_t id) {
     // directory is wiped — this is the point at which a failed-over
     // worker's WAL segments may finally be deleted — and the worker comes
     // back as a fresh empty instance with no shards.
-    workers_[id].reset();
+    FenceAndRemoveWorker(id);
     if (!options_.worker.wal_dir.empty()) {
       std::error_code ec;
       std::filesystem::remove_all(WorkerOptionsFor(id).wal_dir, ec);
@@ -55,45 +115,57 @@ Status Cluster::RestartWorker(uint32_t id) {
                                ec.message());
       }
     }
-    workers_[id] = std::make_unique<Worker>(
-        id, store_, controller_->metadata(), WorkerOptionsFor(id));
-    LOGSTORE_RETURN_IF_ERROR(workers_[id]->wal_status());
+    auto worker = std::make_shared<Worker>(id, store_, controller_->metadata(),
+                                           WorkerOptionsFor(id));
+    LOGSTORE_RETURN_IF_ERROR(worker->wal_status());
+    auto engine = OpenEngine();
+    if (!engine.ok()) return engine.status();
+    {
+      std::lock_guard<std::mutex> lock(workers_mu_);
+      workers_[id] = std::move(worker);
+      worker_engines_[id] = std::move(engine).value();
+    }
     return controller_->ReviveWorker(id);
   }
   if (options_.worker.wal_dir.empty()) {
     return Status::InvalidArgument(
         "RestartWorker without wal_dir would lose acked writes");
   }
-  // Destroy first (releases the WAL directories), then reconstruct over
-  // them: the Worker constructor IS the recovery path.
-  workers_[id].reset();
-  workers_[id] = std::make_unique<Worker>(id, store_, controller_->metadata(),
-                                          WorkerOptionsFor(id));
-  return workers_[id]->wal_status();
+  // Fence + release first, then reconstruct over the WAL directories: the
+  // Worker constructor IS the recovery path. An in-flight reader may keep
+  // the old (fenced, write-refusing) object alive a little longer; its
+  // open WAL handles are read-only by then.
+  FenceAndRemoveWorker(id);
+  auto worker = std::make_shared<Worker>(id, store_, controller_->metadata(),
+                                         WorkerOptionsFor(id));
+  LOGSTORE_RETURN_IF_ERROR(worker->wal_status());
+  auto engine = OpenEngine();
+  if (!engine.ok()) return engine.status();
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  workers_[id] = std::move(worker);
+  worker_engines_[id] = std::move(engine).value();
+  return Status::OK();
 }
 
 Status Cluster::KillWorker(uint32_t id) {
-  if (id >= workers_.size()) return Status::InvalidArgument("no such worker");
-  if (workers_[id] == nullptr) {
+  if (id >= num_workers()) return Status::InvalidArgument("no such worker");
+  ControlMutation mutation(&control_seq_);
+  // Fence first so any concurrent broker write fails instead of acking
+  // into a store that is about to disappear, then release the object —
+  // its WAL file handles close once in-flight references drain, leaving
+  // the directory on disk for the failover tail recovery.
+  if (FenceAndRemoveWorker(id) == nullptr) {
     return Status::AlreadyExists("worker already dead");
   }
-  // Fence first so any concurrent broker write fails instead of acking
-  // into a store that is about to disappear, then destroy the object —
-  // releasing its WAL file handles but leaving the directory on disk for
-  // the failover tail recovery.
-  workers_[id]->Fence();
-  workers_[id].reset();
   return Status::OK();
 }
 
 Result<Cluster::FailoverReport> Cluster::FailoverWorker(uint32_t id) {
-  if (id >= workers_.size()) return Status::InvalidArgument("no such worker");
+  if (id >= num_workers()) return Status::InvalidArgument("no such worker");
+  ControlMutation mutation(&control_seq_);
   // Wedged-but-running worker: terminate the process before reassigning,
   // so its replica WALs are closed and it can never ack again.
-  if (workers_[id] != nullptr) {
-    workers_[id]->Fence();
-    workers_[id].reset();
-  }
+  FenceAndRemoveWorker(id);
 
   auto decision = controller_->FailoverWorker(id);
   if (!decision.ok()) return decision.status();
@@ -160,16 +232,18 @@ Status Cluster::RecoverTail(uint32_t id, FailoverReport* report) {
 }
 
 std::vector<WorkerHealth> Cluster::HarvestHealth() {
+  std::vector<std::shared_ptr<Worker>> workers;
+  SnapshotEndpoints(&workers, nullptr);
   std::vector<WorkerHealth> reports;
-  for (uint32_t id = 0; id < workers_.size(); ++id) {
-    if (workers_[id] == nullptr) {
+  for (uint32_t id = 0; id < workers.size(); ++id) {
+    if (workers[id] == nullptr) {
       WorkerHealth dead;
       dead.worker_id = id;
       dead.process_alive = false;
       dead.fenced = !controller_->WorkerAlive(id);
       reports.push_back(dead);
     } else {
-      reports.push_back(workers_[id]->Health());
+      reports.push_back(workers[id]->Health());
     }
   }
   return reports;
@@ -177,6 +251,7 @@ std::vector<WorkerHealth> Cluster::HarvestHealth() {
 
 Result<Cluster::ControlCycleReport> Cluster::RunControlCycle() {
   ControlCycleReport report;
+  ControlMutation mutation(&control_seq_);
   // Phase 1: fence every worker that cannot durably ack and mark it dead
   // in the controller. All placement moves land before any tail recovery,
   // so with multiple simultaneous failures a recovered write can never be
@@ -189,10 +264,7 @@ Result<Cluster::ControlCycleReport> Cluster::RunControlCycle() {
           "worker " + std::to_string(health.worker_id) +
           " is unhealthy but is the last live worker");
     }
-    if (workers_[health.worker_id] != nullptr) {
-      workers_[health.worker_id]->Fence();
-      workers_[health.worker_id].reset();
-    }
+    FenceAndRemoveWorker(health.worker_id);
     auto decision = controller_->FailoverWorker(health.worker_id);
     if (!decision.ok()) return decision.status();
     FailoverReport failover;
@@ -201,7 +273,11 @@ Result<Cluster::ControlCycleReport> Cluster::RunControlCycle() {
     report.failovers.push_back(std::move(failover));
   }
   // Phase 2: recover each dead worker's un-archived WAL tail into the
-  // (now final) placement.
+  // (now final) placement. Readers stay fenced out (seqlock odd) until the
+  // recovery lands: between the placement flip and the last re-ingested
+  // row, the tail is neither on the dead worker nor fully on the
+  // survivors, and a query overlapping that window must retry, not read
+  // half a tail.
   for (FailoverReport& failover : report.failovers) {
     LOGSTORE_RETURN_IF_ERROR(RecoverTail(failover.worker, &failover));
   }
@@ -223,13 +299,14 @@ Status Cluster::Write(uint64_t tenant, const logblock::RowBatch& rows) {
   // Liveness check before dereferencing: between a worker's death and the
   // next control cycle the routes still point at its shards. That window
   // is a retryable condition for the client, not a crash for the broker.
-  if (workers_[worker_id] == nullptr || !controller_->WorkerAlive(worker_id)) {
+  const std::shared_ptr<Worker> worker = WorkerRef(worker_id);
+  if (worker == nullptr || !controller_->WorkerAlive(worker_id)) {
     return Status::Unavailable("worker " + std::to_string(worker_id) +
                                " for shard " + std::to_string(shard) +
                                " is dead; retry after the control cycle");
   }
   const uint64_t epoch = controller_->placement_epoch();
-  LOGSTORE_RETURN_IF_ERROR(workers_[worker_id]->Write(shard, tenant, rows));
+  LOGSTORE_RETURN_IF_ERROR(worker->Write(shard, tenant, rows));
   // Fencing: if a failover reassigned this worker's shards while the write
   // was in flight, the rows may sit in a store nobody will archive. Refuse
   // the ack; the client retries against the new placement.
@@ -246,27 +323,183 @@ Status Cluster::Write(uint64_t tenant, const logblock::RowBatch& rows) {
   return Status::OK();
 }
 
+Status Cluster::CollectRealtime(
+    const query::LogQuery& query,
+    const std::vector<std::shared_ptr<Worker>>& workers,
+    const Controller::PlacementView& placement,
+    std::vector<std::pair<uint32_t, logblock::RowBatch>>* batches) {
+  for (uint32_t id = 0; id < workers.size(); ++id) {
+    const bool alive =
+        id < placement.worker_alive.size() && placement.worker_alive[id];
+    if (workers[id] == nullptr) {
+      if (alive) {
+        // Dead process, failover not run yet: its un-archived rows are
+        // unreachable but NOT absent. Refusing the read (retryable) beats
+        // silently dropping them.
+        return Status::Unavailable(
+            "worker " + std::to_string(id) +
+            " is dead but not failed over; retry after the control cycle");
+      }
+      continue;  // failed over: its tail was re-ingested into survivors
+    }
+    if (!alive) continue;  // fenced out: its rows were recovered elsewhere
+    batches->emplace_back(
+        id, workers[id]->ScanRealtime(query.tenant_id, query.ts_min,
+                                      query.ts_max, query.predicates));
+  }
+  return Status::OK();
+}
+
 Result<query::QueryResult> Cluster::Query(const query::LogQuery& query) {
-  // Archived data from the object store.
+  return options_.scatter_reads ? ScatterQuery(query)
+                                : QuerySingleEngine(query);
+}
+
+Result<query::QueryResult> Cluster::QuerySingleEngine(
+    const query::LogQuery& query) {
+  const uint64_t seq = control_seq_.load(std::memory_order_acquire);
+  if (seq % 2 != 0) {
+    return Status::Unavailable("control mutation in progress; retry");
+  }
+  const Controller::PlacementView placement = controller_->PlacementSnapshot();
+  std::vector<std::shared_ptr<Worker>> workers;
+  SnapshotEndpoints(&workers, nullptr);
+
+  // Archived data from the object store, on the broker's own engine.
   auto result = engine_->Execute(query, *controller_->metadata());
   if (!result.ok()) return result.status();
 
-  // Merge the real-time stores: rows not yet archived. Dead workers hold
-  // nothing queryable — their un-archived tail was re-ingested into the
-  // survivors at failover.
-  for (auto& worker : workers_) {
-    if (worker == nullptr) continue;
-    const logblock::RowBatch realtime = worker->ScanRealtime(
-        query.tenant_id, query.ts_min, query.ts_max, query.predicates);
-    LOGSTORE_RETURN_IF_ERROR(
-        query::AppendRealtimeRows(realtime, query, &result.value()));
+  // Merge the real-time stores: rows not yet archived, in the same
+  // deterministic placement-independent order the scatter path uses.
+  std::vector<std::pair<uint32_t, logblock::RowBatch>> batches;
+  LOGSTORE_RETURN_IF_ERROR(
+      CollectRealtime(query, workers, placement, &batches));
+  LOGSTORE_RETURN_IF_ERROR(
+      query::MergeRealtimeRows(std::move(batches), query, &result.value()));
+
+  // Read fencing (the §12 analogue of the write-side epoch check): if the
+  // placement moved or a control mutation overlapped this read, parts of it
+  // may predate the change and parts postdate it. Refuse; the client
+  // retries against the settled state.
+  if (controller_->placement_epoch() != placement.epoch ||
+      control_seq_.load(std::memory_order_acquire) != seq) {
+    return Status::Unavailable("placement changed during the read; retry");
   }
   return result;
 }
 
+Result<query::QueryResult> Cluster::ScatterQuery(const query::LogQuery& query) {
+  const int64_t start_us = SystemClock::Default()->NowMicros();
+  const uint64_t seq = control_seq_.load(std::memory_order_acquire);
+  if (seq % 2 != 0) {
+    return Status::Unavailable("control mutation in progress; retry");
+  }
+  const Controller::PlacementView placement = controller_->PlacementSnapshot();
+  std::vector<std::shared_ptr<Worker>> workers;
+  std::vector<std::shared_ptr<query::QueryEngine>> engines;
+  SnapshotEndpoints(&workers, &engines);
+
+  query::QueryResult result;
+  const logblock::LogBlockMap* map = controller_->metadata();
+  const auto all_blocks = map->TenantBlocks(query.tenant_id);
+  const auto blocks = map->Prune(query.tenant_id, query.ts_min, query.ts_max);
+  result.stats.logblocks_total = static_cast<uint32_t>(all_blocks.size());
+  result.stats.logblocks_pruned =
+      static_cast<uint32_t>(all_blocks.size() - blocks.size());
+
+  // Partition the pruned list by owning worker: each LogBlock belongs to a
+  // shard by content hash of its object key (stable across failovers), and
+  // the shard's CURRENT worker — from the placement snapshot — serves it.
+  // Blocks follow placement, so a failed-over worker's read load moves
+  // with its shards.
+  struct Fragment {
+    std::vector<logblock::LogBlockEntry> blocks;
+    std::vector<size_t> tags;  // global block-map indices
+  };
+  std::map<uint32_t, Fragment> fragments;
+  const uint32_t num_shards =
+      static_cast<uint32_t>(placement.shard_to_worker.size());
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    const uint32_t shard =
+        static_cast<uint32_t>(Hash64(blocks[i].object_key) % num_shards);
+    const uint32_t owner = placement.shard_to_worker[shard];
+    const bool alive =
+        owner < placement.worker_alive.size() && placement.worker_alive[owner];
+    if (!alive || owner >= engines.size() || engines[owner] == nullptr) {
+      // The owning worker died and its shards have not been reassigned
+      // yet. A retryable condition, exactly like the write path's.
+      return Status::Unavailable(
+          "worker " + std::to_string(owner) + " owning shard " +
+          std::to_string(shard) + " is dead; retry after the control cycle");
+    }
+    Fragment& fragment = fragments[owner];
+    fragment.blocks.push_back(blocks[i]);
+    fragment.tags.push_back(i);
+  }
+
+  // Scatter: each owner executes its fragment on its own engine, under one
+  // shared cancel flag and one GLOBAL limit tracker, so the §11 limit /
+  // error / determinism contracts hold across the whole block list exactly
+  // as they do inside a single engine.
+  std::vector<query::FragmentSlot> slots(blocks.size());
+  std::atomic<bool> cancel{false};
+  query::ScatterLimitTracker tracker(blocks.size(), query.limit, &cancel);
+  auto run_fragment = [&](uint32_t owner, Fragment& fragment) {
+    query::FragmentOptions fragment_options;
+    fragment_options.cancel = &cancel;
+    fragment_options.tags = fragment.tags;
+    fragment_options.on_block_done =
+        [&tracker](size_t tag, const query::FragmentSlot& slot) {
+          tracker.OnBlockDone(tag, slot);
+        };
+    std::vector<query::FragmentSlot> fragment_slots =
+        engines[owner]->ExecuteFragment(query, fragment.blocks,
+                                        fragment_options);
+    for (size_t j = 0; j < fragment_slots.size(); ++j) {
+      slots[fragment.tags[j]] = std::move(fragment_slots[j]);
+    }
+  };
+  if (fragments.size() <= 1) {
+    for (auto& [owner, fragment] : fragments) run_fragment(owner, fragment);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(fragments.size());
+    for (auto it = fragments.begin(); it != fragments.end(); ++it) {
+      threads.emplace_back(
+          [&run_fragment, it] { run_fragment(it->first, it->second); });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+
+  LOGSTORE_RETURN_IF_ERROR(
+      query::QueryEngine::MergeFragmentSlots(query, slots, &result));
+  result.stats.exec.rows_matched = static_cast<uint32_t>(result.rows.size());
+
+  // Real-time rows from the live workers, merged after the archived rows
+  // in the deterministic placement-independent order.
+  std::vector<std::pair<uint32_t, logblock::RowBatch>> batches;
+  LOGSTORE_RETURN_IF_ERROR(
+      CollectRealtime(query, workers, placement, &batches));
+  LOGSTORE_RETURN_IF_ERROR(
+      query::MergeRealtimeRows(std::move(batches), query, &result));
+
+  // Read fencing: any placement move or control mutation since the
+  // snapshot invalidates the result — some fragments/realtime scans may
+  // reflect the old world and some the new. Retryable, never partial.
+  if (controller_->placement_epoch() != placement.epoch ||
+      control_seq_.load(std::memory_order_acquire) != seq) {
+    return Status::Unavailable("placement changed during the read; retry");
+  }
+  result.stats.elapsed_us = SystemClock::Default()->NowMicros() - start_us;
+  return result;
+}
+
 Result<int> Cluster::RunBuildPass() {
+  ControlMutation mutation(&control_seq_);
+  std::vector<std::shared_ptr<Worker>> workers;
+  SnapshotEndpoints(&workers, nullptr);
   int total = 0;
-  for (auto& worker : workers_) {
+  for (auto& worker : workers) {
     if (worker == nullptr) continue;  // dead worker: nothing to archive
     auto built = worker->RunBuildPass();
     if (!built.ok()) return built.status();

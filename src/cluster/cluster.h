@@ -1,7 +1,9 @@
 #ifndef LOGSTORE_CLUSTER_CLUSTER_H_
 #define LOGSTORE_CLUSTER_CLUSTER_H_
 
+#include <atomic>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "cluster/controller.h"
@@ -9,6 +11,7 @@
 #include "common/random.h"
 #include "common/result.h"
 #include "objectstore/object_store.h"
+#include "query/admission.h"
 #include "query/engine.h"
 
 namespace logstore::cluster {
@@ -23,13 +26,23 @@ struct ClusterDeploymentOptions {
   WorkerOptions worker;
   ControllerOptions controller;
   query::EngineOptions engine;
+  // Distributed reads (§12): fan each query out across the workers whose
+  // shards own its LogBlocks and merge broker-side. false falls back to the
+  // single-broker-engine path (QuerySingleEngine), kept as ground truth —
+  // the two are byte-identical by contract.
+  bool scatter_reads = true;
+  // Cluster-wide execution-slot budget shared by the broker engine and
+  // every worker engine. 0 = 2 * engine.query_threads (the fleet can run
+  // two engines' worth of block scans at once before queueing starts).
+  int admission_slots = 0;
 };
 
 // An in-process LogStore deployment (Figure 3): brokers route tenant writes
 // by the controller's routing table to workers' shards; data builders
-// archive to the object store; queries merge archived LogBlocks with the
-// workers' real-time stores. This is the functional simulation of the
-// multi-node production system — one address space, same code paths.
+// archive to the object store; queries scatter across the workers owning
+// the LogBlocks and merge with the real-time row stores. This is the
+// functional simulation of the multi-node production system — one address
+// space, same code paths.
 class Cluster {
  public:
   // `store` must outlive the cluster.
@@ -42,10 +55,20 @@ class Cluster {
   // after RunControlCycle instead of crashing into a null worker.
   Status Write(uint64_t tenant, const logblock::RowBatch& rows);
 
-  // Broker read path: archived LogBlocks (via the query engine) merged with
-  // the real-time row stores, so freshly written data is visible
-  // immediately ("real-time data visibility").
+  // Broker read path (§12): the query's pruned LogBlocks are partitioned by
+  // owning worker (shard = hash(object_key), worker = placement snapshot),
+  // executed on the owners' engines in parallel, and merged broker-side in
+  // global LogBlock-map order; real-time rows from the live workers merge
+  // after in a deterministic placement-independent order. Byte-identical to
+  // QuerySingleEngine. Returns kUnavailable (retryable) when an owning
+  // worker is dead or the placement moved mid-query — never a partial
+  // result.
   Result<query::QueryResult> Query(const query::LogQuery& query);
+
+  // Ground-truth read path: one broker-side engine over the full LogBlock
+  // list, same realtime merge, same fencing. The scatter path must return
+  // identical bytes; tests diff the two.
+  Result<query::QueryResult> QuerySingleEngine(const query::LogQuery& query);
 
   // Background tasks, invoked by tests/benches instead of timers.
   Result<int> RunBuildPass();           // all workers archive
@@ -66,12 +89,13 @@ class Cluster {
   // --- Failover subsystem ---
 
   // Simulates a worker-process death: the Worker object is fenced and
-  // destroyed (WAL file handles released), its on-disk WAL directory left
-  // behind. Writes routed to it return kUnavailable until RunControlCycle
-  // (or an explicit FailoverWorker) reassigns its shards.
+  // released (WAL file handles close once in-flight readers drain), its
+  // on-disk WAL directory left behind. Writes routed to it return
+  // kUnavailable until RunControlCycle (or an explicit FailoverWorker)
+  // reassigns its shards.
   Status KillWorker(uint32_t id);
 
-  // One failover: fence + destroy the worker if its process is still up
+  // One failover: fence + release the worker if its process is still up
   // (the wedged-replica case), reassign its shards to survivors through the
   // controller, then recover the un-archived tail of its per-worker WAL
   // directory by re-ingesting it through the broker write path (the routes
@@ -100,9 +124,19 @@ class Cluster {
   Result<ControlCycleReport> RunControlCycle();
 
   Controller* controller() { return controller_.get(); }
-  Worker* worker(uint32_t id) { return workers_[id].get(); }
-  uint32_t num_workers() const { return static_cast<uint32_t>(workers_.size()); }
+  Worker* worker(uint32_t id) { return WorkerRef(id).get(); }
+  uint32_t num_workers() const {
+    return static_cast<uint32_t>(options_.num_workers);
+  }
   query::QueryEngine* engine() { return engine_.get(); }
+  // Worker `id`'s query endpoint (the engine its fragments execute on);
+  // null while the worker is dead.
+  query::QueryEngine* worker_engine(uint32_t id);
+  query::AdmissionGovernor* admission() { return admission_.get(); }
+
+  // Drops every engine's cached state, broker and workers (for cold-cache
+  // measurements).
+  void ClearQueryCaches();
 
  private:
   Cluster() : rng_(12345) {}
@@ -118,12 +152,70 @@ class Cluster {
   // recovered write could be routed at a worker about to be failed over.
   Status RecoverTail(uint32_t id, FailoverReport* report);
 
+  // Opens a fresh engine wired to the shared admission governor.
+  Result<std::shared_ptr<query::QueryEngine>> OpenEngine();
+
+  // Slot accessors: worker/engine slots are shared_ptrs guarded by
+  // workers_mu_, so a reader holds the OBJECT alive while a failover nulls
+  // the SLOT — the in-process analogue of a connection outliving the
+  // cluster membership change. Never hold workers_mu_ across worker calls.
+  std::shared_ptr<Worker> WorkerRef(uint32_t id) const;
+  void SnapshotEndpoints(
+      std::vector<std::shared_ptr<Worker>>* workers,
+      std::vector<std::shared_ptr<query::QueryEngine>>* engines) const;
+  // Fences worker `id` (if present) and nulls its worker + engine slots,
+  // returning the old worker object. Part of every kill/failover.
+  std::shared_ptr<Worker> FenceAndRemoveWorker(uint32_t id);
+
+  // Gathers the realtime batches a query must merge, under the read-fence
+  // rules: a dead-but-not-failed-over worker makes the result kUnavailable
+  // (its un-archived rows are temporarily unreachable, not absent), a
+  // failed-over worker contributes nothing (its tail was re-ingested into
+  // the survivors).
+  Status CollectRealtime(
+      const query::LogQuery& query,
+      const std::vector<std::shared_ptr<Worker>>& workers,
+      const Controller::PlacementView& placement,
+      std::vector<std::pair<uint32_t, logblock::RowBatch>>* batches);
+
+  // The scatter/gather read path behind Query().
+  Result<query::QueryResult> ScatterQuery(const query::LogQuery& query);
+
   ClusterDeploymentOptions options_;
   objectstore::ObjectStore* store_ = nullptr;
   std::unique_ptr<Controller> controller_;
-  std::vector<std::unique_ptr<Worker>> workers_;
-  std::unique_ptr<query::QueryEngine> engine_;
+  // Declared before the engines that reference it (destroyed after them).
+  std::unique_ptr<query::AdmissionGovernor> admission_;
+
+  mutable std::mutex workers_mu_;
+  std::vector<std::shared_ptr<Worker>> workers_;  // guarded by workers_mu_
+  // Per-worker query endpoints, same indexing. Guarded by workers_mu_.
+  std::vector<std::shared_ptr<query::QueryEngine>> worker_engines_;
+
+  std::unique_ptr<query::QueryEngine> engine_;  // broker-side engine
   Random rng_;
+
+  // Read-side fence for in-process control mutations, a seqlock: odd while
+  // a control mutation (kill / failover / restart / build pass) is in
+  // progress. A query snapshots it first and re-checks it last; any change
+  // or an odd value makes the result kUnavailable (retryable), so a reader
+  // overlapping a mutation can never return a partial result — the window
+  // the placement epoch alone cannot cover (tail recovery and archive
+  // moves do not bump the epoch).
+  std::atomic<uint64_t> control_seq_{0};
+
+  class ControlMutation {
+   public:
+    explicit ControlMutation(std::atomic<uint64_t>* seq) : seq_(seq) {
+      seq_->fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~ControlMutation() { seq_->fetch_add(1, std::memory_order_acq_rel); }
+    ControlMutation(const ControlMutation&) = delete;
+    ControlMutation& operator=(const ControlMutation&) = delete;
+
+   private:
+    std::atomic<uint64_t>* seq_;
+  };
 
   // Accumulated monitor metrics between traffic-control cycles.
   std::mutex metrics_mu_;

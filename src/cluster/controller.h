@@ -91,6 +91,24 @@ class Controller {
     return placement_epoch_;
   }
 
+  // Atomic snapshot of the placement map, liveness vector, and epoch — one
+  // lock acquisition, so a broker's scatter routing can never observe a
+  // half-applied failover. The read-side analogue of the write fencing:
+  // route by the snapshot, re-check the epoch after the read.
+  struct PlacementView {
+    uint64_t epoch = 0;
+    std::vector<uint32_t> shard_to_worker;
+    std::vector<bool> worker_alive;
+  };
+  PlacementView PlacementSnapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    PlacementView view;
+    view.epoch = placement_epoch_;
+    view.shard_to_worker = placement_;
+    view.worker_alive = worker_alive_;
+    return view;
+  }
+
   // The failover decision of the monitor->balancer->router cycle: marks
   // `worker` dead, fences it out of the placement epoch, and reassigns its
   // shards to survivors — capacity-aware, least-loaded first, using the

@@ -174,10 +174,12 @@ Result<int> LogStore::Flush() {
 Result<query::QueryResult> LogStore::Query(const query::LogQuery& query) {
   auto result = engine_->Execute(query, metadata_);
   if (!result.ok()) return result.status();
-  const logblock::RowBatch realtime = row_store_->ScanTenant(
+  logblock::RowBatch realtime = row_store_->ScanTenant(
       query.tenant_id, query.ts_min, query.ts_max, query.predicates);
+  std::vector<std::pair<uint32_t, logblock::RowBatch>> batches;
+  batches.emplace_back(0, std::move(realtime));
   LOGSTORE_RETURN_IF_ERROR(
-      query::AppendRealtimeRows(realtime, query, &result.value()));
+      query::MergeRealtimeRows(std::move(batches), query, &result.value()));
   return result;
 }
 

@@ -137,13 +137,9 @@ void PrefetchService::Prefetch(uint64_t owner, const std::string& object_key,
   int spawn = 0;
   {
     std::lock_guard<std::mutex> lock(fair_mu_);
-    auto& queue = pending_[owner];
-    for (auto& run : runs) queue.push_back(std::move(run));
+    for (auto& run : runs) pending_.Push(owner, std::move(run));
     // One dispatcher per runnable unit of work, capped at the pool width.
-    int total_pending = 0;
-    for (const auto& [_, q] : pending_) {
-      total_pending += static_cast<int>(q.size());
-    }
+    const int total_pending = static_cast<int>(pending_.size());
     while (dispatchers_ + spawn < pool_->num_threads() &&
            dispatchers_ + spawn < total_pending) {
       ++spawn;
@@ -160,18 +156,10 @@ void PrefetchService::DispatchLoop() {
     PendingRun run;
     {
       std::lock_guard<std::mutex> lock(fair_mu_);
-      if (pending_.empty()) {
+      if (!pending_.PopNext(&run)) {
         --dispatchers_;
         return;
       }
-      // Round-robin: the first owner strictly after the last-served one,
-      // wrapping to the smallest.
-      auto it = pending_.upper_bound(rr_last_owner_);
-      if (it == pending_.end()) it = pending_.begin();
-      rr_last_owner_ = it->first;
-      run = std::move(it->second.front());
-      it->second.pop_front();
-      if (it->second.empty()) pending_.erase(it);
     }
     // Errors are ignored: a failed prefetch degrades to a blocking read.
     (void)GetOrFetchBlock(run.object_key, run.first_block, run.run_len);

@@ -2,8 +2,6 @@
 #define LOGSTORE_PREFETCH_PREFETCH_SERVICE_H_
 
 #include <condition_variable>
-#include <deque>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -12,6 +10,7 @@
 
 #include "cache/block_manager.h"
 #include "common/byte_range.h"
+#include "common/fair_queue.h"
 #include "common/result.h"
 #include "common/threadpool.h"
 #include "objectstore/object_store.h"
@@ -109,11 +108,11 @@ class PrefetchService {
   std::atomic<uint64_t> fetches_issued_{0};
   std::atomic<uint64_t> fetch_errors_{0};
 
-  // Fair prefetch queue (guarded by fair_mu_): per-owner FIFO deques,
-  // serviced round-robin by up to `threads` dispatcher tasks.
+  // Fair prefetch queue (guarded by fair_mu_): per-owner FIFO runs served
+  // round-robin across owners by up to `threads` dispatcher tasks. The same
+  // FairQueue discipline backs the execution-slot admission governor.
   std::mutex fair_mu_;
-  std::map<uint64_t, std::deque<PendingRun>> pending_;
-  uint64_t rr_last_owner_ = 0;
+  FairQueue<PendingRun> pending_;
   int dispatchers_ = 0;
 };
 

@@ -1,0 +1,89 @@
+#include "query/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/clock.h"
+
+namespace logstore::query {
+
+AdmissionGovernor::AdmissionGovernor(int total_slots)
+    : total_slots_(std::max(1, total_slots)), available_(total_slots_) {}
+
+bool AdmissionGovernor::Acquire(uint64_t tenant,
+                                const std::atomic<bool>* cancel) {
+  const int64_t start_us = SystemClock::Default()->NowMicros();
+  std::unique_lock<std::mutex> lock(mu_);
+  // Fast path: a free slot and nobody queued ahead. Skipping the queue here
+  // is fair — waiters exist only while available_ == 0, and every release
+  // hands its slot to a waiter before replenishing the pool.
+  if (available_ > 0 && waiting_.empty()) {
+    --available_;
+    ++stats_[tenant].grants;
+    return true;
+  }
+
+  auto ticket = std::make_shared<Ticket>();
+  waiting_.Push(tenant, ticket);
+  while (!ticket->granted &&
+         !(cancel != nullptr && cancel->load(std::memory_order_acquire))) {
+    if (cancel == nullptr) {
+      granted_cv_.wait(lock);
+    } else {
+      // Poll the cancel flag: it is flipped without the governor's lock
+      // (limit secured, or a peer block's real error), so a pure wait could
+      // sleep past it.
+      granted_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+  }
+  if (!ticket->granted) {
+    waiting_.Remove(tenant, ticket);
+    return false;
+  }
+  if (cancel != nullptr && cancel->load(std::memory_order_acquire)) {
+    // Granted and cancelled raced: the caller will not run, so the slot
+    // moves straight to the next waiter instead of leaking.
+    PassSlotLocked();
+    return false;
+  }
+  const int64_t waited = SystemClock::Default()->NowMicros() - start_us;
+  AdmissionTenantStats& stats = stats_[tenant];
+  ++stats.grants;
+  ++stats.queued_grants;
+  stats.total_wait_us += waited;
+  stats.max_wait_us = std::max(stats.max_wait_us, waited);
+  return true;
+}
+
+void AdmissionGovernor::PassSlotLocked() {
+  std::shared_ptr<Ticket> next;
+  if (waiting_.PopNext(&next)) {
+    next->granted = true;
+    granted_cv_.notify_all();
+  } else {
+    ++available_;
+  }
+}
+
+void AdmissionGovernor::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  PassSlotLocked();
+}
+
+int AdmissionGovernor::slots_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_slots_ - available_;
+}
+
+size_t AdmissionGovernor::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_.size();
+}
+
+AdmissionTenantStats AdmissionGovernor::TenantStats(uint64_t tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stats_.find(tenant);
+  return it == stats_.end() ? AdmissionTenantStats{} : it->second;
+}
+
+}  // namespace logstore::query

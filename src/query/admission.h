@@ -1,0 +1,96 @@
+#ifndef LOGSTORE_QUERY_ADMISSION_H_
+#define LOGSTORE_QUERY_ADMISSION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/fair_queue.h"
+
+namespace logstore::query {
+
+// Per-tenant admission telemetry (the fairness test's measurement surface).
+struct AdmissionTenantStats {
+  uint64_t grants = 0;        // slots granted to this tenant
+  uint64_t queued_grants = 0; // grants that had to wait for a slot
+  int64_t total_wait_us = 0;  // time spent waiting across those grants
+  int64_t max_wait_us = 0;    // worst single slot-wait
+};
+
+// Cluster-wide execution-slot budget with per-tenant fair queueing — the
+// per-owner fair prefetch scheduler generalized from IO slots to execution
+// slots. Every block scan across every engine of a deployment first
+// acquires a slot; under load the budget dynamically caps a query's
+// effective query_threads, and a released slot is handed to the next waiter
+// round-robin across tenants, so one tenant's wide scan queues behind
+// itself, not in front of everyone else.
+//
+// Slot holders never block on the governor (acquires are never nested), so
+// the budget cannot deadlock: every held slot is released by a block scan
+// that completes independently.
+class AdmissionGovernor {
+ public:
+  explicit AdmissionGovernor(int total_slots);
+
+  // Blocks until a slot is granted. Returns false — without consuming a
+  // slot — if `cancel` became true while waiting; a grant that races with
+  // cancellation is handed straight to the next waiter.
+  bool Acquire(uint64_t tenant, const std::atomic<bool>* cancel = nullptr);
+
+  // Releases a slot: hands it to the next queued waiter (round-robin across
+  // tenants) or returns it to the free pool.
+  void Release();
+
+  int total_slots() const { return total_slots_; }
+  int slots_in_use() const;
+  size_t queue_depth() const;
+  AdmissionTenantStats TenantStats(uint64_t tenant) const;
+
+ private:
+  struct Ticket {
+    bool granted = false;  // guarded by mu_
+  };
+
+  // Hands a freed slot to the next waiter or back to the pool. mu_ held.
+  void PassSlotLocked();
+
+  const int total_slots_;
+  mutable std::mutex mu_;
+  std::condition_variable granted_cv_;
+  int available_;  // guarded by mu_
+  FairQueue<std::shared_ptr<Ticket>> waiting_;      // guarded by mu_
+  std::map<uint64_t, AdmissionTenantStats> stats_;  // guarded by mu_
+};
+
+// Scoped slot release for the block-scan paths.
+class AdmissionSlot {
+ public:
+  AdmissionSlot() = default;
+  explicit AdmissionSlot(AdmissionGovernor* governor) : governor_(governor) {}
+  AdmissionSlot(AdmissionSlot&& other) noexcept : governor_(other.governor_) {
+    other.governor_ = nullptr;
+  }
+  AdmissionSlot& operator=(AdmissionSlot&& other) noexcept {
+    if (this != &other) {
+      if (governor_ != nullptr) governor_->Release();
+      governor_ = other.governor_;
+      other.governor_ = nullptr;
+    }
+    return *this;
+  }
+  ~AdmissionSlot() {
+    if (governor_ != nullptr) governor_->Release();
+  }
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+
+ private:
+  AdmissionGovernor* governor_ = nullptr;
+};
+
+}  // namespace logstore::query
+
+#endif  // LOGSTORE_QUERY_ADMISSION_H_

@@ -8,34 +8,118 @@
 
 namespace logstore::query {
 
-Status AppendRealtimeRows(const logblock::RowBatch& realtime,
-                          const LogQuery& query, QueryResult* result) {
-  if (realtime.num_rows() == 0) return Status::OK();
-  const logblock::Schema& schema = realtime.schema();
-  if (result->columns.empty()) {
-    if (query.select_columns.empty()) {
-      for (const auto& col : schema.columns()) {
-        result->columns.push_back(col.name);
+namespace {
+
+// Strict weak order over cell values: by type, then by the typed payload.
+// Total and placement-independent, so realtime rows sort the same no matter
+// which worker produced them.
+bool ValueLess(const logblock::Value& a, const logblock::Value& b) {
+  if (a.type != b.type) return a.type < b.type;
+  if (a.type == logblock::ColumnType::kInt64) return a.i < b.i;
+  return a.s < b.s;
+}
+
+bool RowLess(const std::vector<logblock::Value>& a,
+             const std::vector<logblock::Value>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t c = 0; c < n; ++c) {
+    if (ValueLess(a[c], b[c])) return true;
+    if (ValueLess(b[c], a[c])) return false;
+  }
+  return a.size() < b.size();
+}
+
+}  // namespace
+
+Status MergeRealtimeRows(
+    std::vector<std::pair<uint32_t, logblock::RowBatch>> batches,
+    const LogQuery& query, QueryResult* result) {
+  // One projected row awaiting the deterministic sort. `worker`/`row_idx`
+  // are final tie-breakers only: two rows compared by them are already
+  // byte-identical in ts and projected content, so their relative order
+  // cannot change the result bytes — they merely make the sort a total
+  // order.
+  struct PendingRow {
+    int64_t ts = 0;
+    std::vector<logblock::Value> row;
+    uint32_t worker = 0;
+    uint32_t row_idx = 0;
+  };
+  std::vector<PendingRow> rows;
+
+  for (auto& [worker, batch] : batches) {
+    if (batch.num_rows() == 0) continue;
+    const logblock::Schema& schema = batch.schema();
+    if (result->columns.empty()) {
+      if (query.select_columns.empty()) {
+        for (const auto& col : schema.columns()) {
+          result->columns.push_back(col.name);
+        }
+      } else {
+        result->columns = query.select_columns;
       }
-    } else {
-      result->columns = query.select_columns;
+    }
+    std::vector<size_t> out_cols;
+    out_cols.reserve(result->columns.size());
+    for (const std::string& name : result->columns) {
+      const int col = schema.FindColumn(name);
+      if (col < 0) return Status::InvalidArgument("unknown column: " + name);
+      out_cols.push_back(static_cast<size_t>(col));
+    }
+    const int ts_col = schema.FindColumn("ts");
+    for (uint32_t r = 0; r < batch.num_rows(); ++r) {
+      PendingRow pending;
+      pending.ts = ts_col < 0 ? 0 : batch.Int64At(ts_col, r);
+      pending.row.reserve(out_cols.size());
+      for (size_t c : out_cols) pending.row.push_back(batch.ValueAt(c, r));
+      pending.worker = worker;
+      pending.row_idx = r;
+      rows.push_back(std::move(pending));
     }
   }
-  std::vector<size_t> out_cols;
-  out_cols.reserve(result->columns.size());
-  for (const std::string& name : result->columns) {
-    const int col = schema.FindColumn(name);
-    if (col < 0) return Status::InvalidArgument("unknown column: " + name);
-    out_cols.push_back(static_cast<size_t>(col));
-  }
-  for (uint32_t r = 0; r < realtime.num_rows(); ++r) {
+
+  std::sort(rows.begin(), rows.end(),
+            [](const PendingRow& a, const PendingRow& b) {
+              if (a.ts != b.ts) return a.ts < b.ts;
+              if (RowLess(a.row, b.row)) return true;
+              if (RowLess(b.row, a.row)) return false;
+              if (a.worker != b.worker) return a.worker < b.worker;
+              return a.row_idx < b.row_idx;
+            });
+
+  uint32_t appended = 0;
+  for (PendingRow& pending : rows) {
     if (query.limit != 0 && result->rows.size() >= query.limit) break;
-    std::vector<logblock::Value> row;
-    row.reserve(out_cols.size());
-    for (size_t c : out_cols) row.push_back(realtime.ValueAt(c, r));
-    result->rows.push_back(std::move(row));
+    result->rows.push_back(std::move(pending.row));
+    ++appended;
   }
+  result->stats.realtime_rows += appended;
+  result->stats.exec.rows_matched += appended;
   return Status::OK();
+}
+
+ScatterLimitTracker::ScatterLimitTracker(size_t num_blocks, uint32_t limit,
+                                         std::atomic<bool>* cancel)
+    : limit_(limit),
+      cancel_(cancel),
+      done_(num_blocks, 0),
+      rows_(num_blocks, 0) {}
+
+void ScatterLimitTracker::OnBlockDone(size_t index, const FragmentSlot& slot) {
+  if (limit_ == 0) return;  // unlimited: nothing to secure
+  std::lock_guard<std::mutex> lock(mu_);
+  done_[index] = 1;
+  if (slot.ran) rows_[index] = slot.exec.rows.size();
+  while (prefix_len_ < done_.size() && done_[prefix_len_] != 0) {
+    prefix_rows_ += rows_[prefix_len_];
+    ++prefix_len_;
+  }
+  if (prefix_rows_ >= limit_) {
+    // Limit secured in completed-prefix order across every fragment: all
+    // in-flight work has a strictly higher global block index, provably
+    // beyond the limit cut. Never fires speculatively.
+    cancel_->store(true, std::memory_order_release);
+  }
 }
 
 QueryEngine::QueryEngine(objectstore::ObjectStore* store,
@@ -113,17 +197,19 @@ Result<QueryResult> QueryEngine::Execute(const LogQuery& query,
   result.stats.logblocks_pruned =
       static_cast<uint32_t>(all_blocks.size() - blocks.size());
 
-  ExecOptions exec_options;
-  exec_options.use_data_skipping = options_.use_data_skipping;
-  exec_options.use_prefetch = options_.use_cache && options_.use_prefetch;
-  // Distinct owner per query: the prefetch service schedules pending runs
-  // round-robin across owners, so one wide scan cannot starve others.
-  exec_options.prefetch_owner =
-      next_query_owner_.fetch_add(1, std::memory_order_relaxed);
-
-  Status status = (query_pool_ != nullptr && blocks.size() > 1)
-                      ? ExecuteParallel(query, blocks, exec_options, &result)
-                      : ExecuteSerial(query, blocks, exec_options, &result);
+  Status status;
+  if (query_pool_ != nullptr && blocks.size() > 1) {
+    status = ExecuteParallel(query, blocks, &result);
+  } else {
+    ExecOptions exec_options;
+    exec_options.use_data_skipping = options_.use_data_skipping;
+    exec_options.use_prefetch = options_.use_cache && options_.use_prefetch;
+    // Distinct owner per query: the prefetch service schedules pending runs
+    // round-robin across owners, so one wide scan cannot starve others.
+    exec_options.prefetch_owner =
+        next_query_owner_.fetch_add(1, std::memory_order_relaxed);
+    status = ExecuteSerial(query, blocks, exec_options, &result);
+  }
   if (!status.ok()) return status;
 
   result.stats.exec.rows_matched = static_cast<uint32_t>(result.rows.size());
@@ -136,6 +222,11 @@ Status QueryEngine::ExecuteSerial(
     const ExecOptions& exec_options, QueryResult* result) {
   uint32_t remaining = query.limit;
   for (const logblock::LogBlockEntry& entry : blocks) {
+    AdmissionSlot slot;
+    if (options_.admission != nullptr) {
+      options_.admission->Acquire(query.tenant_id);
+      slot = AdmissionSlot(options_.admission);
+    }
     auto reader = OpenReader(entry.object_key);
     if (!reader.ok()) return reader.status();
 
@@ -170,29 +261,21 @@ Status QueryEngine::ExecuteSerial(
   return Status::OK();
 }
 
-Status QueryEngine::ExecuteParallel(
+std::vector<FragmentSlot> QueryEngine::ExecuteFragment(
     const LogQuery& query, const std::vector<logblock::LogBlockEntry>& blocks,
-    ExecOptions exec_options, QueryResult* result) {
+    const FragmentOptions& fragment) {
   const size_t n = blocks.size();
+  std::vector<FragmentSlot> slots(n);
+  if (n == 0) return slots;
 
-  // Cooperative cancellation, shared by every block task of this query.
-  std::atomic<bool> cancel{false};
-  exec_options.cancel = &cancel;
-
-  struct BlockSlot {
-    Status status;             // Aborted = cooperatively cancelled
-    bool ran = false;          // true iff exec holds a real result
-    BlockExecResult exec;
-    std::vector<std::string> columns;  // schema names (select list empty)
-  };
-  std::vector<BlockSlot> slots(n);
-
-  std::mutex mu;
-  std::condition_variable done_cv;
-  size_t pending = n;
-  std::vector<char> done(n, 0);
-  size_t prefix_len = 0;    // blocks [0, prefix_len) have all completed
-  uint64_t prefix_rows = 0;  // rows matched inside that completed prefix
+  ExecOptions exec_options;
+  exec_options.use_data_skipping = options_.use_data_skipping;
+  exec_options.use_prefetch = options_.use_cache && options_.use_prefetch;
+  // Distinct owner per fragment: the prefetch service schedules pending
+  // runs round-robin across owners, so one wide scan cannot starve others.
+  exec_options.prefetch_owner =
+      next_query_owner_.fetch_add(1, std::memory_order_relaxed);
+  exec_options.cancel = fragment.cancel;
 
   // Pipelined prefetch: warm the head of upcoming objects (the tar header
   // plus the meta member, which the writer lays out first) so opening those
@@ -218,68 +301,93 @@ Status QueryEngine::ExecuteParallel(
   warm_ahead(lookahead);
 
   auto run_block = [&](size_t i) {
-    BlockSlot& slot = slots[i];
-    if (cancel.load(std::memory_order_acquire)) {
+    FragmentSlot& slot = slots[i];
+    if (fragment.cancel != nullptr &&
+        fragment.cancel->load(std::memory_order_acquire)) {
       slot.status = Status::Aborted("query cancelled");
     } else {
-      warm_ahead(i + 1 + lookahead);
-      auto reader = OpenReader(blocks[i].object_key);
-      if (!reader.ok()) {
-        slot.status = reader.status();
+      // Every block scan holds one cluster-wide execution slot: the shared
+      // budget dynamically caps this query's effective parallelism, with
+      // slot grants queued fairly per tenant.
+      AdmissionSlot admission;
+      bool admitted = true;
+      if (options_.admission != nullptr) {
+        admitted = options_.admission->Acquire(query.tenant_id,
+                                               fragment.cancel);
+        if (admitted) admission = AdmissionSlot(options_.admission);
+      }
+      if (!admitted) {
+        slot.status =
+            Status::Aborted("query cancelled while queued for admission");
       } else {
-        if (query.select_columns.empty()) {
-          for (const auto& col : (*reader)->schema().columns()) {
-            slot.columns.push_back(col.name);
+        warm_ahead(i + 1 + lookahead);
+        auto reader = OpenReader(blocks[i].object_key);
+        if (!reader.ok()) {
+          slot.status = reader.status();
+        } else {
+          if (query.select_columns.empty()) {
+            for (const auto& col : (*reader)->schema().columns()) {
+              slot.columns.push_back(col.name);
+            }
+          }
+          // Execute with the query's full limit: per-block evaluation is
+          // limit-independent up to the final row trim, so concatenating
+          // the per-block results in map order and trimming once at merge
+          // time is byte-identical to the serial remaining-limit chain.
+          auto exec = ExecuteOnLogBlock(reader->get(), query, exec_options);
+          if (exec.ok()) {
+            slot.ran = true;
+            slot.exec = std::move(exec).value();
+          } else {
+            slot.status = exec.status();
           }
         }
-        // Execute with the query's full limit: per-block evaluation is
-        // limit-independent up to the final row trim, so concatenating the
-        // per-block results in map order and trimming once at merge time
-        // is byte-identical to the serial remaining-limit chain.
-        auto exec = ExecuteOnLogBlock(reader->get(), query, exec_options);
-        if (exec.ok()) {
-          slot.ran = true;
-          slot.exec = std::move(exec).value();
-        } else {
-          slot.status = exec.status();
-        }
       }
     }
 
-    std::lock_guard<std::mutex> lock(mu);
-    done[i] = 1;
-    if (!slot.status.ok() && !slot.status.IsAborted()) {
-      // Real failure: stop feeding IO to in-flight tasks. The merge still
-      // reports the lowest-index real error deterministically.
-      cancel.store(true, std::memory_order_release);
+    if (!slot.status.ok() && !slot.status.IsAborted() &&
+        fragment.cancel != nullptr) {
+      // Real failure: stop feeding IO to in-flight tasks — of EVERY
+      // fragment of this query. The merge still reports the lowest-index
+      // real error deterministically.
+      fragment.cancel->store(true, std::memory_order_release);
     }
-    while (prefix_len < n && done[prefix_len] != 0) {
-      if (slots[prefix_len].ran) {
-        prefix_rows += slots[prefix_len].exec.rows.size();
-      }
-      ++prefix_len;
+    if (fragment.on_block_done) {
+      const size_t tag = fragment.tags.empty() ? i : fragment.tags[i];
+      fragment.on_block_done(tag, slot);
     }
-    if (query.limit != 0 && prefix_rows >= query.limit) {
-      // Limit secured in completed-prefix order: every block the serial
-      // path would have visited is done and already supplies `limit` rows,
-      // so all in-flight work (strictly higher block index) is provably
-      // beyond the limit cut. Never fires speculatively.
-      cancel.store(true, std::memory_order_release);
-    }
-    if (--pending == 0) done_cv.notify_all();
   };
 
+  if (query_pool_ == nullptr) {
+    // No pool: the fragment runs inline, serially, same contract.
+    for (size_t i = 0; i < n; ++i) run_block(i);
+    return slots;
+  }
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t pending = n;
   for (size_t i = 0; i < n; ++i) {
-    query_pool_->Schedule([&run_block, i] { run_block(i); });
+    query_pool_->Schedule([&run_block, &mu, &done_cv, &pending, i] {
+      run_block(i);
+      std::lock_guard<std::mutex> lock(mu);
+      if (--pending == 0) done_cv.notify_all();
+    });
   }
   {
     std::unique_lock<std::mutex> lock(mu);
     done_cv.wait(lock, [&] { return pending == 0; });
   }
+  return slots;
+}
 
+Status QueryEngine::MergeFragmentSlots(const LogQuery& query,
+                                       std::vector<FragmentSlot>& slots,
+                                       QueryResult* result) {
   // Deterministic merge in LogBlock-map order, trimming at the limit.
+  const size_t n = slots.size();
   for (size_t i = 0; i < n; ++i) {
-    BlockSlot& slot = slots[i];
+    FragmentSlot& slot = slots[i];
     if (!slot.ran) {
       // This block failed, or was cooperatively aborted after a later
       // block's real failure triggered cancellation (a limit-triggered
@@ -310,6 +418,21 @@ Status QueryEngine::ExecuteParallel(
     if (query.limit != 0 && result->rows.size() >= query.limit) break;
   }
   return Status::OK();
+}
+
+Status QueryEngine::ExecuteParallel(
+    const LogQuery& query, const std::vector<logblock::LogBlockEntry>& blocks,
+    QueryResult* result) {
+  // Cooperative cancellation, shared by every block task of this query.
+  std::atomic<bool> cancel{false};
+  ScatterLimitTracker tracker(blocks.size(), query.limit, &cancel);
+  FragmentOptions fragment;
+  fragment.cancel = &cancel;
+  fragment.on_block_done = [&tracker](size_t tag, const FragmentSlot& slot) {
+    tracker.OnBlockDone(tag, slot);
+  };
+  std::vector<FragmentSlot> slots = ExecuteFragment(query, blocks, fragment);
+  return MergeFragmentSlots(query, slots, result);
 }
 
 std::vector<logblock::Value> QueryEngine::Column(const QueryResult& result,

@@ -2,8 +2,11 @@
 #define LOGSTORE_QUERY_ENGINE_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cache/block_manager.h"
@@ -16,6 +19,7 @@
 #include "objectstore/object_store.h"
 #include "objectstore/retrying_object_store.h"
 #include "prefetch/prefetch_service.h"
+#include "query/admission.h"
 #include "query/block_executor.h"
 #include "query/predicate.h"
 
@@ -55,12 +59,20 @@ struct EngineOptions {
   // LogBlockReaders (parsed meta + decoded indexes), avoiding repeated
   // parsing and re-fetch of meta for hot blocks.
   uint64_t object_cache_bytes = 256ull << 20;
+
+  // Cluster-wide execution-slot budget (§12): when set, every block scan —
+  // serial or parallel — first acquires a slot, so under load the shared
+  // budget dynamically caps this engine's effective query_threads, with
+  // per-tenant fair queueing. Non-owning; must outlive the engine. Null =
+  // unlimited (the standalone single-engine behavior).
+  AdmissionGovernor* admission = nullptr;
 };
 
 struct QueryStats {
   uint32_t logblocks_total = 0;    // blocks of the tenant in range
   uint32_t logblocks_pruned = 0;   // eliminated by the LogBlock map
   uint32_t logblocks_sma_skipped = 0;
+  uint32_t realtime_rows = 0;  // rows merged from real-time stores
   BlockExecStats exec;
   int64_t elapsed_us = 0;
 };
@@ -73,9 +85,66 @@ struct QueryResult {
 
 // Broker-side merge of real-time (not yet archived) rows into a query
 // result, applying the projection and limit. Predicate/time filtering must
-// already have been applied to `realtime` (RowStore::ScanTenant does).
-Status AppendRealtimeRows(const logblock::RowBatch& realtime,
-                          const LogQuery& query, QueryResult* result);
+// already have been applied to each batch (RowStore::ScanTenant does).
+//
+// Rows are appended after the archived rows in a deterministic, placement-
+// independent order — (timestamp, projected row content, worker, row) — so
+// a limit query returns the same bytes no matter which worker holds which
+// rows, and the scatter path matches the single-engine path. Appended rows
+// are accounted in QueryStats::realtime_rows and exec.rows_matched.
+Status MergeRealtimeRows(
+    std::vector<std::pair<uint32_t, logblock::RowBatch>> batches,
+    const LogQuery& query, QueryResult* result);
+
+// One block's outcome within a fragment execution. `status` is Aborted when
+// the block was cooperatively cancelled (limit secured, a peer's real
+// error, or cancellation while queued for an admission slot) — Aborted
+// never escapes a merge.
+struct FragmentSlot {
+  Status status;
+  bool ran = false;  // true iff `exec` holds a real result
+  BlockExecResult exec;
+  std::vector<std::string> columns;  // schema names (select list empty)
+};
+
+// Caller plumbing for ExecuteFragment, letting a cluster broker scatter one
+// query across several engines while keeping the §11 cancellation contract
+// global: one shared cancel flag, and per-block completion callbacks tagged
+// with the caller's GLOBAL block indices so a ScatterLimitTracker can fire
+// the limit cancel in whole-query block-map order.
+struct FragmentOptions {
+  // Shared cooperative-cancel flag; may be null (never cancelled). The
+  // fragment also SETS it on a block's real (non-Aborted) error, draining
+  // every fragment of the query.
+  std::atomic<bool>* cancel = nullptr;
+  // Tag reported to on_block_done for block i of this fragment; empty =
+  // identity (0..n-1, the single-fragment case).
+  std::vector<size_t> tags;
+  // Invoked on the executing thread right after each block settles (ran,
+  // failed, or aborted). May be called concurrently for different blocks.
+  std::function<void(size_t tag, const FragmentSlot& slot)> on_block_done;
+};
+
+// Fires the shared cancel flag once the limit is secured in completed-
+// prefix order across ALL scattered fragments of one query — the §11 rule
+// ("every block the serial path would have visited is done and already
+// supplies `limit` rows") applied to global block indices, so a cancel
+// never aborts a block the merge will reach before the limit cut.
+class ScatterLimitTracker {
+ public:
+  ScatterLimitTracker(size_t num_blocks, uint32_t limit,
+                      std::atomic<bool>* cancel);
+  void OnBlockDone(size_t index, const FragmentSlot& slot);
+
+ private:
+  const uint32_t limit_;
+  std::atomic<bool>* cancel_;
+  std::mutex mu_;
+  std::vector<char> done_;
+  std::vector<uint64_t> rows_;  // per-block matched-row counts
+  size_t prefix_len_ = 0;       // blocks [0, prefix_len_) all completed
+  uint64_t prefix_rows_ = 0;    // rows matched inside that prefix
+};
 
 // Executes single-tenant log queries against LogBlocks on the object store,
 // applying the full optimization stack of §5: LogBlock-map pruning, data
@@ -88,6 +157,24 @@ class QueryEngine {
 
   Result<QueryResult> Execute(const LogQuery& query,
                               const logblock::LogBlockMap& map);
+
+  // Executes one fragment of a (possibly scattered) query: the subset of
+  // its pruned LogBlocks this engine owns, in block-map order. Uses the §11
+  // parallel scheduler (pipelined head prefetch, full-limit per-block
+  // execution, admission-slot gating) but never fails wholesale — each
+  // block's outcome lands in its slot, and per-block statuses are resolved
+  // by MergeFragmentSlots. Runs inline when the engine has no query pool.
+  std::vector<FragmentSlot> ExecuteFragment(
+      const LogQuery& query, const std::vector<logblock::LogBlockEntry>& blocks,
+      const FragmentOptions& fragment);
+
+  // Deterministic merge of fragment slots in block-map order: columns from
+  // the first completed block, stats merged up to the limit cut, rows
+  // trimmed at the limit, and the lowest-index real (non-Aborted) error
+  // reported when a needed block did not run. `slots` is consumed.
+  static Status MergeFragmentSlots(const LogQuery& query,
+                                   std::vector<FragmentSlot>& slots,
+                                   QueryResult* result);
 
   // Extracts one projected column from a result (for aggregations).
   static std::vector<logblock::Value> Column(const QueryResult& result,
@@ -116,12 +203,12 @@ class QueryEngine {
                        const std::vector<logblock::LogBlockEntry>& blocks,
                        const ExecOptions& exec_options, QueryResult* result);
 
-  // Schedules ExecuteOnLogBlock tasks across the pool, pipelines reader
-  // opens/prefetches ahead, cancels cooperatively once a limit is secured
-  // in completed-prefix order, and merges results in block order.
+  // The single-engine parallel path: ExecuteFragment over the whole block
+  // list with a local cancel flag and limit tracker, then the deterministic
+  // merge. Byte-identical to ExecuteSerial.
   Status ExecuteParallel(const LogQuery& query,
                          const std::vector<logblock::LogBlockEntry>& blocks,
-                         ExecOptions exec_options, QueryResult* result);
+                         QueryResult* result);
 
   // Effective store for all engine IO: the retry wrapper when enabled,
   // otherwise the caller's store directly.

@@ -1,0 +1,282 @@
+// Scatter/gather read-path property tests: fanning a cluster query across
+// the workers owning its LogBlocks must be invisible — byte-identical rows
+// (content AND order) and stats to the single-broker-engine path — across
+// a seeded (limit x threads x placement) matrix, with realtime rows merged
+// in a deterministic placement-independent order, under a small shared
+// admission budget.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "objectstore/memory_object_store.h"
+#include "query/engine.h"
+#include "workload/loggen.h"
+#include "workload/querygen.h"
+
+namespace logstore::cluster {
+namespace {
+
+class ScatterQueryTest : public ::testing::TestWithParam<int> {
+ protected:
+  static constexpr int64_t kHistory = 2ll * 3600 * 1'000'000;
+
+  struct Deployment {
+    std::unique_ptr<objectstore::MemoryObjectStore> store;
+    std::unique_ptr<Cluster> cluster;
+  };
+
+  // A 4-worker deployment with small LogBlocks (every tenant spans many
+  // blocks across many shards, so the scatter has real fan-out), seeded
+  // archived data, and a tail of realtime rows left un-archived.
+  Deployment OpenDeployment(int query_threads, int admission_slots,
+                            bool with_realtime_tail = true) {
+    Deployment deployment;
+    deployment.store = std::make_unique<objectstore::MemoryObjectStore>();
+    ClusterDeploymentOptions options;
+    options.num_workers = 4;
+    options.shards_per_worker = 2;
+    options.worker.schema = logblock::RequestLogSchema();
+    options.worker.builder.max_rows_per_logblock = 300;
+    options.worker.builder.block_options.rows_per_block = 128;
+    options.engine.query_threads = query_threads;
+    options.engine.prefetch_threads = 2;
+    options.engine.io_block_size = 4096;
+    options.engine.cache_options.memory_capacity_bytes = 4 << 20;
+    options.engine.cache_options.ssd_dir.clear();
+    options.admission_slots = admission_slots;
+    auto cluster = Cluster::Open(deployment.store.get(), options);
+    EXPECT_TRUE(cluster.ok()) << cluster.status().ToString();
+    deployment.cluster = std::move(cluster).value();
+
+    workload::LogGenerator gen(90 + static_cast<uint64_t>(GetParam()));
+    for (uint64_t tenant = 0; tenant < 3; ++tenant) {
+      // Many small writes spread rows across the workers' shards.
+      for (int i = 0; i < 12; ++i) {
+        EXPECT_TRUE(deployment.cluster
+                        ->Write(tenant, gen.Generate(tenant, 200, 0, kHistory))
+                        .ok());
+      }
+    }
+    auto built = deployment.cluster->RunBuildPass();
+    EXPECT_TRUE(built.ok()) << built.status().ToString();
+    EXPECT_GT(*built, 0);
+    if (with_realtime_tail) {
+      for (uint64_t tenant = 0; tenant < 3; ++tenant) {
+        for (int i = 0; i < 6; ++i) {
+          EXPECT_TRUE(
+              deployment.cluster
+                  ->Write(tenant, gen.Generate(tenant, 25, 0, kHistory))
+                  .ok());
+        }
+      }
+    }
+    return deployment;
+  }
+
+  // Full byte-identity: columns, row contents, row ORDER, and every stat
+  // the scatter merge must reproduce (elapsed_us excepted — wall clock).
+  void ExpectIdentical(const query::QueryResult& expected,
+                       const query::QueryResult& actual,
+                       const std::string& label) {
+    EXPECT_EQ(actual.columns, expected.columns) << label;
+    ASSERT_EQ(actual.rows.size(), expected.rows.size()) << label;
+    for (size_t r = 0; r < expected.rows.size(); ++r) {
+      EXPECT_EQ(actual.rows[r], expected.rows[r]) << label << " row " << r;
+    }
+    EXPECT_EQ(actual.stats.logblocks_total, expected.stats.logblocks_total)
+        << label;
+    EXPECT_EQ(actual.stats.logblocks_pruned, expected.stats.logblocks_pruned)
+        << label;
+    EXPECT_EQ(actual.stats.logblocks_sma_skipped,
+              expected.stats.logblocks_sma_skipped)
+        << label;
+    EXPECT_EQ(actual.stats.realtime_rows, expected.stats.realtime_rows)
+        << label;
+    EXPECT_EQ(actual.stats.exec.column_blocks_scanned,
+              expected.stats.exec.column_blocks_scanned)
+        << label;
+    EXPECT_EQ(actual.stats.exec.column_blocks_skipped,
+              expected.stats.exec.column_blocks_skipped)
+        << label;
+    EXPECT_EQ(actual.stats.exec.index_probes, expected.stats.exec.index_probes)
+        << label;
+    EXPECT_EQ(actual.stats.exec.rows_matched, expected.stats.exec.rows_matched)
+        << label;
+  }
+
+  void CompareMatrix(Cluster* cluster, const std::string& phase) {
+    workload::QueryGenerator qgen(static_cast<uint64_t>(GetParam()));
+    const uint64_t tenant = static_cast<uint64_t>(GetParam()) % 3;
+    for (const auto& base_query : qgen.TenantQuerySet(tenant, 0, kHistory)) {
+      for (uint32_t limit : {0u, 1u, 7u, 100u}) {
+        query::LogQuery query = base_query;
+        query.limit = limit;
+        auto single = cluster->QuerySingleEngine(query);
+        ASSERT_TRUE(single.ok()) << single.status().ToString();
+        auto scattered = cluster->Query(query);
+        ASSERT_TRUE(scattered.ok()) << scattered.status().ToString();
+        ExpectIdentical(*single, *scattered,
+                        phase + " limit=" + std::to_string(limit));
+      }
+    }
+  }
+};
+
+TEST_P(ScatterQueryTest, MatchesSingleEngineByteForByte) {
+  for (int threads : {1, 4, 8}) {
+    auto deployment = OpenDeployment(threads, /*admission_slots=*/3);
+    CompareMatrix(deployment.cluster.get(),
+                  "threads=" + std::to_string(threads));
+    // The shared budget actually gated these scans.
+    const auto stats = deployment.cluster->admission()->TenantStats(
+        static_cast<uint64_t>(GetParam()) % 3);
+    EXPECT_GT(stats.grants, 0u) << "threads=" << threads;
+  }
+}
+
+TEST_P(ScatterQueryTest, MatchesAcrossPlacementChanges) {
+  // Placement axis of the matrix: results must not depend on which worker
+  // owns which shard. All rows are archived first (realtime is lost on
+  // non-durable failover, which would change the data, not just the
+  // placement), then the same query matrix runs against three different
+  // placements: initial, after a failover, after a second failover plus a
+  // rejoin — with the archived row bytes pinned against the initial run.
+  auto deployment = OpenDeployment(4, /*admission_slots=*/4,
+                                   /*with_realtime_tail=*/false);
+  Cluster* cluster = deployment.cluster.get();
+
+  workload::QueryGenerator qgen(static_cast<uint64_t>(GetParam()));
+  const uint64_t tenant = static_cast<uint64_t>(GetParam()) % 3;
+  struct Pinned {
+    query::LogQuery query;
+    query::QueryResult result;
+  };
+  std::vector<Pinned> pinned;
+  for (const auto& base_query : qgen.TenantQuerySet(tenant, 0, kHistory)) {
+    for (uint32_t limit : {0u, 1u, 7u, 100u}) {
+      query::LogQuery query = base_query;
+      query.limit = limit;
+      auto result = cluster->Query(query);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      pinned.push_back({query, std::move(result).value()});
+    }
+  }
+
+  auto reverify = [&](const std::string& phase) {
+    for (const Pinned& expected : pinned) {
+      auto single = cluster->QuerySingleEngine(expected.query);
+      ASSERT_TRUE(single.ok()) << phase << ": " << single.status().ToString();
+      auto scattered = cluster->Query(expected.query);
+      ASSERT_TRUE(scattered.ok())
+          << phase << ": " << scattered.status().ToString();
+      ExpectIdentical(expected.result, *scattered, phase + " (vs pinned)");
+      ExpectIdentical(*single, *scattered, phase + " (vs single)");
+    }
+  };
+
+  ASSERT_TRUE(cluster->KillWorker(1).ok());
+  auto cycle = cluster->RunControlCycle();
+  ASSERT_TRUE(cycle.ok()) << cycle.status().ToString();
+  ASSERT_EQ(cycle->failovers.size(), 1u);
+  reverify("after failover of worker 1");
+
+  ASSERT_TRUE(cluster->KillWorker(2).ok());
+  auto second = cluster->RunControlCycle();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  reverify("after failover of worker 2");
+
+  ASSERT_TRUE(cluster->RestartWorker(1).ok());  // rejoins empty
+  reverify("after rejoin of worker 1");
+}
+
+TEST_P(ScatterQueryTest, DeadOwnerIsRetryableNotPartial) {
+  auto deployment = OpenDeployment(4, /*admission_slots=*/4);
+  Cluster* cluster = deployment.cluster.get();
+  query::LogQuery query;
+  query.tenant_id = static_cast<uint64_t>(GetParam()) % 3;
+  query.ts_min = 0;
+  query.ts_max = kHistory;
+  auto before = cluster->Query(query);
+  ASSERT_TRUE(before.ok());
+
+  // Between a kill and the control cycle, the dead worker still owns its
+  // shards: both read paths must refuse (retryable), never return a subset.
+  ASSERT_TRUE(cluster->KillWorker(0).ok());
+  auto scattered = cluster->Query(query);
+  ASSERT_FALSE(scattered.ok());
+  EXPECT_TRUE(scattered.status().IsUnavailable())
+      << scattered.status().ToString();
+  auto single = cluster->QuerySingleEngine(query);
+  ASSERT_FALSE(single.ok());
+  EXPECT_TRUE(single.status().IsUnavailable()) << single.status().ToString();
+
+  // After the control cycle reassigns the shards, the read succeeds again
+  // and still matches the single-engine path (realtime rows of worker 0
+  // were lost with its non-durable store; both paths see the same world).
+  auto cycle = cluster->RunControlCycle();
+  ASSERT_TRUE(cycle.ok()) << cycle.status().ToString();
+  auto after_scatter = cluster->Query(query);
+  ASSERT_TRUE(after_scatter.ok()) << after_scatter.status().ToString();
+  auto after_single = cluster->QuerySingleEngine(query);
+  ASSERT_TRUE(after_single.ok()) << after_single.status().ToString();
+  ExpectIdentical(*after_single, *after_scatter, "after control cycle");
+}
+
+TEST(RealtimeMergeTest, OrderIsPlacementIndependentAndAccounted) {
+  workload::LogGenerator gen(7);
+  logblock::RowBatch a = gen.Generate(1, 40, 0, 1'000'000);
+  logblock::RowBatch b = gen.Generate(1, 40, 0, 1'000'000);
+
+  query::LogQuery query;
+  query.tenant_id = 1;
+  query.ts_min = 0;
+  query.ts_max = 1'000'000;
+
+  // The same rows distributed across workers (1,2) and across workers
+  // (2,1): identical merged bytes — the order contract is placement-
+  // independent.
+  query::QueryResult forward;
+  ASSERT_TRUE(query::MergeRealtimeRows({{1, a}, {2, b}}, query, &forward).ok());
+  query::QueryResult reversed;
+  ASSERT_TRUE(query::MergeRealtimeRows({{1, b}, {2, a}}, query, &reversed).ok());
+  EXPECT_EQ(forward.columns, reversed.columns);
+  ASSERT_EQ(forward.rows.size(), reversed.rows.size());
+  EXPECT_EQ(forward.rows, reversed.rows);
+
+  // Realtime rows are accounted, not undercounted: both counters cover
+  // every appended row.
+  EXPECT_EQ(forward.stats.realtime_rows, 80u);
+  EXPECT_EQ(forward.stats.exec.rows_matched, 80u);
+  EXPECT_EQ(forward.rows.size(), 80u);
+
+  // Timestamps ascend (the leading sort key), so the realtime section has
+  // one defined order regardless of arrival.
+  const int ts_col = 1;  // RequestLogSchema: tenant_id, ts, ...
+  ASSERT_EQ(forward.columns[ts_col], "ts");
+  for (size_t r = 1; r < forward.rows.size(); ++r) {
+    EXPECT_LE(forward.rows[r - 1][ts_col].i, forward.rows[r][ts_col].i);
+  }
+
+  // The limit trims AFTER the deterministic merge: the first `limit` rows
+  // of the merged order, not whichever batch was appended first.
+  query::LogQuery limited = query;
+  limited.limit = 10;
+  query::QueryResult trimmed;
+  ASSERT_TRUE(
+      query::MergeRealtimeRows({{2, b}, {1, a}}, limited, &trimmed).ok());
+  ASSERT_EQ(trimmed.rows.size(), 10u);
+  EXPECT_EQ(trimmed.stats.realtime_rows, 10u);
+  for (size_t r = 0; r < trimmed.rows.size(); ++r) {
+    EXPECT_EQ(trimmed.rows[r], forward.rows[r]) << "row " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScatterQueryTest, ::testing::Range(1, 4));
+
+}  // namespace
+}  // namespace logstore::cluster
