@@ -1,9 +1,11 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <thread>
 
+#include "common/clock.h"
 #include "common/hash.h"
 #include "rowstore/wal.h"
 
@@ -53,6 +55,12 @@ WorkerOptions Cluster::WorkerOptionsFor(uint32_t id) const {
   if (!worker_options.wal_dir.empty()) {
     worker_options.wal_dir += "/worker-" + std::to_string(id);
   }
+  // Fresh incarnation per options snapshot: every Worker construction —
+  // initial open, in-place restart, rejoin after failover — gets object
+  // keys no previous life of any worker can have issued. Callers that only
+  // need the wal_dir burn a number; uniqueness needs monotonicity, not
+  // density.
+  worker_options.incarnation = next_worker_incarnation_.fetch_add(1);
   return worker_options;
 }
 
@@ -98,6 +106,7 @@ void Cluster::ClearQueryCaches() {
 
 Status Cluster::RestartWorker(uint32_t id) {
   if (id >= num_workers()) return Status::InvalidArgument("no such worker");
+  std::lock_guard<std::mutex> control_lock(control_mu_);
   ControlMutation mutation(&control_seq_);
   if (!controller_->WorkerAlive(id)) {
     // Rejoin after failover. The old journal's tail was already recovered
@@ -149,6 +158,7 @@ Status Cluster::RestartWorker(uint32_t id) {
 
 Status Cluster::KillWorker(uint32_t id) {
   if (id >= num_workers()) return Status::InvalidArgument("no such worker");
+  std::lock_guard<std::mutex> control_lock(control_mu_);
   ControlMutation mutation(&control_seq_);
   // Fence first so any concurrent broker write fails instead of acking
   // into a store that is about to disappear, then release the object —
@@ -162,6 +172,7 @@ Status Cluster::KillWorker(uint32_t id) {
 
 Result<Cluster::FailoverReport> Cluster::FailoverWorker(uint32_t id) {
   if (id >= num_workers()) return Status::InvalidArgument("no such worker");
+  std::lock_guard<std::mutex> control_lock(control_mu_);
   ControlMutation mutation(&control_seq_);
   // Wedged-but-running worker: terminate the process before reassigning,
   // so its replica WALs are closed and it can never ack again.
@@ -218,17 +229,74 @@ Status Cluster::RecoverTail(uint32_t id, FailoverReport* report) {
     return Status::OK();
   }
 
+  // Batched replay (the LogBase-style recovery path): entries are decoded
+  // one at a time — each still subject to the per-entry skip rules above
+  // and below — but their rows coalesce into per-tenant batches that flush
+  // through the broker in bulk, so a long tail costs a handful of
+  // replicated group commits instead of one per entry.
+  constexpr uint32_t kTailReplayBatchRows = 512;
+  std::map<uint64_t, logblock::RowBatch> pending;  // tenant -> rows
+  uint32_t pending_rows = 0;
+  auto flush = [&]() -> Status {
+    for (auto& [tenant, rows] : pending) {
+      if (rows.num_rows() == 0) continue;
+      Status status = Status::OK();
+      for (int attempt = 0; attempt < 4; ++attempt) {
+        status = Write(tenant, rows);
+        if (status.ok()) break;
+        // A replay target just failed mid-commit — e.g. a survivor's
+        // journal hit ENOSPC and wedged on exactly this write. The victim
+        // is already failed over, so giving up here would lose its acked
+        // tail: repair the casualty in place and retry the batch. The
+        // retry is safe — the failed attempt was never acknowledged, and
+        // duplicates fall under the replay's at-least-once contract.
+        for (const WorkerHealth& health : HarvestHealth()) {
+          if (!health.process_alive || health.fenced) continue;
+          for (const auto& replica : health.replicas) {
+            if (!replica.wedged && replica.connected) continue;
+            if (auto worker = WorkerRef(health.worker_id)) {
+              worker->RecoverReplica(replica.node).IgnoreError();
+              worker->PumpRaft(500);
+            }
+          }
+        }
+      }
+      LOGSTORE_RETURN_IF_ERROR(status);
+      ++report->tail_batches;
+    }
+    pending.clear();
+    pending_rows = 0;
+    return Status::OK();
+  };
   for (const auto& [index, entry] : tail) {
     if (index <= archived_through) continue;  // already in LogBlocks
     if (entry.payload.empty()) continue;      // recovery no-op barrier
     auto record =
         rowstore::DecodeWalRecord(entry.payload, options_.worker.schema);
     if (!record.ok()) continue;  // un-acked torn tail entry
-    LOGSTORE_RETURN_IF_ERROR(Write(record->tenant_id, record->rows));
+    const uint32_t entry_rows = record->rows.num_rows();
+    auto it = pending.find(record->tenant_id);
+    if (it == pending.end()) {
+      pending.emplace(record->tenant_id, std::move(record->rows));
+    } else {
+      const logblock::RowBatch& rows = record->rows;
+      for (uint32_t r = 0; r < rows.num_rows(); ++r) {
+        std::vector<logblock::Value> row;
+        row.reserve(rows.schema().num_columns());
+        for (size_t c = 0; c < rows.schema().num_columns(); ++c) {
+          row.push_back(rows.ValueAt(c, r));
+        }
+        it->second.AddRow(row);
+      }
+    }
     ++report->tail_entries_recovered;
-    report->tail_rows_recovered += record->rows.num_rows();
+    report->tail_rows_recovered += entry_rows;
+    pending_rows += entry_rows;
+    if (pending_rows >= kTailReplayBatchRows) {
+      LOGSTORE_RETURN_IF_ERROR(flush());
+    }
   }
-  return Status::OK();
+  return flush();
 }
 
 std::vector<WorkerHealth> Cluster::HarvestHealth() {
@@ -250,27 +318,84 @@ std::vector<WorkerHealth> Cluster::HarvestHealth() {
 }
 
 Result<Cluster::ControlCycleReport> Cluster::RunControlCycle() {
+  std::lock_guard<std::mutex> control_lock(control_mu_);
+  return RunControlCycleLocked();
+}
+
+Result<Cluster::ControlCycleReport> Cluster::RunControlCycleLocked() {
   ControlCycleReport report;
   ControlMutation mutation(&control_seq_);
-  // Phase 1: fence every worker that cannot durably ack and mark it dead
-  // in the controller. All placement moves land before any tail recovery,
-  // so with multiple simultaneous failures a recovered write can never be
-  // routed at a worker this same cycle is about to declare dead.
+  // Phase 1: walk every unhealthy worker up the escalation ladder. The
+  // cheap rungs (wait out an election, repair one replica in place) act
+  // without touching the placement; only the last rung fences the worker
+  // and reassigns its shards. All placement moves land before any tail
+  // recovery, so with multiple simultaneous failures a recovered write can
+  // never be routed at a worker this same cycle is about to declare dead.
   for (const WorkerHealth& health : HarvestHealth()) {
-    if (!controller_->WorkerAlive(health.worker_id)) continue;  // done
-    if (health.CanAck()) continue;
-    if (controller_->live_worker_count() <= 1) {
-      return Status::Unavailable(
-          "worker " + std::to_string(health.worker_id) +
-          " is unhealthy but is the last live worker");
+    const uint32_t id = health.worker_id;
+    if (!controller_->WorkerAlive(id)) continue;  // already failed over
+    EscalationState& state = escalation_[id];
+    // Failure memory decays on observed health: a replica seen pulling its
+    // weight gets its attempt budget back, and a visible leader resets the
+    // election patience.
+    if (health.has_leader) state.election_waits = 0;
+    for (const WorkerHealth::Replica& replica : health.replicas) {
+      if (replica.connected && !replica.wedged) {
+        state.recover_attempts.erase(replica.node);
+      }
     }
-    FenceAndRemoveWorker(health.worker_id);
-    auto decision = controller_->FailoverWorker(health.worker_id);
-    if (!decision.ok()) return decision.status();
-    FailoverReport failover;
-    failover.worker = health.worker_id;
-    failover.moved = decision->moved;
-    report.failovers.push_back(std::move(failover));
+    const EscalationDecision decision = DecideEscalation(
+        health, state.recover_attempts, controller_->live_worker_count(),
+        state.election_waits, options_.escalation);
+    switch (decision.action) {
+      case EscalationAction::kHealthy:
+        // Drop the bookkeeping only once it is empty: a degraded-but-
+        // acking worker that exhausted a replica's repair budget keeps its
+        // memory, or the budget would reset and the repair churn restart.
+        if (state.recover_attempts.empty() && state.election_waits == 0) {
+          escalation_.erase(id);
+        }
+        break;
+      case EscalationAction::kWaitElection: {
+        ++state.election_waits;
+        report.awaiting_election.push_back(id);
+        if (auto worker = WorkerRef(id)) worker->PumpRaft(200);
+        break;
+      }
+      case EscalationAction::kRecoverReplica: {
+        // Bounded in-place repair: the attempt is charged BEFORE it runs,
+        // so a recovery that wedges again (or fails outright) consumes
+        // budget and the ladder eventually escalates.
+        ++state.recover_attempts[decision.replica];
+        ReplicaRecovery recovery;
+        recovery.worker = id;
+        recovery.replica = decision.replica;
+        if (auto worker = WorkerRef(id)) {
+          recovery.ok = worker->RecoverReplica(decision.replica).ok();
+          // Drive the group so the repaired member rejoins and catches up
+          // (possibly via InstallSnapshot) before the next harvest.
+          if (recovery.ok) worker->PumpRaft(500);
+        }
+        report.replica_recoveries.push_back(recovery);
+        break;
+      }
+      case EscalationAction::kSkip:
+        // Last live worker: nowhere to fail over to. Report it and let the
+        // rest of the cycle (tail recovery, traffic control) still run.
+        report.skipped.push_back(id);
+        break;
+      case EscalationAction::kFailover: {
+        escalation_.erase(id);
+        FenceAndRemoveWorker(id);
+        auto failed = controller_->FailoverWorker(id);
+        if (!failed.ok()) return failed.status();
+        FailoverReport failover;
+        failover.worker = id;
+        failover.moved = failed->moved;
+        report.failovers.push_back(std::move(failover));
+        break;
+      }
+    }
   }
   // Phase 2: recover each dead worker's un-archived WAL tail into the
   // (now final) placement. Readers stay fenced out (seqlock odd) until the
@@ -280,9 +405,106 @@ Result<Cluster::ControlCycleReport> Cluster::RunControlCycle() {
   // half a tail.
   for (FailoverReport& failover : report.failovers) {
     LOGSTORE_RETURN_IF_ERROR(RecoverTail(failover.worker, &failover));
+    report.tail_replay_batches += failover.tail_batches;
   }
   report.traffic = RunTrafficControl();
+  // Phase 3: drain shards back onto any worker that rejoined empty, so a
+  // revived worker becomes load-bearing instead of idling forever.
+  report.rebalanced = controller_->RebalanceBack().moved;
   return report;
+}
+
+// --- Background monitor thread ---
+
+Status Cluster::StartMonitor(MonitorOptions options) {
+  std::lock_guard<std::mutex> lock(monitor_mu_);
+  if (monitor_.joinable()) {
+    return Status::AlreadyExists("monitor already running");
+  }
+  monitor_stop_ = false;
+  monitor_paused_ = false;
+  monitor_ = std::thread([this, options] { MonitorLoop(options); });
+  return Status::OK();
+}
+
+void Cluster::StopMonitor() {
+  std::thread stopped;
+  {
+    std::lock_guard<std::mutex> lock(monitor_mu_);
+    if (!monitor_.joinable()) return;
+    monitor_stop_ = true;
+    stopped = std::move(monitor_);
+  }
+  monitor_cv_.notify_all();
+  stopped.join();
+}
+
+void Cluster::PauseMonitor() {
+  std::unique_lock<std::mutex> lock(monitor_mu_);
+  monitor_paused_ = true;
+  // Block until any in-flight cycle drains, so the caller observes a
+  // quiescent control plane.
+  monitor_cv_.wait(lock, [this] { return !monitor_in_cycle_; });
+}
+
+void Cluster::ResumeMonitor() {
+  {
+    std::lock_guard<std::mutex> lock(monitor_mu_);
+    monitor_paused_ = false;
+  }
+  monitor_cv_.notify_all();
+}
+
+bool Cluster::monitor_running() const {
+  std::lock_guard<std::mutex> lock(monitor_mu_);
+  return monitor_.joinable() && !monitor_stop_;
+}
+
+MonitorStats Cluster::monitor_stats() const {
+  std::lock_guard<std::mutex> lock(monitor_mu_);
+  return monitor_stats_;
+}
+
+void Cluster::MonitorLoop(MonitorOptions options) {
+  std::unique_lock<std::mutex> lock(monitor_mu_);
+  while (!monitor_stop_) {
+    monitor_cv_.wait_for(lock,
+                         std::chrono::milliseconds(options.poll_interval_ms),
+                         [this] { return monitor_stop_; });
+    if (monitor_stop_) break;
+    if (monitor_paused_) continue;
+    monitor_in_cycle_ = true;
+    lock.unlock();
+    const int64_t start_us = SystemClock::Default()->NowMicros();
+    const auto report = RunControlCycle();
+    const int64_t elapsed_us = SystemClock::Default()->NowMicros() - start_us;
+    lock.lock();
+    monitor_in_cycle_ = false;
+    RecordCycle(report, elapsed_us);
+    monitor_cv_.notify_all();  // wake PauseMonitor waiters
+  }
+}
+
+void Cluster::RecordCycle(const Result<ControlCycleReport>& report,
+                          int64_t elapsed_us) {
+  // Caller holds monitor_mu_.
+  ++monitor_stats_.cycles;
+  monitor_stats_.last_cycle_us = elapsed_us;
+  monitor_stats_.max_cycle_us =
+      std::max(monitor_stats_.max_cycle_us, elapsed_us);
+  monitor_stats_.total_cycle_us += elapsed_us;
+  if (!report.ok()) {
+    ++monitor_stats_.cycle_errors;
+    return;
+  }
+  monitor_stats_.failovers += report->failovers.size();
+  monitor_stats_.replica_recoveries += report->replica_recoveries.size();
+  monitor_stats_.election_waits += report->awaiting_election.size();
+  monitor_stats_.skipped_workers += report->skipped.size();
+  monitor_stats_.rebalanced_shards += report->rebalanced.size();
+  for (const FailoverReport& failover : report->failovers) {
+    if (failover.tail_lost) ++monitor_stats_.tails_lost;
+  }
 }
 
 Status Cluster::Write(uint64_t tenant, const logblock::RowBatch& rows) {
@@ -495,6 +717,7 @@ Result<query::QueryResult> Cluster::ScatterQuery(const query::LogQuery& query) {
 }
 
 Result<int> Cluster::RunBuildPass() {
+  std::lock_guard<std::mutex> control_lock(control_mu_);
   ControlMutation mutation(&control_seq_);
   std::vector<std::shared_ptr<Worker>> workers;
   SnapshotEndpoints(&workers, nullptr);

@@ -2,11 +2,14 @@
 #define LOGSTORE_CLUSTER_CLUSTER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "cluster/controller.h"
+#include "cluster/escalation.h"
 #include "cluster/worker.h"
 #include "common/random.h"
 #include "common/result.h"
@@ -35,6 +38,32 @@ struct ClusterDeploymentOptions {
   // every worker engine. 0 = 2 * engine.query_threads (the fleet can run
   // two engines' worth of block scans at once before queueing starts).
   int admission_slots = 0;
+  // Escalation-ladder knobs for the control cycle (replica-recovery attempt
+  // budget, election patience).
+  EscalationPolicy escalation;
+};
+
+// Knobs for the background monitor thread (StartMonitor).
+struct MonitorOptions {
+  // Sleep between control cycles. The monitor also wakes immediately on
+  // StopMonitor/PauseMonitor.
+  int64_t poll_interval_ms = 20;
+};
+
+// Counters exported by the monitor thread: what the autonomous control
+// plane decided and how long its cycles took. Snapshot via monitor_stats().
+struct MonitorStats {
+  uint64_t cycles = 0;
+  uint64_t cycle_errors = 0;        // RunControlCycle returned non-OK
+  uint64_t failovers = 0;           // whole-worker fence-and-failover rung
+  uint64_t replica_recoveries = 0;  // in-place RecoverReplica rung
+  uint64_t election_waits = 0;      // quorate-but-leaderless wait rung
+  uint64_t skipped_workers = 0;     // last-live-worker reported skips
+  uint64_t rebalanced_shards = 0;   // shards drained onto rejoined workers
+  uint64_t tails_lost = 0;          // failovers that declared the tail lost
+  int64_t last_cycle_us = 0;
+  int64_t max_cycle_us = 0;
+  int64_t total_cycle_us = 0;
 };
 
 // An in-process LogStore deployment (Figure 3): brokers route tenant writes
@@ -106,6 +135,7 @@ class Cluster {
     std::map<uint32_t, uint32_t> moved;  // shard -> surviving worker
     uint64_t tail_entries_recovered = 0;  // WAL entries re-ingested
     uint64_t tail_rows_recovered = 0;     // rows inside those entries
+    uint64_t tail_batches = 0;  // broker writes the replay coalesced into
     bool tail_lost = false;  // no WAL dir: tail gone, archived prefix safe
   };
   Result<FailoverReport> FailoverWorker(uint32_t id);
@@ -114,14 +144,44 @@ class Cluster {
   // process died gets a synthesized report with process_alive=false.
   std::vector<WorkerHealth> HarvestHealth();
 
-  // The full monitor->failover->balancer->router cycle: harvest health,
-  // fail over every worker that cannot durably ack (dead process, wedged
-  // replica, lost quorum, broken WAL), then run traffic control.
+  // The full monitor->escalation->failover->balancer->router cycle: harvest
+  // health, walk each unhealthy worker up the escalation ladder (wait out
+  // an election, repair one replica in place, or — last rung — fence and
+  // fail over), recover failed-over tails, run traffic control, and drain
+  // shards back onto rejoined empty workers. An unhealthy LAST live worker
+  // is reported in `skipped` and the rest of the cycle still runs.
+  struct ReplicaRecovery {
+    uint32_t worker = 0;
+    int replica = -1;
+    bool ok = false;
+  };
   struct ControlCycleReport {
     std::vector<FailoverReport> failovers;
+    std::vector<ReplicaRecovery> replica_recoveries;
+    std::vector<uint32_t> awaiting_election;  // quorate, election in flight
+    std::vector<uint32_t> skipped;  // unhealthy but last live worker
+    std::map<uint32_t, uint32_t> rebalanced;  // shard -> rejoined worker
+    uint64_t tail_replay_batches = 0;
     Controller::ControlDecision traffic;
   };
   Result<ControlCycleReport> RunControlCycle();
+
+  // --- Background monitor thread ---
+
+  // Starts the monitor: a background thread driving RunControlCycle every
+  // poll interval until StopMonitor. Errors from individual cycles are
+  // counted, not fatal — the monitor's job is to keep trying.
+  Status StartMonitor(MonitorOptions options = {});
+  // Stops and joins the monitor thread (idempotent; also runs at
+  // destruction).
+  void StopMonitor();
+  // Pauses the monitor between cycles; blocks until any in-flight cycle
+  // completes, so after return the caller observes a quiescent control
+  // plane (tests use this to make assertions race-free). Resume re-arms it.
+  void PauseMonitor();
+  void ResumeMonitor();
+  bool monitor_running() const;
+  MonitorStats monitor_stats() const;
 
   Controller* controller() { return controller_.get(); }
   Worker* worker(uint32_t id) { return WorkerRef(id).get(); }
@@ -138,12 +198,24 @@ class Cluster {
   // measurements).
   void ClearQueryCaches();
 
+  ~Cluster() { StopMonitor(); }
+
  private:
   Cluster() : rng_(12345) {}
 
   // Per-worker construction options (worker.wal_dir already rewritten to
-  // the worker's own subdirectory), kept for RestartWorker.
+  // the worker's own subdirectory), kept for RestartWorker. Each call
+  // allocates a fresh builder-key incarnation (see WorkerOptions).
   WorkerOptions WorkerOptionsFor(uint32_t id) const;
+  mutable std::atomic<uint64_t> next_worker_incarnation_{0};
+
+  // RunControlCycle body; caller holds control_mu_.
+  Result<ControlCycleReport> RunControlCycleLocked();
+
+  // Monitor thread body.
+  void MonitorLoop(MonitorOptions options);
+  void RecordCycle(const Result<ControlCycleReport>& report,
+                   int64_t elapsed_us);
 
   // The tail-recovery half of a failover: re-ingests the un-archived
   // suffix of the dead worker's replica WALs through the broker write
@@ -222,6 +294,31 @@ class Cluster {
   std::map<uint64_t, int64_t> tenant_traffic_;
   std::map<uint32_t, int64_t> shard_loads_;
   std::map<uint32_t, int64_t> worker_loads_;
+
+  // Serializes control-plane entry points (control cycles, kill / restart /
+  // failover, build passes) against each other — the monitor thread and
+  // test threads share them. Ordered BEFORE workers_mu_ and any worker's
+  // raft lock; never acquired while holding either.
+  std::mutex control_mu_;
+
+  // The escalation ladder's failure memory, per worker: in-place recovery
+  // attempts per replica (cleared when the replica is observed healthy)
+  // and consecutive leaderless-but-quorate cycles. Guarded by control_mu_.
+  struct EscalationState {
+    std::map<int, int> recover_attempts;
+    int election_waits = 0;
+  };
+  std::map<uint32_t, EscalationState> escalation_;
+
+  // Monitor thread machinery. monitor_mu_ guards the flags and stats;
+  // cycles themselves run outside it (under control_mu_).
+  mutable std::mutex monitor_mu_;
+  std::condition_variable monitor_cv_;
+  std::thread monitor_;
+  bool monitor_stop_ = false;      // guarded by monitor_mu_
+  bool monitor_paused_ = false;    // guarded by monitor_mu_
+  bool monitor_in_cycle_ = false;  // guarded by monitor_mu_
+  MonitorStats monitor_stats_;     // guarded by monitor_mu_
 };
 
 }  // namespace logstore::cluster

@@ -107,6 +107,79 @@ Result<Controller::FailoverDecision> Controller::FailoverWorker(
   return decision;
 }
 
+Controller::RebalanceDecision Controller::RebalanceBack() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RebalanceDecision decision;
+  decision.epoch = placement_epoch_;
+
+  std::map<uint32_t, uint32_t> shard_counts;
+  std::map<uint32_t, int64_t> projected_loads;  // target's load after moves
+  uint32_t live = 0;
+  for (uint32_t w = 0; w < num_workers_; ++w) {
+    if (worker_alive_[w]) {
+      ++live;
+      shard_counts[w];  // materialize zero-shard live workers
+    }
+  }
+  for (uint32_t s = 0; s < num_shards_; ++s) ++shard_counts[placement_[s]];
+
+  std::vector<uint32_t> targets;  // live and empty: rejoined workers
+  for (const auto& [w, count] : shard_counts) {
+    if (worker_alive_[w] && count == 0) targets.push_back(w);
+  }
+  if (targets.empty() || live < 2) return decision;
+
+  const auto shard_load = [&](uint32_t s) {
+    auto it = last_shard_loads_.find(s);
+    return it == last_shard_loads_.end() ? int64_t{0} : it->second;
+  };
+  // Even split across the live fleet; a target never takes more than its
+  // fair share, a donor never gives below its own.
+  const uint32_t fair = std::max<uint32_t>(1, num_shards_ / live);
+
+  for (uint32_t target : targets) {
+    while (shard_counts[target] < fair) {
+      // Donor: the live worker with the most shards (ties: higher load),
+      // as long as it stays at or above the fair share after donating.
+      uint32_t donor = target;
+      for (const auto& [w, count] : shard_counts) {
+        if (!worker_alive_[w] || w == target || count <= fair) continue;
+        if (donor == target || count > shard_counts[donor]) donor = w;
+      }
+      if (donor == target) break;  // fleet already balanced
+      // Move the donor's coldest shard: it restores membership with the
+      // least route-table disruption, and cannot hot-spot the target.
+      uint32_t moved_shard = num_shards_;
+      for (uint32_t s = 0; s < num_shards_; ++s) {
+        if (placement_[s] != donor || decision.moved.count(s)) continue;
+        if (moved_shard == num_shards_ ||
+            shard_load(s) < shard_load(moved_shard)) {
+          moved_shard = s;
+        }
+      }
+      if (moved_shard == num_shards_) break;
+      if (projected_loads[target] + shard_load(moved_shard) >
+          options_.worker_capacity) {
+        break;  // capacity math says the target is full; stop draining
+      }
+      placement_[moved_shard] = target;
+      projected_loads[target] += shard_load(moved_shard);
+      --shard_counts[donor];
+      ++shard_counts[target];
+      decision.moved[moved_shard] = target;
+    }
+  }
+  if (!decision.moved.empty()) {
+    // One epoch bump for the whole pass: a scatter read routed by the old
+    // placement fails its epoch re-check and retries against the settled
+    // map. (Writes acked to a donor are safe — it stays a live, archiving
+    // worker — so only readers need the fence.)
+    ++placement_epoch_;
+  }
+  decision.epoch = placement_epoch_;
+  return decision;
+}
+
 Status Controller::ReviveWorker(uint32_t worker) {
   std::lock_guard<std::mutex> lock(mu_);
   if (worker >= num_workers_) {
@@ -164,6 +237,7 @@ Controller::ControlDecision Controller::RunTrafficControl(
     const std::map<uint32_t, int64_t>& worker_loads) {
   std::lock_guard<std::mutex> lock(mu_);
   last_worker_loads_ = worker_loads;  // capacity signal for failover targets
+  last_shard_loads_ = shard_loads;    // and for rebalance-back shard choice
   ControlDecision decision;
   if (balancer_ == nullptr) return decision;  // kNone policy
 

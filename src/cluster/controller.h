@@ -123,9 +123,24 @@ class Controller {
   Result<FailoverDecision> FailoverWorker(uint32_t worker);
 
   // Rejoin after RestartWorker: the worker comes back alive, empty, with no
-  // shards — eligible as a target for future failovers and scale-out, but
-  // nothing moves back to it eagerly.
+  // shards — eligible as a target for future failovers and scale-out.
+  // Nothing moves back to it inside this call; the control cycle's
+  // RebalanceBack pass drains shards onto it on its next run.
   Status ReviveWorker(uint32_t worker);
+
+  // The inverse of failover: drains shards onto live workers that own none
+  // (a worker that rejoined empty after a failover), so a revived worker
+  // becomes a load-bearing member again instead of idling forever. Donors
+  // are the most-shard-loaded live workers; the shards moved are their
+  // coldest by the last harvested shard loads, and a move never pushes the
+  // target past the balancer's worker capacity. All moves land under one
+  // placement-epoch bump, so an in-flight scatter read routed by the old
+  // placement fails its epoch re-check and retries.
+  struct RebalanceDecision {
+    uint64_t epoch = 0;                  // placement epoch after the pass
+    std::map<uint32_t, uint32_t> moved;  // shard -> new (rejoined) worker
+  };
+  RebalanceDecision RebalanceBack();
 
   // ScaleCluster (Algorithm 1 lines 23-27): provisions one more worker and
   // its shards ("add new shards; add new workers"). New shards join the
@@ -159,9 +174,11 @@ class Controller {
   std::vector<uint32_t> placement_;   // shard -> worker, guarded by mu_
   std::vector<bool> worker_alive_;    // guarded by mu_
   uint64_t placement_epoch_ = 0;      // guarded by mu_
-  // Worker loads from the last monitor harvest, for capacity-aware
-  // failover target selection. Guarded by mu_.
+  // Worker/shard loads from the last monitor harvest, for capacity-aware
+  // failover target selection and rebalance-back donor/shard choice.
+  // Guarded by mu_.
   std::map<uint32_t, int64_t> last_worker_loads_;
+  std::map<uint32_t, int64_t> last_shard_loads_;
   flow::ConsistentHashRing ring_;
   flow::RouteTable routes_;
   std::unique_ptr<flow::Balancer> balancer_;

@@ -48,8 +48,8 @@ Result<int> DataBuilder::BuildOnce(rowstore::RowStore* row_store) {
       if (!block.ok()) return block.status();
 
       const std::string key = options_.key_prefix + std::to_string(tenant) +
-                              "/" + std::to_string(sequence_.fetch_add(1)) +
-                              ".tar";
+                              "/" + options_.key_salt +
+                              std::to_string(sequence_.fetch_add(1)) + ".tar";
       LOGSTORE_RETURN_IF_ERROR(store_->Put(key, block->data));
 
       map_->Add({.tenant_id = tenant,

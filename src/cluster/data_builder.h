@@ -23,9 +23,15 @@ struct DataBuilderOptions {
   // into multiple LogBlocks."
   uint32_t max_rows_per_logblock = 100'000;
   logblock::LogBlockWriterOptions block_options;
-  // Object keys: <prefix><tenant>/<sequence>.tar — one OSS "directory" per
-  // tenant holding its chronological LogBlocks.
+  // Object keys: <prefix><tenant>/<salt><sequence>.tar — one OSS
+  // "directory" per tenant holding its chronological LogBlocks. The salt
+  // identifies the producing worker incarnation: sequence counters are
+  // per-builder, so without it two builders archiving the same tenant
+  // (failover moved the tenant, or a rejoined worker whose wiped WAL reset
+  // the recovered counter) could reuse a key and overwrite a LogBlock that
+  // is the only archived copy of acked rows.
   std::string key_prefix = "tenants/";
+  std::string key_salt;
   // Uploads go through a bounded-retry wrapper: a transiently failed Put
   // must not abort the build pass (the row store is only truncated after
   // every upload succeeded, so a giveup keeps the rows safe regardless).

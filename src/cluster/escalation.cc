@@ -1,0 +1,132 @@
+#include "cluster/escalation.h"
+
+namespace logstore::cluster {
+
+namespace {
+
+// Failover is only possible with a survivor to inherit the shards; the last
+// live worker degrades to a reported skip instead of aborting the cycle.
+EscalationDecision FailoverOrSkip(uint32_t live_workers, std::string reason) {
+  EscalationDecision decision;
+  if (live_workers <= 1) {
+    decision.action = EscalationAction::kSkip;
+    decision.reason = std::move(reason) + " (last live worker: skipping)";
+  } else {
+    decision.action = EscalationAction::kFailover;
+    decision.reason = std::move(reason);
+  }
+  return decision;
+}
+
+}  // namespace
+
+EscalationDecision DecideEscalation(const WorkerHealth& health,
+                                    const std::map<int, int>& recover_attempts,
+                                    uint32_t live_workers, int election_waits,
+                                    const EscalationPolicy& policy) {
+  EscalationDecision decision;
+  // Worker-level failures first: no replica-level rung can help a dead
+  // process, a fenced worker, or a WAL that failed to open.
+  if (!health.process_alive) {
+    return FailoverOrSkip(live_workers, "process dead");
+  }
+  if (health.fenced) {
+    return FailoverOrSkip(live_workers, "worker fenced");
+  }
+  if (!health.wal_ok) {
+    return FailoverOrSkip(live_workers, "WAL open/recovery failed");
+  }
+  if (!health.replicated) {
+    // Unreplicated workers have no rungs below failover.
+    if (health.CanAck()) {
+      decision.reason = "healthy";
+      return decision;
+    }
+    return FailoverOrSkip(live_workers, "unreplicated worker unhealthy");
+  }
+
+  // Replica-level triage — run even when the worker can still ack, because
+  // a group serving on a bare majority is one failure from an outage and
+  // the monitor's job is to restore redundancy BEFORE the next casualty. A
+  // replica is pulling its weight iff it is connected and not wedged;
+  // everything else is a candidate for in-place repair — but only while a
+  // healthy majority keeps the group quorate, because RecoverReplica needs
+  // a live leader to re-replicate from.
+  const int majority = health.num_replicas / 2 + 1;
+  int healthy = 0;
+  int candidate = -1;
+  bool candidate_wedged = false;
+  for (const WorkerHealth::Replica& replica : health.replicas) {
+    const bool ok = replica.connected && !replica.wedged;
+    if (ok) {
+      ++healthy;
+      continue;
+    }
+    // Prefer repairing a wedged-but-connected member over a disconnected
+    // one: a single wedged replica fails EVERY group commit (SyncAll
+    // flushes all connected WALs), while a disconnected member only costs
+    // redundancy. This also covers the wedged-leader case — recovering the
+    // leader drops its leadership and the healthy majority re-elects.
+    if (candidate < 0 || (replica.wedged && !candidate_wedged)) {
+      candidate = replica.node;
+      candidate_wedged = replica.wedged;
+    }
+  }
+
+  if (healthy < majority) {
+    return FailoverOrSkip(live_workers,
+                          "healthy replicas below majority (" +
+                              std::to_string(healthy) + "/" +
+                              std::to_string(health.num_replicas) + ")");
+  }
+
+  if (candidate >= 0) {
+    const auto it = recover_attempts.find(candidate);
+    const int attempts = it == recover_attempts.end() ? 0 : it->second;
+    if (attempts >= policy.max_recover_attempts) {
+      if (health.CanAck()) {
+        // Degraded but still acking (a disconnected member that resists
+        // repair): give the rung up and keep serving — failing over a
+        // worker that CAN ack would trade redundancy loss for an outage.
+        decision.reason = "degraded but acking; replica " +
+                          std::to_string(candidate) + " out of repair budget";
+        return decision;
+      }
+      return FailoverOrSkip(live_workers,
+                            "replica " + std::to_string(candidate) +
+                                " failed " + std::to_string(attempts) +
+                                " in-place recoveries");
+    }
+    decision.action = EscalationAction::kRecoverReplica;
+    decision.replica = candidate;
+    decision.reason =
+        std::string(candidate_wedged ? "wedged" : "disconnected") +
+        " replica " + std::to_string(candidate) + " with healthy majority";
+    return decision;
+  }
+
+  if (health.CanAck()) {
+    decision.reason = "healthy";
+    return decision;
+  }
+
+  // Every member is healthy yet the group cannot ack: the only remaining
+  // cause is a missing leader — an election in flight. Escalating here
+  // would fail over a worker that is seconds from recovering by itself.
+  if (!health.has_leader) {
+    if (election_waits >= policy.max_election_waits) {
+      return FailoverOrSkip(live_workers,
+                            "no leader after " +
+                                std::to_string(election_waits) + " cycles");
+    }
+    decision.action = EscalationAction::kWaitElection;
+    decision.reason = "quorate but leaderless; election in flight";
+    return decision;
+  }
+
+  // Unreachable with a consistent report (leader + majority + no wedge is
+  // exactly CanAck); treat a contradictory report as worker-level failure.
+  return FailoverOrSkip(live_workers, "inconsistent health report");
+}
+
+}  // namespace logstore::cluster

@@ -1,0 +1,59 @@
+#ifndef LOGSTORE_CLUSTER_ESCALATION_H_
+#define LOGSTORE_CLUSTER_ESCALATION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "cluster/worker.h"
+
+namespace logstore::cluster {
+
+// What the control cycle should do about one unhealthy worker. The rungs of
+// the ladder, cheapest first: wait out an election, repair one replica in
+// place, fence the whole worker and fail it over. kSkip is the floor — the
+// last live worker has nowhere to fail over TO, so its problem is reported
+// and the rest of the cycle (tail recovery, traffic control) still runs.
+enum class EscalationAction {
+  kHealthy,         // nothing to do
+  kWaitElection,    // quorum intact, leader election in flight: pump, wait
+  kRecoverReplica,  // one bad replica, healthy majority: repair in place
+  kFailover,        // last rung: fence, reassign shards, recover the tail
+  kSkip,            // unhealthy but last live worker: report and continue
+};
+
+struct EscalationPolicy {
+  // In-place recoveries attempted per replica before the worker is treated
+  // as a repeated offender and escalated to failover. Attempt memory is
+  // cleared once the replica is observed healthy again.
+  int max_recover_attempts = 3;
+  // Consecutive leaderless-but-quorate cycles tolerated before escalating
+  // (an election that never converges is a real failure, not a wait).
+  int max_election_waits = 8;
+};
+
+struct EscalationDecision {
+  EscalationAction action = EscalationAction::kHealthy;
+  int replica = -1;    // which replica to recover, for kRecoverReplica
+  std::string reason;  // human-readable, for reports and logs
+};
+
+// The decision logic of the escalation ladder as a pure function: one
+// worker's health report in, one action out. No side effects, no clocks, no
+// cluster state — the caller owns the per-replica attempt counters and the
+// election-wait counter and threads them through, which is what makes the
+// ladder unit-testable without a deployment.
+//
+// `recover_attempts` maps replica -> in-place recoveries already attempted
+// since that replica was last seen healthy. `live_workers` is the
+// controller's current live count (a failover needs a survivor to inherit
+// the shards). `election_waits` counts consecutive cycles this worker was
+// quorate but leaderless.
+EscalationDecision DecideEscalation(const WorkerHealth& health,
+                                    const std::map<int, int>& recover_attempts,
+                                    uint32_t live_workers, int election_waits,
+                                    const EscalationPolicy& policy = {});
+
+}  // namespace logstore::cluster
+
+#endif  // LOGSTORE_CLUSTER_ESCALATION_H_

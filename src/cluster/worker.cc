@@ -9,7 +9,12 @@ Worker::Worker(uint32_t id, objectstore::ObjectStore* store,
     : id_(id), options_(std::move(options)) {
   primary_store_ = std::make_unique<rowstore::RowStore>(options_.schema);
   DataBuilderOptions builder_options = options_.builder;
-  builder_options.key_prefix += "";  // per-tenant directories, shared bucket
+  // Per-tenant directories in a shared bucket; the salt scopes sequence
+  // numbers to this worker incarnation so no two lives of a worker (or two
+  // workers archiving the same tenant after a failover move) can collide on
+  // an object key and overwrite each other's LogBlocks.
+  builder_options.key_salt = "w" + std::to_string(id) + "-" +
+                             std::to_string(options_.incarnation) + "-";
   builder_ = std::make_unique<DataBuilder>(store, map, builder_options);
 
   if (options_.replicated) {
@@ -106,6 +111,7 @@ void Worker::InstallSnapshotHooks(int node) {
 
 Status Worker::CrashReplica(int node, consensus::CrashMode mode,
                             uint64_t seed) {
+  std::lock_guard<std::mutex> lock(raft_mu_);
   if (wals_.empty()) {
     return Status::InvalidArgument("crash injection needs a durable WAL");
   }
@@ -114,18 +120,25 @@ Status Worker::CrashReplica(int node, consensus::CrashMode mode,
 }
 
 Status Worker::RecoverReplica(int node) {
-  if (wals_.empty()) {
-    return Status::InvalidArgument("recovery needs a durable WAL");
+  std::lock_guard<std::mutex> lock(raft_mu_);
+  if (raft_ == nullptr) {
+    return Status::InvalidArgument("recovery needs a replicated worker");
   }
-  // Release the dead log before reopening the directory.
-  wals_[node].reset();
-  auto wal = consensus::DurableLog::Open(WalNodeDir(node), options_.wal);
-  if (!wal.ok()) return wal.status();
-  wals_[node] = std::move(wal).value();
+  if (!wals_.empty()) {
+    // Release the dead log before reopening the directory.
+    wals_[node].reset();
+    auto wal = consensus::DurableLog::Open(WalNodeDir(node), options_.wal);
+    if (!wal.ok()) return wal.status();
+    wals_[node] = std::move(wal).value();
+  }
   // A fresh raft node models the restarted process: volatile state is
-  // gone, term/vote/log reload from the recovered WAL.
+  // gone; with a durable WAL, term/vote/log reload from it (in-memory mode
+  // rejoins empty and the leader repairs it over the wire).
   raft_->RestartNode(node, MakeApplyFn(node));
-  raft_->AttachPersistence(node, wals_[node].get(), &wals_[node]->recovered());
+  if (!wals_.empty()) {
+    raft_->AttachPersistence(node, wals_[node].get(),
+                             &wals_[node]->recovered());
+  }
   InstallSnapshotHooks(node);
   // The restarted process starts with an empty row store. Rows at or below
   // the recovered base are in LogBlocks already; the rest re-apply through
@@ -135,11 +148,36 @@ Status Worker::RecoverReplica(int node) {
   if (target != nullptr) target->ResetToArchived();
   if (node == 0) {
     applied_index_to_seq_.clear();
-    builder_->set_next_sequence(std::max(
-        builder_->next_sequence(), wals_[node]->recovered().watermark_aux));
+    if (!wals_.empty()) {
+      builder_->set_next_sequence(std::max(
+          builder_->next_sequence(), wals_[node]->recovered().watermark_aux));
+    }
   }
   raft_->Reconnect(node);
   return Status::OK();
+}
+
+Status Worker::InjectReplicaSyncError(int node) {
+  std::lock_guard<std::mutex> lock(raft_mu_);
+  if (node < 0 || node >= static_cast<int>(wals_.size())) {
+    return Status::InvalidArgument("sync-error injection needs a durable WAL");
+  }
+  wals_[node]->InjectSyncErrors(1);
+  return Status::OK();
+}
+
+Status Worker::PartitionReplica(int node) {
+  std::lock_guard<std::mutex> lock(raft_mu_);
+  if (raft_ == nullptr || node < 0 || node >= raft_->num_nodes()) {
+    return Status::InvalidArgument("no such replica");
+  }
+  raft_->Disconnect(node);
+  return Status::OK();
+}
+
+void Worker::PumpRaft(int ms) {
+  std::lock_guard<std::mutex> lock(raft_mu_);
+  if (raft_ != nullptr) raft_->Tick(ms);
 }
 
 WorkerHealth Worker::Health() const {
@@ -148,12 +186,21 @@ WorkerHealth Worker::Health() const {
   health.fenced = fenced_.load();
   health.wal_ok = wal_status_.ok();
   health.replicated = options_.replicated;
+  std::lock_guard<std::mutex> lock(raft_mu_);
   if (raft_ != nullptr) {
     const consensus::GroupHealth group = raft_->Health();
     health.num_replicas = raft_->num_nodes();
     health.connected_replicas = group.connected;
     health.wedged_replicas = group.wedged_connected;
     health.has_leader = group.leader >= 0;
+    for (const consensus::ReplicaHealth& replica : group.replicas) {
+      WorkerHealth::Replica r;
+      r.node = replica.node;
+      r.connected = replica.connected;
+      r.wedged = replica.connected && !replica.persist_ok;
+      r.leader = replica.role == consensus::Role::kLeader && replica.connected;
+      health.replicas.push_back(r);
+    }
   }
   return health;
 }
@@ -169,6 +216,7 @@ Status Worker::Write(uint32_t shard, uint64_t tenant,
     // Synchronous commit: propose on the leader and pump the group until
     // the entry is applied (models "the synchronization can only be
     // completed after most of the followers have persisted the WAL").
+    std::lock_guard<std::mutex> lock(raft_mu_);
     const int leader = raft_->WaitForLeader();
     if (leader < 0) return Status::Unavailable("no raft leader");
     const uint64_t target = raft_->node(leader).log_size() + 1;
@@ -200,6 +248,9 @@ Status Worker::Write(uint32_t shard, uint64_t tenant,
 }
 
 Result<int> Worker::RunBuildPass(bool advance_watermark) {
+  // Under the raft lock end to end: the builder's sequence counter and the
+  // applied-index map are shared with the monitor thread's RecoverReplica.
+  std::lock_guard<std::mutex> lock(raft_mu_);
   auto built = builder_->BuildOnce(primary_store_.get());
   if (built.ok() && advance_watermark && !wals_.empty()) {
     AdvanceWalWatermark();

@@ -36,6 +36,15 @@ struct WorkerOptions {
   // replication only (the original simulation behavior).
   std::string wal_dir;
   consensus::DurableLogOptions wal;
+
+  // Distinguishes successive lives of the same worker id in the builder's
+  // object-key salt. A rejoin after failover wipes the WAL directory, which
+  // resets the recovered sequence cookie to zero — without a fresh
+  // incarnation the revived worker would re-issue object keys its previous
+  // life (or the survivor that inherited its tenants) already uploaded,
+  // silently overwriting LogBlocks that hold the only archived copy of
+  // those rows. The cluster bumps this on every Worker construction.
+  uint64_t incarnation = 0;
 };
 
 // Aggregated health of one worker, harvested by the cluster's control
@@ -53,6 +62,16 @@ struct WorkerHealth {
   int connected_replicas = 0;
   int wedged_replicas = 0;   // connected members with sticky persist errors
   bool has_leader = true;
+
+  // Per-replica detail, so the escalation ladder can name WHICH replica to
+  // repair in place instead of condemning the whole worker.
+  struct Replica {
+    int node = -1;
+    bool connected = false;
+    bool wedged = false;  // sticky persist error latched
+    bool leader = false;
+  };
+  std::vector<Replica> replicas;
 
   // Whether this worker can durably acknowledge a write right now. A false
   // answer from a live process means the worker is wedged (sticky
@@ -121,8 +140,21 @@ class Worker {
   // from it (volatile state lost, like a real process restart) and rejoins
   // the group. If the group's log base has moved past what this replica
   // holds, the leader repairs it with an InstallSnapshot — drive ticks
-  // (e.g. via Write) to let it catch up.
+  // (e.g. via Write) to let it catch up. In-memory replicated mode rejoins
+  // with an empty log (the leader repairs it entirely over the wire).
   Status RecoverReplica(int node);
+
+  // Fault injection for the chaos harness (durable mode): the next WAL
+  // fsync on `node` fails with EIO, wedging that replica fail-stop the
+  // next time the group tries to ack a write.
+  Status InjectReplicaSyncError(int node);
+  // Partitions one replica from the group (a lost network link, not a
+  // crash). RecoverReplica heals it.
+  Status PartitionReplica(int node);
+  // Drives the replication group forward without proposing anything —
+  // elections converge, repaired replicas catch up. Safe concurrently
+  // with Write (both serialize on the raft lock).
+  void PumpRaft(int ms);
 
   // Health snapshot for the control cycle: WAL status, replica
   // connectivity, leader presence, and latched persistence errors.
@@ -184,6 +216,13 @@ class Worker {
 
   std::unique_ptr<DataBuilder> builder_;
   std::atomic<bool> fenced_{false};
+
+  // Serializes every raft-group access (Write's propose/tick/sync loop,
+  // the build pass's watermark advance, health harvests, and the monitor
+  // thread's replica recoveries). The raft harness itself is
+  // single-threaded by design; this lock is what lets a background control
+  // plane share a worker with foreground writers.
+  mutable std::mutex raft_mu_;
 
   mutable std::mutex traffic_mu_;
   TrafficSnapshot traffic_;

@@ -1,0 +1,72 @@
+#ifndef LOGSTORE_COMMON_RETRY_H_
+#define LOGSTORE_COMMON_RETRY_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace logstore {
+
+// A bounded retry schedule: exponential backoff with multiplicative jitter
+// and an overall delay deadline. Delays are unit-agnostic — the raft
+// transport counts delivery rounds, the broker client counts milliseconds —
+// so the same policy type describes both layers' retry behavior.
+//
+// This is the policy shape RetryingObjectStore hand-rolled for the read
+// path; it is factored out here so the raft RPC transport and the cluster
+// write client retry the same way.
+struct RetryPolicy {
+  // Retries after the initial attempt. 0 disables retrying entirely.
+  int max_retries = 3;
+  // Delay before retry k (0-based) is base_delay * multiplier^k, capped at
+  // max_delay, then jittered.
+  int64_t base_delay = 1;
+  int64_t max_delay = 64;
+  double multiplier = 2.0;
+  // Uniform jitter in [1 - jitter, 1 + jitter] applied to each delay, so a
+  // burst of simultaneous failures does not retry in lockstep.
+  double jitter = 0.5;
+  // Total delay budget across all retries; 0 = unlimited. A retry whose
+  // delay would push the cumulative total past the deadline is abandoned.
+  int64_t deadline = 0;
+};
+
+// Per-operation retry cursor over a RetryPolicy.
+class RetryState {
+ public:
+  explicit RetryState(const RetryPolicy& policy) : policy_(policy) {}
+
+  // Whether another retry is allowed, and if so the delay to wait before
+  // it. Returns a negative value when the attempt or deadline budget is
+  // exhausted; otherwise advances the cursor and returns the jittered
+  // delay (>= 0).
+  int64_t NextDelay(Random* rng) {
+    if (attempt_ >= policy_.max_retries) return -1;
+    double delay = static_cast<double>(policy_.base_delay);
+    for (int i = 0; i < attempt_; ++i) delay *= policy_.multiplier;
+    delay = std::min(delay, static_cast<double>(policy_.max_delay));
+    if (policy_.jitter > 0.0 && rng != nullptr) {
+      delay *= 1.0 - policy_.jitter + 2.0 * policy_.jitter * rng->NextDouble();
+    }
+    const int64_t rounded = std::max<int64_t>(0, static_cast<int64_t>(delay));
+    if (policy_.deadline > 0 && total_delay_ + rounded > policy_.deadline) {
+      return -1;
+    }
+    total_delay_ += rounded;
+    ++attempt_;
+    return rounded;
+  }
+
+  int attempts() const { return attempt_; }
+  int64_t total_delay() const { return total_delay_; }
+
+ private:
+  const RetryPolicy policy_;
+  int attempt_ = 0;
+  int64_t total_delay_ = 0;
+};
+
+}  // namespace logstore
+
+#endif  // LOGSTORE_COMMON_RETRY_H_

@@ -125,6 +125,11 @@ void RaftNode::Restart() {
   sync_queue_bytes_ = 0;
   apply_queue_.clear();
   apply_queue_bytes_ = 0;
+  // A process restart loses in-flight snapshot transfers on both sides:
+  // the leader re-freezes a blob on the next trigger, and a follower that
+  // lost its staging rejects mid-blob chunks until the leader rewinds.
+  snapshot_xfers_.clear();
+  snapshot_staging_ = SnapshotStaging();
   std::fill(next_index_.begin(), next_index_.end(), LastLogIndex() + 1);
   std::fill(match_index_.begin(), match_index_.end(), 0);
   ResetElectionTimer();
@@ -140,6 +145,9 @@ void RaftNode::BecomeFollower(uint64_t term, int leader_hint) {
   // clients observe kUnavailable on subsequent writes and re-route.
   sync_queue_.clear();
   sync_queue_bytes_ = 0;
+  // Leader-side snapshot transfers die with the leadership; a follower's
+  // chunk acks for them are ignored by the term/role guard.
+  snapshot_xfers_.clear();
   if (term_changed) PersistHardState();
   ResetElectionTimer();
 }
@@ -169,6 +177,7 @@ void RaftNode::BecomeLeader(std::vector<Message>* out) {
   role_ = Role::kLeader;
   leader_hint_ = id_;
   heartbeat_elapsed_ms_ = 0;
+  snapshot_xfers_.clear();
   std::fill(next_index_.begin(), next_index_.end(), LastLogIndex() + 1);
   std::fill(match_index_.begin(), match_index_.end(), 0);
   match_index_[id_] = LastLogIndex();
@@ -402,6 +411,12 @@ void RaftNode::Receive(const Message& m, std::vector<Message>* out) {
         // after compaction; clamp (entries below base no longer exist).
         next_index_[m.from] =
             std::max(next_index_[m.from], log_base_index_ + 1);
+        // The install ack that completes a chunked transfer.
+        auto xfer = snapshot_xfers_.find(m.from);
+        if (xfer != snapshot_xfers_.end() &&
+            match_index_[m.from] >= xfer->second.index) {
+          snapshot_xfers_.erase(xfer);
+        }
         AdvanceCommit();
         // Keep streaming if the follower is behind.
         if (next_index_[m.from] <= LastLogIndex()) {
@@ -426,10 +441,38 @@ void RaftNode::Receive(const Message& m, std::vector<Message>* out) {
       HandleInstallSnapshot(m, out);
       break;
     }
+
+    case MessageType::kSnapshotChunkAck: {
+      HandleSnapshotChunkAck(m, out);
+      break;
+    }
   }
 }
 
 Message RaftNode::MakeSnapshotFor(int peer) {
+  std::string blob;
+  if (snapshot_state_fn_) {
+    blob = snapshot_state_fn_(log_base_index_, log_base_aux_);
+  }
+  if (options_.snapshot_chunk_bytes > 0 &&
+      blob.size() > options_.snapshot_chunk_bytes) {
+    // Chunked transfer. Resume the peer's in-flight transfer if it still
+    // describes the current base; otherwise freeze a fresh blob under a
+    // new transfer id (the follower discards stale staging on seeing it).
+    auto it = snapshot_xfers_.find(peer);
+    if (it == snapshot_xfers_.end() || it->second.index != log_base_index_) {
+      SnapshotTransfer xfer;
+      xfer.xfer = ++next_snapshot_xfer_;
+      xfer.index = log_base_index_;
+      xfer.term_at = log_base_term_;
+      xfer.aux = log_base_aux_;
+      xfer.blob = std::move(blob);
+      snapshot_xfers_[peer] = std::move(xfer);
+      ++snapshots_sent_;
+    }
+    return MakeSnapshotChunkFor(peer);
+  }
+
   Message m;
   m.type = MessageType::kInstallSnapshot;
   m.from = id_;
@@ -438,15 +481,65 @@ Message RaftNode::MakeSnapshotFor(int peer) {
   m.snapshot_index = log_base_index_;
   m.snapshot_term = log_base_term_;
   m.snapshot_aux = log_base_aux_;
-  if (snapshot_state_fn_) {
-    m.snapshot_state = snapshot_state_fn_(log_base_index_, log_base_aux_);
-  }
+  m.snapshot_state = std::move(blob);
+  m.snapshot_total = m.snapshot_state.size();
   m.leader_commit = commit_index_;
+  snapshot_xfers_.erase(peer);
   ++snapshots_sent_;
   // Optimistically resume appends right after the snapshot; if the follower
   // rejects them again (it never installed), the trigger above re-sends it.
   next_index_[peer] = log_base_index_ + 1;
   return m;
+}
+
+Message RaftNode::MakeSnapshotChunkFor(int peer) {
+  SnapshotTransfer& xfer = snapshot_xfers_[peer];
+  Message m;
+  m.type = MessageType::kInstallSnapshot;
+  m.from = id_;
+  m.to = peer;
+  m.term = term_;
+  m.snapshot_index = xfer.index;
+  m.snapshot_term = xfer.term_at;
+  m.snapshot_aux = xfer.aux;
+  m.snapshot_xfer = xfer.xfer;
+  m.snapshot_offset = xfer.offset;
+  m.snapshot_total = xfer.blob.size();
+  const size_t len =
+      std::min(options_.snapshot_chunk_bytes,
+               xfer.blob.size() - static_cast<size_t>(xfer.offset));
+  m.snapshot_state = xfer.blob.substr(xfer.offset, len);
+  m.snapshot_last = xfer.offset + len >= xfer.blob.size();
+  m.leader_commit = commit_index_;
+  ++snapshot_chunks_sent_;
+  if (m.snapshot_last) {
+    // Optimistic, as in the unchunked path: the follower's install ack
+    // (kAppendResponse) confirms; a later reject re-triggers the snapshot
+    // path, which resumes or restarts this transfer.
+    next_index_[peer] = xfer.index + 1;
+  }
+  return m;
+}
+
+void RaftNode::HandleSnapshotChunkAck(const Message& m,
+                                      std::vector<Message>* out) {
+  if (role_ != Role::kLeader || m.term != term_) return;
+  auto it = snapshot_xfers_.find(m.from);
+  if (it == snapshot_xfers_.end() || it->second.xfer != m.snapshot_xfer) {
+    return;  // ack for a transfer we already finished or replaced
+  }
+  SnapshotTransfer& xfer = it->second;
+  // The follower's cursor is authoritative: a success ack advances past
+  // the chunk it received; a reject rewinds to where its staging actually
+  // ends (0 if it discarded). Duplicated acks are idempotent — the cursor
+  // just lands where it already was.
+  xfer.offset = std::min<uint64_t>(m.next_offset, xfer.blob.size());
+  if (!m.success) ++snapshot_chunk_rewinds_;
+  if (xfer.offset < xfer.blob.size()) {
+    out->push_back(MakeSnapshotChunkFor(m.from));
+  }
+  // At offset == size the final chunk is in flight (or was installed); the
+  // follower's kAppendResponse completes the transfer.
 }
 
 void RaftNode::HandleInstallSnapshot(const Message& m,
@@ -457,6 +550,8 @@ void RaftNode::HandleInstallSnapshot(const Message& m,
   reply.to = m.from;
   reply.term = term_;
   if (m.term < term_) {
+    // Stale-term rejection: chunks (and whole snapshots) from a deposed
+    // leader must never touch the staging buffer or the state machine.
     reply.success = false;
     out->push_back(std::move(reply));
     return;
@@ -467,13 +562,91 @@ void RaftNode::HandleInstallSnapshot(const Message& m,
 
   if (m.snapshot_index <= last_applied_) {
     // Stale or duplicated: everything the snapshot covers is applied here
-    // already. Installing it anyway would rewind last_applied_ and
+    // already (this also swallows duplicated chunks of a transfer that
+    // completed). Installing it anyway would rewind last_applied_ and
     // re-apply entries, so acknowledge progress and do nothing.
+    if (snapshot_staging_.index == m.snapshot_index) {
+      snapshot_staging_ = SnapshotStaging();
+    }
     reply.success = true;
     reply.match_index = last_applied_;
     out->push_back(std::move(reply));
     return;
   }
+
+  if (m.snapshot_xfer != 0) {
+    // One chunk of a chunked transfer: splice it into the staging buffer
+    // at its offset, ack the receive cursor, and install only when the
+    // final byte lands.
+    Message ack;
+    ack.type = MessageType::kSnapshotChunkAck;
+    ack.from = id_;
+    ack.to = m.from;
+    ack.term = term_;
+    ack.snapshot_xfer = m.snapshot_xfer;
+    const bool same_transfer = snapshot_staging_.xfer == m.snapshot_xfer &&
+                               snapshot_staging_.from == m.from &&
+                               snapshot_staging_.index == m.snapshot_index;
+    if (!same_transfer) {
+      if (m.snapshot_offset != 0) {
+        // Mid-blob chunk of a transfer we are not staging (stale transfer
+        // id, or our staging was lost in a restart): refuse and ask the
+        // leader to rewind to 0.
+        ack.success = false;
+        ack.next_offset = 0;
+        out->push_back(std::move(ack));
+        return;
+      }
+      // A transfer begins (replacing any stale staging).
+      snapshot_staging_ = SnapshotStaging();
+      snapshot_staging_.xfer = m.snapshot_xfer;
+      snapshot_staging_.from = m.from;
+      snapshot_staging_.from_term = m.term;
+      snapshot_staging_.index = m.snapshot_index;
+      snapshot_staging_.total = m.snapshot_total;
+    }
+    SnapshotStaging& staging = snapshot_staging_;
+    if (m.snapshot_offset > staging.data.size()) {
+      // Gap — a chunk was lost or reordered past us. Resume from the
+      // cursor instead of restarting the blob.
+      ack.success = false;
+      ack.next_offset = staging.data.size();
+      out->push_back(std::move(ack));
+      return;
+    }
+    if (m.snapshot_offset < staging.data.size()) {
+      // Duplicate of bytes already staged (the transport duplicates
+      // messages by design): re-ack the cursor, idempotently.
+      ack.success = true;
+      ack.next_offset = staging.data.size();
+      out->push_back(std::move(ack));
+      return;
+    }
+    staging.data += m.snapshot_state;
+    ++snapshot_chunks_received_;
+    if (!m.snapshot_last) {
+      ack.success = true;
+      ack.next_offset = staging.data.size();
+      out->push_back(std::move(ack));
+      return;
+    }
+    // Final chunk: the blob is complete; fall through to the install.
+    std::string blob = std::move(staging.data);
+    snapshot_staging_ = SnapshotStaging();
+    InstallSnapshotBlob(m, blob, out);
+    return;
+  }
+
+  InstallSnapshotBlob(m, m.snapshot_state, out);
+}
+
+void RaftNode::InstallSnapshotBlob(const Message& m, const std::string& state,
+                                   std::vector<Message>* out) {
+  Message reply;
+  reply.type = MessageType::kAppendResponse;
+  reply.from = id_;
+  reply.to = m.from;
+  reply.term = term_;
 
   // A snapshotted prefix is committed on a quorum, so a local suffix whose
   // term lines up at the snapshot point can be kept; anything else (or a
@@ -502,7 +675,7 @@ void RaftNode::HandleInstallSnapshot(const Message& m,
   // The embedder rebuilds its state machine from shared storage (or the
   // blob); entries the snapshot covers must never be applied again.
   if (install_snapshot_fn_) {
-    install_snapshot_fn_(m.snapshot_index, m.snapshot_aux, m.snapshot_state);
+    install_snapshot_fn_(m.snapshot_index, m.snapshot_aux, state);
   }
   apply_queue_.clear();
   apply_queue_bytes_ = 0;
@@ -566,6 +739,39 @@ Status RaftCluster::SyncAll() {
   return Status::OK();
 }
 
+void RaftCluster::MaybeRetransmit(const Message& message) {
+  // The in-process analogue of a sender retransmitting after an ack
+  // timeout: the dropped RPC re-enters the network after a jittered
+  // exponential backoff, carrying its spent budget. Safe for every raft
+  // message type — the transport already injects duplication, so receivers
+  // are idempotent by construction.
+  if (options_.rpc_max_retries <= 0) return;
+  if (message.transport_attempt >= options_.rpc_max_retries) return;
+  RetryPolicy policy;
+  policy.max_retries = 1;  // one step of the schedule at a time
+  policy.base_delay = options_.rpc_backoff_base_rounds;
+  policy.max_delay = options_.rpc_backoff_max_rounds;
+  policy.jitter = options_.rpc_backoff_jitter;
+  double delay = static_cast<double>(options_.rpc_backoff_base_rounds);
+  for (int i = 0; i < message.transport_attempt; ++i) delay *= 2.0;
+  delay = std::min(delay, static_cast<double>(options_.rpc_backoff_max_rounds));
+  if (policy.jitter > 0.0) {
+    delay *= 1.0 - policy.jitter + 2.0 * policy.jitter * rng_.NextDouble();
+  }
+  const int64_t rounds = std::max<int64_t>(1, static_cast<int64_t>(delay));
+  if (options_.rpc_retry_deadline_rounds > 0 &&
+      message.transport_delay + rounds > options_.rpc_retry_deadline_rounds) {
+    return;  // deadline: give up; the protocol's own timers take over
+  }
+  DelayedMessage retry;
+  retry.message = message;
+  ++retry.message.transport_attempt;
+  retry.message.transport_delay += rounds;
+  retry.rounds_left = static_cast<int>(rounds);
+  delayed_.push_back(std::move(retry));
+  ++retransmits_;
+}
+
 void RaftCluster::DeliverAll(std::vector<Message>* messages) {
   // Messages held back by the reorder injector re-enter one delivery batch
   // (= one Tick step) later, so reordering is bounded, not starvation.
@@ -584,7 +790,10 @@ void RaftCluster::DeliverAll(std::vector<Message>* messages) {
     std::vector<Message> next;
     for (const Message& m : *messages) {
       if (disconnected_[m.from] || disconnected_[m.to]) continue;
-      if (drop_rate_ > 0.0 && rng_.NextDouble() < drop_rate_) continue;
+      if (drop_rate_ > 0.0 && rng_.NextDouble() < drop_rate_) {
+        MaybeRetransmit(m);
+        continue;
+      }
       if (reorder_rate_ > 0.0 && rng_.NextDouble() < reorder_rate_) {
         delayed_.push_back({m, static_cast<int>(rng_.Uniform(3)) + 1});
         continue;

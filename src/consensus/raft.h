@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "consensus/raft_persistence.h"
 
@@ -54,6 +55,12 @@ enum class MessageType {
   kAppendEntries,
   kAppendResponse,
   kInstallSnapshot,
+  // Acknowledges one chunk of a chunked InstallSnapshot transfer; carries
+  // the follower's receive cursor so the leader can resume mid-blob after
+  // a loss, reorder, or reconnect. The FINAL chunk is acknowledged with a
+  // normal kAppendResponse (the install itself), like an unchunked
+  // snapshot.
+  kSnapshotChunkAck,
 };
 
 struct LogEntry {
@@ -86,6 +93,27 @@ struct Message {
   uint64_t snapshot_term = 0;
   uint64_t snapshot_aux = 0;
   std::string snapshot_state;
+  // Chunked InstallSnapshot framing. `snapshot_state` holds the chunk's
+  // bytes, `snapshot_offset` its position in the blob, `snapshot_total` the
+  // full blob size, and `snapshot_last` marks the chunk whose receipt
+  // triggers the install. `snapshot_xfer` identifies the transfer: a new
+  // leader snapshot (or a restarted transfer) gets a fresh id, and chunks
+  // carrying a stale id or an older term are rejected rather than spliced
+  // into the current staging buffer. Unchunked snapshots are the
+  // degenerate single-chunk case (offset 0, last = true).
+  uint64_t snapshot_xfer = 0;
+  uint64_t snapshot_offset = 0;
+  uint64_t snapshot_total = 0;
+  bool snapshot_last = true;
+  // kSnapshotChunkAck: where the follower wants the next byte. `success`
+  // false asks the leader to rewind (gap or discarded staging).
+  uint64_t next_offset = 0;
+
+  // Transport bookkeeping (not protocol state): retransmit attempt count
+  // and cumulative backoff rounds already spent on this RPC, carried so a
+  // retransmitted copy that is dropped again knows its remaining budget.
+  int transport_attempt = 0;
+  int64_t transport_delay = 0;
 };
 
 enum class Role { kFollower, kCandidate, kLeader };
@@ -116,6 +144,27 @@ struct RaftOptions {
   // participates in replication and voting but never applies entries to a
   // row store.
   bool apply_enabled = true;
+
+  // Chunked InstallSnapshot: state blobs larger than this are shipped in
+  // offset-framed chunks with per-chunk acks, so an embedder with large
+  // per-replica state can catch up across a lossy link without one giant
+  // RPC. 0 = unchunked (single-message snapshots, the original behavior;
+  // LogStore workers ship empty blobs, so they never chunk either way).
+  size_t snapshot_chunk_bytes = 0;
+
+  // Transport retransmit schedule (RetryPolicy semantics, in delivery
+  // rounds): a dropped RPC is retransmitted after an exponential backoff
+  // with jitter, up to max_retries extra attempts or the deadline in
+  // cumulative backoff rounds. Raft RPCs are idempotent by construction —
+  // the transport already injects the duplication a retry layer must
+  // tolerate — so retransmission never violates protocol safety; it only
+  // turns an effective loss rate p into p^(1+retries). max_retries 0
+  // disables (the original fire-and-forget transport).
+  int rpc_max_retries = 3;
+  int rpc_backoff_base_rounds = 1;
+  int rpc_backoff_max_rounds = 8;
+  double rpc_backoff_jitter = 0.5;
+  int64_t rpc_retry_deadline_rounds = 32;
 };
 
 // Applies committed entries; the worker's row store implements this.
@@ -189,6 +238,14 @@ class RaftNode {
   uint64_t snapshots_installed() const { return snapshots_installed_; }
   // How many snapshots this node has shipped as leader (tests).
   uint64_t snapshots_sent() const { return snapshots_sent_; }
+  // Chunked-transfer observability (tests): chunks shipped as leader,
+  // chunks accepted as follower, and mid-blob resumes (a transfer that
+  // continued from a non-zero offset after a loss/reorder/reconnect).
+  uint64_t snapshot_chunks_sent() const { return snapshot_chunks_sent_; }
+  uint64_t snapshot_chunks_received() const {
+    return snapshot_chunks_received_;
+  }
+  uint64_t snapshot_chunk_rewinds() const { return snapshot_chunk_rewinds_; }
   const LogEntry& log_at(uint64_t index) const {
     return log_[index - log_base_index_ - 1];
   }
@@ -212,7 +269,15 @@ class RaftNode {
   void BroadcastAppendEntries(std::vector<Message>* out);
   Message MakeAppendFor(int peer) const;
   Message MakeSnapshotFor(int peer);
+  // One chunk message of the peer's in-flight transfer, at its cursor.
+  Message MakeSnapshotChunkFor(int peer);
   void HandleInstallSnapshot(const Message& m, std::vector<Message>* out);
+  void HandleSnapshotChunkAck(const Message& m, std::vector<Message>* out);
+  // Installs a fully-received blob (unchunked, or the staging buffer after
+  // the final chunk): adopts the log base, resets the state machine, and
+  // emits the kAppendResponse acknowledging the install.
+  void InstallSnapshotBlob(const Message& m, const std::string& state,
+                           std::vector<Message>* out);
   void AdvanceCommit();
   void DrainApplyQueue(int budget);
   void ResetElectionTimer();
@@ -268,6 +333,38 @@ class RaftNode {
   std::vector<uint64_t> match_index_;
   uint64_t snapshots_installed_ = 0;
   uint64_t snapshots_sent_ = 0;
+  uint64_t snapshot_chunks_sent_ = 0;
+  uint64_t snapshot_chunks_received_ = 0;
+  uint64_t snapshot_chunk_rewinds_ = 0;
+
+  // Leader-side chunked transfers, one per peer: the frozen blob being
+  // shipped and the send cursor. Frozen at transfer start — if the base
+  // advances mid-transfer, the NEXT snapshot trigger starts a fresh
+  // transfer with a new id and the follower discards its staging.
+  struct SnapshotTransfer {
+    uint64_t xfer = 0;
+    uint64_t index = 0;
+    uint64_t term_at = 0;
+    uint64_t aux = 0;
+    std::string blob;
+    uint64_t offset = 0;  // next byte to ship
+  };
+  std::map<int, SnapshotTransfer> snapshot_xfers_;
+  uint64_t next_snapshot_xfer_ = 0;
+
+  // Follower-side staging for one in-flight chunked transfer. Survives a
+  // partition (resume-on-reconnect); replaced when a chunk with a newer
+  // transfer id arrives at offset 0; never consulted across terms (a
+  // stale-term chunk is rejected before reaching it).
+  struct SnapshotStaging {
+    uint64_t xfer = 0;  // 0 = none
+    int from = -1;
+    uint64_t from_term = 0;
+    uint64_t index = 0;
+    uint64_t total = 0;
+    std::string data;  // data.size() is the receive cursor
+  };
+  SnapshotStaging snapshot_staging_;
 
   // BFC queues. sync_queue: payloads accepted from clients but not yet
   // appended+broadcast. apply_queue: committed entries awaiting apply.
@@ -363,8 +460,15 @@ class RaftCluster {
   // later (bounded reordering).
   void SetReorderRate(double rate) { reorder_rate_ = rate; }
 
+  // RPCs retransmitted by the transport retry layer after an injected drop
+  // (tests: proves the backoff path ran, and bounds it).
+  uint64_t retransmits() const { return retransmits_; }
+
  private:
   void DeliverAll(std::vector<Message>* messages);
+  // Transport retry: schedules a dropped message for retransmission after
+  // a jittered exponential backoff, if its budget allows.
+  void MaybeRetransmit(const Message& message);
 
   RaftOptions options_;
   Random rng_;
@@ -373,6 +477,7 @@ class RaftCluster {
   double drop_rate_ = 0.0;
   double duplicate_rate_ = 0.0;
   double reorder_rate_ = 0.0;
+  uint64_t retransmits_ = 0;
   struct DelayedMessage {
     Message message;
     int rounds_left = 0;

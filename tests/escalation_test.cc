@@ -1,0 +1,211 @@
+// Pure-unit coverage for the escalation ladder's decision logic: a
+// WorkerHealth report goes in, a recover/failover/wait/skip decision comes
+// out. No cluster, no raft, no disk — DecideEscalation is a pure function
+// precisely so these edges can be pinned down exhaustively.
+
+#include "cluster/escalation.h"
+
+#include <gtest/gtest.h>
+
+namespace logstore::cluster {
+namespace {
+
+// A healthy 3-replica worker report; tests break specific parts of it.
+WorkerHealth ReplicatedHealth() {
+  WorkerHealth health;
+  health.worker_id = 7;
+  health.process_alive = true;
+  health.replicated = true;
+  health.num_replicas = 3;
+  health.connected_replicas = 3;
+  health.wedged_replicas = 0;
+  health.has_leader = true;
+  for (int node = 0; node < 3; ++node) {
+    WorkerHealth::Replica replica;
+    replica.node = node;
+    replica.connected = true;
+    replica.leader = node == 0;
+    health.replicas.push_back(replica);
+  }
+  return health;
+}
+
+void Wedge(WorkerHealth* health, int node) {
+  health->replicas[node].wedged = true;
+  ++health->wedged_replicas;
+}
+
+void Partition(WorkerHealth* health, int node) {
+  health->replicas[node].connected = false;
+  health->replicas[node].leader = false;
+  --health->connected_replicas;
+}
+
+TEST(EscalationTest, HealthyWorkerNeedsNothing) {
+  const auto decision = DecideEscalation(ReplicatedHealth(), {}, 3, 0);
+  EXPECT_EQ(decision.action, EscalationAction::kHealthy);
+}
+
+TEST(EscalationTest, DeadProcessGoesStraightToFailover) {
+  WorkerHealth health = ReplicatedHealth();
+  health.process_alive = false;
+  const auto decision = DecideEscalation(health, {}, 3, 0);
+  EXPECT_EQ(decision.action, EscalationAction::kFailover);
+}
+
+TEST(EscalationTest, BrokenWalGoesStraightToFailover) {
+  WorkerHealth health = ReplicatedHealth();
+  health.wal_ok = false;
+  const auto decision = DecideEscalation(health, {}, 3, 0);
+  EXPECT_EQ(decision.action, EscalationAction::kFailover);
+}
+
+// --- The replica rung ---
+
+TEST(EscalationTest, SingleWedgedReplicaWithMajorityRecoversInPlace) {
+  WorkerHealth health = ReplicatedHealth();
+  Wedge(&health, 1);
+  const auto decision = DecideEscalation(health, {}, 3, 0);
+  EXPECT_EQ(decision.action, EscalationAction::kRecoverReplica);
+  EXPECT_EQ(decision.replica, 1);
+}
+
+TEST(EscalationTest, SingleDisconnectedReplicaWithMajorityRecoversInPlace) {
+  WorkerHealth health = ReplicatedHealth();
+  Partition(&health, 2);
+  const auto decision = DecideEscalation(health, {}, 3, 0);
+  EXPECT_EQ(decision.action, EscalationAction::kRecoverReplica);
+  EXPECT_EQ(decision.replica, 2);
+}
+
+TEST(EscalationTest, WedgedLeaderIsRecoveredInPlace) {
+  // The leader itself is the wedged member: recovering it drops its
+  // leadership and the healthy majority re-elects — still the cheap rung,
+  // never a whole-worker failover.
+  WorkerHealth health = ReplicatedHealth();
+  Wedge(&health, 0);
+  const auto decision = DecideEscalation(health, {}, 3, 0);
+  EXPECT_EQ(decision.action, EscalationAction::kRecoverReplica);
+  EXPECT_EQ(decision.replica, 0);
+}
+
+TEST(EscalationTest, WedgedReplicaPreferredOverDisconnectedOne) {
+  // Both kinds of casualty, healthy member still a majority of... no:
+  // one wedged + one disconnected leaves 1/3 healthy — below majority.
+  // Use 5 replicas so 3 healthy remain: the wedged one must be chosen,
+  // because a wedged CONNECTED member fails every group commit while a
+  // disconnected one only costs redundancy.
+  WorkerHealth health = ReplicatedHealth();
+  health.num_replicas = 5;
+  health.connected_replicas = 5;
+  for (int node = 3; node < 5; ++node) {
+    WorkerHealth::Replica replica;
+    replica.node = node;
+    replica.connected = true;
+    health.replicas.push_back(replica);
+  }
+  Partition(&health, 1);  // listed first...
+  Wedge(&health, 4);      // ...but the wedged member wins
+  const auto decision = DecideEscalation(health, {}, 3, 0);
+  EXPECT_EQ(decision.action, EscalationAction::kRecoverReplica);
+  EXPECT_EQ(decision.replica, 4);
+}
+
+// --- Majority edges ---
+
+TEST(EscalationTest, TwoCasualtiesOfThreeIsBelowMajorityAndFailsOver) {
+  WorkerHealth health = ReplicatedHealth();
+  Wedge(&health, 1);
+  Partition(&health, 2);
+  const auto decision = DecideEscalation(health, {}, 3, 0);
+  EXPECT_EQ(decision.action, EscalationAction::kFailover);
+}
+
+TEST(EscalationTest, ExactMajorityIsEnoughForInPlaceRecovery) {
+  // 2/3 healthy is exactly the majority: the boundary must land on the
+  // cheap rung, not failover.
+  WorkerHealth health = ReplicatedHealth();
+  Partition(&health, 1);
+  const auto decision = DecideEscalation(health, {}, 3, 0);
+  EXPECT_EQ(decision.action, EscalationAction::kRecoverReplica);
+}
+
+// --- Repeated offenders ---
+
+TEST(EscalationTest, RepeatedOffenderEscalatesToFailover) {
+  WorkerHealth health = ReplicatedHealth();
+  Wedge(&health, 1);
+  EscalationPolicy policy;
+  policy.max_recover_attempts = 3;
+  // Below budget: keep repairing.
+  auto decision = DecideEscalation(health, {{1, 2}}, 3, 0, policy);
+  EXPECT_EQ(decision.action, EscalationAction::kRecoverReplica);
+  // Budget exhausted: escalate.
+  decision = DecideEscalation(health, {{1, 3}}, 3, 0, policy);
+  EXPECT_EQ(decision.action, EscalationAction::kFailover);
+}
+
+TEST(EscalationTest, AttemptMemoryIsPerReplica) {
+  // Replica 1 exhausted its budget, but the CURRENT casualty is replica 2:
+  // the stale memory of a different replica must not trigger failover.
+  WorkerHealth health = ReplicatedHealth();
+  Partition(&health, 2);
+  EscalationPolicy policy;
+  policy.max_recover_attempts = 3;
+  const auto decision = DecideEscalation(health, {{1, 3}}, 3, 0, policy);
+  EXPECT_EQ(decision.action, EscalationAction::kRecoverReplica);
+  EXPECT_EQ(decision.replica, 2);
+}
+
+// --- Elections ---
+
+TEST(EscalationTest, QuorateButLeaderlessWaitsOutTheElection) {
+  WorkerHealth health = ReplicatedHealth();
+  health.has_leader = false;
+  health.replicas[0].leader = false;
+  const auto decision = DecideEscalation(health, {}, 3, 0);
+  EXPECT_EQ(decision.action, EscalationAction::kWaitElection);
+}
+
+TEST(EscalationTest, ElectionThatNeverConvergesEscalates) {
+  WorkerHealth health = ReplicatedHealth();
+  health.has_leader = false;
+  health.replicas[0].leader = false;
+  EscalationPolicy policy;
+  policy.max_election_waits = 8;
+  auto decision = DecideEscalation(health, {}, 3, 7, policy);
+  EXPECT_EQ(decision.action, EscalationAction::kWaitElection);
+  decision = DecideEscalation(health, {}, 3, 8, policy);
+  EXPECT_EQ(decision.action, EscalationAction::kFailover);
+}
+
+// --- The last-live-worker floor ---
+
+TEST(EscalationTest, LastLiveWorkerSkipsInsteadOfFailingOver) {
+  WorkerHealth health = ReplicatedHealth();
+  health.process_alive = false;
+  const auto decision = DecideEscalation(health, {}, 1, 0);
+  EXPECT_EQ(decision.action, EscalationAction::kSkip);
+}
+
+TEST(EscalationTest, LastLiveWorkerStillGetsReplicaLevelRepair) {
+  // The skip floor only replaces FAILOVER — the cheap rung still applies,
+  // because in-place repair needs no survivor.
+  WorkerHealth health = ReplicatedHealth();
+  Wedge(&health, 1);
+  const auto decision = DecideEscalation(health, {}, 1, 0);
+  EXPECT_EQ(decision.action, EscalationAction::kRecoverReplica);
+  EXPECT_EQ(decision.replica, 1);
+}
+
+TEST(EscalationTest, LastLiveRepeatedOffenderSkips) {
+  WorkerHealth health = ReplicatedHealth();
+  Wedge(&health, 1);
+  EscalationPolicy policy;
+  policy.max_recover_attempts = 2;
+  const auto decision = DecideEscalation(health, {{1, 2}}, 1, 0, policy);
+  EXPECT_EQ(decision.action, EscalationAction::kSkip);
+}
+
+}  // namespace
+}  // namespace logstore::cluster

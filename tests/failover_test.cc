@@ -322,10 +322,11 @@ TEST_F(FailoverTest, KillDuringBuildPassLosesNothing) {
 
 // ---------------------------------------------------------------------------
 // Wedge via ENOSPC/EIO: a sticky persist error must surface in the health
-// report and trigger failover instead of silently degrading the deployment.
+// report, and with a healthy majority the escalation ladder must repair the
+// one wedged replica IN PLACE — no whole-worker failover, no shard moves.
 // ---------------------------------------------------------------------------
 
-TEST_F(FailoverTest, WedgedReplicaSurfacesInHealthAndTriggersFailover) {
+TEST_F(FailoverTest, WedgedReplicaIsRepairedInPlaceNotFailedOver) {
   OpenCluster("wedge", 3, 2, 2);
   if (::testing::Test::HasFatalFailure()) return;
   Random rng(4242);
@@ -337,38 +338,206 @@ TEST_F(FailoverTest, WedgedReplicaSurfacesInHealthAndTriggersFailover) {
   // deterministically sees an ack attempt (that is what latches
   // persist_error_ on the raft node).
   const uint32_t victim = WorkerOfTenant(1);
+  const uint64_t epoch_before = cluster_->controller()->placement_epoch();
 
   // EIO at the group-commit fsync of one replica journal: the write is
   // refused (never acked) and the replica wedges fail-stop.
   cluster_->worker(victim)->wal(1)->InjectSyncErrors(1);
   EXPECT_FALSE(cluster_->Write(1, MarkerRow(1, 5000, "never-acked")).ok());
 
-  // The health signal the ROADMAP said was missing: the wedge is visible.
+  // The health signal the ROADMAP said was missing: the wedge is visible,
+  // down to WHICH replica is wedged.
   const WorkerHealth health = cluster_->worker(victim)->Health();
   EXPECT_EQ(health.wedged_replicas, 1);
   EXPECT_FALSE(health.CanAck());
+  int wedged_node = -1;
+  for (const auto& replica : health.replicas) {
+    if (replica.wedged) wedged_node = replica.node;
+  }
+  EXPECT_EQ(wedged_node, 1);
 
-  // The control cycle acts on it: the victim is failed over, its tail
-  // recovered.
+  // The control cycle's first rung: one replica is wedged but a healthy
+  // majority remains, so the ladder repairs it in place. The worker stays
+  // live, its shards stay put, and no failover runs.
   auto cycle = cluster_->RunControlCycle();
   ASSERT_TRUE(cycle.ok()) << cycle.status().ToString();
-  ASSERT_EQ(cycle->failovers.size(), 1u);
-  EXPECT_EQ(cycle->failovers[0].worker, victim);
-  EXPECT_FALSE(cluster_->controller()->WorkerAlive(victim));
-  CheckPlacementInvariants(*cluster_->controller(), "post-wedge-failover");
+  EXPECT_TRUE(cycle->failovers.empty());
+  ASSERT_EQ(cycle->replica_recoveries.size(), 1u);
+  EXPECT_EQ(cycle->replica_recoveries[0].worker, victim);
+  EXPECT_EQ(cycle->replica_recoveries[0].replica, 1);
+  EXPECT_TRUE(cycle->replica_recoveries[0].ok);
+  EXPECT_TRUE(cluster_->controller()->WorkerAlive(victim));
+  EXPECT_EQ(cluster_->controller()->placement_epoch(), epoch_before);
+  CheckPlacementInvariants(*cluster_->controller(), "post-replica-recovery");
+
+  // The repaired worker can ack again (perhaps after another cycle lets
+  // the rejoined replica finish catching up).
+  for (int i = 0; i < 5 && !cluster_->worker(victim)->Health().CanAck();
+       ++i) {
+    ASSERT_TRUE(cluster_->RunControlCycle().ok());
+  }
+  EXPECT_TRUE(cluster_->worker(victim)->Health().CanAck());
 
   // The refused write is indeterminate, like any un-acked write: it was
-  // appended to the healthy replica journals before the wedge, so tail
-  // recovery may legally resurrect it — but must never lose acked rows or
-  // fabricate anything else.
+  // appended to the healthy replica journals before the wedge, so recovery
+  // may legally resurrect it — but must never lose acked rows or fabricate
+  // anything else.
   Oracle maybe;
   maybe[1].insert("never-acked");
-  ExpectOracleCovered(*cluster_, oracle_, "after wedge failover", maybe);
+  ExpectOracleCovered(*cluster_, oracle_, "after in-place repair", maybe);
 
-  // Writes keep flowing to the survivors.
+  // Writes keep flowing — to the SAME worker, which kept its shards.
   WriteAcked(6, 4, &rng);
   if (::testing::Test::HasFatalFailure()) return;
   ExpectOracleCovered(*cluster_, oracle_, "after post-wedge writes", maybe);
+}
+
+// ---------------------------------------------------------------------------
+// Repeated offender: a replica that wedges again after every in-place
+// repair exhausts its attempt budget and the ladder escalates to the last
+// rung — whole-worker failover.
+// ---------------------------------------------------------------------------
+
+TEST_F(FailoverTest, RepeatedlyWedgingReplicaEscalatesToFailover) {
+  OpenCluster("repeat_wedge", 3, 2, 4);
+  if (::testing::Test::HasFatalFailure()) return;
+  Random rng(991);
+
+  WriteAcked(8, 4, &rng);
+  if (::testing::Test::HasFatalFailure()) return;
+  const uint32_t victim = WorkerOfTenant(1);
+  const int budget = ClusterDeploymentOptions().escalation.max_recover_attempts;
+
+  int failover_cycles = 0;
+  for (int round = 0; round <= budget; ++round) {
+    // Re-wedge the same replica before every control cycle: the repair
+    // itself succeeds each time, but the fault immediately returns.
+    ASSERT_TRUE(cluster_->worker(victim)->InjectReplicaSyncError(1).ok());
+    EXPECT_FALSE(cluster_->Write(1, MarkerRow(1, 6000 + round, "wedged")).ok());
+    auto cycle = cluster_->RunControlCycle();
+    ASSERT_TRUE(cycle.ok()) << cycle.status().ToString();
+    if (!cycle->failovers.empty()) {
+      EXPECT_EQ(cycle->failovers[0].worker, victim);
+      ++failover_cycles;
+      break;
+    }
+    // Every pre-escalation cycle must have tried the in-place rung.
+    ASSERT_EQ(cycle->replica_recoveries.size(), 1u);
+    EXPECT_EQ(cycle->replica_recoveries[0].replica, 1);
+  }
+  EXPECT_EQ(failover_cycles, 1);
+  EXPECT_FALSE(cluster_->controller()->WorkerAlive(victim));
+  CheckPlacementInvariants(*cluster_->controller(), "post-escalation");
+
+  Oracle maybe;
+  maybe[1].insert("wedged");  // the refused writes are indeterminate
+  ExpectOracleCovered(*cluster_, oracle_, "after escalated failover", maybe);
+  WriteAcked(6, 4, &rng);
+  if (::testing::Test::HasFatalFailure()) return;
+  ExpectOracleCovered(*cluster_, oracle_, "after post-escalation writes",
+                      maybe);
+}
+
+// ---------------------------------------------------------------------------
+// Regression (cluster.cc abort bug): an unhealthy LAST live worker used to
+// abort RunControlCycle mid-cycle with kUnavailable, so later phases (tail
+// recovery, traffic control) never ran. It must now degrade to a reported
+// skip and the cycle must complete.
+// ---------------------------------------------------------------------------
+
+TEST_F(FailoverTest, UnhealthyLastLiveWorkerIsSkippedNotFatal) {
+  OpenCluster("last_live", 2, 2, 6);
+  if (::testing::Test::HasFatalFailure()) return;
+  Random rng(313);
+
+  WriteAcked(8, 4, &rng);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  // Kill worker 0 outright and let the cycle fail it over: worker 1 is now
+  // the last live worker.
+  CrashAndKill(*cluster_, 0, CrashMode::kDropUnsynced, &rng);
+  if (::testing::Test::HasFatalFailure()) return;
+  auto cycle = cluster_->RunControlCycle();
+  ASSERT_TRUE(cycle.ok()) << cycle.status().ToString();
+  ASSERT_EQ(cycle->failovers.size(), 1u);
+  ExpectOracleExact(*cluster_, oracle_, "after first failover");
+
+  // Now break the survivor beyond replica-level repair: disconnect two of
+  // its three replicas, so no healthy majority remains. Failover is the
+  // indicated rung — but there is nowhere to fail over TO.
+  ASSERT_TRUE(cluster_->worker(1)->PartitionReplica(1).ok());
+  ASSERT_TRUE(cluster_->worker(1)->PartitionReplica(2).ok());
+  EXPECT_FALSE(cluster_->worker(1)->Health().CanAck());
+
+  // The cycle must NOT abort: the skip is reported and the remaining
+  // phases still run (traffic control fills in the report).
+  cycle = cluster_->RunControlCycle();
+  ASSERT_TRUE(cycle.ok()) << cycle.status().ToString();
+  EXPECT_TRUE(cycle->failovers.empty());
+  ASSERT_EQ(cycle->skipped.size(), 1u);
+  EXPECT_EQ(cycle->skipped[0], 1u);
+  EXPECT_TRUE(cluster_->controller()->WorkerAlive(1));
+  CheckPlacementInvariants(*cluster_->controller(), "after skipped cycle");
+
+  // Heal the partitions: the ladder's replica rung takes over once a
+  // healthy majority is back, and the worker acks again.
+  ASSERT_TRUE(cluster_->worker(1)->RecoverReplica(1).ok());
+  ASSERT_TRUE(cluster_->worker(1)->RecoverReplica(2).ok());
+  for (int i = 0; i < 5 && !cluster_->worker(1)->Health().CanAck(); ++i) {
+    ASSERT_TRUE(cluster_->RunControlCycle().ok());
+  }
+  EXPECT_TRUE(cluster_->worker(1)->Health().CanAck());
+  WriteAcked(4, 4, &rng);
+  if (::testing::Test::HasFatalFailure()) return;
+  ExpectOracleExact(*cluster_, oracle_, "after healing the last worker");
+}
+
+// ---------------------------------------------------------------------------
+// Rebalance-back: a worker that rejoins empty after failover is drained
+// shards by the next control cycle, under one epoch bump, and serves them.
+// ---------------------------------------------------------------------------
+
+TEST_F(FailoverTest, RejoinedEmptyWorkerIsDrainedShardsByNextCycle) {
+  OpenCluster("rebalance_back", 3, 2, 8);
+  if (::testing::Test::HasFatalFailure()) return;
+  Random rng(555);
+
+  WriteAcked(12, 6, &rng);
+  if (::testing::Test::HasFatalFailure()) return;
+  CrashAndKill(*cluster_, 1, CrashMode::kDropUnsynced, &rng);
+  if (::testing::Test::HasFatalFailure()) return;
+  auto cycle = cluster_->RunControlCycle();
+  ASSERT_TRUE(cycle.ok()) << cycle.status().ToString();
+  ASSERT_EQ(cycle->failovers.size(), 1u);
+
+  // Rejoin empty, then run the next cycle: the rebalance-back pass drains
+  // shards onto the rejoined worker up to its fair share, in one epoch.
+  ASSERT_TRUE(cluster_->RestartWorker(1).ok());
+  EXPECT_TRUE(cluster_->controller()->ShardsOfWorker(1).empty());
+  const uint64_t epoch_before = cluster_->controller()->placement_epoch();
+  cycle = cluster_->RunControlCycle();
+  ASSERT_TRUE(cycle.ok()) << cycle.status().ToString();
+  EXPECT_FALSE(cycle->rebalanced.empty());
+  for (const auto& [shard, target] : cycle->rebalanced) {
+    EXPECT_EQ(target, 1u) << "shard " << shard;
+    EXPECT_EQ(cluster_->controller()->WorkerForShard(shard), 1u);
+  }
+  EXPECT_EQ(cluster_->controller()->placement_epoch(), epoch_before + 1);
+  const size_t fair =
+      cluster_->controller()->num_shards() / 3;  // 3 live workers
+  EXPECT_EQ(cluster_->controller()->ShardsOfWorker(1).size(), fair);
+  CheckPlacementInvariants(*cluster_->controller(), "post-rebalance-back");
+
+  // A second cycle moves nothing more (the pass converges).
+  cycle = cluster_->RunControlCycle();
+  ASSERT_TRUE(cycle.ok()) << cycle.status().ToString();
+  EXPECT_TRUE(cycle->rebalanced.empty());
+
+  // The fleet keeps serving reads and writes across the new placement.
+  ExpectOracleExact(*cluster_, oracle_, "after rebalance-back");
+  WriteAcked(8, 6, &rng);
+  if (::testing::Test::HasFatalFailure()) return;
+  ExpectOracleExact(*cluster_, oracle_, "after post-rebalance writes");
 }
 
 // ---------------------------------------------------------------------------
