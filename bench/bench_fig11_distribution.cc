@@ -7,8 +7,10 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "workload/zipfian.h"
 
 int main() {
@@ -53,5 +55,30 @@ int main() {
   const auto uniform = logstore::workload::ZipfianShares(kTenants, 0.0);
   printf("theta=0   rank 1 share %.5f vs rank 1000 share %.5f\n", uniform[0],
          uniform[kTenants - 1]);
+
+  // Shares are small fractions; the 2-decimal JsonNum would flatten them.
+  auto share_num = [](double v) {
+    char buf[64];
+    snprintf(buf, sizeof(buf), "%.6f", v);
+    return std::string(buf);
+  };
+  std::string json = "{\n  \"bench\": \"fig11_distribution\",\n";
+  json += "  \"tenants\": " + std::to_string(kTenants) + ",\n";
+  json += "  \"theta\": 0.99,\n";
+  json += "  \"top10_share\": " + share_num(cumulative_top10) + ",\n";
+  json += "  \"top100_share\": " + share_num(cumulative_top100) + ",\n";
+  json += "  \"ranks\": [\n";
+  const uint64_t kJsonRanks[] = {0, 1, 9, 99, 999};
+  for (size_t i = 0; i < 5; ++i) {
+    const uint64_t rank = kJsonRanks[i];
+    json += "    {\"rank\": " + std::to_string(rank + 1) +
+            ", \"analytic_share\": " + share_num(shares[rank]) +
+            ", \"sampled_share\": " +
+            share_num(static_cast<double>(counts[rank]) / kSamples) + "}";
+    json += (i + 1 < 5) ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+  json += "  \"uniform_rank1_share\": " + share_num(uniform[0]) + "\n}";
+  logstore::bench::WriteBenchJson("BENCH_fig11.json", json);
   return 0;
 }

@@ -10,7 +10,9 @@
 // fewer added routes.
 
 #include <cstdio>
+#include <string>
 
+#include "bench_json.h"
 #include "cluster/traffic_sim.h"
 
 using logstore::cluster::BalancePolicy;
@@ -79,5 +81,25 @@ int main() {
          results[0][5].throughput / results[2][5].throughput,
          results[1][5].throughput / results[2][5].throughput,
          results[2][5].routes, results[1][5].routes);
+
+  using logstore::bench::JsonNum;
+  std::string json = "{\n  \"bench\": \"fig12_traffic_control\",\n";
+  json += "  \"policies\": {\n";
+  for (int p = 0; p < 3; ++p) {
+    json += "    \"" + std::string(kPolicyNames[p]) + "\": [\n";
+    for (int t = 0; t < 6; ++t) {
+      json += "      {\"theta\": " + JsonNum(kThetas[t]) +
+              ", \"throughput\": " + JsonNum(results[p][t].throughput) +
+              ", \"latency_ms\": " + JsonNum(results[p][t].latency) +
+              ", \"routes_added\": " + std::to_string(results[p][t].routes) +
+              "}";
+      json += (t + 1 < 6) ? ",\n" : "\n";
+    }
+    json += (p + 1 < 3) ? "    ],\n" : "    ]\n";
+  }
+  json += "  },\n";
+  json += "  \"theta099_throughput_nocontrol_vs_maxflow\": " +
+          JsonNum(results[0][5].throughput / results[2][5].throughput) + "\n}";
+  logstore::bench::WriteBenchJson("BENCH_fig12.json", json);
   return 0;
 }

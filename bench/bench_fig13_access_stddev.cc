@@ -8,7 +8,10 @@
 // changes little.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_json.h"
 #include "cluster/traffic_sim.h"
 
 using logstore::cluster::BalancePolicy;
@@ -23,6 +26,12 @@ int main() {
   printf("%-8s  %-16s %-16s %-8s  %-16s %-16s %-8s\n", "theta",
          "shard-before", "shard-after", "ratio", "worker-before",
          "worker-after", "ratio");
+
+  struct Row {
+    double theta, shard_before, shard_after, shard_ratio;
+    double worker_before, worker_after, worker_ratio;
+  };
+  std::vector<Row> rows;
 
   for (double theta : kThetas) {
     TrafficSimOptions options;
@@ -48,6 +57,27 @@ int main() {
            before.ShardAccessStddev(), after.ShardAccessStddev(), shard_ratio,
            before.WorkerAccessStddev(), after.WorkerAccessStddev(),
            worker_ratio);
+    rows.push_back({theta, before.ShardAccessStddev(),
+                    after.ShardAccessStddev(), shard_ratio,
+                    before.WorkerAccessStddev(), after.WorkerAccessStddev(),
+                    worker_ratio});
   }
+
+  using logstore::bench::JsonNum;
+  std::string json = "{\n  \"bench\": \"fig13_access_stddev\",\n";
+  json += "  \"points\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    json += "    {\"theta\": " + JsonNum(r.theta) +
+            ", \"shard_stddev_before\": " + JsonNum(r.shard_before) +
+            ", \"shard_stddev_after\": " + JsonNum(r.shard_after) +
+            ", \"shard_ratio\": " + JsonNum(r.shard_ratio) +
+            ", \"worker_stddev_before\": " + JsonNum(r.worker_before) +
+            ", \"worker_stddev_after\": " + JsonNum(r.worker_after) +
+            ", \"worker_ratio\": " + JsonNum(r.worker_ratio) + "}";
+    json += (i + 1 < rows.size()) ? ",\n" : "\n";
+  }
+  json += "  ]\n}";
+  logstore::bench::WriteBenchJson("BENCH_fig13.json", json);
   return 0;
 }

@@ -6,8 +6,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "cluster/traffic_sim.h"
 
 using logstore::cluster::BalancePolicy;
@@ -72,5 +74,26 @@ int main() {
   printf("\nworker CPU utilization after balancing: %.2f .. %.2f "
          "(alpha watermark = %.2f)\n",
          util_min, util_max, options.alpha);
+
+  using logstore::bench::JsonNum;
+  std::string json = "{\n  \"bench\": \"fig14_detail_accesses\",\n";
+  json += "  \"theta\": 0.99,\n";
+  json += "  \"hottest_shard_before\": " +
+          std::to_string(static_cast<long long>(shard_before[0])) + ",\n";
+  json += "  \"hottest_shard_after\": " +
+          std::to_string(static_cast<long long>(shard_after[0])) + ",\n";
+  json += "  \"hottest_shard_reduction\": " +
+          JsonNum(static_cast<double>(shard_before[0]) /
+                  std::max<int64_t>(1, shard_after[0])) + ",\n";
+  json += "  \"worker_util_min_after\": " + JsonNum(util_min) + ",\n";
+  json += "  \"worker_util_max_after\": " + JsonNum(util_max) + ",\n";
+  json += "  \"alpha\": " + JsonNum(options.alpha) + ",\n";
+  json += "  \"worker_accesses_after\": [";
+  for (size_t w = 0; w < after.worker_accesses.size(); ++w) {
+    json += std::to_string(static_cast<long long>(after.worker_accesses[w]));
+    if (w + 1 < after.worker_accesses.size()) json += ", ";
+  }
+  json += "]\n}";
+  logstore::bench::WriteBenchJson("BENCH_fig14.json", json);
   return 0;
 }

@@ -8,6 +8,8 @@
 // block size, making the block size mostly a cache-granularity knob.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "query_bench_common.h"
 
@@ -48,26 +50,48 @@ double RunConfig(Dataset* dataset, uint64_t block_size, bool coalesce,
 }  // namespace
 
 int main() {
+  const bool smoke = BenchSmoke();
   DatasetOptions data_options;
   data_options.num_tenants = 100;
-  data_options.total_rows = 300'000;
+  data_options.total_rows = smoke ? 100'000 : 300'000;
   Dataset dataset;
   BuildDataset(data_options, /*simulate_oss=*/true, &dataset);
 
-  const uint32_t kTenants = 15;
+  const uint32_t kTenants = smoke ? 5 : 15;
   printf("=== IO ablation: block size x coalescing (cold-cache query set, "
          "%u tenants x 6 queries) ===\n",
          kTenants);
   printf("%-14s %-16s %-16s %-10s\n", "block size", "coalesced (ms)",
          "per-block (ms)", "merge win");
+  struct Row {
+    uint64_t block_size;
+    double merged, split;
+  };
+  std::vector<Row> rows;
   for (uint64_t block_size : {4096ull, 65536ull, 524288ull}) {
     const double merged = RunConfig(&dataset, block_size, true, kTenants);
     const double split = RunConfig(&dataset, block_size, false, kTenants);
     printf("%-14llu %-16.0f %-16.0f %.2fx\n",
            static_cast<unsigned long long>(block_size), merged, split,
            split / merged);
+    rows.push_back({block_size, merged, split});
   }
   printf("\nFigure 10's request merge matters most at small block sizes,\n"
          "where per-request round trips would otherwise dominate scans.\n");
+
+  std::string json = "{\n  \"bench\": \"io_ablation\",\n";
+  json += "  \"smoke\": " + std::string(smoke ? "true" : "false") + ",\n";
+  json += "  \"tenants\": " + std::to_string(kTenants) + ",\n";
+  json += "  \"points\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    json += "    {\"block_size\": " + std::to_string(rows[i].block_size) +
+            ", \"coalesced_ms\": " + JsonNum(rows[i].merged) +
+            ", \"per_block_ms\": " + JsonNum(rows[i].split) +
+            ", \"merge_win\": " + JsonNum(rows[i].split / rows[i].merged) +
+            "}";
+    json += (i + 1 < rows.size()) ? ",\n" : "\n";
+  }
+  json += "  ]\n}";
+  WriteBenchJson("BENCH_io_ablation.json", json);
   return 0;
 }

@@ -1,0 +1,61 @@
+#ifndef LOGSTORE_BENCH_BENCH_JSON_H_
+#define LOGSTORE_BENCH_BENCH_JSON_H_
+
+// JSON emission shared by every figure bench. Each bench writes a compact
+// machine-readable BENCH_<fig>.json next to its stdout table; WriteBenchJson
+// also dumps the process-wide metric registry to a BENCH_<fig>.metrics.json
+// companion, so every committed perf number carries the counters (IO,
+// cache, prefetch, query) that produced it.
+//
+// This header is deliberately light (no dataset/engine includes) so the
+// traffic-simulator and scheduler benches can use it too.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/metrics.h"
+
+namespace logstore::bench {
+
+// BENCH_SMOKE=1 shrinks the dataset and thread sweep so CI can run the
+// figure benches as a fast regression smoke instead of a full measurement.
+inline bool BenchSmoke() {
+  const char* v = std::getenv("BENCH_SMOKE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+// Minimal number formatter for the JSON emitters (2 decimal places).
+inline std::string JsonNum(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+inline void WriteJsonFile(const std::string& path, const std::string& body) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+// The machine-readable companion to each figure's stdout table, plus the
+// metric-registry dump alongside it (<stem>.metrics.json).
+inline void WriteBenchJson(const std::string& path, const std::string& json) {
+  std::printf("\n");
+  WriteJsonFile(path, json);
+  std::string metrics_path = path;
+  const size_t suffix = metrics_path.rfind(".json");
+  if (suffix != std::string::npos) metrics_path.erase(suffix);
+  metrics_path += ".metrics.json";
+  WriteJsonFile(metrics_path, metrics::MetricRegistry::Default()->ToJson());
+}
+
+}  // namespace logstore::bench
+
+#endif  // LOGSTORE_BENCH_BENCH_JSON_H_

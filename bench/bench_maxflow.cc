@@ -6,7 +6,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <string>
 
+#include "bench_json.h"
+#include "common/clock.h"
 #include "common/random.h"
 #include "flow/balancer.h"
 #include "flow/consistent_hash.h"
@@ -96,6 +99,44 @@ void BM_GreedyBalancerPass(benchmark::State& state) {
 }
 BENCHMARK(BM_GreedyBalancerPass)->Arg(100)->Arg(1000)->Arg(5000);
 
+// A balancer pass must stay cheap relative to the 300 s monitoring
+// interval; the committed JSON records the per-pass cost at the paper's
+// 1000-tenant scale so regressions show up in review.
+template <typename Balancer>
+double TimedPassMs(const ClusterState& cluster, size_t* routes) {
+  Balancer balancer;
+  const int kIters = 20;
+  const int64_t start = SystemClock::Default()->NowMicros();
+  for (int i = 0; i < kIters; ++i) {
+    benchmark::DoNotOptimize(balancer.Schedule(cluster));
+  }
+  const int64_t elapsed = SystemClock::Default()->NowMicros() - start;
+  *routes = balancer.Schedule(cluster).routes.RouteCount();
+  return static_cast<double>(elapsed) / 1000.0 / kIters;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const logstore::flow::ClusterState cluster = MakeState(1000, 24, 4, 0.99);
+  size_t maxflow_routes = 0, greedy_routes = 0;
+  const double maxflow_ms =
+      TimedPassMs<logstore::flow::MaxFlowBalancer>(cluster, &maxflow_routes);
+  const double greedy_ms =
+      TimedPassMs<logstore::flow::GreedyBalancer>(cluster, &greedy_routes);
+
+  using logstore::bench::JsonNum;
+  std::string json = "{\n  \"bench\": \"maxflow\",\n";
+  json += "  \"tenants\": 1000,\n  \"workers\": 24,\n";
+  json += "  \"maxflow_pass_ms\": " + JsonNum(maxflow_ms) + ",\n";
+  json += "  \"greedy_pass_ms\": " + JsonNum(greedy_ms) + ",\n";
+  json += "  \"maxflow_routes\": " + std::to_string(maxflow_routes) + ",\n";
+  json += "  \"greedy_routes\": " + std::to_string(greedy_routes) + "\n}";
+  logstore::bench::WriteBenchJson("BENCH_maxflow.json", json);
+  return 0;
+}

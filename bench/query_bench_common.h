@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "cluster/data_builder.h"
 #include "common/clock.h"
 #include "logblock/logblock_map.h"
@@ -105,32 +106,8 @@ inline void BuildDataset(const DatasetOptions& options, bool simulate_oss,
 // Wall-clock helper.
 inline int64_t NowUs() { return SystemClock::Default()->NowMicros(); }
 
-// BENCH_SMOKE=1 shrinks the dataset and thread sweep so CI can run the
-// figure benches as a fast regression smoke instead of a full measurement.
-inline bool BenchSmoke() {
-  const char* v = std::getenv("BENCH_SMOKE");
-  return v != nullptr && v[0] != '\0' && v[0] != '0';
-}
-
-// The machine-readable companion to each figure's stdout table.
-inline void WriteBenchJson(const std::string& path, const std::string& json) {
-  FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return;
-  }
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fputc('\n', f);
-  std::fclose(f);
-  std::printf("\nwrote %s\n", path.c_str());
-}
-
-// Minimal number formatter for the JSON emitters (2 decimal places).
-inline std::string JsonNum(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.2f", v);
-  return buf;
-}
+// BenchSmoke(), JsonNum(), and WriteBenchJson() live in bench_json.h so the
+// simulator benches can emit JSON without pulling in the dataset builder.
 
 }  // namespace logstore::bench
 

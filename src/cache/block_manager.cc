@@ -5,14 +5,19 @@ namespace logstore::cache {
 BlockManager::BlockManager(const BlockManagerOptions& options)
     : memory_(std::make_unique<ShardedLruCache<const std::string>>(
           options.memory_capacity_bytes, options.memory_shards,
-          &memory_stats_)) {}
+          &memory_stats_)) {
+  metrics::MetricRegistry* registry = metrics::OrDefault(options.registry);
+  memory_stats_.BindTo(registry, "memory");
+  ssd_stats_.BindTo(registry, "ssd");
+}
 
 Result<std::unique_ptr<BlockManager>> BlockManager::Open(
     const BlockManagerOptions& options) {
   std::unique_ptr<BlockManager> manager(new BlockManager(options));
   if (!options.ssd_dir.empty()) {
     auto ssd = SsdBlockCache::Open(options.ssd_dir, options.ssd_capacity_bytes,
-                                   &manager->ssd_stats_);
+                                   &manager->ssd_stats_, /*hash_bits=*/64,
+                                   options.registry);
     if (!ssd.ok()) return ssd.status();
     manager->ssd_ = std::move(ssd).value();
     // Spill memory evictions to the SSD level; victims of one insert spill

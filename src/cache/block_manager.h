@@ -19,6 +19,9 @@ struct BlockManagerOptions {
   // Empty `ssd_dir` disables the SSD level.
   std::string ssd_dir;
   uint64_t ssd_capacity_bytes = 1ull << 30;
+  // Registry receiving the per-tier `cache.*` aggregates; nullptr means the
+  // process-wide default.
+  metrics::MetricRegistry* registry = nullptr;
 };
 
 // The block manager of §5.2 (Figure 9): a two-level file-block cache.

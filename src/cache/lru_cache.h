@@ -12,20 +12,31 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/metrics.h"
 
 namespace logstore::cache {
 
 struct CacheStats {
-  std::atomic<uint64_t> hits{0};
-  std::atomic<uint64_t> misses{0};
-  std::atomic<uint64_t> inserts{0};
-  std::atomic<uint64_t> evictions{0};
+  metrics::Counter hits{0};
+  metrics::Counter misses{0};
+  metrics::Counter inserts{0};
+  metrics::Counter evictions{0};
 
   double HitRate() const {
     const uint64_t h = hits.load(), m = misses.load();
     return h + m == 0 ? 0.0 : static_cast<double>(h) / (h + m);
   }
   void Reset() { hits = misses = inserts = evictions = 0; }
+
+  // Mirrors this instance's increments into the registry's `cache.*`
+  // aggregates for the given tier ("memory", "ssd", "object").
+  void BindTo(metrics::MetricRegistry* registry, const std::string& tier) {
+    const metrics::Labels labels = {{"tier", tier}};
+    hits.Bind(registry->Counter("cache.hits", labels));
+    misses.Bind(registry->Counter("cache.misses", labels));
+    inserts.Bind(registry->Counter("cache.inserts", labels));
+    evictions.Bind(registry->Counter("cache.evictions", labels));
+  }
 };
 
 // A byte-budgeted LRU cache of shared values. Thread-safe via a single

@@ -36,7 +36,7 @@ void AppendBlockRecord(std::string* out, const std::string& key,
 
 Result<std::unique_ptr<SsdBlockCache>> SsdBlockCache::Open(
     const std::string& dir, uint64_t capacity_bytes, CacheStats* stats,
-    int hash_bits) {
+    int hash_bits, metrics::MetricRegistry* registry) {
   std::error_code ec;
   fs::create_directories(dir, ec);
   if (ec) {
@@ -44,7 +44,7 @@ Result<std::unique_ptr<SsdBlockCache>> SsdBlockCache::Open(
                            ec.message());
   }
   return std::unique_ptr<SsdBlockCache>(
-      new SsdBlockCache(dir, capacity_bytes, stats, hash_bits));
+      new SsdBlockCache(dir, capacity_bytes, stats, hash_bits, registry));
 }
 
 SsdBlockCache::~SsdBlockCache() {
@@ -149,6 +149,7 @@ void SsdBlockCache::InsertBatch(
   std::lock_guard<std::mutex> lock(mu_);
   DetachFileOwnersLocked(file_hash);
   if (!written) return;
+  run_spills_++;
   for (size_t i = 0; i < blocks.size(); ++i) {
     // A duplicate key inside one batch would leave a dangling offset; keep
     // the first occurrence (later ones are unreachable bytes in the file).

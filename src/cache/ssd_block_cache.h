@@ -40,10 +40,10 @@ class SsdBlockCache {
   // is a best-effort accelerator, not a durability layer). `hash_bits`
   // narrows the file-name hash to its low N bits — production uses the
   // default 64; tests shrink it to force collisions.
-  static Result<std::unique_ptr<SsdBlockCache>> Open(const std::string& dir,
-                                                     uint64_t capacity_bytes,
-                                                     CacheStats* stats = nullptr,
-                                                     int hash_bits = 64);
+  static Result<std::unique_ptr<SsdBlockCache>> Open(
+      const std::string& dir, uint64_t capacity_bytes,
+      CacheStats* stats = nullptr, int hash_bits = 64,
+      metrics::MetricRegistry* registry = nullptr);
 
   ~SsdBlockCache();
 
@@ -82,13 +82,21 @@ class SsdBlockCache {
   // fewer spans than blocks means adjacent reads were coalesced.
   uint64_t ranged_reads() const { return ranged_reads_.load(); }
 
+  // Number of multi-block run files written by InsertBatch (memory-level
+  // eviction batches spilled as one file).
+  uint64_t run_spills() const { return run_spills_.load(); }
+
  private:
   SsdBlockCache(std::string dir, uint64_t capacity_bytes, CacheStats* stats,
-                int hash_bits)
+                int hash_bits, metrics::MetricRegistry* registry)
       : dir_(std::move(dir)),
         capacity_(capacity_bytes),
         stats_(stats),
-        hash_bits_(hash_bits) {}
+        hash_bits_(hash_bits) {
+    metrics::MetricRegistry* reg = metrics::OrDefault(registry);
+    ranged_reads_.Bind(reg->Counter("cache.ranged_reads", {{"tier", "ssd"}}));
+    run_spills_.Bind(reg->Counter("cache.run_spills", {{"tier", "ssd"}}));
+  }
 
   struct Entry {
     uint64_t size;           // data bytes (header excluded)
@@ -136,7 +144,8 @@ class SsdBlockCache {
   std::unordered_map<uint64_t, std::vector<std::string>> file_owner_;
   std::list<std::string> lru_;  // front = most recent
   uint64_t used_ = 0;
-  std::atomic<uint64_t> ranged_reads_{0};
+  metrics::Counter ranged_reads_{0};
+  metrics::Counter run_spills_{0};
 };
 
 }  // namespace logstore::cache

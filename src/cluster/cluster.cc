@@ -16,12 +16,42 @@ Result<std::unique_ptr<Cluster>> Cluster::Open(
   std::unique_ptr<Cluster> cluster(new Cluster());
   cluster->options_ = options;
   cluster->store_ = store;
+  // One registry serves the whole deployment: propagate it into the nested
+  // worker/engine options (when those are unset) BEFORE any worker or
+  // engine is constructed, so `wal.*`, `raft.*`, `query.*` land in it.
+  cluster->registry_ = metrics::OrDefault(options.registry);
+  if (cluster->options_.engine.registry == nullptr) {
+    cluster->options_.engine.registry = cluster->registry_;
+  }
+  if (cluster->options_.worker.wal.registry == nullptr) {
+    cluster->options_.worker.wal.registry = cluster->registry_;
+  }
+  if (cluster->options_.worker.raft.registry == nullptr) {
+    cluster->options_.worker.raft.registry = cluster->registry_;
+  }
+  cluster->monitor_cells_.BindTo(cluster->registry_);
+  cluster->scatter_cells_.BindTo(cluster->registry_);
+  // Shard/worker routing counters: the universe is fixed at deployment
+  // time, so the cells are pre-resolved and the write path indexes a
+  // vector instead of taking a lock.
+  const uint32_t num_shards = options.num_workers * options.shards_per_worker;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    cluster->shard_cells_.push_back(cluster->registry_->Counter(
+        "cluster.rows_routed", {{"shard", std::to_string(s)}}));
+  }
+  for (uint32_t w = 0; w < options.num_workers; ++w) {
+    cluster->worker_cells_.push_back(cluster->registry_->Counter(
+        "cluster.rows_routed", {{"worker", std::to_string(w)}}));
+  }
+  cluster->last_shard_rows_.assign(num_shards, 0);
+  cluster->last_worker_rows_.assign(options.num_workers, 0);
   cluster->controller_ = std::make_unique<Controller>(
       options.num_workers, options.shards_per_worker, options.controller);
   const int slots = options.admission_slots > 0
                         ? options.admission_slots
                         : std::max(2 * options.engine.query_threads, 2);
-  cluster->admission_ = std::make_unique<query::AdmissionGovernor>(slots);
+  cluster->admission_ =
+      std::make_unique<query::AdmissionGovernor>(slots, cluster->registry_);
   for (uint32_t w = 0; w < options.num_workers; ++w) {
     cluster->workers_.push_back(std::make_shared<Worker>(
         w, store, cluster->controller_->metadata(),
@@ -34,7 +64,7 @@ Result<std::unique_ptr<Cluster>> Cluster::Open(
     if (!worker_engine.ok()) return worker_engine.status();
     cluster->worker_engines_.push_back(std::move(worker_engine).value());
   }
-  query::EngineOptions broker_options = options.engine;
+  query::EngineOptions broker_options = cluster->options_.engine;
   broker_options.admission = cluster->admission_.get();
   auto engine = query::QueryEngine::Open(store, broker_options);
   if (!engine.ok()) return engine.status();
@@ -485,16 +515,46 @@ void Cluster::MonitorLoop(MonitorOptions options) {
   }
 }
 
+void Cluster::MonitorCells::BindTo(metrics::MetricRegistry* registry) {
+  cycles = registry->Counter("monitor.cycles");
+  cycle_errors = registry->Counter("monitor.cycle_errors");
+  failovers = registry->Counter("monitor.failovers");
+  replica_recoveries = registry->Counter("monitor.replica_recoveries");
+  election_waits = registry->Counter("monitor.election_waits");
+  skipped_workers = registry->Counter("monitor.skipped_workers");
+  rebalanced_shards = registry->Counter("monitor.rebalanced_shards");
+  tails_lost = registry->Counter("monitor.tails_lost");
+  last_cycle_us = registry->Gauge("monitor.last_cycle_us");
+  max_cycle_us = registry->Gauge("monitor.max_cycle_us");
+  total_cycle_us = registry->Gauge("monitor.total_cycle_us");
+}
+
+void Cluster::ScatterCells::BindTo(metrics::MetricRegistry* registry) {
+  queries = registry->Counter("cluster.scatter.queries");
+  rows_matched = registry->Counter("cluster.scatter.rows_matched");
+  realtime_rows = registry->Counter("cluster.scatter.realtime_rows");
+  logblocks_total = registry->Counter("cluster.scatter.logblocks_total");
+  logblocks_pruned = registry->Counter("cluster.scatter.logblocks_pruned");
+}
+
 void Cluster::RecordCycle(const Result<ControlCycleReport>& report,
                           int64_t elapsed_us) {
-  // Caller holds monitor_mu_.
+  // Caller holds monitor_mu_ (which also makes the gauge read-max-store
+  // below race-free: RecordCycle is the only writer).
   ++monitor_stats_.cycles;
   monitor_stats_.last_cycle_us = elapsed_us;
   monitor_stats_.max_cycle_us =
       std::max(monitor_stats_.max_cycle_us, elapsed_us);
   monitor_stats_.total_cycle_us += elapsed_us;
+  monitor_cells_.cycles->fetch_add(1, std::memory_order_relaxed);
+  monitor_cells_.last_cycle_us->store(elapsed_us, std::memory_order_relaxed);
+  monitor_cells_.max_cycle_us->store(monitor_stats_.max_cycle_us,
+                                     std::memory_order_relaxed);
+  monitor_cells_.total_cycle_us->fetch_add(elapsed_us,
+                                           std::memory_order_relaxed);
   if (!report.ok()) {
     ++monitor_stats_.cycle_errors;
+    monitor_cells_.cycle_errors->fetch_add(1, std::memory_order_relaxed);
     return;
   }
   monitor_stats_.failovers += report->failovers.size();
@@ -502,8 +562,21 @@ void Cluster::RecordCycle(const Result<ControlCycleReport>& report,
   monitor_stats_.election_waits += report->awaiting_election.size();
   monitor_stats_.skipped_workers += report->skipped.size();
   monitor_stats_.rebalanced_shards += report->rebalanced.size();
+  monitor_cells_.failovers->fetch_add(report->failovers.size(),
+                                      std::memory_order_relaxed);
+  monitor_cells_.replica_recoveries->fetch_add(
+      report->replica_recoveries.size(), std::memory_order_relaxed);
+  monitor_cells_.election_waits->fetch_add(report->awaiting_election.size(),
+                                           std::memory_order_relaxed);
+  monitor_cells_.skipped_workers->fetch_add(report->skipped.size(),
+                                            std::memory_order_relaxed);
+  monitor_cells_.rebalanced_shards->fetch_add(report->rebalanced.size(),
+                                              std::memory_order_relaxed);
   for (const FailoverReport& failover : report->failovers) {
-    if (failover.tail_lost) ++monitor_stats_.tails_lost;
+    if (failover.tail_lost) {
+      ++monitor_stats_.tails_lost;
+      monitor_cells_.tails_lost->fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -512,7 +585,10 @@ Status Cluster::Write(uint64_t tenant, const logblock::RowBatch& rows) {
   const flow::RouteTable routes = controller_->routes();
   uint32_t shard = 0;
   {
-    std::lock_guard<std::mutex> lock(metrics_mu_);
+    // The RNG is the only shared-mutable state on this path; its lock
+    // covers exactly the shard pick. (Every other broker write used to
+    // serialize here on the global metrics lock — twice per call.)
+    std::lock_guard<std::mutex> lock(rng_mu_);
     if (!routes.PickShard(tenant, &rng_, &shard)) {
       return Status::Internal("no route for tenant");
     }
@@ -538,11 +614,31 @@ Status Cluster::Write(uint64_t tenant, const logblock::RowBatch& rows) {
                                " was fenced during the write; not acked");
   }
 
-  std::lock_guard<std::mutex> lock(metrics_mu_);
-  tenant_traffic_[tenant] += rows.num_rows();
-  shard_loads_[shard] += rows.num_rows();
-  worker_loads_[worker_id] += rows.num_rows();
+  // Routing accounting for the monitor: lock-free registry counters, only
+  // bumped once the write actually acked.
+  const uint64_t n = rows.num_rows();
+  if (shard < shard_cells_.size()) {
+    shard_cells_[shard]->fetch_add(n, std::memory_order_relaxed);
+  }
+  if (worker_id < worker_cells_.size()) {
+    worker_cells_[worker_id]->fetch_add(n, std::memory_order_relaxed);
+  }
+  TenantCell(tenant)->fetch_add(n, std::memory_order_relaxed);
   return Status::OK();
+}
+
+std::atomic<uint64_t>* Cluster::TenantCell(uint64_t tenant) {
+  {
+    std::shared_lock<std::shared_mutex> lock(tenant_cells_mu_);
+    auto it = tenant_cells_.find(tenant);
+    if (it != tenant_cells_.end()) return it->second;
+  }
+  // Resolve outside the cache lock (the registry has its own); a racing
+  // first-writer resolves the same canonical cell, so emplace is idempotent.
+  std::atomic<uint64_t>* cell = registry_->Counter(
+      "cluster.rows_routed", {{"tenant", std::to_string(tenant)}});
+  std::unique_lock<std::shared_mutex> lock(tenant_cells_mu_);
+  return tenant_cells_.emplace(tenant, cell).first->second;
 }
 
 Status Cluster::CollectRealtime(
@@ -625,9 +721,8 @@ Result<query::QueryResult> Cluster::ScatterQuery(const query::LogQuery& query) {
   const logblock::LogBlockMap* map = controller_->metadata();
   const auto all_blocks = map->TenantBlocks(query.tenant_id);
   const auto blocks = map->Prune(query.tenant_id, query.ts_min, query.ts_max);
-  result.stats.logblocks_total = static_cast<uint32_t>(all_blocks.size());
-  result.stats.logblocks_pruned =
-      static_cast<uint32_t>(all_blocks.size() - blocks.size());
+  result.stats.logblocks_total = all_blocks.size();
+  result.stats.logblocks_pruned = all_blocks.size() - blocks.size();
 
   // Partition the pruned list by owning worker: each LogBlock belongs to a
   // shard by content hash of its object key (stable across failovers), and
@@ -695,7 +790,7 @@ Result<query::QueryResult> Cluster::ScatterQuery(const query::LogQuery& query) {
 
   LOGSTORE_RETURN_IF_ERROR(
       query::QueryEngine::MergeFragmentSlots(query, slots, &result));
-  result.stats.exec.rows_matched = static_cast<uint32_t>(result.rows.size());
+  result.stats.exec.rows_matched = result.rows.size();
 
   // Real-time rows from the live workers, merged after the archived rows
   // in the deterministic placement-independent order.
@@ -713,6 +808,17 @@ Result<query::QueryResult> Cluster::ScatterQuery(const query::LogQuery& query) {
     return Status::Unavailable("placement changed during the read; retry");
   }
   result.stats.elapsed_us = SystemClock::Default()->NowMicros() - start_us;
+  // Scatter-path registry aggregates: the broker engine's own query.*
+  // counters only see QuerySingleEngine, so scattered reads account here.
+  scatter_cells_.queries->fetch_add(1, std::memory_order_relaxed);
+  scatter_cells_.rows_matched->fetch_add(result.rows.size(),
+                                         std::memory_order_relaxed);
+  scatter_cells_.realtime_rows->fetch_add(result.stats.realtime_rows,
+                                          std::memory_order_relaxed);
+  scatter_cells_.logblocks_total->fetch_add(result.stats.logblocks_total,
+                                            std::memory_order_relaxed);
+  scatter_cells_.logblocks_pruned->fetch_add(result.stats.logblocks_pruned,
+                                             std::memory_order_relaxed);
   return result;
 }
 
@@ -732,17 +838,37 @@ Result<int> Cluster::RunBuildPass() {
 }
 
 Controller::ControlDecision Cluster::RunTrafficControl() {
+  // The routing counters are cumulative (registry counters never reset);
+  // traffic control consumes the delta since the previous cycle, so each
+  // cycle subtracts the remembered baseline. Entries with no traffic since
+  // the last cycle are omitted, matching the old move-and-clear maps.
   std::map<uint64_t, int64_t> tenants;
   std::map<uint32_t, int64_t> shards;
   std::map<uint32_t, int64_t> workers;
+  std::lock_guard<std::mutex> baseline_lock(traffic_baseline_mu_);
   {
-    std::lock_guard<std::mutex> lock(metrics_mu_);
-    tenants = std::move(tenant_traffic_);
-    shards = std::move(shard_loads_);
-    workers = std::move(worker_loads_);
-    tenant_traffic_.clear();
-    shard_loads_.clear();
-    worker_loads_.clear();
+    std::shared_lock<std::shared_mutex> cells_lock(tenant_cells_mu_);
+    for (const auto& [tenant, cell] : tenant_cells_) {
+      const int64_t cur =
+          static_cast<int64_t>(cell->load(std::memory_order_relaxed));
+      const int64_t delta = cur - last_tenant_rows_[tenant];
+      if (delta != 0) tenants[tenant] = delta;
+      last_tenant_rows_[tenant] = cur;
+    }
+  }
+  for (uint32_t s = 0; s < shard_cells_.size(); ++s) {
+    const int64_t cur =
+        static_cast<int64_t>(shard_cells_[s]->load(std::memory_order_relaxed));
+    const int64_t delta = cur - last_shard_rows_[s];
+    if (delta != 0) shards[s] = delta;
+    last_shard_rows_[s] = cur;
+  }
+  for (uint32_t w = 0; w < worker_cells_.size(); ++w) {
+    const int64_t cur =
+        static_cast<int64_t>(worker_cells_[w]->load(std::memory_order_relaxed));
+    const int64_t delta = cur - last_worker_rows_[w];
+    if (delta != 0) workers[w] = delta;
+    last_worker_rows_[w] = cur;
   }
   return controller_->RunTrafficControl(tenants, shards, workers);
 }

@@ -4,13 +4,16 @@
 #include <atomic>
 #include <condition_variable>
 #include <memory>
+#include <shared_mutex>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "cluster/controller.h"
 #include "cluster/escalation.h"
 #include "cluster/worker.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "objectstore/object_store.h"
@@ -41,6 +44,11 @@ struct ClusterDeploymentOptions {
   // Escalation-ladder knobs for the control cycle (replica-recovery attempt
   // budget, election patience).
   EscalationPolicy escalation;
+  // Registry receiving every layer's counters (`cluster.*`, `monitor.*`,
+  // and — propagated into the worker/engine options when those are unset —
+  // `wal.*`, `raft.*`, `query.*`, `cache.*`, `admission.*`). nullptr means
+  // the process-wide default.
+  metrics::MetricRegistry* registry = nullptr;
 };
 
 // Knobs for the background monitor thread (StartMonitor).
@@ -289,11 +297,58 @@ class Cluster {
     std::atomic<uint64_t>* seq_;
   };
 
-  // Accumulated monitor metrics between traffic-control cycles.
-  std::mutex metrics_mu_;
-  std::map<uint64_t, int64_t> tenant_traffic_;
-  std::map<uint32_t, int64_t> shard_loads_;
-  std::map<uint32_t, int64_t> worker_loads_;
+  // Broker write-path accounting (§4.1.3 monitor input), kept as registry
+  // counters so the hot path touches only lock-free atomics — the old
+  // metrics_mu_ serialized every Write twice (once for the RNG shard pick,
+  // once for three counter-map updates). Shard/worker cells are
+  // pre-resolved at Open (the universe is fixed); tenant cells resolve on
+  // first write through a read-mostly cache.
+  std::atomic<uint64_t>* TenantCell(uint64_t tenant);
+  metrics::MetricRegistry* registry_ = nullptr;
+  std::vector<std::atomic<uint64_t>*> shard_cells_;
+  std::vector<std::atomic<uint64_t>*> worker_cells_;
+  mutable std::shared_mutex tenant_cells_mu_;
+  std::unordered_map<uint64_t, std::atomic<uint64_t>*> tenant_cells_;
+
+  // The RNG is the one piece of Write that still needs mutual exclusion;
+  // it gets its own narrow lock instead of riding the metrics lock.
+  std::mutex rng_mu_;  // guards rng_
+
+  // Traffic control consumes per-cycle deltas, but the registry counters
+  // are cumulative; these baselines remember each counter's value at the
+  // previous cycle. Guarded by traffic_baseline_mu_ (cycles are already
+  // serialized by control_mu_, but tests call RunTrafficControl directly).
+  std::mutex traffic_baseline_mu_;
+  std::unordered_map<uint64_t, int64_t> last_tenant_rows_;
+  std::vector<int64_t> last_shard_rows_;
+  std::vector<int64_t> last_worker_rows_;
+
+  // Registry mirrors of MonitorStats (monitor.*) and the scatter-read
+  // aggregates (cluster.scatter.*), dual-written at the accounting points.
+  struct MonitorCells {
+    std::atomic<uint64_t>* cycles = nullptr;
+    std::atomic<uint64_t>* cycle_errors = nullptr;
+    std::atomic<uint64_t>* failovers = nullptr;
+    std::atomic<uint64_t>* replica_recoveries = nullptr;
+    std::atomic<uint64_t>* election_waits = nullptr;
+    std::atomic<uint64_t>* skipped_workers = nullptr;
+    std::atomic<uint64_t>* rebalanced_shards = nullptr;
+    std::atomic<uint64_t>* tails_lost = nullptr;
+    std::atomic<int64_t>* last_cycle_us = nullptr;
+    std::atomic<int64_t>* max_cycle_us = nullptr;
+    std::atomic<int64_t>* total_cycle_us = nullptr;
+    void BindTo(metrics::MetricRegistry* registry);
+  };
+  MonitorCells monitor_cells_;
+  struct ScatterCells {
+    std::atomic<uint64_t>* queries = nullptr;
+    std::atomic<uint64_t>* rows_matched = nullptr;
+    std::atomic<uint64_t>* realtime_rows = nullptr;
+    std::atomic<uint64_t>* logblocks_total = nullptr;
+    std::atomic<uint64_t>* logblocks_pruned = nullptr;
+    void BindTo(metrics::MetricRegistry* registry);
+  };
+  ScatterCells scatter_cells_;
 
   // Serializes control-plane entry points (control cycles, kill / restart /
   // failover, build passes) against each other — the monitor thread and

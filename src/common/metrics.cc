@@ -1,0 +1,143 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace logstore::metrics {
+
+namespace {
+
+Labels Canonicalize(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+void AppendJsonEscaped(std::ostringstream& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      default:
+        out << c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string MetricSample::Key() const {
+  return MetricRegistry::CanonicalKey(name, labels);
+}
+
+MetricRegistry* MetricRegistry::Default() {
+  static MetricRegistry* instance = new MetricRegistry();
+  return instance;
+}
+
+std::string MetricRegistry::CanonicalKey(const std::string& name,
+                                         const Labels& labels) {
+  if (labels.empty()) return name;
+  Labels sorted = Canonicalize(labels);
+  std::string key = name;
+  key.push_back('{');
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) key.push_back(',');
+    key += sorted[i].first;
+    key.push_back('=');
+    key += sorted[i].second;
+  }
+  key.push_back('}');
+  return key;
+}
+
+MetricRegistry::Cell* MetricRegistry::Resolve(const std::string& name,
+                                              const Labels& labels,
+                                              MetricType type) {
+  const std::string key = CanonicalKey(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  Cell& cell = cells_.emplace_back();
+  cell.name = name;
+  cell.labels = Canonicalize(labels);
+  cell.type = type;
+  index_.emplace(key, &cell);
+  return &cell;
+}
+
+std::atomic<uint64_t>* MetricRegistry::Counter(const std::string& name,
+                                               const Labels& labels) {
+  return &Resolve(name, labels, MetricType::kCounter)->counter;
+}
+
+std::atomic<int64_t>* MetricRegistry::Gauge(const std::string& name,
+                                            const Labels& labels) {
+  return &Resolve(name, labels, MetricType::kGauge)->gauge;
+}
+
+std::vector<MetricSample> MetricRegistry::Snapshot() const {
+  std::vector<MetricSample> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(cells_.size());
+  for (const Cell& cell : cells_) {
+    MetricSample sample;
+    sample.name = cell.name;
+    sample.labels = cell.labels;
+    sample.type = cell.type;
+    if (cell.type == MetricType::kCounter) {
+      sample.counter = cell.counter.load(std::memory_order_relaxed);
+    } else {
+      sample.gauge = cell.gauge.load(std::memory_order_relaxed);
+    }
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+std::map<std::string, int64_t> MetricRegistry::SnapshotMap() const {
+  std::map<std::string, int64_t> out;
+  for (const MetricSample& sample : Snapshot()) {
+    out[sample.Key()] = sample.type == MetricType::kCounter
+                            ? static_cast<int64_t>(sample.counter)
+                            : sample.gauge;
+  }
+  return out;
+}
+
+std::string MetricRegistry::ToText() const {
+  std::ostringstream out;
+  for (const auto& [key, value] : SnapshotMap()) {
+    out << key << ' ' << value << '\n';
+  }
+  return out.str();
+}
+
+std::string MetricRegistry::ToJson() const {
+  std::ostringstream out;
+  out << "{\n";
+  bool first = true;
+  for (const auto& [key, value] : SnapshotMap()) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "  \"";
+    AppendJsonEscaped(out, key);
+    out << "\": " << value;
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+size_t MetricRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cells_.size();
+}
+
+}  // namespace logstore::metrics

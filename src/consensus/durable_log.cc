@@ -50,7 +50,12 @@ std::string FrameRecord(uint8_t type, const std::string& body) {
 }  // namespace
 
 DurableLog::DurableLog(std::string dir, DurableLogOptions options)
-    : dir_(std::move(dir)), options_(options) {}
+    : dir_(std::move(dir)), options_(options) {
+  metrics::MetricRegistry* registry = metrics::OrDefault(options_.registry);
+  fsyncs_issued_.Bind(registry->Counter("wal.fsyncs_issued"));
+  sync_batches_.Bind(registry->Counter("wal.sync_batches"));
+  records_appended_.Bind(registry->Counter("wal.records_appended"));
+}
 
 DurableLog::~DurableLog() {
   if (fd_ >= 0) ::close(fd_);
@@ -375,6 +380,7 @@ Status DurableLog::AppendRecord(uint8_t type, const std::string& body,
   last_record_offset_ = written_bytes_;
   written_bytes_ += framed.size();
   active_.size = written_bytes_;
+  ++records_appended_;
   if (force_sync || options_.sync_policy == SyncPolicy::kPerRecord) {
     if (options_.sync_policy != SyncPolicy::kNever) {
       LOGSTORE_RETURN_IF_ERROR(FsyncActive());
@@ -473,6 +479,7 @@ Status DurableLog::DeleteSegmentsBelowWatermark() {
 
 Status DurableLog::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
+  ++sync_batches_;
   if (dead_) return Status::IOError("wal: simulated crash; reopen required");
   if (options_.sync_policy == SyncPolicy::kNever) return Status::OK();
   // Group commit: FsyncActive early-returns when a concurrent Sync that

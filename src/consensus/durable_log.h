@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "consensus/raft_persistence.h"
 
@@ -30,6 +31,9 @@ struct DurableLogOptions {
   SyncPolicy sync_policy = SyncPolicy::kPerRecord;
   // Active segment is sealed and a new one started past this size.
   uint64_t segment_target_bytes = 4ull << 20;
+  // Registry receiving the `wal.*` aggregates; nullptr means the
+  // process-wide default.
+  metrics::MetricRegistry* registry = nullptr;
 };
 
 // How SimulateCrash mangles the un-fsynced suffix of the active segment.
@@ -105,10 +109,11 @@ class DurableLog : public RaftPersistence {
     std::lock_guard<std::mutex> lock(mu_);
     return written_bytes_ - synced_bytes_;
   }
-  uint64_t fsyncs_issued() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return fsyncs_issued_;
-  }
+  // Real flushes (atomic: read by tests and monitors without the lock).
+  uint64_t fsyncs_issued() const { return fsyncs_issued_.load(); }
+  // Sync() group-commit points; sync_batches() - fsyncs_issued() of them
+  // found their bytes already covered by a concurrent flush.
+  uint64_t sync_batches() const { return sync_batches_.load(); }
 
   // --- Deterministic IO-error injection (tests) ---
   // The next `count` appends fail like ENOSPC. With `partial_write` the
@@ -178,7 +183,9 @@ class DurableLog : public RaftPersistence {
   uint64_t last_record_offset_ = 0;  // start of the newest record
   bool dead_ = false;               // SimulateCrash was called
 
-  uint64_t fsyncs_issued_ = 0;
+  metrics::Counter fsyncs_issued_{0};
+  metrics::Counter sync_batches_{0};
+  metrics::Counter records_appended_{0};
   Status failed_ = Status::OK();  // latched by a failed fsync (fail-stop)
   int inject_append_errors_ = 0;
   bool inject_append_partial_ = false;

@@ -13,6 +13,14 @@ RaftNode::RaftNode(int id, int cluster_size, RaftOptions options,
       apply_fn_(std::move(apply_fn)),
       next_index_(cluster_size, 1),
       match_index_(cluster_size, 0) {
+  metrics::MetricRegistry* registry = metrics::OrDefault(options_.registry);
+  snapshots_installed_.Bind(registry->Counter("raft.snapshots_installed"));
+  snapshots_sent_.Bind(registry->Counter("raft.snapshots_sent"));
+  snapshot_chunks_sent_.Bind(registry->Counter("raft.snapshot_chunks_sent"));
+  snapshot_chunks_received_.Bind(
+      registry->Counter("raft.snapshot_chunks_received"));
+  snapshot_chunk_rewinds_.Bind(
+      registry->Counter("raft.snapshot_chunk_rewinds"));
   ResetElectionTimer();
 }
 
@@ -697,6 +705,8 @@ void RaftNode::InstallSnapshotBlob(const Message& m, const std::string& state,
 
 RaftCluster::RaftCluster(int num_nodes, RaftOptions options, uint64_t seed)
     : options_(options), rng_(seed), disconnected_(num_nodes, false) {
+  retransmits_.Bind(
+      metrics::OrDefault(options_.registry)->Counter("raft.retransmits"));
   nodes_.reserve(num_nodes);
   for (int i = 0; i < num_nodes; ++i) {
     nodes_.push_back(std::make_unique<RaftNode>(

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/retry.h"
 #include "common/status.h"
@@ -165,6 +166,10 @@ struct RaftOptions {
   int rpc_backoff_max_rounds = 8;
   double rpc_backoff_jitter = 0.5;
   int64_t rpc_retry_deadline_rounds = 32;
+
+  // Registry receiving the `raft.*` aggregates; nullptr means the
+  // process-wide default.
+  metrics::MetricRegistry* registry = nullptr;
 };
 
 // Applies committed entries; the worker's row store implements this.
@@ -331,11 +336,13 @@ class RaftNode {
   // Leader state.
   std::vector<uint64_t> next_index_;
   std::vector<uint64_t> match_index_;
-  uint64_t snapshots_installed_ = 0;
-  uint64_t snapshots_sent_ = 0;
-  uint64_t snapshot_chunks_sent_ = 0;
-  uint64_t snapshot_chunks_received_ = 0;
-  uint64_t snapshot_chunk_rewinds_ = 0;
+  // Atomic (metrics::Counter): ticked on the embedder's control thread but
+  // read by test oracles and the monitor from other threads.
+  metrics::Counter snapshots_installed_{0};
+  metrics::Counter snapshots_sent_{0};
+  metrics::Counter snapshot_chunks_sent_{0};
+  metrics::Counter snapshot_chunks_received_{0};
+  metrics::Counter snapshot_chunk_rewinds_{0};
 
   // Leader-side chunked transfers, one per peer: the frozen blob being
   // shipped and the send cursor. Frozen at transfer start — if the base
@@ -477,7 +484,7 @@ class RaftCluster {
   double drop_rate_ = 0.0;
   double duplicate_rate_ = 0.0;
   double reorder_rate_ = 0.0;
-  uint64_t retransmits_ = 0;
+  metrics::Counter retransmits_{0};
   struct DelayedMessage {
     Message message;
     int rounds_left = 0;

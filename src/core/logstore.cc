@@ -14,11 +14,39 @@ Result<std::unique_ptr<LogStore>> LogStore::Open(LogStoreOptions options) {
   std::unique_ptr<LogStore> db(new LogStore());
   db->options_ = std::move(options);
 
+  // One registry serves every layer the facade stacks up; propagate it into
+  // the nested options (when unset) before any wrapped store, engine, or
+  // WAL is constructed.
+  metrics::MetricRegistry* registry = metrics::OrDefault(db->options_.registry);
+  if (db->options_.engine.registry == nullptr) {
+    db->options_.engine.registry = registry;
+  }
+  if (db->options_.retry_options.registry == nullptr) {
+    db->options_.retry_options.registry = registry;
+  }
+  if (db->options_.fault_options.registry == nullptr) {
+    db->options_.fault_options.registry = registry;
+  }
+  if (db->options_.wal.registry == nullptr) {
+    db->options_.wal.registry = registry;
+  }
+  db->rows_appended_.Bind(registry->Counter("core.rows_appended"));
+  db->appends_.Bind(registry->Counter("core.appends"));
+  db->flushes_.Bind(registry->Counter("core.flushes"));
+  db->logblocks_built_.Bind(registry->Counter("core.logblocks_built"));
+  db->queries_.Bind(registry->Counter("core.queries"));
+  db->blocks_expired_.Bind(registry->Counter("core.logblocks_expired"));
+  db->rows_in_rowstore_gauge_ = registry->Gauge("core.rows_in_rowstore");
+  db->logblocks_gauge_ = registry->Gauge("core.logblocks");
+  db->object_bytes_gauge_ = registry->Gauge("core.object_bytes");
+  db->tenant_count_gauge_ = registry->Gauge("core.tenant_count");
+
   std::unique_ptr<objectstore::ObjectStore> base;
   if (db->options_.storage_dir.empty()) {
-    base = std::make_unique<objectstore::MemoryObjectStore>();
+    base = std::make_unique<objectstore::MemoryObjectStore>(registry);
   } else {
-    auto opened = objectstore::FileObjectStore::Open(db->options_.storage_dir);
+    auto opened =
+        objectstore::FileObjectStore::Open(db->options_.storage_dir, registry);
     if (!opened.ok()) return opened.status();
     base = std::move(opened).value();
   }
@@ -134,6 +162,7 @@ Status LogStore::Append(uint64_t tenant, const logblock::RowBatch& rows) {
     row_store_->Append(tenant, rows);
   }
   rows_appended_ += rows.num_rows();
+  ++appends_;
 
   if (options_.autoflush_rows != 0 &&
       row_store_->row_count() >= options_.autoflush_rows) {
@@ -145,8 +174,10 @@ Status LogStore::Append(uint64_t tenant, const logblock::RowBatch& rows) {
 
 Result<int> LogStore::Flush() {
   std::lock_guard<std::mutex> lock(flush_mu_);
+  ++flushes_;
   auto built = builder_->BuildOnce(row_store_.get());
   if (!built.ok()) return built.status();
+  logblocks_built_ += static_cast<uint64_t>(*built);
   if (*built > 0) {
     LOGSTORE_RETURN_IF_ERROR(CheckpointCatalog());
     if (wal_ != nullptr) {
@@ -172,6 +203,7 @@ Result<int> LogStore::Flush() {
 }
 
 Result<query::QueryResult> LogStore::Query(const query::LogQuery& query) {
+  ++queries_;
   auto result = engine_->Execute(query, metadata_);
   if (!result.ok()) return result.status();
   logblock::RowBatch realtime = row_store_->ScanTenant(
@@ -191,6 +223,7 @@ Result<int> LogStore::Expire(uint64_t tenant, int64_t cutoff_ts) {
   if (!expired.empty()) {
     LOGSTORE_RETURN_IF_ERROR(CheckpointCatalog());
   }
+  blocks_expired_ += expired.size();
   return static_cast<int>(expired.size());
 }
 
@@ -226,6 +259,16 @@ LogStore::Stats LogStore::GetStats() const {
   stats.logblocks = metadata_.TotalBlocks();
   stats.object_bytes = builder_->bytes_uploaded();
   stats.tenant_count = metadata_.Tenants().size();
+  // Refresh the registry mirrors of the computed fields, so a registry
+  // dump after GetStats reflects the same snapshot.
+  rows_in_rowstore_gauge_->store(static_cast<int64_t>(stats.rows_in_rowstore),
+                                 std::memory_order_relaxed);
+  logblocks_gauge_->store(static_cast<int64_t>(stats.logblocks),
+                          std::memory_order_relaxed);
+  object_bytes_gauge_->store(static_cast<int64_t>(stats.object_bytes),
+                             std::memory_order_relaxed);
+  tenant_count_gauge_->store(static_cast<int64_t>(stats.tenant_count),
+                             std::memory_order_relaxed);
   return stats;
 }
 

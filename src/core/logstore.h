@@ -5,6 +5,7 @@
 #include <string>
 
 #include "cluster/data_builder.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "consensus/durable_log.h"
 #include "logblock/logblock_map.h"
@@ -70,6 +71,11 @@ struct LogStoreOptions {
   // segments whose entries are all on the object store.
   std::string wal_dir;
   consensus::DurableLogOptions wal;
+
+  // Registry receiving the facade's `core.*` counters and — propagated
+  // into the nested engine/retry/fault/WAL options when those are unset —
+  // every wrapped layer's metrics. nullptr means the process-wide default.
+  metrics::MetricRegistry* registry = nullptr;
 };
 
 class LogStore {
@@ -163,7 +169,20 @@ class LogStore {
   std::map<uint64_t, uint64_t> wal_index_to_seq_;
 
   std::mutex flush_mu_;
-  std::atomic<uint64_t> rows_appended_{0};
+
+  // `core.*` registry mirrors. The counters dual-write through
+  // metrics::Counter; the gauges mirror the computed Stats fields and are
+  // refreshed by GetStats().
+  metrics::Counter rows_appended_{0};
+  metrics::Counter appends_{0};
+  metrics::Counter flushes_{0};
+  metrics::Counter logblocks_built_{0};
+  metrics::Counter queries_{0};
+  metrics::Counter blocks_expired_{0};
+  std::atomic<int64_t>* rows_in_rowstore_gauge_ = nullptr;
+  std::atomic<int64_t>* logblocks_gauge_ = nullptr;
+  std::atomic<int64_t>* object_bytes_gauge_ = nullptr;
+  std::atomic<int64_t>* tenant_count_gauge_ = nullptr;
 
   std::mutex retention_mu_;
   std::map<uint64_t, int64_t> retention_micros_;

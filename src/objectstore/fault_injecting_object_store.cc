@@ -9,7 +9,9 @@ namespace logstore::objectstore {
 
 FaultInjectingObjectStore::FaultInjectingObjectStore(
     ObjectStore* base, FaultInjectionOptions options, Clock* clock)
-    : base_(base), options_(options), clock_(clock) {}
+    : base_(base), options_(options), clock_(clock) {
+  fault_stats_.BindTo(metrics::OrDefault(options_.registry));
+}
 
 FaultInjectingObjectStore::FaultInjectingObjectStore(
     std::unique_ptr<ObjectStore> base, FaultInjectionOptions options,
@@ -17,7 +19,9 @@ FaultInjectingObjectStore::FaultInjectingObjectStore(
     : owned_(std::move(base)),
       base_(owned_.get()),
       options_(options),
-      clock_(clock) {}
+      clock_(clock) {
+  fault_stats_.BindTo(metrics::OrDefault(options_.registry));
+}
 
 void FaultInjectingObjectStore::SetBrownout(int64_t start_us, int64_t end_us) {
   brownout_start_us_.store(start_us, std::memory_order_relaxed);

@@ -32,19 +32,35 @@ struct FaultInjectionOptions {
   // When false, Put/Delete are exempt from error injection (read-path-only
   // fault campaigns).
   bool fail_mutations = true;
+  // Registry receiving the `objectstore.fault.*` aggregates; nullptr means
+  // the process-wide default.
+  metrics::MetricRegistry* registry = nullptr;
 };
 
 struct FaultStats {
-  std::atomic<uint64_t> ops{0};
-  std::atomic<uint64_t> injected_errors{0};
-  std::atomic<uint64_t> injected_short_reads{0};
-  std::atomic<uint64_t> injected_latency_spikes{0};
-  std::atomic<uint64_t> brownout_rejections{0};
-  std::atomic<uint64_t> blacklist_rejections{0};
+  metrics::Counter ops{0};
+  metrics::Counter injected_errors{0};
+  metrics::Counter injected_short_reads{0};
+  metrics::Counter injected_latency_spikes{0};
+  metrics::Counter brownout_rejections{0};
+  metrics::Counter blacklist_rejections{0};
 
   void Reset() {
     ops = injected_errors = injected_short_reads = injected_latency_spikes = 0;
     brownout_rejections = blacklist_rejections = 0;
+  }
+
+  void BindTo(metrics::MetricRegistry* registry) {
+    ops.Bind(registry->Counter("objectstore.fault.ops"));
+    injected_errors.Bind(registry->Counter("objectstore.fault.injected_errors"));
+    injected_short_reads.Bind(
+        registry->Counter("objectstore.fault.injected_short_reads"));
+    injected_latency_spikes.Bind(
+        registry->Counter("objectstore.fault.injected_latency_spikes"));
+    brownout_rejections.Bind(
+        registry->Counter("objectstore.fault.brownout_rejections"));
+    blacklist_rejections.Bind(
+        registry->Counter("objectstore.fault.blacklist_rejections"));
   }
 };
 

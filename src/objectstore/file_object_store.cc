@@ -13,13 +13,13 @@ namespace logstore::objectstore {
 namespace fs = std::filesystem;
 
 Result<std::unique_ptr<FileObjectStore>> FileObjectStore::Open(
-    const std::string& root) {
+    const std::string& root, metrics::MetricRegistry* registry) {
   std::error_code ec;
   fs::create_directories(root, ec);
   if (ec) {
     return Status::IOError("cannot create root " + root + ": " + ec.message());
   }
-  return std::unique_ptr<FileObjectStore>(new FileObjectStore(root));
+  return std::unique_ptr<FileObjectStore>(new FileObjectStore(root, registry));
 }
 
 bool FileObjectStore::ValidKey(const std::string& key) {

@@ -14,8 +14,10 @@ namespace logstore::objectstore {
 // durability across process restarts and for exercising real file IO.
 class FileObjectStore : public ObjectStore {
  public:
-  // `root` is created if missing.
-  static Result<std::unique_ptr<FileObjectStore>> Open(const std::string& root);
+  // `root` is created if missing. `registry` receives the `objectstore.*`
+  // aggregates; nullptr means the process-wide default.
+  static Result<std::unique_ptr<FileObjectStore>> Open(
+      const std::string& root, metrics::MetricRegistry* registry = nullptr);
 
   Status Put(const std::string& key, const Slice& data) override;
   Result<std::string> Get(const std::string& key) override;
@@ -27,7 +29,10 @@ class FileObjectStore : public ObjectStore {
   ObjectStoreStats& stats() override { return stats_; }
 
  private:
-  explicit FileObjectStore(std::string root) : root_(std::move(root)) {}
+  FileObjectStore(std::string root, metrics::MetricRegistry* registry)
+      : root_(std::move(root)) {
+    stats_.BindTo(metrics::OrDefault(registry));
+  }
 
   std::string PathFor(const std::string& key) const;
   static bool ValidKey(const std::string& key);

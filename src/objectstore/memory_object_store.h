@@ -13,6 +13,10 @@ namespace logstore::objectstore {
 // In-memory object store backend for tests and simulations.
 class MemoryObjectStore : public ObjectStore {
  public:
+  explicit MemoryObjectStore(metrics::MetricRegistry* registry = nullptr) {
+    stats_.BindTo(metrics::OrDefault(registry));
+  }
+
   Status Put(const std::string& key, const Slice& data) override;
   Result<std::string> Get(const std::string& key) override;
   Result<std::string> GetRange(const std::string& key, uint64_t offset,

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/slice.h"
 #include "common/status.h"
@@ -13,19 +14,31 @@
 namespace logstore::objectstore {
 
 // Aggregate request counters, useful for asserting that data skipping and
-// caching actually avoid remote reads.
+// caching actually avoid remote reads. Per-instance values; once BindTo()
+// links the struct to a MetricRegistry, every increment is also mirrored
+// into the process-wide `objectstore.*` aggregates.
 struct ObjectStoreStats {
-  std::atomic<uint64_t> puts{0};
-  std::atomic<uint64_t> gets{0};
-  std::atomic<uint64_t> range_gets{0};
-  std::atomic<uint64_t> deletes{0};
-  std::atomic<uint64_t> lists{0};
-  std::atomic<uint64_t> bytes_written{0};
-  std::atomic<uint64_t> bytes_read{0};
+  metrics::Counter puts{0};
+  metrics::Counter gets{0};
+  metrics::Counter range_gets{0};
+  metrics::Counter deletes{0};
+  metrics::Counter lists{0};
+  metrics::Counter bytes_written{0};
+  metrics::Counter bytes_read{0};
 
   void Reset() {
     puts = gets = range_gets = deletes = lists = 0;
     bytes_written = bytes_read = 0;
+  }
+
+  void BindTo(metrics::MetricRegistry* registry) {
+    puts.Bind(registry->Counter("objectstore.puts"));
+    gets.Bind(registry->Counter("objectstore.gets"));
+    range_gets.Bind(registry->Counter("objectstore.range_gets"));
+    deletes.Bind(registry->Counter("objectstore.deletes"));
+    lists.Bind(registry->Counter("objectstore.lists"));
+    bytes_written.Bind(registry->Counter("objectstore.bytes_written"));
+    bytes_read.Bind(registry->Counter("objectstore.bytes_read"));
   }
 };
 

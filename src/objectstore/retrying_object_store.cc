@@ -19,14 +19,18 @@ inline const Status& StatusOf(const Result<T>& result) {
 
 RetryingObjectStore::RetryingObjectStore(ObjectStore* base,
                                          RetryOptions options, Clock* clock)
-    : base_(base), options_(options), clock_(clock) {}
+    : base_(base), options_(options), clock_(clock) {
+  retry_stats_.BindTo(metrics::OrDefault(options_.registry));
+}
 
 RetryingObjectStore::RetryingObjectStore(std::unique_ptr<ObjectStore> base,
                                          RetryOptions options, Clock* clock)
     : owned_(std::move(base)),
       base_(owned_.get()),
       options_(options),
-      clock_(clock) {}
+      clock_(clock) {
+  retry_stats_.BindTo(metrics::OrDefault(options_.registry));
+}
 
 bool RetryingObjectStore::IsRetryable(const Status& status) {
   switch (status.code()) {

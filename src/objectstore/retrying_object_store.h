@@ -34,15 +34,25 @@ struct RetryOptions {
   bool verify_short_reads = true;
   // Deterministic jitter stream (tests).
   uint64_t seed = 0;
+  // Registry receiving the `objectstore.retry.*` aggregates; nullptr means
+  // the process-wide default.
+  metrics::MetricRegistry* registry = nullptr;
 };
 
 struct RetryStats {
-  std::atomic<uint64_t> attempts{0};      // every try, incl. first
-  std::atomic<uint64_t> retries{0};       // re-tries after a transient error
-  std::atomic<uint64_t> giveups{0};       // transient error surfaced anyway
-  std::atomic<uint64_t> short_reads{0};   // truncated GetRange detected
+  metrics::Counter attempts{0};      // every try, incl. first
+  metrics::Counter retries{0};       // re-tries after a transient error
+  metrics::Counter giveups{0};       // transient error surfaced anyway
+  metrics::Counter short_reads{0};   // truncated GetRange detected
 
   void Reset() { attempts = retries = giveups = short_reads = 0; }
+
+  void BindTo(metrics::MetricRegistry* registry) {
+    attempts.Bind(registry->Counter("objectstore.retry.attempts"));
+    retries.Bind(registry->Counter("objectstore.retry.retries"));
+    giveups.Bind(registry->Counter("objectstore.retry.giveups"));
+    short_reads.Bind(registry->Counter("objectstore.retry.short_reads"));
+  }
 };
 
 // Decorator adding bounded retries with exponential backoff + jitter around

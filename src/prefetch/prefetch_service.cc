@@ -10,7 +10,11 @@ PrefetchService::PrefetchService(objectstore::ObjectStore* store,
     : store_(store),
       cache_(cache),
       options_(options),
-      pool_(std::make_unique<ThreadPool>(options.threads)) {}
+      pool_(std::make_unique<ThreadPool>(options.threads)) {
+  metrics::MetricRegistry* registry = metrics::OrDefault(options_.registry);
+  fetches_issued_.Bind(registry->Counter("prefetch.fetches_issued"));
+  fetch_errors_.Bind(registry->Counter("prefetch.fetch_errors"));
+}
 
 PrefetchService::~PrefetchService() { WaitIdle(); }
 

@@ -28,6 +28,9 @@ struct PrefetchOptions {
   // most this many bytes (Figure 10's request merge): a sequential scan
   // costs a handful of large requests instead of one per block.
   uint64_t max_coalesced_bytes = 4 * 1024 * 1024;
+  // Registry receiving the `prefetch.*` aggregates; nullptr means the
+  // process-wide default.
+  metrics::MetricRegistry* registry = nullptr;
 };
 
 // The parallel prefetch service of §5.2 (Figure 10). All reads go through
@@ -105,8 +108,8 @@ class PrefetchService {
   std::mutex mu_;
   std::condition_variable fetch_done_;
   std::set<std::string> in_flight_;
-  std::atomic<uint64_t> fetches_issued_{0};
-  std::atomic<uint64_t> fetch_errors_{0};
+  metrics::Counter fetches_issued_{0};
+  metrics::Counter fetch_errors_{0};
 
   // Fair prefetch queue (guarded by fair_mu_): per-owner FIFO runs served
   // round-robin across owners by up to `threads` dispatcher tasks. The same

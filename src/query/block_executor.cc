@@ -288,7 +288,7 @@ Result<BlockExecResult> ExecuteOnLogBlock(LogBlockReader* reader,
   if (query.limit != 0 && rows.size() > query.limit) {
     rows.resize(query.limit);
   }
-  result.stats.rows_matched = static_cast<uint32_t>(rows.size());
+  result.stats.rows_matched = rows.size();
   if (rows.empty()) return result;
 
   std::vector<size_t> out_cols;

@@ -33,10 +33,11 @@ struct ExecOptions {
 struct BlockExecStats {
   // Whole LogBlock skipped via column SMA before any data IO.
   bool skipped_by_column_sma = false;
-  uint32_t column_blocks_scanned = 0;  // decompressed + scanned
-  uint32_t column_blocks_skipped = 0;  // eliminated by block SMA / candidates
-  uint32_t index_probes = 0;
-  uint32_t rows_matched = 0;
+  // 64-bit: large-tenant soaks overflow 32-bit scan/row counters.
+  uint64_t column_blocks_scanned = 0;  // decompressed + scanned
+  uint64_t column_blocks_skipped = 0;  // eliminated by block SMA / candidates
+  uint64_t index_probes = 0;
+  uint64_t rows_matched = 0;
 
   void MergeFrom(const BlockExecStats& other) {
     column_blocks_scanned += other.column_blocks_scanned;

@@ -117,8 +117,9 @@ void ScatterLimitTracker::OnBlockDone(size_t index, const FragmentSlot& slot) {
   if (prefix_rows_ >= limit_) {
     // Limit secured in completed-prefix order across every fragment: all
     // in-flight work has a strictly higher global block index, provably
-    // beyond the limit cut. Never fires speculatively.
-    cancel_->store(true, std::memory_order_release);
+    // beyond the limit cut. Never fires speculatively. SignalCancel also
+    // wakes any peer block parked in the admission governor on this flag.
+    SignalCancel(cancel_);
   }
 }
 
@@ -126,18 +127,55 @@ QueryEngine::QueryEngine(objectstore::ObjectStore* store,
                          const EngineOptions& options)
     : store_(store), options_(options) {}
 
+void QueryEngine::QueryCells::BindTo(metrics::MetricRegistry* registry) {
+  queries = registry->Counter("query.queries");
+  rows_matched = registry->Counter("query.rows_matched");
+  realtime_rows = registry->Counter("query.realtime_rows");
+  logblocks_total = registry->Counter("query.logblocks_total");
+  logblocks_pruned = registry->Counter("query.logblocks_pruned");
+  logblocks_sma_skipped = registry->Counter("query.logblocks_sma_skipped");
+  column_blocks_scanned = registry->Counter("query.column_blocks_scanned");
+  column_blocks_skipped = registry->Counter("query.column_blocks_skipped");
+  index_probes = registry->Counter("query.index_probes");
+}
+
+void QueryEngine::QueryCells::Record(const QueryStats& stats) const {
+  if (queries == nullptr) return;
+  const auto order = std::memory_order_relaxed;
+  queries->fetch_add(1, order);
+  rows_matched->fetch_add(stats.exec.rows_matched, order);
+  realtime_rows->fetch_add(stats.realtime_rows, order);
+  logblocks_total->fetch_add(stats.logblocks_total, order);
+  logblocks_pruned->fetch_add(stats.logblocks_pruned, order);
+  logblocks_sma_skipped->fetch_add(stats.logblocks_sma_skipped, order);
+  column_blocks_scanned->fetch_add(stats.exec.column_blocks_scanned, order);
+  column_blocks_skipped->fetch_add(stats.exec.column_blocks_skipped, order);
+  index_probes->fetch_add(stats.exec.index_probes, order);
+}
+
 Result<std::unique_ptr<QueryEngine>> QueryEngine::Open(
     objectstore::ObjectStore* store, const EngineOptions& options) {
   std::unique_ptr<QueryEngine> engine(new QueryEngine(store, options));
+  metrics::MetricRegistry* registry = metrics::OrDefault(options.registry);
+  engine->query_cells_.BindTo(registry);
+  // The nested option structs inherit the engine's registry unless the
+  // caller already aimed them elsewhere.
+  if (engine->options_.retry_options.registry == nullptr) {
+    engine->options_.retry_options.registry = registry;
+  }
+  if (engine->options_.cache_options.registry == nullptr) {
+    engine->options_.cache_options.registry = registry;
+  }
   if (options.use_retry) {
     engine->retry_store_ = std::make_unique<objectstore::RetryingObjectStore>(
-        store, options.retry_options);
+        store, engine->options_.retry_options);
     engine->store_ = engine->retry_store_.get();
   }
   if (options.use_cache) {
-    auto cache = cache::BlockManager::Open(options.cache_options);
+    auto cache = cache::BlockManager::Open(engine->options_.cache_options);
     if (!cache.ok()) return cache.status();
     engine->cache_ = std::move(cache).value();
+    engine->object_cache_stats_.BindTo(registry, "object");
     engine->object_cache_ =
         std::make_unique<cache::LruCache<logblock::LogBlockReader>>(
             options.object_cache_bytes, &engine->object_cache_stats_);
@@ -150,7 +188,8 @@ Result<std::unique_ptr<QueryEngine>> QueryEngine::Open(
       prefetch::PrefetchOptions{
           .threads = options.prefetch_threads,
           .block_size = options.io_block_size,
-          .max_coalesced_bytes = options.max_coalesced_bytes});
+          .max_coalesced_bytes = options.max_coalesced_bytes,
+          .registry = registry});
   if (options.query_threads > 1) {
     engine->query_pool_ = std::make_unique<ThreadPool>(options.query_threads);
   }
@@ -193,9 +232,8 @@ Result<QueryResult> QueryEngine::Execute(const LogQuery& query,
   // Figure 8 step 1: prune via the LogBlock map on <tenant, min_ts, max_ts>.
   const auto all_blocks = map.TenantBlocks(query.tenant_id);
   const auto blocks = map.Prune(query.tenant_id, query.ts_min, query.ts_max);
-  result.stats.logblocks_total = static_cast<uint32_t>(all_blocks.size());
-  result.stats.logblocks_pruned =
-      static_cast<uint32_t>(all_blocks.size() - blocks.size());
+  result.stats.logblocks_total = all_blocks.size();
+  result.stats.logblocks_pruned = all_blocks.size() - blocks.size();
 
   Status status;
   if (query_pool_ != nullptr && blocks.size() > 1) {
@@ -212,8 +250,9 @@ Result<QueryResult> QueryEngine::Execute(const LogQuery& query,
   }
   if (!status.ok()) return status;
 
-  result.stats.exec.rows_matched = static_cast<uint32_t>(result.rows.size());
+  result.stats.exec.rows_matched = result.rows.size();
   result.stats.elapsed_us = SystemClock::Default()->NowMicros() - start_us;
+  query_cells_.Record(result.stats);
   return result;
 }
 
@@ -349,8 +388,9 @@ std::vector<FragmentSlot> QueryEngine::ExecuteFragment(
         fragment.cancel != nullptr) {
       // Real failure: stop feeding IO to in-flight tasks — of EVERY
       // fragment of this query. The merge still reports the lowest-index
-      // real error deterministically.
-      fragment.cancel->store(true, std::memory_order_release);
+      // real error deterministically. SignalCancel wakes admission waiters
+      // parked on this flag so they abandon the queue immediately.
+      SignalCancel(fragment.cancel);
     }
     if (fragment.on_block_done) {
       const size_t tag = fragment.tags.empty() ? i : fragment.tags[i];

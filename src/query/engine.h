@@ -66,13 +66,19 @@ struct EngineOptions {
   // per-tenant fair queueing. Non-owning; must outlive the engine. Null =
   // unlimited (the standalone single-engine behavior).
   AdmissionGovernor* admission = nullptr;
+
+  // Registry receiving the engine's `query.*` aggregates (and, propagated
+  // into the nested cache/retry/prefetch options when those carry none, the
+  // whole read stack's); nullptr means the process-wide default.
+  metrics::MetricRegistry* registry = nullptr;
 };
 
 struct QueryStats {
-  uint32_t logblocks_total = 0;    // blocks of the tenant in range
-  uint32_t logblocks_pruned = 0;   // eliminated by the LogBlock map
-  uint32_t logblocks_sma_skipped = 0;
-  uint32_t realtime_rows = 0;  // rows merged from real-time stores
+  // 64-bit: large-tenant soaks overflow 32-bit row/block counters.
+  uint64_t logblocks_total = 0;    // blocks of the tenant in range
+  uint64_t logblocks_pruned = 0;   // eliminated by the LogBlock map
+  uint64_t logblocks_sma_skipped = 0;
+  uint64_t realtime_rows = 0;  // rows merged from real-time stores
   BlockExecStats exec;
   int64_t elapsed_us = 0;
 };
@@ -223,6 +229,24 @@ class QueryEngine {
   std::unique_ptr<ThreadPool> query_pool_;
   // Distinct owner tag per Execute, for fair prefetch scheduling.
   std::atomic<uint64_t> next_query_owner_{1};
+
+  // Registry cells for whole-query accounting. QueryStats is a value type
+  // copied and merged across fragments, so the registry is dual-written
+  // once per Execute (from the final stats) rather than per increment.
+  struct QueryCells {
+    std::atomic<uint64_t>* queries = nullptr;
+    std::atomic<uint64_t>* rows_matched = nullptr;
+    std::atomic<uint64_t>* realtime_rows = nullptr;
+    std::atomic<uint64_t>* logblocks_total = nullptr;
+    std::atomic<uint64_t>* logblocks_pruned = nullptr;
+    std::atomic<uint64_t>* logblocks_sma_skipped = nullptr;
+    std::atomic<uint64_t>* column_blocks_scanned = nullptr;
+    std::atomic<uint64_t>* column_blocks_skipped = nullptr;
+    std::atomic<uint64_t>* index_probes = nullptr;
+
+    void BindTo(metrics::MetricRegistry* registry);
+    void Record(const QueryStats& stats) const;
+  } query_cells_;
 };
 
 }  // namespace logstore::query

@@ -214,5 +214,69 @@ TEST(AdmissionGovernorTest, StatsCountQueuedGrantsAndWaits) {
   EXPECT_GE(stats.total_wait_us, stats.max_wait_us);
 }
 
+// Regression for the cancellation-latency bug: Acquire used to poll its
+// cancel flag on a 1ms wait_for loop — cheap but busy, and any future
+// backstop widening would have silently added cancellation latency. Flips
+// routed through SignalCancel must wake the waiter directly: the observed
+// latency has to come in far under the coarse backstop (200ms), proving
+// the wakeup is the notification, not the timeout.
+TEST(AdmissionGovernorTest, SignalCancelWakesWaiterWithoutPolling) {
+  AdmissionGovernor governor(1);
+  ASSERT_TRUE(governor.Acquire(1));
+  std::atomic<bool> cancel{false};
+  std::atomic<int64_t> woke_us{0};
+  std::thread waiter([&] {
+    EXPECT_FALSE(governor.Acquire(2, &cancel));
+    woke_us.store(SystemClock::Default()->NowMicros());
+  });
+  SpinUntil([&] { return governor.queue_depth() == 1; });
+  const int64_t flip_us = SystemClock::Default()->NowMicros();
+  SignalCancel(&cancel);
+  waiter.join();
+  EXPECT_LT(woke_us.load() - flip_us, 100'000)
+      << "cancellation took as long as the backstop; the direct wakeup "
+         "path is not firing";
+  EXPECT_EQ(governor.queue_depth(), 0u);
+  governor.Release();
+  EXPECT_EQ(governor.slots_in_use(), 0);
+}
+
+// A flip that bypasses SignalCancel (legacy callers storing the flag
+// directly) must still cancel via the backstop — slower, never stuck.
+TEST(AdmissionGovernorTest, RawFlagFlipStillCancelsViaBackstop) {
+  AdmissionGovernor governor(1);
+  ASSERT_TRUE(governor.Acquire(1));
+  std::atomic<bool> cancel{false};
+  std::thread waiter([&] { EXPECT_FALSE(governor.Acquire(2, &cancel)); });
+  SpinUntil([&] { return governor.queue_depth() == 1; });
+  cancel.store(true);  // no SignalCancel: only the backstop can see this
+  waiter.join();
+  governor.Release();
+  EXPECT_EQ(governor.slots_in_use(), 0);
+}
+
+// Legacy TenantStats and the registry cells are dual-written at the same
+// accounting points and must agree exactly.
+TEST(AdmissionGovernorTest, RegistryCellsMirrorTenantStats) {
+  metrics::MetricRegistry registry;
+  AdmissionGovernor governor(1, &registry);
+  ASSERT_TRUE(governor.Acquire(5));
+  std::thread waiter([&] {
+    ASSERT_TRUE(governor.Acquire(5));
+    governor.Release();
+  });
+  SpinUntil([&] { return governor.queue_depth() == 1; });
+  governor.Release();
+  waiter.join();
+
+  const AdmissionTenantStats stats = governor.TenantStats(5);
+  const auto snap = registry.SnapshotMap();
+  EXPECT_EQ(snap.at("admission.grants{tenant=5}"),
+            static_cast<int64_t>(stats.grants));
+  EXPECT_EQ(snap.at("admission.queued_grants{tenant=5}"),
+            static_cast<int64_t>(stats.queued_grants));
+  EXPECT_EQ(snap.at("admission.wait_us{tenant=5}"), stats.total_wait_us);
+}
+
 }  // namespace
 }  // namespace logstore::query

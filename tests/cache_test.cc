@@ -10,6 +10,7 @@
 #include "cache/block_manager.h"
 #include "cache/lru_cache.h"
 #include "cache/ssd_block_cache.h"
+#include "common/metrics.h"
 
 namespace logstore::cache {
 namespace {
@@ -57,7 +58,11 @@ TEST(LruCacheTest, OversizedValueNotCached) {
 }
 
 TEST(LruCacheTest, StatsTrackHitsMisses) {
+  // Legacy CacheStats fields and their registry mirrors are dual-written
+  // by the same increments and must agree exactly.
+  metrics::MetricRegistry registry;
   CacheStats stats;
+  stats.BindTo(&registry, "memory");
   LruCache<const std::string> cache(100, &stats);
   cache.Insert("a", Block("a"), 1);
   cache.Get("a");
@@ -65,6 +70,13 @@ TEST(LruCacheTest, StatsTrackHitsMisses) {
   EXPECT_EQ(stats.hits.load(), 1u);
   EXPECT_EQ(stats.misses.load(), 1u);
   EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
+  const auto snap = registry.SnapshotMap();
+  EXPECT_EQ(snap.at("cache.hits{tier=memory}"),
+            static_cast<int64_t>(stats.hits.load()));
+  EXPECT_EQ(snap.at("cache.misses{tier=memory}"),
+            static_cast<int64_t>(stats.misses.load()));
+  EXPECT_EQ(snap.at("cache.inserts{tier=memory}"),
+            static_cast<int64_t>(stats.inserts.load()));
 }
 
 TEST(LruCacheTest, EvictionCallbackFires) {

@@ -40,6 +40,7 @@
 
 #include "cluster/cluster.h"
 #include "cluster/controller.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "consensus/durable_log.h"
 #include "objectstore/memory_object_store.h"
@@ -83,6 +84,7 @@ class ChaosTest : public ::testing::Test {
     if (cluster_ != nullptr) cluster_->StopMonitor();
     cluster_.reset();
     store_.reset();
+    registry_.reset();  // after the cluster: its cells are still referenced
     if (!dir_.empty()) fs::remove_all(dir_);
   }
 
@@ -92,7 +94,10 @@ class ChaosTest : public ::testing::Test {
     dir_ = fs::temp_directory_path() /
            ("chaos_" + std::to_string(::getpid()) + "_" + std::to_string(seed));
     fs::remove_all(dir_);
-    store_ = std::make_unique<objectstore::MemoryObjectStore>();
+    // Fresh registry per deployment, so the post-storm assertions compare
+    // this run's counters and nothing from earlier seeds.
+    registry_ = std::make_unique<metrics::MetricRegistry>();
+    store_ = std::make_unique<objectstore::MemoryObjectStore>(registry_.get());
     ClusterDeploymentOptions options;
     options.num_workers = num_workers;
     options.shards_per_worker = 2;
@@ -102,6 +107,7 @@ class ChaosTest : public ::testing::Test {
     options.worker.wal.sync_policy =
         seed % 2 == 0 ? SyncPolicy::kOnSync : SyncPolicy::kPerRecord;
     options.worker.wal.segment_target_bytes = 512 + (seed % 5) * 256;
+    options.registry = registry_.get();
     auto cluster = Cluster::Open(store_.get(), options);
     ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
     cluster_ = std::move(cluster).value();
@@ -241,6 +247,7 @@ class ChaosTest : public ::testing::Test {
     return false;
   }
 
+  std::unique_ptr<metrics::MetricRegistry> registry_;
   fs::path dir_;
   std::unique_ptr<objectstore::MemoryObjectStore> store_;
   std::unique_ptr<Cluster> cluster_;
@@ -363,6 +370,27 @@ TEST_F(ChaosTest, FleetSurvivesContinuousFaultsUnderMonitor) {
     EXPECT_GT(stats.failovers, 0u) << "the failover rung never ran";
     EXPECT_GT(stats.rebalanced_shards, 0u)
         << "no shards were drained back onto rejoined workers";
+
+    // The monitor's registry mirrors are dual-written under the same lock
+    // as MonitorStats; with the monitor paused (quiescent), every ladder
+    // rung's counter must match the harness-observed legacy value exactly.
+    const auto snap = registry_->SnapshotMap();
+    EXPECT_EQ(snap.at("monitor.cycles"), static_cast<int64_t>(stats.cycles));
+    EXPECT_EQ(snap.at("monitor.cycle_errors"),
+              static_cast<int64_t>(stats.cycle_errors));
+    EXPECT_EQ(snap.at("monitor.failovers"),
+              static_cast<int64_t>(stats.failovers));
+    EXPECT_EQ(snap.at("monitor.replica_recoveries"),
+              static_cast<int64_t>(stats.replica_recoveries));
+    EXPECT_EQ(snap.at("monitor.election_waits"),
+              static_cast<int64_t>(stats.election_waits));
+    EXPECT_EQ(snap.at("monitor.skipped_workers"),
+              static_cast<int64_t>(stats.skipped_workers));
+    EXPECT_EQ(snap.at("monitor.rebalanced_shards"),
+              static_cast<int64_t>(stats.rebalanced_shards));
+    EXPECT_EQ(snap.at("monitor.tails_lost"),
+              static_cast<int64_t>(stats.tails_lost));
+    EXPECT_EQ(snap.at("monitor.total_cycle_us"), stats.total_cycle_us);
 
     // Zero acked-row loss, nothing fabricated beyond indeterminate writes.
     for (const auto& [tenant, expected] : oracle_) {

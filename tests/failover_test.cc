@@ -33,6 +33,7 @@
 
 #include "cluster/cluster.h"
 #include "cluster/controller.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "consensus/durable_log.h"
 #include "objectstore/memory_object_store.h"
@@ -155,11 +156,14 @@ class FailoverTest : public ::testing::Test {
   }
 
   // A durable replicated deployment over per-worker WAL directories.
+  // `registry` isolates the deployment's metrics for equality assertions;
+  // nullptr keeps the process-wide default.
   void OpenCluster(const std::string& name, uint32_t num_workers,
-                   uint32_t shards_per_worker, uint64_t seed) {
+                   uint32_t shards_per_worker, uint64_t seed,
+                   metrics::MetricRegistry* registry = nullptr) {
     dir_ = fs::temp_directory_path() / ("failover_" + name);
     fs::remove_all(dir_);
-    store_ = std::make_unique<objectstore::MemoryObjectStore>();
+    store_ = std::make_unique<objectstore::MemoryObjectStore>(registry);
     ClusterDeploymentOptions options;
     options.num_workers = num_workers;
     options.shards_per_worker = shards_per_worker;
@@ -169,6 +173,7 @@ class FailoverTest : public ::testing::Test {
     options.worker.wal.sync_policy =
         seed % 2 == 0 ? SyncPolicy::kOnSync : SyncPolicy::kPerRecord;
     options.worker.wal.segment_target_bytes = 512 + (seed % 7) * 128;
+    options.registry = registry;
     auto cluster = Cluster::Open(store_.get(), options);
     ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
     cluster_ = std::move(cluster).value();
@@ -212,6 +217,7 @@ class FailoverTest : public ::testing::Test {
     oracle_[tenant].insert(marker);
   }
 
+  metrics::MetricRegistry registry_;  // outlives cluster_ (reset order)
   fs::path dir_;
   std::unique_ptr<objectstore::MemoryObjectStore> store_;
   std::unique_ptr<Cluster> cluster_;
@@ -911,6 +917,38 @@ TEST(PlacementPropertyTest, PlacementRoundTripsThroughFailoverAndRejoin) {
     (void)shard;
     EXPECT_EQ(worker, 1u);
   }
+}
+
+// Legacy per-instance counters and the shared registry must agree while
+// the deployment is quiet (no restarts: the live WAL objects are the only
+// producers ever bound to this isolated registry, so the per-instance sums
+// equal the cumulative registry cells exactly).
+TEST_F(FailoverTest, RegistryMirrorsLegacyCountersExactly) {
+  OpenCluster("registry_equality", 3, 2, /*seed=*/1, &registry_);
+  for (int i = 0; i < 10; ++i) WriteAckedTo(1);
+  for (int i = 0; i < 5; ++i) WriteAckedTo(2);
+  ASSERT_TRUE(cluster_->RunBuildPass().ok());
+
+  const auto snap = registry_.SnapshotMap();
+  // Broker routing counters: one row per acked marker write, no failovers
+  // so no tail replays inflate them.
+  EXPECT_EQ(snap.at("cluster.rows_routed{tenant=1}"), 10);
+  EXPECT_EQ(snap.at("cluster.rows_routed{tenant=2}"), 5);
+
+  uint64_t legacy_fsyncs = 0;
+  uint64_t legacy_batches = 0;
+  for (uint32_t id = 0; id < cluster_->num_workers(); ++id) {
+    Worker* worker = cluster_->worker(id);
+    ASSERT_NE(worker, nullptr);
+    for (int node = 0; node < 3; ++node) {
+      legacy_fsyncs += worker->wal(node)->fsyncs_issued();
+      legacy_batches += worker->wal(node)->sync_batches();
+    }
+  }
+  EXPECT_EQ(snap.at("wal.fsyncs_issued"),
+            static_cast<int64_t>(legacy_fsyncs));
+  EXPECT_EQ(snap.at("wal.sync_batches"),
+            static_cast<int64_t>(legacy_batches));
 }
 
 TEST(PlacementPropertyTest, LastLiveWorkerCannotBeFailedOver) {
