@@ -31,6 +31,7 @@ Result<std::unique_ptr<Cluster>> Cluster::Open(
   }
   cluster->monitor_cells_.BindTo(cluster->registry_);
   cluster->scatter_cells_.BindTo(cluster->registry_);
+  cluster->availability_cells_.BindTo(cluster->registry_);
   // Shard/worker routing counters: the universe is fixed at deployment
   // time, so the cells are pre-resolved and the write path indexes a
   // vector instead of taking a lock.
@@ -272,7 +273,10 @@ Status Cluster::RecoverTail(uint32_t id, FailoverReport* report) {
       if (rows.num_rows() == 0) continue;
       Status status = Status::OK();
       for (int attempt = 0; attempt < 4; ++attempt) {
-        status = Write(tenant, rows);
+        // WriteImpl, not Write: replay is the control plane moving rows it
+        // already owns, so its outcomes must not count against the
+        // client-facing cluster.availability.* cells.
+        status = WriteImpl(tenant, rows);
         if (status.ok()) break;
         // A replay target just failed mid-commit — e.g. a survivor's
         // journal hit ENOSPC and wedged on exactly this write. The victim
@@ -452,7 +456,8 @@ Status Cluster::StartMonitor(MonitorOptions options) {
     return Status::AlreadyExists("monitor already running");
   }
   monitor_stop_ = false;
-  monitor_paused_ = false;
+  monitor_pause_depth_ = 0;
+  monitor_kick_ = false;
   monitor_ = std::thread([this, options] { MonitorLoop(options); });
   return Status::OK();
 }
@@ -471,7 +476,10 @@ void Cluster::StopMonitor() {
 
 void Cluster::PauseMonitor() {
   std::unique_lock<std::mutex> lock(monitor_mu_);
-  monitor_paused_ = true;
+  // Depth, not a flag: concurrent pausers each hold their own claim on the
+  // quiescent window, and the monitor re-arms only when the last one
+  // resumes (see the wake contract in cluster.h).
+  ++monitor_pause_depth_;
   // Block until any in-flight cycle drains, so the caller observes a
   // quiescent control plane.
   monitor_cv_.wait(lock, [this] { return !monitor_in_cycle_; });
@@ -480,7 +488,11 @@ void Cluster::PauseMonitor() {
 void Cluster::ResumeMonitor() {
   {
     std::lock_guard<std::mutex> lock(monitor_mu_);
-    monitor_paused_ = false;
+    if (monitor_pause_depth_ > 0) --monitor_pause_depth_;
+    if (monitor_pause_depth_ > 0) return;  // other pausers still hold it
+    // Last resume: kick the loop so the next cycle starts now instead of
+    // after the remainder of poll_interval_ms.
+    monitor_kick_ = true;
   }
   monitor_cv_.notify_all();
 }
@@ -498,11 +510,16 @@ MonitorStats Cluster::monitor_stats() const {
 void Cluster::MonitorLoop(MonitorOptions options) {
   std::unique_lock<std::mutex> lock(monitor_mu_);
   while (!monitor_stop_) {
+    // The predicate must include monitor_kick_, or ResumeMonitor's notify
+    // lands on a wait whose predicate is still false and the loop sleeps
+    // out the rest of the poll interval anyway — the flaky-prone timing
+    // assumption the soak harness flushed out.
     monitor_cv_.wait_for(lock,
                          std::chrono::milliseconds(options.poll_interval_ms),
-                         [this] { return monitor_stop_; });
+                         [this] { return monitor_stop_ || monitor_kick_; });
+    monitor_kick_ = false;
     if (monitor_stop_) break;
-    if (monitor_paused_) continue;
+    if (monitor_pause_depth_ > 0) continue;
     monitor_in_cycle_ = true;
     lock.unlock();
     const int64_t start_us = SystemClock::Default()->NowMicros();
@@ -535,6 +552,41 @@ void Cluster::ScatterCells::BindTo(metrics::MetricRegistry* registry) {
   realtime_rows = registry->Counter("cluster.scatter.realtime_rows");
   logblocks_total = registry->Counter("cluster.scatter.logblocks_total");
   logblocks_pruned = registry->Counter("cluster.scatter.logblocks_pruned");
+}
+
+void Cluster::AvailabilityCells::BindTo(metrics::MetricRegistry* registry) {
+  write_attempts = registry->Counter("cluster.availability.write_attempts");
+  write_successes = registry->Counter("cluster.availability.write_successes");
+  write_unavailable =
+      registry->Counter("cluster.availability.write_unavailable");
+  write_errors = registry->Counter("cluster.availability.write_errors");
+  query_attempts = registry->Counter("cluster.availability.query_attempts");
+  query_successes = registry->Counter("cluster.availability.query_successes");
+  query_unavailable =
+      registry->Counter("cluster.availability.query_unavailable");
+  query_errors = registry->Counter("cluster.availability.query_errors");
+}
+
+void Cluster::AvailabilityCells::RecordWrite(const Status& status) {
+  write_attempts->fetch_add(1, std::memory_order_relaxed);
+  if (status.ok()) {
+    write_successes->fetch_add(1, std::memory_order_relaxed);
+  } else if (status.IsUnavailable()) {
+    write_unavailable->fetch_add(1, std::memory_order_relaxed);
+  } else {
+    write_errors->fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Cluster::AvailabilityCells::RecordQuery(const Status& status) {
+  query_attempts->fetch_add(1, std::memory_order_relaxed);
+  if (status.ok()) {
+    query_successes->fetch_add(1, std::memory_order_relaxed);
+  } else if (status.IsUnavailable()) {
+    query_unavailable->fetch_add(1, std::memory_order_relaxed);
+  } else {
+    query_errors->fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void Cluster::RecordCycle(const Result<ControlCycleReport>& report,
@@ -581,6 +633,12 @@ void Cluster::RecordCycle(const Result<ControlCycleReport>& report,
 }
 
 Status Cluster::Write(uint64_t tenant, const logblock::RowBatch& rows) {
+  Status status = WriteImpl(tenant, rows);
+  availability_cells_.RecordWrite(status);
+  return status;
+}
+
+Status Cluster::WriteImpl(uint64_t tenant, const logblock::RowBatch& rows) {
   controller_->EnsureTenantRoute(tenant);
   const flow::RouteTable routes = controller_->routes();
   uint32_t shard = 0;
@@ -669,8 +727,14 @@ Status Cluster::CollectRealtime(
 }
 
 Result<query::QueryResult> Cluster::Query(const query::LogQuery& query) {
-  return options_.scatter_reads ? ScatterQuery(query)
-                                : QuerySingleEngine(query);
+  // Availability accounting lives on the public dispatcher only —
+  // QuerySingleEngine called directly (the tests' ground-truth diff path)
+  // stays out of the denominator.
+  Result<query::QueryResult> result = options_.scatter_reads
+                                          ? ScatterQuery(query)
+                                          : QuerySingleEngine(query);
+  availability_cells_.RecordQuery(result.status());
+  return result;
 }
 
 Result<query::QueryResult> Cluster::QuerySingleEngine(

@@ -186,6 +186,22 @@ class Cluster {
   // Pauses the monitor between cycles; blocks until any in-flight cycle
   // completes, so after return the caller observes a quiescent control
   // plane (tests use this to make assertions race-free). Resume re-arms it.
+  //
+  // Wake contract (the soak harness leans on every clause):
+  //  - Pauses NEST: each PauseMonitor must be matched by one ResumeMonitor,
+  //    and the monitor stays quiescent until the LAST resume. Two fault
+  //    injectors may pause concurrently; neither's quiescent window can be
+  //    broken by the other's resume (monitor_pause_depth_ is a counter, not
+  //    a flag — a bool here once let a pause/resume storm re-arm the
+  //    monitor inside another thread's window, invalidating its raw
+  //    Worker* accesses).
+  //  - PauseMonitor returns only when no cycle is in flight; after return
+  //    no new cycle can start until the matching resume.
+  //  - ResumeMonitor (at depth zero) and StopMonitor wake the loop
+  //    IMMEDIATELY via monitor_kick_ — the loop's wait predicate must not
+  //    sleep out the remainder of poll_interval_ms, or a chaos schedule
+  //    that resumes right before asserting convergence goes flaky.
+  //  - StopMonitor may be called while paused; stop outranks pause.
   void PauseMonitor();
   void ResumeMonitor();
   bool monitor_running() const;
@@ -260,6 +276,10 @@ class Cluster {
 
   // The scatter/gather read path behind Query().
   Result<query::QueryResult> ScatterQuery(const query::LogQuery& query);
+
+  // Write() body; the public wrapper classifies the outcome into the
+  // cluster.availability.* cells on every exit path.
+  Status WriteImpl(uint64_t tenant, const logblock::RowBatch& rows);
 
   ClusterDeploymentOptions options_;
   objectstore::ObjectStore* store_ = nullptr;
@@ -350,6 +370,30 @@ class Cluster {
   };
   ScatterCells scatter_cells_;
 
+  // Availability accounting (cluster.availability.*): every broker write
+  // and read classified at the moment it returns to the client. The soak
+  // harness samples these cells into time buckets to compute write-success
+  // rate over wall clock the way Taurus's evaluation does; `*_unavailable`
+  // counts the retryable kUnavailable refusals (dead route, control-seqlock
+  // overlap, epoch move, brownout surfacing through a worker engine) that
+  // the availability floor is measured against. Other errors (bad query,
+  // admission aborts) land in `*_errors` so refusal and failure stay
+  // distinguishable.
+  struct AvailabilityCells {
+    std::atomic<uint64_t>* write_attempts = nullptr;
+    std::atomic<uint64_t>* write_successes = nullptr;
+    std::atomic<uint64_t>* write_unavailable = nullptr;
+    std::atomic<uint64_t>* write_errors = nullptr;
+    std::atomic<uint64_t>* query_attempts = nullptr;
+    std::atomic<uint64_t>* query_successes = nullptr;
+    std::atomic<uint64_t>* query_unavailable = nullptr;
+    std::atomic<uint64_t>* query_errors = nullptr;
+    void BindTo(metrics::MetricRegistry* registry);
+    void RecordWrite(const Status& status);
+    void RecordQuery(const Status& status);
+  };
+  AvailabilityCells availability_cells_;
+
   // Serializes control-plane entry points (control cycles, kill / restart /
   // failover, build passes) against each other — the monitor thread and
   // test threads share them. Ordered BEFORE workers_mu_ and any worker's
@@ -366,14 +410,16 @@ class Cluster {
   std::map<uint32_t, EscalationState> escalation_;
 
   // Monitor thread machinery. monitor_mu_ guards the flags and stats;
-  // cycles themselves run outside it (under control_mu_).
+  // cycles themselves run outside it (under control_mu_). See the wake
+  // contract on PauseMonitor above.
   mutable std::mutex monitor_mu_;
   std::condition_variable monitor_cv_;
   std::thread monitor_;
-  bool monitor_stop_ = false;      // guarded by monitor_mu_
-  bool monitor_paused_ = false;    // guarded by monitor_mu_
-  bool monitor_in_cycle_ = false;  // guarded by monitor_mu_
-  MonitorStats monitor_stats_;     // guarded by monitor_mu_
+  bool monitor_stop_ = false;       // guarded by monitor_mu_
+  int monitor_pause_depth_ = 0;     // guarded by monitor_mu_; nested pauses
+  bool monitor_kick_ = false;       // guarded by monitor_mu_; skip the nap
+  bool monitor_in_cycle_ = false;   // guarded by monitor_mu_
+  MonitorStats monitor_stats_;      // guarded by monitor_mu_
 };
 
 }  // namespace logstore::cluster

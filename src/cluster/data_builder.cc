@@ -61,6 +61,10 @@ Result<int> DataBuilder::BuildOnce(rowstore::RowStore* row_store) {
       bytes_uploaded_ += block->data.size();
       blocks_built_++;
       ++built;
+      {
+        std::lock_guard<std::mutex> lock(keys_mu_);
+        archived_keys_.push_back(key);
+      }
     }
   }
 
@@ -68,6 +72,11 @@ Result<int> DataBuilder::BuildOnce(rowstore::RowStore* row_store) {
   // Checkpoint: drop archived rows from the real-time store.
   row_store->TruncateUpTo(snapshot.end_seq);
   return built;
+}
+
+std::vector<std::string> DataBuilder::ArchivedKeys() const {
+  std::lock_guard<std::mutex> lock(keys_mu_);
+  return archived_keys_;
 }
 
 }  // namespace logstore::cluster

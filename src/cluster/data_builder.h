@@ -6,6 +6,8 @@
 #include <string>
 
 #include <memory>
+#include <mutex>
+#include <vector>
 
 #include "common/result.h"
 #include "logblock/logblock_map.h"
@@ -62,6 +64,13 @@ class DataBuilder {
   uint64_t rows_archived() const { return rows_archived_.load(); }
   uint64_t bytes_uploaded() const { return bytes_uploaded_.load(); }
 
+  // Object keys this builder instance has uploaded, in upload order: the
+  // archived prefix a snapshot of this worker asks a catching-up replica to
+  // trust. Shipped as the snapshot-manifest blob (see
+  // Worker::InstallSnapshotHooks); a production deployment would cap or
+  // checkpoint this list, the simulation keeps every key of the incarnation.
+  std::vector<std::string> ArchivedKeys() const;
+
   // Upload retry/giveup counters; nullptr when use_retry is off.
   const objectstore::RetryStats* retry_stats() const {
     return retry_store_ == nullptr ? nullptr : &retry_store_->retry_stats();
@@ -73,6 +82,9 @@ class DataBuilder {
   std::unique_ptr<objectstore::RetryingObjectStore> retry_store_;
   logblock::LogBlockMap* map_;
   const DataBuilderOptions options_;
+
+  mutable std::mutex keys_mu_;
+  std::vector<std::string> archived_keys_;  // guarded by keys_mu_
 
   std::atomic<uint64_t> sequence_{0};
   std::atomic<uint64_t> blocks_built_{0};

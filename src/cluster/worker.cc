@@ -6,7 +6,7 @@ namespace logstore::cluster {
 
 Worker::Worker(uint32_t id, objectstore::ObjectStore* store,
                logblock::LogBlockMap* map, WorkerOptions options)
-    : id_(id), options_(std::move(options)) {
+    : id_(id), options_(std::move(options)), store_(store) {
   primary_store_ = std::make_unique<rowstore::RowStore>(options_.schema);
   DataBuilderOptions builder_options = options_.builder;
   // Per-tenant directories in a shared bucket; the salt scopes sequence
@@ -85,7 +85,7 @@ consensus::ApplyFn Worker::MakeApplyFn(int node) {
 
 consensus::InstallSnapshotFn Worker::MakeInstallFn(int node) {
   return [this, node](uint64_t /*index*/, uint64_t aux,
-                      const std::string& /*state*/) {
+                      const std::string& state) {
     // Everything the snapshot covers lives in LogBlocks on the object
     // store (the aux cookie is the builder's object-key sequence at the
     // time of the snapshot): drop the local rows and serve that prefix
@@ -97,16 +97,49 @@ consensus::InstallSnapshotFn Worker::MakeInstallFn(int node) {
       applied_index_to_seq_.clear();
       builder_->set_next_sequence(std::max(builder_->next_sequence(), aux));
     }
+    VerifySnapshotManifest(state);
   };
 }
 
 void Worker::InstallSnapshotHooks(int node) {
-  // The leader-side state blob is empty by design: a LogStore snapshot is
-  // the watermark itself, because the state machine up to it is already in
-  // shared storage. The follower-side install hook does the local reset.
+  // A LogStore snapshot's STATE is the watermark itself — the state
+  // machine up to it is already in shared storage — so the blob carries a
+  // MANIFEST, not data: the object keys this worker's builder has archived
+  // (one per line after a version header). Shipping the manifest does two
+  // things: the installer can probe that shared storage actually holds the
+  // prefix it is about to trust (ResetToArchived discards local rows on
+  // that promise — a lost or overwritten LogBlock would otherwise surface
+  // only at query time), and the transfer has real bytes to stream, so the
+  // chunk/resume/rewind machinery runs the same multi-chunk path at worker
+  // scale that the raft-level harness exercises, not an empty-blob special
+  // case.
   raft_->SetSnapshotHooks(
-      node, [](uint64_t, uint64_t) { return std::string(); },
+      node, [this](uint64_t, uint64_t) { return BuildSnapshotManifest(); },
       MakeInstallFn(node));
+}
+
+std::string Worker::BuildSnapshotManifest() const {
+  std::string manifest = "logstore-manifest-v1\n";
+  for (const std::string& key : builder_->ArchivedKeys()) {
+    manifest += key;
+    manifest += '\n';
+  }
+  return manifest;
+}
+
+void Worker::VerifySnapshotManifest(const std::string& manifest) {
+  const std::string header = "logstore-manifest-v1\n";
+  if (manifest.rfind(header, 0) != 0) return;  // pre-manifest (empty) blob
+  size_t pos = header.size();
+  while (pos < manifest.size()) {
+    const size_t eol = manifest.find('\n', pos);
+    if (eol == std::string::npos) break;
+    const std::string key = manifest.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (key.empty()) continue;
+    ++manifest_keys_checked_;
+    if (!store_->Head(key).ok()) ++manifest_keys_unverified_;
+  }
 }
 
 Status Worker::CrashReplica(int node, consensus::CrashMode mode,

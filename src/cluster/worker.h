@@ -160,6 +160,19 @@ class Worker {
   // connectivity, leader presence, and latched persistence errors.
   WorkerHealth Health() const;
 
+  // Snapshot-manifest verification counters (§13). A chunked InstallSnapshot
+  // ships the builder's archived-key manifest as its blob; the installing
+  // replica probes each key against shared storage before trusting the
+  // archived prefix. `unverified` counts keys the probe could not confirm —
+  // a lost/overwritten LogBlock, or shared storage browning out during the
+  // install (retryable; the next transfer re-verifies).
+  uint64_t snapshot_manifest_keys_checked() const {
+    return manifest_keys_checked_.load();
+  }
+  uint64_t snapshot_manifest_keys_unverified() const {
+    return manifest_keys_unverified_.load();
+  }
+
   // Fencing: after the controller fails this worker over, its shards belong
   // to survivors, so a late write accepted here would be acknowledged into
   // a store nobody archives. Fence() makes every later Write fail with
@@ -188,6 +201,10 @@ class Worker {
   consensus::ApplyFn MakeApplyFn(int node);
   consensus::InstallSnapshotFn MakeInstallFn(int node);
   void InstallSnapshotHooks(int node);
+  // Leader-side snapshot blob: the archived-key manifest (see
+  // InstallSnapshotHooks). Follower-side check of a received manifest.
+  std::string BuildSnapshotManifest() const;
+  void VerifySnapshotManifest(const std::string& manifest);
   rowstore::RowStore* store_for(int node) {
     if (node == 0) return primary_store_.get();
     if (node == 1) return replica_store_.get();
@@ -199,6 +216,11 @@ class Worker {
 
   const uint32_t id_;
   WorkerOptions options_;
+  // Shared object store, for snapshot-manifest verification (the builder
+  // holds its own pointer for uploads).
+  objectstore::ObjectStore* store_ = nullptr;
+  std::atomic<uint64_t> manifest_keys_checked_{0};
+  std::atomic<uint64_t> manifest_keys_unverified_{0};
 
   // Replica row stores. Index 0 is the primary; with replication, index 1
   // is the second full copy and index 2 is WAL-only (never applied).

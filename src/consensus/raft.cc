@@ -21,6 +21,8 @@ RaftNode::RaftNode(int id, int cluster_size, RaftOptions options,
       registry->Counter("raft.snapshot_chunks_received"));
   snapshot_chunk_rewinds_.Bind(
       registry->Counter("raft.snapshot_chunk_rewinds"));
+  snapshot_stale_rejections_.Bind(
+      registry->Counter("raft.snapshot_stale_rejections"));
   ResetElectionTimer();
 }
 
@@ -560,6 +562,7 @@ void RaftNode::HandleInstallSnapshot(const Message& m,
   if (m.term < term_) {
     // Stale-term rejection: chunks (and whole snapshots) from a deposed
     // leader must never touch the staging buffer or the state machine.
+    ++snapshot_stale_rejections_;
     reply.success = false;
     out->push_back(std::move(reply));
     return;
@@ -592,14 +595,21 @@ void RaftNode::HandleInstallSnapshot(const Message& m,
     ack.to = m.from;
     ack.term = term_;
     ack.snapshot_xfer = m.snapshot_xfer;
+    // A transfer's identity is (leader, term, xfer id, snapshot index) —
+    // ALL four. Leader-side xfer ids restart from zero after a process
+    // restart, so a deposed leader's id can collide with its next life's;
+    // without the term in the key, a chunk of the new transfer could
+    // splice into bytes staged by the abandoned one.
     const bool same_transfer = snapshot_staging_.xfer == m.snapshot_xfer &&
                                snapshot_staging_.from == m.from &&
+                               snapshot_staging_.from_term == m.term &&
                                snapshot_staging_.index == m.snapshot_index;
     if (!same_transfer) {
       if (m.snapshot_offset != 0) {
         // Mid-blob chunk of a transfer we are not staging (stale transfer
         // id, or our staging was lost in a restart): refuse and ask the
         // leader to rewind to 0.
+        ++snapshot_stale_rejections_;
         ack.success = false;
         ack.next_offset = 0;
         out->push_back(std::move(ack));

@@ -251,6 +251,12 @@ class RaftNode {
     return snapshot_chunks_received_;
   }
   uint64_t snapshot_chunk_rewinds() const { return snapshot_chunk_rewinds_; }
+  // Snapshot traffic refused as stale: chunks from a deposed leader's term
+  // and mid-blob chunks whose transfer the follower no longer stages (so a
+  // later transfer can never splice a dead transfer's bytes).
+  uint64_t snapshot_stale_rejections() const {
+    return snapshot_stale_rejections_;
+  }
   const LogEntry& log_at(uint64_t index) const {
     return log_[index - log_base_index_ - 1];
   }
@@ -343,6 +349,7 @@ class RaftNode {
   metrics::Counter snapshot_chunks_sent_{0};
   metrics::Counter snapshot_chunks_received_{0};
   metrics::Counter snapshot_chunk_rewinds_{0};
+  metrics::Counter snapshot_stale_rejections_{0};
 
   // Leader-side chunked transfers, one per peer: the frozen blob being
   // shipped and the send cursor. Frozen at transfer start — if the base

@@ -44,6 +44,7 @@
 #include "common/random.h"
 #include "consensus/durable_log.h"
 #include "objectstore/memory_object_store.h"
+#include "test_env.h"
 #include "workload/zipfian.h"
 
 namespace logstore::cluster {
@@ -55,28 +56,15 @@ using consensus::CrashMode;
 using consensus::SyncPolicy;
 using logblock::RowBatch;
 using logblock::Value;
-
-int EnvInt(const char* name, int fallback) {
-  const char* env = std::getenv(name);
-  if (env != nullptr && *env != '\0') return std::atoi(env);
-  return fallback;
-}
+using testenv::EnvInt;
+using testenv::MarkerRow;
+using testenv::Oracle;
 
 // CHAOS_DEBUG=1 prints the fault script, for diagnosing a failing seed.
 void DebugLog(const std::string& line) {
   static const bool enabled = EnvInt("CHAOS_DEBUG", 0) != 0;
   if (enabled) fprintf(stderr, "[chaos] %s\n", line.c_str());
 }
-
-RowBatch MarkerRow(uint64_t tenant, int64_t ts, const std::string& marker) {
-  RowBatch batch(logblock::RequestLogSchema());
-  batch.AddRow({Value::Int64(static_cast<int64_t>(tenant)), Value::Int64(ts),
-                Value::String("10.0.0.1"), Value::Int64(5),
-                Value::String("false"), Value::String(marker)});
-  return batch;
-}
-
-using Oracle = std::map<uint64_t, std::multiset<std::string>>;
 
 class ChaosTest : public ::testing::Test {
  protected:
@@ -89,11 +77,7 @@ class ChaosTest : public ::testing::Test {
   }
 
   void OpenCluster(uint32_t num_workers, uint64_t seed) {
-    // Pid-qualified so concurrent invocations (ctest -j alongside a manual
-    // soak run) never fight over the same WAL directories.
-    dir_ = fs::temp_directory_path() /
-           ("chaos_" + std::to_string(::getpid()) + "_" + std::to_string(seed));
-    fs::remove_all(dir_);
+    dir_ = testenv::UniqueTempDir("chaos", seed);
     // Fresh registry per deployment, so the post-storm assertions compare
     // this run's counters and nothing from earlier seeds.
     registry_ = std::make_unique<metrics::MetricRegistry>();

@@ -27,6 +27,7 @@
 #include "cluster/cluster.h"
 #include "common/random.h"
 #include "objectstore/memory_object_store.h"
+#include "test_env.h"
 
 namespace logstore::cluster {
 namespace {
@@ -35,19 +36,10 @@ namespace fs = std::filesystem;
 
 using logblock::RowBatch;
 using logblock::Value;
+using testenv::MarkerRow;
 
 int SeedCount() {
-  const char* env = std::getenv("CLUSTER_READ_SEEDS");
-  if (env != nullptr && *env != '\0') return std::atoi(env);
-  return 2;  // local smoke; CI raises this
-}
-
-RowBatch MarkerRow(uint64_t tenant, int64_t ts, const std::string& marker) {
-  RowBatch batch(logblock::RequestLogSchema());
-  batch.AddRow({Value::Int64(static_cast<int64_t>(tenant)), Value::Int64(ts),
-                Value::String("10.0.0.1"), Value::Int64(5),
-                Value::String("false"), Value::String(marker)});
-  return batch;
+  return testenv::SeedCount("CLUSTER_READ_SEEDS", 2);  // CI raises this
 }
 
 TEST(ClusterReadFailoverTest, ConcurrentQueriesSeeOracleBytesOrRetryable) {
@@ -59,10 +51,8 @@ TEST(ClusterReadFailoverTest, ConcurrentQueriesSeeOracleBytesOrRetryable) {
     SCOPED_TRACE("seed=" + std::to_string(seed));
     Random rng(static_cast<uint64_t>(seed) * 7919);
 
-    const fs::path dir =
-        fs::temp_directory_path() /
-        ("cluster_read_failover_" + std::to_string(seed));
-    fs::remove_all(dir);
+    const fs::path dir = testenv::UniqueTempDir(
+        "cluster_read_failover", static_cast<uint64_t>(seed));
     auto store = std::make_unique<objectstore::MemoryObjectStore>();
     ClusterDeploymentOptions options;
     options.num_workers = kWorkers;

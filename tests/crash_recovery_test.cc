@@ -36,6 +36,7 @@
 #include "logblock/logblock_reader.h"
 #include "objectstore/memory_object_store.h"
 #include "rowstore/wal.h"
+#include "test_env.h"
 
 namespace logstore {
 namespace {
@@ -48,21 +49,12 @@ using consensus::CrashMode;
 using consensus::SyncPolicy;
 using logblock::RowBatch;
 using logblock::Value;
+using testenv::MarkerRow;
 
-constexpr size_t kLogColumn = 5;  // the marker string rides in `log`
+constexpr size_t kLogColumn = testenv::kMarkerColumn;  // marker rides in `log`
 
 int SeedCount() {
-  const char* env = std::getenv("CRASH_RECOVERY_SEEDS");
-  if (env != nullptr && *env != '\0') return std::atoi(env);
-  return 12;  // local smoke; CI runs 100
-}
-
-RowBatch MarkerRow(uint64_t tenant, int64_t ts, const std::string& marker) {
-  RowBatch batch(logblock::RequestLogSchema());
-  batch.AddRow({Value::Int64(static_cast<int64_t>(tenant)), Value::Int64(ts),
-                Value::String("10.0.0.1"), Value::Int64(5),
-                Value::String("false"), Value::String(marker)});
-  return batch;
+  return testenv::SeedCount("CRASH_RECOVERY_SEEDS", 12);  // CI runs 100
 }
 
 // Collects every marker string reachable after recovery: the real-time row

@@ -37,6 +37,7 @@
 #include "common/random.h"
 #include "consensus/durable_log.h"
 #include "objectstore/memory_object_store.h"
+#include "test_env.h"
 
 namespace logstore::cluster {
 namespace {
@@ -47,23 +48,12 @@ using consensus::CrashMode;
 using consensus::SyncPolicy;
 using logblock::RowBatch;
 using logblock::Value;
+using testenv::MarkerRow;
+using testenv::Oracle;
 
 int SeedCount() {
-  const char* env = std::getenv("FAILOVER_SEEDS");
-  if (env != nullptr && *env != '\0') return std::atoi(env);
-  return 4;  // local smoke; CI raises this
+  return testenv::SeedCount("FAILOVER_SEEDS", 4);  // local smoke; CI raises
 }
-
-RowBatch MarkerRow(uint64_t tenant, int64_t ts, const std::string& marker) {
-  RowBatch batch(logblock::RequestLogSchema());
-  batch.AddRow({Value::Int64(static_cast<int64_t>(tenant)), Value::Int64(ts),
-                Value::String("10.0.0.1"), Value::Int64(5),
-                Value::String("false"), Value::String(marker)});
-  return batch;
-}
-
-// The model oracle: markers per tenant whose Write() returned OK.
-using Oracle = std::map<uint64_t, std::multiset<std::string>>;
 
 std::multiset<std::string> QueryMarkers(Cluster& cluster, uint64_t tenant) {
   query::LogQuery query;

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/clock.h"
+#include "objectstore/fault_injecting_object_store.h"
 #include "objectstore/memory_object_store.h"
 #include "query/engine.h"
 #include "workload/loggen.h"
@@ -225,6 +227,86 @@ TEST_P(ScatterQueryTest, DeadOwnerIsRetryableNotPartial) {
   auto after_single = cluster->QuerySingleEngine(query);
   ASSERT_TRUE(after_single.ok()) << after_single.status().ToString();
   ExpectIdentical(*after_single, *after_scatter, "after control cycle");
+}
+
+TEST(ScatterBrownoutTest, BrownoutIsRetryableNotPartial) {
+  constexpr int64_t kScatterHistory = 2ll * 3600 * 1'000'000;
+  // Scatter reads during an object-store brownout (§13): every worker
+  // engine that needs a LogBlock fetch fails, and the broker must surface
+  // ONE retryable kUnavailable — never merge the workers that happened to
+  // succeed into a subset result. With the brownout cleared, the same
+  // query must come back byte-identical to its pre-brownout answer.
+  auto base_store = std::make_unique<objectstore::MemoryObjectStore>();
+  objectstore::FaultInjectionOptions fault;
+  fault.seed = 99;
+  objectstore::FaultInjectingObjectStore store(base_store.get(), fault);
+
+  ClusterDeploymentOptions options;
+  options.num_workers = 4;
+  options.shards_per_worker = 2;
+  options.worker.schema = logblock::RequestLogSchema();
+  options.worker.builder.max_rows_per_logblock = 300;
+  options.engine.cache_options.memory_capacity_bytes = 4 << 20;
+  options.engine.cache_options.ssd_dir.clear();
+  // Short read-retry budget: a brownout outlasting the call deadline must
+  // surface instead of being retried through.
+  options.engine.retry_options.max_attempts = 2;
+  options.engine.retry_options.initial_backoff_us = 5'000;
+  options.engine.retry_options.max_backoff_us = 20'000;
+  options.engine.retry_options.call_deadline_us = 100'000;
+  auto opened = Cluster::Open(&store, options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<Cluster> cluster = std::move(opened).value();
+
+  workload::LogGenerator gen(99);
+  for (uint64_t tenant = 0; tenant < 3; ++tenant) {
+    for (int i = 0; i < 12; ++i) {
+      ASSERT_TRUE(
+          cluster->Write(tenant, gen.Generate(tenant, 200, 0, kScatterHistory))
+              .ok());
+    }
+  }
+  auto built = cluster->RunBuildPass();
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  ASSERT_GT(*built, 0);
+
+  query::LogQuery query;
+  query.tenant_id = 1;
+  query.ts_min = 0;
+  query.ts_max = kScatterHistory;
+  auto expected = cluster->Query(query);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+  ASSERT_GT(expected->rows.size(), 0u);
+
+  // Brownout with no scheduled end (cleared explicitly below): cold caches
+  // force every worker engine to the store.
+  const int64_t now_us = SystemClock::Default()->NowMicros();
+  store.SetBrownout(now_us, now_us + 3'600'000'000LL);
+  cluster->ClearQueryCaches();
+
+  auto scattered = cluster->Query(query);
+  ASSERT_FALSE(scattered.ok()) << "brownout-crossing scatter read returned "
+                               << scattered->rows.size() << " rows";
+  EXPECT_TRUE(scattered.status().IsUnavailable())
+      << scattered.status().ToString();
+  auto single = cluster->QuerySingleEngine(query);
+  ASSERT_FALSE(single.ok());
+  EXPECT_TRUE(single.status().IsUnavailable()) << single.status().ToString();
+  EXPECT_GT(store.fault_stats().brownout_rejections.load(), 0u);
+
+  // Brownout lifts: byte-identical to the pre-brownout answer on both
+  // paths — the refusals above were purely retryable.
+  store.SetBrownout(0, 0);
+  auto after = cluster->Query(query);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->columns, expected->columns);
+  ASSERT_EQ(after->rows.size(), expected->rows.size());
+  for (size_t r = 0; r < expected->rows.size(); ++r) {
+    EXPECT_EQ(after->rows[r], expected->rows[r]) << "row " << r;
+  }
+  auto after_single = cluster->QuerySingleEngine(query);
+  ASSERT_TRUE(after_single.ok()) << after_single.status().ToString();
+  ASSERT_EQ(after_single->rows.size(), expected->rows.size());
 }
 
 TEST(RealtimeMergeTest, OrderIsPlacementIndependentAndAccounted) {

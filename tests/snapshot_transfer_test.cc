@@ -254,11 +254,138 @@ TEST(SnapshotTransferTest, FollowerRestartMidTransferRestartsStream) {
 
   EXPECT_EQ(cluster.node(follower).snapshots_installed(), 1u);
   EXPECT_GE(cluster.node(leader).snapshot_chunk_rewinds(), 1u);
+  // The refusal that forced the rewind is itself counted: the restarted
+  // follower saw mid-blob chunks of a transfer it no longer stages.
+  EXPECT_GE(cluster.node(follower).snapshot_stale_rejections(), 1u);
   EXPECT_EQ(cluster.node(follower).last_applied(), 40u);
   // Restart, not resume: the fresh node re-received the whole blob.
   const uint64_t blob = harness.BlobSize(leader, 38);
   const uint64_t total_chunks = (blob + kChunk - 1) / kChunk;
   EXPECT_EQ(cluster.node(follower).snapshot_chunks_received(), total_chunks);
+  ExpectStateConverged(harness, follower, 40, 100);
+}
+
+TEST(SnapshotTransferTest, LeaderKillMidStreamNewLeaderCompletesRepair) {
+  // The deposed-leader rung of the fault matrix: kill the leader while its
+  // chunk stream to a lagging follower is in flight. The surviving node
+  // with the complete log wins the election and runs its OWN transfer from
+  // offset 0 (a fresh xfer id replaces the dead one's staging); the
+  // follower converges byte-exact with exact chunk accounting — the
+  // abandoned transfer's staged prefix contributes nothing.
+  const size_t kChunk = 32;
+  RaftCluster cluster(3, ChunkedOptions(kChunk), 95);
+  SnapshotHarness harness;
+  int follower = -1;
+  const int leader =
+      ForceSnapshotRepair(&cluster, &harness, &follower, 40, /*pad=*/100);
+
+  cluster.Reconnect(follower);
+  for (int i = 0;
+       i < 50 && cluster.node(follower).snapshot_chunks_received() == 0; ++i) {
+    cluster.Tick(10);
+  }
+  ASSERT_GT(cluster.node(follower).snapshot_chunks_received(), 0u);
+  ASSERT_EQ(cluster.node(follower).snapshots_installed(), 0u)
+      << "transfer finished before the leader kill could interrupt it";
+  const uint64_t staged_chunks =
+      cluster.node(follower).snapshot_chunks_received();
+
+  cluster.Disconnect(leader);
+  const int new_leader = cluster.WaitForLeader();
+  ASSERT_GE(new_leader, 0);
+  ASSERT_NE(new_leader, leader);
+  ASSERT_NE(new_leader, follower)
+      << "the lagging follower must lose the election to the complete log";
+  cluster.Tick(6000);
+  cluster.Reconnect(leader);
+  cluster.Tick(2000);
+
+  EXPECT_EQ(cluster.node(follower).snapshots_installed(), 1u);
+  EXPECT_EQ(cluster.node(follower).last_applied(), 40u);
+  // Exact accounting: the new leader's stream restarted at zero, so the
+  // follower appended the dead transfer's prefix plus the WHOLE new blob —
+  // nothing was resumed across the leader change, nothing double-counted.
+  const uint64_t blob = harness.BlobSize(new_leader, 38);
+  const uint64_t total_chunks = (blob + kChunk - 1) / kChunk;
+  EXPECT_EQ(cluster.node(follower).snapshot_chunks_received(),
+            staged_chunks + total_chunks);
+  ExpectStateConverged(harness, follower, 40, 100);
+}
+
+TEST(SnapshotTransferTest, DeposedLeaderChunkCannotSpliceStagedTransfer) {
+  // The splice attack the stale-term counters pin down: a follower is
+  // staging a transfer from leader L when L is deposed. A leftover mid-blob
+  // chunk from L then arrives with offset == the staging cursor — exactly
+  // where a splice would land. Identity-wise it matches the staging (same
+  // from, xfer id, snapshot index); only the TERM gives it away. The
+  // follower must refuse it, count the stale rejection, and leave staging
+  // untouched, so the new leader's transfer converges byte-exact.
+  const size_t kChunk = 32;
+  RaftCluster cluster(3, ChunkedOptions(kChunk), 96);
+  SnapshotHarness harness;
+  int follower = -1;
+  const int leader =
+      ForceSnapshotRepair(&cluster, &harness, &follower, 40, /*pad=*/100);
+
+  cluster.Reconnect(follower);
+  for (int i = 0;
+       i < 50 && cluster.node(follower).snapshot_chunks_received() < 2; ++i) {
+    cluster.Tick(10);
+  }
+  ASSERT_GE(cluster.node(follower).snapshot_chunks_received(), 2u);
+  ASSERT_EQ(cluster.node(follower).snapshots_installed(), 0u)
+      << "transfer finished before the deposition could interrupt it";
+  const uint64_t old_term = cluster.node(leader).term();
+  // Every staged chunk so far is a full kChunk (the last chunk ends the
+  // transfer, which has not happened): the cursor is exactly this.
+  const uint64_t staged_bytes =
+      cluster.node(follower).snapshot_chunks_received() * kChunk;
+
+  cluster.Disconnect(leader);
+  const int new_leader = cluster.WaitForLeader();
+  ASSERT_GE(new_leader, 0);
+  ASSERT_NE(new_leader, leader);
+  ASSERT_GT(cluster.node(follower).term(), old_term)
+      << "the follower never learned the new term";
+
+  // The election ticks may already have let the new leader stream (or even
+  // complete) its own repair transfer; the poison assertions are deltas so
+  // they hold on every interleaving — the old term alone must doom the
+  // chunk before any identity or cursor comparison can touch staging.
+  const uint64_t chunks_before =
+      cluster.node(follower).snapshot_chunks_received();
+  const uint64_t stale_before =
+      cluster.node(follower).snapshot_stale_rejections();
+
+  // The deposed leader's leftover chunk: offsets line up with the dead
+  // transfer's staging cursor, the identity fields match it (the first
+  // transfer a node freezes gets xfer id 1), only the term is old.
+  Message stale;
+  stale.type = MessageType::kInstallSnapshot;
+  stale.from = leader;
+  stale.to = follower;
+  stale.term = old_term;
+  stale.snapshot_index = 38;  // ForceSnapshotRepair's watermark
+  stale.snapshot_term = old_term;
+  stale.snapshot_xfer = 1;
+  stale.snapshot_offset = staged_bytes;
+  stale.snapshot_last = false;
+  stale.snapshot_state = std::string(kChunk, 'Z');  // poison bytes
+  std::vector<Message> replies;
+  cluster.node(follower).Receive(stale, &replies);
+
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_FALSE(replies[0].success);
+  EXPECT_EQ(cluster.node(follower).snapshot_stale_rejections(),
+            stale_before + 1);
+  EXPECT_EQ(cluster.node(follower).snapshot_chunks_received(), chunks_before)
+      << "the poison chunk was appended to staging";
+
+  // The new leader repairs the follower with its own transfer; the 'Z'
+  // bytes must appear nowhere in the converged state.
+  cluster.Tick(6000);
+  EXPECT_EQ(cluster.node(follower).snapshots_installed(), 1u);
+  EXPECT_EQ(cluster.node(follower).last_applied(), 40u);
   ExpectStateConverged(harness, follower, 40, 100);
 }
 
@@ -294,11 +421,13 @@ TEST(SnapshotTransferTest, StaleChunksFromDeposedLeaderAreRejected) {
 
   ASSERT_EQ(replies.size(), 1u);
   EXPECT_FALSE(replies[0].success);
+  EXPECT_EQ(cluster.node(follower).snapshot_stale_rejections(), 1u);
   EXPECT_EQ(cluster.node(follower).snapshot_chunks_received(), 0u);
   EXPECT_EQ(cluster.node(follower).snapshots_installed(), 0u);
 
   // And a chunk for an ALREADY-APPLIED prefix: acknowledged with progress
-  // (so a lagging sender un-sticks) but never staged or installed.
+  // (so a lagging sender un-sticks) but never staged or installed — and
+  // not a stale rejection (the sender is current-term, just behind).
   Message old_prefix = stale;
   old_prefix.from = leader;
   old_prefix.term = cluster.node(leader).term();
@@ -308,6 +437,7 @@ TEST(SnapshotTransferTest, StaleChunksFromDeposedLeaderAreRejected) {
   ASSERT_EQ(replies.size(), 1u);
   EXPECT_TRUE(replies[0].success);
   EXPECT_EQ(replies[0].match_index, 6u);
+  EXPECT_EQ(cluster.node(follower).snapshot_stale_rejections(), 1u);
   EXPECT_EQ(cluster.node(follower).snapshot_chunks_received(), 0u);
   EXPECT_EQ(cluster.node(follower).snapshots_installed(), 0u);
 }

@@ -1,0 +1,74 @@
+// Shared environment/workload helpers for the seeded fault harnesses
+// (chaos, soak, crash-recovery, failover, cluster-read). Each harness used
+// to carry its own copy of these; they live here so a knob or schema tweak
+// lands everywhere at once.
+#ifndef LOGSTORE_TESTS_TEST_ENV_H_
+#define LOGSTORE_TESTS_TEST_ENV_H_
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+
+#include "logblock/row_batch.h"
+#include "logblock/schema.h"
+
+namespace logstore::testenv {
+
+// Integer knob from the environment, e.g. CHAOS_WORKERS / SOAK_SECONDS.
+// Empty or unset falls back; CI raises the knobs, local runs stay small so
+// tier-1 stays fast.
+inline int EnvInt(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  if (env != nullptr && *env != '\0') return std::atoi(env);
+  return fallback;
+}
+
+// Seed-sweep width for a harness (FAILOVER_SEEDS, CRASH_RECOVERY_SEEDS,
+// CLUSTER_READ_SEEDS, SOAK_SEEDS, ...). Same contract as EnvInt; named
+// separately because every suite documents "Seeds default to a quick smoke
+// count; CI raises <NAME>".
+inline int SeedCount(const char* env_name, int fallback) {
+  return EnvInt(env_name, fallback);
+}
+
+// A per-run scratch directory under the system temp dir, pid-qualified so
+// concurrent invocations (ctest -j alongside a manual soak run) never
+// fight over the same WAL directories. The caller owns cleanup.
+inline std::filesystem::path UniqueTempDir(const std::string& prefix,
+                                           uint64_t seed) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      (prefix + "_" + std::to_string(::getpid()) + "_" + std::to_string(seed));
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// Column index of the marker string in RequestLogSchema rows (the `log`
+// column MarkerRow writes into).
+inline constexpr size_t kMarkerColumn = 5;
+
+// One RequestLogSchema row carrying a unique marker string in `log`: the
+// unit of acked-write tracking every oracle is built from.
+inline logblock::RowBatch MarkerRow(uint64_t tenant, int64_t ts,
+                                    const std::string& marker) {
+  logblock::RowBatch batch(logblock::RequestLogSchema());
+  batch.AddRow({logblock::Value::Int64(static_cast<int64_t>(tenant)),
+                logblock::Value::Int64(ts), logblock::Value::String("10.0.0.1"),
+                logblock::Value::Int64(5), logblock::Value::String("false"),
+                logblock::Value::String(marker)});
+  return batch;
+}
+
+// The model oracle: markers per tenant whose Write() returned OK. A second
+// instance doubles as the "maybe" set (un-acked writes whose fate is
+// indeterminate) in coverage-without-fabrication checks.
+using Oracle = std::map<uint64_t, std::multiset<std::string>>;
+
+}  // namespace logstore::testenv
+
+#endif  // LOGSTORE_TESTS_TEST_ENV_H_
