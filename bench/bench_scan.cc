@@ -1,0 +1,267 @@
+// Vectorized scan-kernel sweep (§15): residual full scans (data skipping
+// OFF, so every column block of every predicate column is decoded and
+// filtered) with the selection-bitmap kernels against the row-at-a-time
+// scalar baseline, cold (fresh engine) and warm (object bytes cached; the
+// per-execution decode + filter still run, isolating the CPU path). A
+// second section measures aggregation pushdown against the broker-side
+// rows-then-aggregate strategy it replaces.
+//
+// Emits BENCH_scan.json (+ BENCH_scan.metrics.json with the registry dump,
+// including the query.vectorized.* cells) for the perf-smoke CI gate.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/aggregation.h"
+#include "query_bench_common.h"
+
+using namespace logstore;
+using namespace logstore::bench;
+
+namespace {
+
+struct ScanCase {
+  std::string name;
+  query::LogQuery query;
+};
+
+struct ScanMeasure {
+  double cold_ms = 0;
+  double warm_ms = 0;  // average of the warm repeats
+  uint64_t rows_matched = 0;
+  uint64_t vectorized_rows_scanned = 0;
+};
+
+query::EngineOptions ScanOptions(bool vectorized, int threads) {
+  query::EngineOptions options;
+  options.use_data_skipping = false;  // full residual scan on every block
+  options.use_vectorized = vectorized;
+  options.query_threads = threads;
+  options.prefetch_threads = 8;
+  options.io_block_size = 64 * 1024;
+  options.cache_options.memory_capacity_bytes = 512ull << 20;
+  options.cache_options.ssd_dir.clear();
+  return options;
+}
+
+// Cold: best of `cold_repeats` fresh-engine first executions (min, the
+// usual CPU-bench noise filter). Warm: best of `warm_repeats` re-runs on
+// the last engine (object bytes cached; decode + filter still execute).
+ScanMeasure RunScan(Dataset* dataset, const query::LogQuery& query,
+                    bool vectorized, int threads, int cold_repeats,
+                    int warm_repeats) {
+  ScanMeasure m;
+  m.cold_ms = 1e18;
+  std::unique_ptr<query::QueryEngine> engine;
+  for (int i = 0; i < cold_repeats; ++i) {
+    auto opened = query::QueryEngine::Open(dataset->store.get(),
+                                           ScanOptions(vectorized, threads));
+    if (!opened.ok()) abort();
+    engine = std::move(opened).value();
+    const int64_t start = NowUs();
+    auto r = engine->Execute(query, dataset->map);
+    if (!r.ok()) abort();
+    m.cold_ms = std::min(m.cold_ms, (NowUs() - start) / 1000.0);
+    m.rows_matched = r->stats.exec.rows_matched;
+    m.vectorized_rows_scanned = r->stats.exec.vectorized_rows_scanned;
+  }
+  m.warm_ms = 1e18;
+  for (int i = 0; i < warm_repeats; ++i) {
+    const int64_t start = NowUs();
+    auto r = engine->Execute(query, dataset->map);
+    if (!r.ok()) abort();
+    m.warm_ms = std::min(m.warm_ms, (NowUs() - start) / 1000.0);
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = BenchSmoke();
+  const int kColdRepeats = smoke ? 2 : 3;
+  const int kWarmRepeats = smoke ? 3 : 7;
+  // query_threads stays 1: the sweep isolates the per-block kernels; the
+  // parallel/scatter axes are measured by the fig16/fig17 benches.
+  const int kThreads[] = {1};
+
+  DatasetOptions data_options;
+  data_options.num_tenants = 20;  // Zipfian: tenant 0 holds the bulk
+  data_options.total_rows = smoke ? 120'000 : 800'000;
+  data_options.rows_per_column_block = 2048;
+
+  printf("building dataset (%llu rows)...%s\n",
+         static_cast<unsigned long long>(data_options.total_rows),
+         smoke ? " (smoke)" : "");
+  Dataset dataset;
+  BuildDataset(data_options, /*simulate_oss=*/false, &dataset);
+  const int64_t history = data_options.history_micros;
+
+  // Full-history scans over the largest tenant, one per kernel shape plus
+  // the paper's combined template. limit bounds the gather (the residual
+  // scan itself is limit-independent), so the filter path dominates.
+  std::vector<ScanCase> cases;
+  {
+    query::LogQuery base;
+    base.tenant_id = 0;
+    base.ts_min = 0;
+    base.ts_max = history;
+    base.select_columns = {"ts"};
+    base.limit = 1000;
+
+    ScanCase int_ge{"int_ge", base};
+    int_ge.query.predicates.push_back(
+        query::Predicate::Int64Compare("latency", query::CompareOp::kGe, 100));
+    cases.push_back(int_ge);
+
+    ScanCase int_band{"int_band", base};
+    int_band.query.predicates.push_back(
+        query::Predicate::Int64Compare("latency", query::CompareOp::kGe, 300));
+    int_band.query.predicates.push_back(
+        query::Predicate::Int64Compare("latency", query::CompareOp::kLt, 1500));
+    cases.push_back(int_band);
+
+    ScanCase str_eq{"str_eq", base};
+    str_eq.query.predicates.push_back(
+        query::Predicate::StringEq("fail", "false"));
+    cases.push_back(str_eq);
+
+    ScanCase match{"match", base};
+    match.query.predicates.push_back(
+        query::Predicate::Match("log", "timeout"));
+    cases.push_back(match);
+
+    ScanCase mixed{"mixed", base};
+    mixed.query.predicates.push_back(
+        query::Predicate::StringEq("ip", "192.168.1.8"));
+    mixed.query.predicates.push_back(
+        query::Predicate::Int64Compare("latency", query::CompareOp::kGe, 100));
+    mixed.query.predicates.push_back(
+        query::Predicate::StringEq("fail", "false"));
+    cases.push_back(mixed);
+  }
+
+  printf("\n=== full-scan kernels: vectorized vs row-at-a-time ===\n");
+  printf("%-10s %-8s %-12s %-12s %-9s %-12s %-12s %-9s %-10s\n", "predicate",
+         "threads", "scalar", "vector", "speedup", "scalar", "vector",
+         "speedup", "rows");
+  printf("%-10s %-8s %-12s %-12s %-9s %-12s %-12s %-9s %-10s\n", "", "",
+         "cold(ms)", "cold(ms)", "cold", "warm(ms)", "warm(ms)", "warm", "");
+
+  std::string scans_json;
+  for (const ScanCase& c : cases) {
+    for (int threads : kThreads) {
+      const ScanMeasure scalar =
+          RunScan(&dataset, c.query, /*vectorized=*/false, threads,
+                  kColdRepeats, kWarmRepeats);
+      const ScanMeasure vec = RunScan(&dataset, c.query, /*vectorized=*/true,
+                                      threads, kColdRepeats, kWarmRepeats);
+      const double cold_speedup = scalar.cold_ms / std::max(0.001, vec.cold_ms);
+      const double warm_speedup = scalar.warm_ms / std::max(0.001, vec.warm_ms);
+      printf("%-10s %-8d %-12.2f %-12.2f %-9.2f %-12.2f %-12.2f %-9.2f %-10llu\n",
+             c.name.c_str(), threads, scalar.cold_ms, vec.cold_ms,
+             cold_speedup, scalar.warm_ms, vec.warm_ms, warm_speedup,
+             static_cast<unsigned long long>(vec.rows_matched));
+      if (!scans_json.empty()) scans_json += ",";
+      scans_json += "{\"predicate\":\"" + c.name + "\"";
+      scans_json += ",\"threads\":" + std::to_string(threads);
+      scans_json += ",\"scalar_cold_ms\":" + JsonNum(scalar.cold_ms);
+      scans_json += ",\"vectorized_cold_ms\":" + JsonNum(vec.cold_ms);
+      scans_json += ",\"speedup_cold\":" + JsonNum(cold_speedup);
+      scans_json += ",\"scalar_warm_ms\":" + JsonNum(scalar.warm_ms);
+      scans_json += ",\"vectorized_warm_ms\":" + JsonNum(vec.warm_ms);
+      scans_json += ",\"speedup_warm\":" + JsonNum(warm_speedup);
+      scans_json +=
+          ",\"rows_matched\":" + std::to_string(vec.rows_matched);
+      scans_json += ",\"vectorized_rows_scanned\":" +
+                    std::to_string(vec.vectorized_rows_scanned);
+      scans_json += "}";
+    }
+  }
+
+  // Aggregation pushdown vs the broker-side strategy it replaces: ship all
+  // matching rows to the broker and aggregate there (select the aggregated
+  // column, no limit) against folding partial aggregates below the merge.
+  printf("\n=== aggregation pushdown vs broker-side rows+aggregate ===\n");
+  printf("%-14s %-14s %-14s %-9s %-12s\n", "aggregate", "broker(ms)",
+         "pushdown(ms)", "speedup", "rows");
+  std::string agg_json;
+  struct AggCase {
+    std::string name;
+    query::Aggregate agg;
+    std::string column;  // broker-side select list
+  };
+  const AggCase agg_cases[] = {
+      {"count", query::Aggregate::Count(), "ts"},
+      {"sum_latency", query::Aggregate::Sum("latency"), "latency"},
+      {"group_ip", query::Aggregate::GroupCount("ip"), "ip"},
+  };
+  for (const AggCase& c : agg_cases) {
+    query::LogQuery rows_query;
+    rows_query.tenant_id = 0;
+    rows_query.ts_min = 0;
+    rows_query.ts_max = history;
+    rows_query.predicates.push_back(
+        query::Predicate::StringEq("fail", "false"));
+    rows_query.select_columns = {c.column};
+    rows_query.limit = 0;
+
+    auto engine = query::QueryEngine::Open(dataset.store.get(),
+                                           ScanOptions(true, 8));
+    if (!engine.ok()) abort();
+    // Warm the caches once so both strategies measure the CPU path.
+    if (!(*engine)->Execute(rows_query, dataset.map).ok()) abort();
+
+    double broker_ms = 0, pushdown_ms = 0;
+    uint64_t rows_matched = 0;
+    for (int i = 0; i < kWarmRepeats; ++i) {
+      int64_t start = NowUs();
+      auto rows = (*engine)->Execute(rows_query, dataset.map);
+      if (!rows.ok()) abort();
+      // The broker-side fold is part of the strategy being measured.
+      const auto values = query::QueryEngine::Column(*rows, c.column);
+      if (c.agg.kind == query::Aggregate::Kind::kGroupCount) {
+        (void)query::GroupCountTopK(values, 10);
+      } else {
+        (void)query::RollupInt64(values);
+      }
+      broker_ms += (NowUs() - start) / 1000.0;
+      rows_matched = rows->stats.exec.rows_matched;
+
+      query::LogQuery agg_query = rows_query;
+      agg_query.select_columns.clear();
+      agg_query.agg = c.agg;
+      start = NowUs();
+      auto pushed = (*engine)->Execute(agg_query, dataset.map);
+      if (!pushed.ok()) abort();
+      if (c.agg.kind == query::Aggregate::Kind::kGroupCount) {
+        (void)pushed->agg.TopK(10);
+      }
+      pushdown_ms += (NowUs() - start) / 1000.0;
+    }
+    broker_ms /= kWarmRepeats;
+    pushdown_ms /= kWarmRepeats;
+    const double speedup = broker_ms / std::max(0.001, pushdown_ms);
+    printf("%-14s %-14.2f %-14.2f %-9.2f %-12llu\n", c.name.c_str(),
+           broker_ms, pushdown_ms, speedup,
+           static_cast<unsigned long long>(rows_matched));
+    if (!agg_json.empty()) agg_json += ",";
+    agg_json += "{\"aggregate\":\"" + c.name + "\"";
+    agg_json += ",\"broker_ms\":" + JsonNum(broker_ms);
+    agg_json += ",\"pushdown_ms\":" + JsonNum(pushdown_ms);
+    agg_json += ",\"speedup\":" + JsonNum(speedup);
+    agg_json += ",\"rows_matched\":" + std::to_string(rows_matched);
+    agg_json += "}";
+  }
+
+  std::string json = "{\"smoke\":" + std::string(smoke ? "1" : "0");
+  json += ",\"total_rows\":" + std::to_string(data_options.total_rows);
+  json += ",\"warm_repeats\":" + std::to_string(kWarmRepeats);
+  json += ",\"scans\":[" + scans_json + "]";
+  json += ",\"aggregation\":[" + agg_json + "]}";
+  WriteBenchJson("BENCH_scan.json", json);
+  return 0;
+}

@@ -824,7 +824,9 @@ Result<query::QueryResult> Cluster::ScatterQuery(const query::LogQuery& query) {
   // as they do inside a single engine.
   std::vector<query::FragmentSlot> slots(blocks.size());
   std::atomic<bool> cancel{false};
-  query::ScatterLimitTracker tracker(blocks.size(), query.limit, &cancel);
+  // Aggregates scan every block, so the limit never arms the tracker.
+  query::ScatterLimitTracker tracker(
+      blocks.size(), query.is_aggregate() ? 0 : query.limit, &cancel);
   auto run_fragment = [&](uint32_t owner, Fragment& fragment) {
     query::FragmentOptions fragment_options;
     fragment_options.cancel = &cancel;
@@ -854,7 +856,11 @@ Result<query::QueryResult> Cluster::ScatterQuery(const query::LogQuery& query) {
 
   LOGSTORE_RETURN_IF_ERROR(
       query::QueryEngine::MergeFragmentSlots(query, slots, &result));
-  result.stats.exec.rows_matched = result.rows.size();
+  // Aggregate queries keep the merged per-block rows_matched (ALL matching
+  // rows; no result rows exist to recount from).
+  if (!query.is_aggregate()) {
+    result.stats.exec.rows_matched = result.rows.size();
+  }
 
   // Real-time rows from the live workers, merged after the archived rows
   // in the deterministic placement-independent order.
@@ -875,7 +881,7 @@ Result<query::QueryResult> Cluster::ScatterQuery(const query::LogQuery& query) {
   // Scatter-path registry aggregates: the broker engine's own query.*
   // counters only see QuerySingleEngine, so scattered reads account here.
   scatter_cells_.queries->fetch_add(1, std::memory_order_relaxed);
-  scatter_cells_.rows_matched->fetch_add(result.rows.size(),
+  scatter_cells_.rows_matched->fetch_add(result.stats.exec.rows_matched,
                                          std::memory_order_relaxed);
   scatter_cells_.realtime_rows->fetch_add(result.stats.realtime_rows,
                                           std::memory_order_relaxed);

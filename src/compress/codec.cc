@@ -227,4 +227,65 @@ const Codec* GetCodec(CodecType type) {
   return nullptr;
 }
 
+bool DecodeVarsint64Batch(Slice* in, uint32_t row_count,
+                          std::vector<int64_t>* out) {
+  out->resize(row_count);
+  int64_t* dst = out->data();
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(in->data());
+  const uint8_t* limit = p + in->size();
+  for (uint32_t i = 0; i < row_count; ++i) {
+    // One-byte fast path: most deltas and small magnitudes encode in a
+    // single byte, so the loop body is usually a load, a test, and a store.
+    if (p < limit && (*p & 0x80) == 0) {
+      dst[i] = ZigZagDecode64(*p++);
+      continue;
+    }
+    uint64_t raw = 0;
+    uint32_t shift = 0;
+    while (true) {
+      if (p >= limit || shift > 63) return false;
+      const uint8_t byte = *p++;
+      raw |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    dst[i] = ZigZagDecode64(raw);
+  }
+  in->remove_prefix(static_cast<size_t>(
+      p - reinterpret_cast<const uint8_t*>(in->data())));
+  return true;
+}
+
+bool DecodeLengthPrefixedBatch(Slice* in, uint32_t row_count,
+                               std::vector<std::string>* out) {
+  out->resize(row_count);
+  std::string* dst = out->data();
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(in->data());
+  const uint8_t* limit = p + in->size();
+  for (uint32_t i = 0; i < row_count; ++i) {
+    uint32_t len;
+    if (p < limit && (*p & 0x80) == 0) {
+      len = *p++;
+    } else {
+      uint64_t raw = 0;
+      uint32_t shift = 0;
+      while (true) {
+        if (p >= limit || shift > 31) return false;
+        const uint8_t byte = *p++;
+        raw |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0) break;
+        shift += 7;
+      }
+      if (raw > UINT32_MAX) return false;
+      len = static_cast<uint32_t>(raw);
+    }
+    if (static_cast<uint64_t>(limit - p) < len) return false;
+    dst[i].assign(reinterpret_cast<const char*>(p), len);
+    p += len;
+  }
+  in->remove_prefix(static_cast<size_t>(
+      p - reinterpret_cast<const uint8_t*>(in->data())));
+  return true;
+}
+
 }  // namespace logstore::compress

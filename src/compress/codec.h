@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/slice.h"
 #include "common/status.h"
@@ -41,6 +42,22 @@ class Codec {
 // Returns the process-wide codec instance for `type`, or nullptr for an
 // unknown type. Instances are stateless and thread-safe.
 const Codec* GetCodec(CodecType type);
+
+// --- Batch column decoders ---
+//
+// Decode a whole column block's value stream in one tight loop, writing a
+// contiguous typed vector through a raw pointer instead of one
+// GetVarsint64/GetLengthPrefixedSlice + push_back round trip per value.
+// Both consume exactly `row_count` values from the front of `*in` (advancing
+// it like the Get* primitives) and return false on truncated input.
+
+// Zig-zag varint int64 values (the int column encoding).
+bool DecodeVarsint64Batch(Slice* in, uint32_t row_count,
+                          std::vector<int64_t>* out);
+
+// Length-prefixed string values (the string column encoding).
+bool DecodeLengthPrefixedBatch(Slice* in, uint32_t row_count,
+                               std::vector<std::string>* out);
 
 }  // namespace logstore::compress
 

@@ -74,6 +74,58 @@ class RowIdSet {
     words_[last_word] &= ~tail_mask;
   }
 
+  // ANDs a block-local selection bitmap into this set: bit j of `block`
+  // (word-packed, (count+63)/64 words, tail bits past `count` ignored)
+  // covers global row first_row + j. Rows outside [first_row, first_row +
+  // count) are untouched. This is how vectorized filter kernels — which
+  // emit bitmaps indexed from the column block's first row — fold their
+  // verdicts into the global candidate set without a per-row loop.
+  void IntersectBitmap(uint32_t first_row, const uint64_t* block,
+                       uint32_t count) {
+    if (count == 0 || first_row >= num_rows_) return;
+    uint32_t end = first_row + count;
+    if (end > num_rows_) end = num_rows_;
+    const uint32_t shift = first_row & 63;
+    const uint32_t base = first_row >> 6;
+    const uint32_t last = (end - 1) >> 6;
+    const int64_t nblock = (count + 63) / 64;
+    auto block_word = [&](int64_t i) -> uint64_t {
+      return (i >= 0 && i < nblock) ? block[i] : 0;
+    };
+    for (uint32_t g = base; g <= last; ++g) {
+      const int64_t i = static_cast<int64_t>(g) - base;
+      // Shift the block words into global bit positions (two-word funnel).
+      const uint64_t match =
+          shift == 0 ? block_word(i)
+                     : (block_word(i) << shift) |
+                           (block_word(i - 1) >> (64 - shift));
+      // Bits of word g outside [first_row, end) must survive untouched.
+      uint64_t keep = 0;
+      if (g == base && shift != 0) keep |= (1ull << shift) - 1;
+      if (g == last && (end & 63) != 0) keep |= ~0ull << (end & 63);
+      words_[g] &= match | keep;
+    }
+  }
+
+  // Invokes fn(row) for every present row in [begin, end), ascending.
+  template <typename Fn>
+  void ForEachInRange(uint32_t begin, uint32_t end, Fn&& fn) const {
+    if (begin >= end || begin >= num_rows_) return;
+    if (end > num_rows_) end = num_rows_;
+    const uint32_t first_word = begin >> 6;
+    const uint32_t last_word = (end - 1) >> 6;
+    for (uint32_t wi = first_word; wi <= last_word; ++wi) {
+      uint64_t w = words_[wi];
+      if (wi == first_word) w &= ~0ull << (begin & 63);
+      if (wi == last_word && (end & 63) != 0) w &= (1ull << (end & 63)) - 1;
+      while (w != 0) {
+        const int bit = __builtin_ctzll(w);
+        fn(static_cast<uint32_t>(wi * 64 + bit));
+        w &= w - 1;
+      }
+    }
+  }
+
   void IntersectWith(const RowIdSet& other) {
     const size_t n = words_.size() < other.words_.size() ? words_.size()
                                                          : other.words_.size();

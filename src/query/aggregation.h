@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "logblock/row_batch.h"
+#include "query/predicate.h"
 
 namespace logstore::query {
 
@@ -63,6 +64,73 @@ inline Int64Rollup RollupInt64(const std::vector<logblock::Value>& values) {
     rollup.sum += v.i;
   }
   return rollup;
+}
+
+// A partial aggregate computed below the merge — per column block, per
+// LogBlock, per fragment — and combined by the broker. Every combine is
+// order-independent (count/sum/min/max are commutative; groups merge by
+// key), so the merged result is placement- and scheduling-independent.
+//
+// `groups` is kept CANONICAL (ascending by key) at every stage; the
+// presentation order (count-desc top-k) is applied only at the very end via
+// TopK(), because trimming before the last merge could drop a key another
+// partial would have pushed into the top k.
+struct AggResult {
+  Aggregate::Kind kind = Aggregate::Kind::kNone;
+  uint64_t rows = 0;  // rows aggregated (the count for kCount)
+  int64_t sum = 0;
+  int64_t min = INT64_MAX;  // identity when rows == 0
+  int64_t max = INT64_MIN;
+  std::vector<GroupCount> groups;  // kGroupCount only, ascending by key
+
+  void MergeFrom(const AggResult& other) {
+    if (other.kind == Aggregate::Kind::kNone) return;
+    kind = other.kind;
+    rows += other.rows;
+    sum += other.sum;
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+    if (!other.groups.empty()) {
+      // Both sides are ascending by key: a linear merge-join keeps the
+      // result canonical without re-sorting.
+      std::vector<GroupCount> merged;
+      merged.reserve(groups.size() + other.groups.size());
+      size_t a = 0, b = 0;
+      while (a < groups.size() && b < other.groups.size()) {
+        if (groups[a].key < other.groups[b].key) {
+          merged.push_back(std::move(groups[a++]));
+        } else if (other.groups[b].key < groups[a].key) {
+          merged.push_back(other.groups[b++]);
+        } else {
+          groups[a].count += other.groups[b].count;
+          merged.push_back(std::move(groups[a]));
+          ++a;
+          ++b;
+        }
+      }
+      while (a < groups.size()) merged.push_back(std::move(groups[a++]));
+      while (b < other.groups.size()) merged.push_back(other.groups[b++]);
+      groups = std::move(merged);
+    }
+  }
+
+  // Presentation order for kGroupCount: count-desc, key-asc ties, trimmed
+  // to k (0 = all groups). Matches GroupCountTopK over the raw values.
+  std::vector<GroupCount> TopK(size_t k) const {
+    std::vector<GroupCount> out = groups;
+    std::sort(out.begin(), out.end(),
+              [](const GroupCount& a, const GroupCount& b) {
+                return a.count != b.count ? a.count > b.count : a.key < b.key;
+              });
+    if (k != 0 && out.size() > k) out.resize(k);
+    return out;
+  }
+};
+
+// Renders one cell the way kGroupCount keys it (int64 values are
+// decimal-formatted), shared with GroupCountTopK for bit-equal keys.
+inline std::string GroupKeyOf(const logblock::Value& v) {
+  return v.type == logblock::ColumnType::kInt64 ? std::to_string(v.i) : v.s;
 }
 
 }  // namespace logstore::query

@@ -1,8 +1,12 @@
 #include "query/block_executor.h"
 
 #include <algorithm>
+#include <chrono>
+#include <map>
+#include <utility>
 
 #include "index/rowid_set.h"
+#include "query/vectorized.h"
 
 namespace logstore::query {
 
@@ -13,10 +17,44 @@ using logblock::IndexType;
 using logblock::LogBlockReader;
 using logblock::Value;
 
-// A predicate bound to a column ordinal.
+// A predicate bound to a column ordinal. For kMatch the query text is
+// tokenized ONCE here, not per row in the scan loop.
 struct BoundPredicate {
   Predicate pred;
   size_t col = 0;
+  std::vector<std::string> match_tokens;
+};
+
+// Decoded-column-block cache for the life of ONE block execution: residual
+// predicates on the same column, the aggregation pass, and the gather all
+// reuse a block decoded by an earlier step instead of re-reading and
+// re-decompressing it. Hits are counted in stats (`query.decode_cache_hits`);
+// `column_blocks_scanned` keeps its pre-cache semantics (one count per
+// residual scan pass, hit or not), so cached and uncached runs report
+// identical scan stats.
+class DecodedBlockCache {
+ public:
+  DecodedBlockCache(LogBlockReader* reader, BlockExecStats* stats)
+      : reader_(reader), stats_(stats) {}
+
+  Result<const logblock::DecodedColumnBlock*> Get(size_t col,
+                                                  size_t block_idx) {
+    const auto key = std::make_pair(col, block_idx);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++stats_->decode_cache_hits;
+      return &it->second;
+    }
+    auto decoded = reader_->ReadColumnBlock(col, block_idx);
+    if (!decoded.ok()) return decoded.status();
+    auto emplaced = cache_.emplace(key, std::move(decoded).value());
+    return &emplaced.first->second;
+  }
+
+ private:
+  LogBlockReader* reader_;
+  BlockExecStats* stats_;
+  std::map<std::pair<size_t, size_t>, logblock::DecodedColumnBlock> cache_;
 };
 
 // True if the whole LogBlock can be skipped for `bp` using column SMA.
@@ -71,7 +109,7 @@ bool IndexServes(const LogBlockReader& reader, const BoundPredicate& bp) {
       }
       // Every query token must be indexable, or the probe would wrongly
       // drop rows containing an unindexed high-entropy token.
-      for (const std::string& token : index::Tokenize(bp.pred.str_value)) {
+      for (const std::string& token : bp.match_tokens) {
         if (!index::IsIndexableToken(token)) return false;
       }
       return true;
@@ -98,7 +136,7 @@ Result<index::RowIdSet> ProbeIndex(LogBlockReader* reader,
   return Status::Internal("unreachable");
 }
 
-// Tests `bp` against one decoded value.
+// Tests `bp` against one decoded value (the row-at-a-time path).
 bool EvalOnDecoded(const logblock::DecodedColumnBlock& block, uint32_t offset,
                    const BoundPredicate& bp) {
   switch (bp.pred.kind) {
@@ -107,10 +145,10 @@ bool EvalOnDecoded(const logblock::DecodedColumnBlock& block, uint32_t offset,
     case Predicate::Kind::kStringEq:
       return block.strs[offset] == bp.pred.str_value;
     case Predicate::Kind::kMatch: {
-      // Scan fallback for MATCH: all tokens must appear in the value.
-      const auto tokens = index::Tokenize(bp.pred.str_value);
+      // Scan fallback for MATCH: all (pre-hoisted) query tokens must appear
+      // in the value.
       const auto value_tokens = index::Tokenize(block.strs[offset]);
-      for (const std::string& t : tokens) {
+      for (const std::string& t : bp.match_tokens) {
         if (std::find(value_tokens.begin(), value_tokens.end(), t) ==
             value_tokens.end()) {
           return false;
@@ -131,10 +169,14 @@ bool Cancelled(const ExecOptions& options) {
 Status CancelledStatus() { return Status::Aborted("query cancelled"); }
 
 // Evaluates one residual predicate against the candidate set by scanning
-// (and SMA-skipping) the column's blocks.
+// (and SMA-skipping) the column's blocks. Vectorized mode decodes the whole
+// block into column vectors, runs a selection-bitmap kernel over every row,
+// and ANDs the bitmap into the candidates word-wise; scalar mode probes the
+// surviving rows one at a time. Both produce the same candidate set and the
+// same scan/skip/cache stats.
 Status ApplyResidual(LogBlockReader* reader, const BoundPredicate& bp,
-                     const ExecOptions& options, index::RowIdSet* candidates,
-                     BlockExecStats* stats) {
+                     const ExecOptions& options, DecodedBlockCache* cache,
+                     index::RowIdSet* candidates, BlockExecStats* stats) {
   const auto& col_meta = reader->meta().columns[bp.col];
 
   // Plan: find blocks that still hold candidate rows and survive block SMA.
@@ -168,18 +210,141 @@ Status ApplyResidual(LogBlockReader* reader, const BoundPredicate& bp,
     (void)reader->Prefetch(ranges, options.prefetch_owner);
   }
 
+  std::vector<uint64_t> words;  // reused across blocks
   for (size_t b : to_scan) {
     if (Cancelled(options)) return CancelledStatus();
-    auto decoded = reader->ReadColumnBlock(bp.col, b);
+    auto decoded = cache->Get(bp.col, b);
     if (!decoded.ok()) return decoded.status();
     ++stats->column_blocks_scanned;
     const auto& block = col_meta.blocks[b];
-    for (uint32_t r = block.first_row; r < block.first_row + block.row_count;
-         ++r) {
-      if (candidates->Contains(r) &&
-          !EvalOnDecoded(*decoded, r - block.first_row, bp)) {
-        candidates->Remove(r);
+
+    if (options.use_vectorized) {
+      words.assign((block.row_count + 63) / 64, 0);
+      const auto kernel_start = std::chrono::steady_clock::now();
+      uint32_t hits = 0;
+      switch (bp.pred.kind) {
+        case Predicate::Kind::kInt64Compare:
+          hits = vectorized::FilterInt64Compare(
+              (*decoded)->ints.data(), block.row_count, bp.pred.op,
+              bp.pred.int_value, words.data());
+          break;
+        case Predicate::Kind::kStringEq:
+          hits = vectorized::FilterStringEq((*decoded)->strs.data(),
+                                            block.row_count, bp.pred.str_value,
+                                            words.data());
+          break;
+        case Predicate::Kind::kMatch:
+          hits = vectorized::FilterMatchTokens((*decoded)->strs.data(),
+                                               block.row_count,
+                                               bp.match_tokens, words.data());
+          break;
       }
+      stats->vectorized_kernel_ns += static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - kernel_start)
+              .count());
+      stats->vectorized_rows_scanned += block.row_count;
+      stats->vectorized_bitmap_hits += hits;
+      candidates->IntersectBitmap(block.first_row, words.data(),
+                                  block.row_count);
+    } else {
+      for (uint32_t r = block.first_row;
+           r < block.first_row + block.row_count; ++r) {
+        if (candidates->Contains(r) &&
+            !EvalOnDecoded(**decoded, r - block.first_row, bp)) {
+          candidates->Remove(r);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// Folds the surviving rows into a partial aggregate directly over the
+// decoded column vectors — no row materialization, no projection IO beyond
+// the aggregated column (kCount needs no data IO at all).
+Status AggregateCandidates(LogBlockReader* reader, const LogQuery& query,
+                           const ExecOptions& options,
+                           const index::RowIdSet& candidates,
+                           DecodedBlockCache* cache, BlockExecResult* result) {
+  const logblock::Schema& schema = reader->schema();
+  result->agg.kind = query.agg.kind;
+  const uint64_t matched = candidates.Count();
+  result->stats.rows_matched = matched;
+  if (query.agg.kind == Aggregate::Kind::kCount) {
+    result->agg.rows = matched;
+    return Status::OK();
+  }
+  if (matched == 0) return Status::OK();
+
+  const int col = schema.FindColumn(query.agg.column);
+  if (col < 0) {
+    return Status::InvalidArgument("unknown aggregate column: " +
+                                   query.agg.column);
+  }
+  const bool is_int = schema.column(col).type == ColumnType::kInt64;
+  if (query.agg.kind != Aggregate::Kind::kGroupCount && !is_int) {
+    return Status::InvalidArgument("aggregate requires an int64 column: " +
+                                   query.agg.column);
+  }
+
+  const auto& blocks = reader->meta().columns[col].blocks;
+  std::vector<size_t> to_scan;
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    const auto& block = blocks[b];
+    if (candidates.AnyInRange(block.first_row,
+                              block.first_row + block.row_count)) {
+      to_scan.push_back(b);
+    }
+  }
+  if (options.use_prefetch && to_scan.size() > 1) {
+    std::vector<ByteRange> ranges;
+    ranges.reserve(to_scan.size());
+    for (size_t b : to_scan) {
+      auto range = reader->ColumnBlockRange(col, b);
+      if (range.ok()) ranges.push_back(*range);
+    }
+    (void)reader->Prefetch(ranges, options.prefetch_owner);
+  }
+
+  // Ascending-row iteration in both execution modes, so int64 sums wrap
+  // identically and the partial is byte-stable.
+  std::map<std::string, uint64_t> group_counts;
+  for (size_t b : to_scan) {
+    if (Cancelled(options)) return CancelledStatus();
+    auto decoded = cache->Get(col, b);
+    if (!decoded.ok()) return decoded.status();
+    const auto& block = blocks[b];
+    const logblock::DecodedColumnBlock& vec = **decoded;
+    candidates.ForEachInRange(
+        block.first_row, block.first_row + block.row_count,
+        [&](uint32_t r) {
+          const uint32_t off = r - block.first_row;
+          switch (query.agg.kind) {
+            case Aggregate::Kind::kSum:
+              result->agg.sum += vec.ints[off];
+              break;
+            case Aggregate::Kind::kMin:
+              result->agg.min = std::min(result->agg.min, vec.ints[off]);
+              break;
+            case Aggregate::Kind::kMax:
+              result->agg.max = std::max(result->agg.max, vec.ints[off]);
+              break;
+            case Aggregate::Kind::kGroupCount:
+              group_counts[is_int ? std::to_string(vec.ints[off])
+                                  : vec.strs[off]]++;
+              break;
+            case Aggregate::Kind::kNone:
+            case Aggregate::Kind::kCount:
+              break;  // handled above
+          }
+        });
+  }
+  result->agg.rows = matched;
+  if (query.agg.kind == Aggregate::Kind::kGroupCount) {
+    result->agg.groups.reserve(group_counts.size());
+    for (auto& [key, count] : group_counts) {
+      result->agg.groups.push_back({key, count});  // ascending by key: canonical
     }
   }
   return Status::OK();
@@ -206,7 +371,13 @@ Result<BlockExecResult> ExecuteOnLogBlock(LogBlockReader* reader,
       return Status::InvalidArgument("predicate type mismatch on " +
                                      pred.column);
     }
-    preds.push_back({std::move(pred), static_cast<size_t>(col)});
+    BoundPredicate bp;
+    if (pred.kind == Predicate::Kind::kMatch) {
+      bp.match_tokens = index::Tokenize(pred.str_value);
+    }
+    bp.pred = std::move(pred);
+    bp.col = static_cast<size_t>(col);
+    preds.push_back(std::move(bp));
     return Status::OK();
   };
 
@@ -225,6 +396,7 @@ Result<BlockExecResult> ExecuteOnLogBlock(LogBlockReader* reader,
   }
 
   BlockExecResult result;
+  result.agg.kind = query.agg.kind;
 
   // Figure 8 step 2: whole-block skip via column SMA.
   if (options.use_data_skipping) {
@@ -237,6 +409,7 @@ Result<BlockExecResult> ExecuteOnLogBlock(LogBlockReader* reader,
   }
 
   index::RowIdSet candidates = index::RowIdSet::All(num_rows);
+  DecodedBlockCache cache(reader, &result.stats);
 
   // Figure 8 step 3: index probes, cheapest filters first.
   std::vector<const BoundPredicate*> residual;
@@ -278,9 +451,17 @@ Result<BlockExecResult> ExecuteOnLogBlock(LogBlockReader* reader,
   // Figure 8 step 4: residual predicates via block SMA + scan.
   for (const BoundPredicate* bp : residual) {
     if (Cancelled(options)) return CancelledStatus();
-    LOGSTORE_RETURN_IF_ERROR(
-        ApplyResidual(reader, *bp, options, &candidates, &result.stats));
+    LOGSTORE_RETURN_IF_ERROR(ApplyResidual(reader, *bp, options, &cache,
+                                           &candidates, &result.stats));
     if (candidates.Empty()) return result;
+  }
+
+  // Aggregate queries ship a partial aggregate instead of rows: fold the
+  // surviving candidates directly over the decoded vectors and return.
+  if (query.is_aggregate()) {
+    LOGSTORE_RETURN_IF_ERROR(AggregateCandidates(reader, query, options,
+                                                 candidates, &cache, &result));
+    return result;
   }
 
   // Figure 8 step 5: load projected columns for surviving rows.
@@ -331,13 +512,30 @@ Result<BlockExecResult> ExecuteOnLogBlock(LogBlockReader* reader,
     }
   }
 
-  // Gather column-wise, then transpose to rows.
+  // Gather column-wise through the decode cache (a block the residual scan
+  // already decoded is not decoded again), then transpose to rows.
   std::vector<std::vector<Value>> columns(out_cols.size());
   for (size_t i = 0; i < out_cols.size(); ++i) {
     if (Cancelled(options)) return CancelledStatus();
-    auto values = reader->ReadValuesAt(out_cols[i], rows);
-    if (!values.ok()) return values.status();
-    columns[i] = std::move(values).value();
+    const size_t c = out_cols[i];
+    const bool is_int = schema.column(c).type == ColumnType::kInt64;
+    const auto& blocks = reader->meta().columns[c].blocks;
+    std::vector<Value>& out = columns[i];
+    out.reserve(rows.size());
+    size_t next = 0;
+    for (size_t b = 0; b < blocks.size() && next < rows.size(); ++b) {
+      const auto& block = blocks[b];
+      const uint32_t block_end = block.first_row + block.row_count;
+      if (rows[next] >= block_end) continue;
+      auto decoded = cache.Get(c, b);
+      if (!decoded.ok()) return decoded.status();
+      const logblock::DecodedColumnBlock& vec = **decoded;
+      for (; next < rows.size() && rows[next] < block_end; ++next) {
+        const uint32_t off = rows[next] - block.first_row;
+        out.push_back(is_int ? Value::Int64(vec.ints[off])
+                             : Value::String(vec.strs[off]));
+      }
+    }
   }
   result.rows.resize(rows.size());
   for (size_t r = 0; r < rows.size(); ++r) {

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "logblock/logblock_reader.h"
+#include "query/aggregation.h"
 #include "query/predicate.h"
 
 namespace logstore::query {
@@ -28,6 +29,10 @@ struct ExecOptions {
   // scheduler uses this for limit-aware early termination and to drain
   // in-flight work after another block failed.
   const std::atomic<bool>* cancel = nullptr;
+  // Residual predicates run as selection-bitmap kernels over whole decoded
+  // column vectors (§15) instead of the row-at-a-time probe loop. Output is
+  // byte-identical either way; this only changes how the scan executes.
+  bool use_vectorized = true;
 };
 
 struct BlockExecStats {
@@ -38,19 +43,36 @@ struct BlockExecStats {
   uint64_t column_blocks_skipped = 0;  // eliminated by block SMA / candidates
   uint64_t index_probes = 0;
   uint64_t rows_matched = 0;
+  // Decoded blocks served from the per-execution cache instead of being
+  // re-read and re-decoded (a second predicate or the gather touching a
+  // column block the residual scan already decoded).
+  uint64_t decode_cache_hits = 0;
+  // Vectorized-kernel accounting (zero on the row-at-a-time path). The
+  // first two are deterministic; kernel_ns is wall clock and MUST stay out
+  // of byte-equality comparisons.
+  uint64_t vectorized_rows_scanned = 0;  // rows run through filter kernels
+  uint64_t vectorized_bitmap_hits = 0;   // selected bits across all kernels
+  uint64_t vectorized_kernel_ns = 0;
 
   void MergeFrom(const BlockExecStats& other) {
     column_blocks_scanned += other.column_blocks_scanned;
     column_blocks_skipped += other.column_blocks_skipped;
     index_probes += other.index_probes;
     rows_matched += other.rows_matched;
+    decode_cache_hits += other.decode_cache_hits;
+    vectorized_rows_scanned += other.vectorized_rows_scanned;
+    vectorized_bitmap_hits += other.vectorized_bitmap_hits;
+    vectorized_kernel_ns += other.vectorized_kernel_ns;
   }
 };
 
 struct BlockExecResult {
   // Row-major projected values, one entry per matched row, columns in
-  // LogQuery::select_columns order (or schema order when empty).
+  // LogQuery::select_columns order (or schema order when empty). Empty for
+  // aggregate queries, which fill `agg` instead.
   std::vector<std::vector<logblock::Value>> rows;
+  // Partial aggregate over this block's matching rows (LogQuery::agg set).
+  AggResult agg;
   BlockExecStats stats;
 };
 
@@ -60,7 +82,10 @@ struct BlockExecResult {
 //   3. probe per-column indexes (BKD / inverted) into a row-id set
 //   4. for residual predicates, skip column blocks via block SMA, scan the
 //      rest, and intersect
-//   5. load the projected columns for the surviving row ids
+//   5. load the projected columns for the surviving row ids — or, for an
+//      aggregate query, fold the surviving rows into a partial AggResult
+//      (no row materialization; `limit` does not cut the scan, and
+//      stats.rows_matched counts ALL matching rows)
 // The tenant/ts pruning of step 1 happens above, against the LogBlock map.
 Result<BlockExecResult> ExecuteOnLogBlock(logblock::LogBlockReader* reader,
                                           const LogQuery& query,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <map>
 #include <mutex>
 
 #include "prefetch/cached_source.h"
@@ -31,9 +32,72 @@ bool RowLess(const std::vector<logblock::Value>& a,
 
 }  // namespace
 
+namespace {
+
+// Folds realtime batches into the merged aggregate. Predicate/time
+// filtering already happened in ScanTenant, so every batch row counts.
+// count/sum/min/max/group-merge are commutative, so the fold is placement-
+// and batch-order-independent without any sorting.
+Status AggregateRealtimeRows(
+    const std::vector<std::pair<uint32_t, logblock::RowBatch>>& batches,
+    const LogQuery& query, QueryResult* result) {
+  AggResult partial;
+  partial.kind = query.agg.kind;
+  std::map<std::string, uint64_t> group_counts;
+  uint64_t rows = 0;
+  for (const auto& [worker, batch] : batches) {
+    if (batch.num_rows() == 0) continue;
+    rows += batch.num_rows();
+    if (query.agg.kind == Aggregate::Kind::kCount) continue;
+    const logblock::Schema& schema = batch.schema();
+    const int col = schema.FindColumn(query.agg.column);
+    if (col < 0) {
+      return Status::InvalidArgument("unknown aggregate column: " +
+                                     query.agg.column);
+    }
+    const bool is_int =
+        schema.column(col).type == logblock::ColumnType::kInt64;
+    if (query.agg.kind != Aggregate::Kind::kGroupCount && !is_int) {
+      return Status::InvalidArgument("aggregate requires an int64 column: " +
+                                     query.agg.column);
+    }
+    for (uint32_t r = 0; r < batch.num_rows(); ++r) {
+      switch (query.agg.kind) {
+        case Aggregate::Kind::kSum:
+          partial.sum += batch.Int64At(col, r);
+          break;
+        case Aggregate::Kind::kMin:
+          partial.min = std::min(partial.min, batch.Int64At(col, r));
+          break;
+        case Aggregate::Kind::kMax:
+          partial.max = std::max(partial.max, batch.Int64At(col, r));
+          break;
+        case Aggregate::Kind::kGroupCount:
+          group_counts[GroupKeyOf(batch.ValueAt(col, r))]++;
+          break;
+        case Aggregate::Kind::kNone:
+        case Aggregate::Kind::kCount:
+          break;
+      }
+    }
+  }
+  partial.rows = rows;
+  partial.groups.reserve(group_counts.size());
+  for (auto& [key, count] : group_counts) partial.groups.push_back({key, count});
+  result->agg.MergeFrom(partial);
+  result->stats.realtime_rows += rows;
+  result->stats.exec.rows_matched += rows;
+  return Status::OK();
+}
+
+}  // namespace
+
 Status MergeRealtimeRows(
     std::vector<std::pair<uint32_t, logblock::RowBatch>> batches,
     const LogQuery& query, QueryResult* result) {
+  if (query.is_aggregate()) {
+    return AggregateRealtimeRows(batches, query, result);
+  }
   // One projected row awaiting the deterministic sort. `worker`/`row_idx`
   // are final tie-breakers only: two rows compared by them are already
   // byte-identical in ts and projected content, so their relative order
@@ -137,6 +201,10 @@ void QueryEngine::QueryCells::BindTo(metrics::MetricRegistry* registry) {
   column_blocks_scanned = registry->Counter("query.column_blocks_scanned");
   column_blocks_skipped = registry->Counter("query.column_blocks_skipped");
   index_probes = registry->Counter("query.index_probes");
+  decode_cache_hits = registry->Counter("query.decode_cache_hits");
+  vectorized_rows_scanned = registry->Counter("query.vectorized.rows_scanned");
+  vectorized_bitmap_hits = registry->Counter("query.vectorized.bitmap_hits");
+  vectorized_kernel_ns = registry->Counter("query.vectorized.kernel_ns");
 }
 
 void QueryEngine::QueryCells::Record(const QueryStats& stats) const {
@@ -151,6 +219,11 @@ void QueryEngine::QueryCells::Record(const QueryStats& stats) const {
   column_blocks_scanned->fetch_add(stats.exec.column_blocks_scanned, order);
   column_blocks_skipped->fetch_add(stats.exec.column_blocks_skipped, order);
   index_probes->fetch_add(stats.exec.index_probes, order);
+  decode_cache_hits->fetch_add(stats.exec.decode_cache_hits, order);
+  vectorized_rows_scanned->fetch_add(stats.exec.vectorized_rows_scanned,
+                                     order);
+  vectorized_bitmap_hits->fetch_add(stats.exec.vectorized_bitmap_hits, order);
+  vectorized_kernel_ns->fetch_add(stats.exec.vectorized_kernel_ns, order);
 }
 
 Result<std::unique_ptr<QueryEngine>> QueryEngine::Open(
@@ -242,6 +315,7 @@ Result<QueryResult> QueryEngine::Execute(const LogQuery& query,
     ExecOptions exec_options;
     exec_options.use_data_skipping = options_.use_data_skipping;
     exec_options.use_prefetch = options_.use_cache && options_.use_prefetch;
+    exec_options.use_vectorized = options_.use_vectorized;
     // Distinct owner per query: the prefetch service schedules pending runs
     // round-robin across owners, so one wide scan cannot starve others.
     exec_options.prefetch_owner =
@@ -250,7 +324,12 @@ Result<QueryResult> QueryEngine::Execute(const LogQuery& query,
   }
   if (!status.ok()) return status;
 
-  result.stats.exec.rows_matched = result.rows.size();
+  // Aggregate queries keep the merged per-block rows_matched (ALL matching
+  // rows; there are no result rows to count). Row queries recount from the
+  // final row set because per-block counts may overshoot the limit cut.
+  if (!query.is_aggregate()) {
+    result.stats.exec.rows_matched = result.rows.size();
+  }
   result.stats.elapsed_us = SystemClock::Default()->NowMicros() - start_us;
   query_cells_.Record(result.stats);
   return result;
@@ -259,7 +338,6 @@ Result<QueryResult> QueryEngine::Execute(const LogQuery& query,
 Status QueryEngine::ExecuteSerial(
     const LogQuery& query, const std::vector<logblock::LogBlockEntry>& blocks,
     const ExecOptions& exec_options, QueryResult* result) {
-  uint32_t remaining = query.limit;
   for (const logblock::LogBlockEntry& entry : blocks) {
     AdmissionSlot slot;
     if (options_.admission != nullptr) {
@@ -282,20 +360,29 @@ Status QueryEngine::ExecuteSerial(
       }
     }
 
-    LogQuery block_query = query;
-    if (query.limit != 0) block_query.limit = remaining;
-    auto exec = ExecuteOnLogBlock(reader->get(), block_query, exec_options);
+    // Execute with the query's full limit, never a remaining count: per-
+    // block evaluation stays limit-chain-independent, so every per-block
+    // stat (including the gather's decode_cache_hits) is bit-equal to the
+    // same block under the parallel scheduler. The trim below restores the
+    // limit cut over the concatenated map-order rows.
+    auto exec = ExecuteOnLogBlock(reader->get(), query, exec_options);
     if (!exec.ok()) return exec.status();
     if (exec->stats.skipped_by_column_sma) {
       ++result->stats.logblocks_sma_skipped;
     }
     result->stats.exec.MergeFrom(exec->stats);
+    result->agg.MergeFrom(exec->agg);
     for (auto& row : exec->rows) result->rows.push_back(std::move(row));
 
-    if (query.limit != 0) {
-      if (result->rows.size() >= query.limit) break;
-      remaining = query.limit - static_cast<uint32_t>(result->rows.size());
+    // An aggregate covers all matching rows: the limit never stops the
+    // scan (result rows stay empty, so this break cannot fire for it).
+    if (query.limit != 0 && !query.is_aggregate() &&
+        result->rows.size() >= query.limit) {
+      break;
     }
+  }
+  if (query.limit != 0 && result->rows.size() > query.limit) {
+    result->rows.resize(query.limit);
   }
   return Status::OK();
 }
@@ -310,6 +397,7 @@ std::vector<FragmentSlot> QueryEngine::ExecuteFragment(
   ExecOptions exec_options;
   exec_options.use_data_skipping = options_.use_data_skipping;
   exec_options.use_prefetch = options_.use_cache && options_.use_prefetch;
+  exec_options.use_vectorized = options_.use_vectorized;
   // Distinct owner per fragment: the prefetch service schedules pending
   // runs round-robin across owners, so one wide scan cannot starve others.
   exec_options.prefetch_owner =
@@ -372,7 +460,8 @@ std::vector<FragmentSlot> QueryEngine::ExecuteFragment(
           // Execute with the query's full limit: per-block evaluation is
           // limit-independent up to the final row trim, so concatenating
           // the per-block results in map order and trimming once at merge
-          // time is byte-identical to the serial remaining-limit chain.
+          // time is byte-identical to the serial path (which runs blocks
+          // with the same full limit and trims the same way).
           auto exec = ExecuteOnLogBlock(reader->get(), query, exec_options);
           if (exec.ok()) {
             slot.ran = true;
@@ -451,6 +540,9 @@ Status QueryEngine::MergeFragmentSlots(const LogQuery& query,
       ++result->stats.logblocks_sma_skipped;
     }
     result->stats.exec.MergeFrom(slot.exec.stats);
+    // Partial aggregates combine across every slot; aggregate slots carry
+    // no rows, so the limit cut below never ends this loop early for them.
+    result->agg.MergeFrom(slot.exec.agg);
     for (auto& row : slot.exec.rows) {
       if (query.limit != 0 && result->rows.size() >= query.limit) break;
       result->rows.push_back(std::move(row));
@@ -464,8 +556,10 @@ Status QueryEngine::ExecuteParallel(
     const LogQuery& query, const std::vector<logblock::LogBlockEntry>& blocks,
     QueryResult* result) {
   // Cooperative cancellation, shared by every block task of this query.
+  // Aggregates scan every block, so the limit never arms the tracker.
   std::atomic<bool> cancel{false};
-  ScatterLimitTracker tracker(blocks.size(), query.limit, &cancel);
+  ScatterLimitTracker tracker(blocks.size(),
+                              query.is_aggregate() ? 0 : query.limit, &cancel);
   FragmentOptions fragment;
   fragment.cancel = &cancel;
   fragment.on_block_done = [&tracker](size_t tag, const FragmentSlot& slot) {

@@ -30,6 +30,11 @@ struct EngineOptions {
   bool use_data_skipping = true;
   bool use_cache = true;
   bool use_prefetch = true;
+  // Vectorized per-block execution (§15): residual predicates run as
+  // selection-bitmap kernels over whole decoded column vectors instead of
+  // the row-at-a-time probe loop. Output is byte-identical either way; off
+  // is the Figure 15-style scalar baseline for the bench sweep.
+  bool use_vectorized = true;
 
   // Wrap the store with bounded retry + backoff so transient object-store
   // failures (throttling, connection resets, truncated responses) are
@@ -85,7 +90,12 @@ struct QueryStats {
 
 struct QueryResult {
   std::vector<std::string> columns;
-  std::vector<std::vector<logblock::Value>> rows;
+  std::vector<std::vector<logblock::Value>> rows;  // empty for aggregates
+  // Merged aggregate when the query carries one (LogQuery::agg): partial
+  // aggregates are computed per block BELOW the merge and combined here, so
+  // workers ship summaries, not rows. `agg.groups` stays canonical
+  // (key-ascending); render top-k via agg.TopK(query.limit).
+  AggResult agg;
   QueryStats stats;
 };
 
@@ -98,6 +108,9 @@ struct QueryResult {
 // a limit query returns the same bytes no matter which worker holds which
 // rows, and the scatter path matches the single-engine path. Appended rows
 // are accounted in QueryStats::realtime_rows and exec.rows_matched.
+//
+// For an aggregate query the batches are folded into result->agg instead of
+// appended (all combines are commutative, so batch order cannot matter).
 Status MergeRealtimeRows(
     std::vector<std::pair<uint32_t, logblock::RowBatch>> batches,
     const LogQuery& query, QueryResult* result);
@@ -243,6 +256,10 @@ class QueryEngine {
     std::atomic<uint64_t>* column_blocks_scanned = nullptr;
     std::atomic<uint64_t>* column_blocks_skipped = nullptr;
     std::atomic<uint64_t>* index_probes = nullptr;
+    std::atomic<uint64_t>* decode_cache_hits = nullptr;
+    std::atomic<uint64_t>* vectorized_rows_scanned = nullptr;
+    std::atomic<uint64_t>* vectorized_bitmap_hits = nullptr;
+    std::atomic<uint64_t>* vectorized_kernel_ns = nullptr;
 
     void BindTo(metrics::MetricRegistry* registry);
     void Record(const QueryStats& stats) const;

@@ -77,6 +77,37 @@ struct Predicate {
   }
 };
 
+// An aggregation over the matching rows, evaluated below the merge: each
+// block/fragment ships a partial aggregate (AggResult) instead of rows, and
+// the broker combines them. kNone is a plain row-retrieval query.
+struct Aggregate {
+  enum class Kind : uint8_t {
+    kNone = 0,
+    kCount,       // row count; needs no data IO beyond filtering
+    kSum,         // int64 column sum
+    kMin,         // int64 column min
+    kMax,         // int64 column max
+    kGroupCount,  // per-value row counts (small-cardinality group-by)
+  };
+
+  Kind kind = Kind::kNone;
+  std::string column;  // aggregated column; unused for kCount
+
+  static Aggregate Count() { return {Kind::kCount, {}}; }
+  static Aggregate Sum(std::string column) {
+    return {Kind::kSum, std::move(column)};
+  }
+  static Aggregate Min(std::string column) {
+    return {Kind::kMin, std::move(column)};
+  }
+  static Aggregate Max(std::string column) {
+    return {Kind::kMax, std::move(column)};
+  }
+  static Aggregate GroupCount(std::string column) {
+    return {Kind::kGroupCount, std::move(column)};
+  }
+};
+
 // A single-tenant log retrieval: the paper's canonical template
 // (tenant + time range + per-field conjuncts + projection).
 struct LogQuery {
@@ -86,6 +117,13 @@ struct LogQuery {
   std::vector<Predicate> predicates;         // ANDed
   std::vector<std::string> select_columns;   // empty = all columns
   uint32_t limit = 0;                        // 0 = unlimited
+  // When set, the query returns QueryResult::agg instead of rows. The
+  // aggregate always covers ALL matching rows: `limit` does not cut the
+  // scan (for kGroupCount it is the presentation top-k only, applied by
+  // AggResult::TopK at the very end).
+  Aggregate agg;
+
+  bool is_aggregate() const { return agg.kind != Aggregate::Kind::kNone; }
 };
 
 }  // namespace logstore::query

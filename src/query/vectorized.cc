@@ -1,0 +1,85 @@
+#include "query/vectorized.h"
+
+#include <algorithm>
+
+#include "index/inverted_index.h"
+
+namespace logstore::query::vectorized {
+
+namespace {
+
+// Fills the bitmap one 64-lane word at a time. `pred(i)` must be cheap and
+// branch-poor: for the int kernels it inlines to a single comparison, so the
+// inner loop is a compare + shift + or per lane with no data-dependent
+// branches.
+template <typename Pred>
+uint32_t FillBitmap(uint32_t n, uint64_t* words, Pred pred) {
+  uint32_t hits = 0;
+  const uint32_t nwords = (n + 63) / 64;
+  for (uint32_t w = 0; w < nwords; ++w) {
+    const uint32_t base = w << 6;
+    const uint32_t lanes = std::min<uint32_t>(64, n - base);
+    uint64_t bits = 0;
+    for (uint32_t b = 0; b < lanes; ++b) {
+      bits |= static_cast<uint64_t>(pred(base + b) ? 1u : 0u) << b;
+    }
+    words[w] = bits;  // tail bits past n stay 0
+    hits += static_cast<uint32_t>(__builtin_popcountll(bits));
+  }
+  return hits;
+}
+
+}  // namespace
+
+uint32_t FilterInt64Compare(const int64_t* values, uint32_t n, CompareOp op,
+                            int64_t operand, uint64_t* words) {
+  // Dispatch ONCE, outside the loop: each case body is a pure compare loop
+  // the compiler can unroll and vectorize.
+  switch (op) {
+    case CompareOp::kEq:
+      return FillBitmap(n, words,
+                        [&](uint32_t i) { return values[i] == operand; });
+    case CompareOp::kNe:
+      return FillBitmap(n, words,
+                        [&](uint32_t i) { return values[i] != operand; });
+    case CompareOp::kLt:
+      return FillBitmap(n, words,
+                        [&](uint32_t i) { return values[i] < operand; });
+    case CompareOp::kLe:
+      return FillBitmap(n, words,
+                        [&](uint32_t i) { return values[i] <= operand; });
+    case CompareOp::kGt:
+      return FillBitmap(n, words,
+                        [&](uint32_t i) { return values[i] > operand; });
+    case CompareOp::kGe:
+      return FillBitmap(n, words,
+                        [&](uint32_t i) { return values[i] >= operand; });
+  }
+  return FillBitmap(n, words, [](uint32_t) { return false; });
+}
+
+uint32_t FilterStringEq(const std::string* values, uint32_t n,
+                        const std::string& operand, uint64_t* words) {
+  // The size test rejects most rows without touching the character data.
+  const size_t len = operand.size();
+  return FillBitmap(n, words, [&](uint32_t i) {
+    return values[i].size() == len && values[i] == operand;
+  });
+}
+
+uint32_t FilterMatchTokens(const std::string* values, uint32_t n,
+                           const std::vector<std::string>& tokens,
+                           uint64_t* words) {
+  return FillBitmap(n, words, [&](uint32_t i) {
+    const auto value_tokens = index::Tokenize(values[i]);
+    for (const std::string& t : tokens) {
+      if (std::find(value_tokens.begin(), value_tokens.end(), t) ==
+          value_tokens.end()) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+}  // namespace logstore::query::vectorized

@@ -1,0 +1,41 @@
+#ifndef LOGSTORE_QUERY_VECTORIZED_H_
+#define LOGSTORE_QUERY_VECTORIZED_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/predicate.h"
+
+namespace logstore::query::vectorized {
+
+// Selection-bitmap filter kernels: each evaluates one predicate over a whole
+// decoded column vector and writes a word-packed bitmap — bit j of words[j /
+// 64] is set iff row j matches. All kernels share the contract:
+//
+//   - `words` has (n + 63) / 64 entries; every word is fully overwritten
+//     and tail bits past n are cleared, so callers can AND bitmaps together
+//     or fold them into a RowIdSet (IntersectBitmap) without masking.
+//   - the return value is the number of selected rows (popcount).
+//
+// The int kernel's inner loop is branch-free — one comparison folded into a
+// bit per lane, 64 lanes per word — which is the shape auto-vectorizers
+// turn into SIMD compares + movemask.
+
+uint32_t FilterInt64Compare(const int64_t* values, uint32_t n, CompareOp op,
+                            int64_t operand, uint64_t* words);
+
+uint32_t FilterStringEq(const std::string* values, uint32_t n,
+                        const std::string& operand, uint64_t* words);
+
+// Full-text MATCH fallback scan: a row is selected iff every query token
+// (pre-tokenized ONCE by the caller, never per row) appears among the
+// row value's tokens. An empty token list selects every row, matching the
+// scalar EvalOnDecoded semantics.
+uint32_t FilterMatchTokens(const std::string* values, uint32_t n,
+                           const std::vector<std::string>& tokens,
+                           uint64_t* words);
+
+}  // namespace logstore::query::vectorized
+
+#endif  // LOGSTORE_QUERY_VECTORIZED_H_

@@ -16,6 +16,7 @@
 #include "common/clock.h"
 #include "objectstore/fault_injecting_object_store.h"
 #include "objectstore/memory_object_store.h"
+#include "query/aggregation.h"
 #include "query/engine.h"
 #include "workload/loggen.h"
 #include "workload/querygen.h"
@@ -138,6 +139,105 @@ TEST_P(ScatterQueryTest, MatchesSingleEngineByteForByte) {
     const auto stats = deployment.cluster->admission()->TenantStats(
         static_cast<uint64_t>(GetParam()) % 3);
     EXPECT_GT(stats.grants, 0u) << "threads=" << threads;
+  }
+}
+
+TEST_P(ScatterQueryTest, AggregationPushdownMatchesSingleEngineAndBroker) {
+  // Aggregates ship per-fragment partial AggResults below the scatter merge
+  // (§15): the combined aggregate must equal the single-broker-engine path
+  // AND a broker-side aggregation over the full no-limit row result — with
+  // the realtime tail folded in on both paths.
+  auto deployment = OpenDeployment(4, /*admission_slots=*/3);
+  Cluster* cluster = deployment.cluster.get();
+
+  workload::QueryGenerator qgen(static_cast<uint64_t>(GetParam()));
+  const uint64_t tenant = static_cast<uint64_t>(GetParam()) % 3;
+  auto expect_same_agg = [](const query::AggResult& expected,
+                            const query::AggResult& actual,
+                            const std::string& label) {
+    EXPECT_EQ(actual.kind, expected.kind) << label;
+    EXPECT_EQ(actual.rows, expected.rows) << label;
+    EXPECT_EQ(actual.sum, expected.sum) << label;
+    EXPECT_EQ(actual.min, expected.min) << label;
+    EXPECT_EQ(actual.max, expected.max) << label;
+    ASSERT_EQ(actual.groups.size(), expected.groups.size()) << label;
+    for (size_t g = 0; g < expected.groups.size(); ++g) {
+      EXPECT_EQ(actual.groups[g].key, expected.groups[g].key) << label;
+      EXPECT_EQ(actual.groups[g].count, expected.groups[g].count) << label;
+    }
+  };
+
+  for (const auto& base_query : qgen.TenantQuerySet(tenant, 0, kHistory)) {
+    // Broker ground truth: aggregate the FULL row result of the same
+    // filtered query (realtime tail included) with the broker helpers.
+    query::LogQuery rows_query = base_query;
+    rows_query.limit = 0;
+    rows_query.select_columns = {"latency", "ip"};
+    auto rows = cluster->QuerySingleEngine(rows_query);
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    const auto latencies = query::QueryEngine::Column(*rows, "latency");
+    const auto ips = query::QueryEngine::Column(*rows, "ip");
+    const query::Int64Rollup rollup = query::RollupInt64(latencies);
+    const auto all_groups = query::GroupCountTopK(ips, ips.size() + 1);
+
+    const query::Aggregate kinds[] = {
+        query::Aggregate::Count(), query::Aggregate::Sum("latency"),
+        query::Aggregate::Min("latency"), query::Aggregate::Max("latency"),
+        query::Aggregate::GroupCount("ip")};
+    for (const query::Aggregate& agg : kinds) {
+      query::LogQuery query = base_query;
+      query.limit = 0;
+      query.select_columns.clear();
+      query.agg = agg;
+      auto single = cluster->QuerySingleEngine(query);
+      ASSERT_TRUE(single.ok()) << single.status().ToString();
+      auto scattered = cluster->Query(query);
+      ASSERT_TRUE(scattered.ok()) << scattered.status().ToString();
+      EXPECT_TRUE(scattered->rows.empty());  // summaries, never rows
+      const std::string label = "agg kind=" +
+                                std::to_string(static_cast<int>(agg.kind));
+      expect_same_agg(single->agg, scattered->agg, label + " (vs single)");
+      EXPECT_EQ(scattered->stats.exec.rows_matched,
+                single->stats.exec.rows_matched)
+          << label;
+      EXPECT_EQ(scattered->stats.realtime_rows, single->stats.realtime_rows)
+          << label;
+
+      EXPECT_EQ(scattered->agg.rows, rollup.count) << label;
+      switch (agg.kind) {
+        case query::Aggregate::Kind::kSum:
+          EXPECT_EQ(scattered->agg.sum, rollup.sum) << label;
+          break;
+        case query::Aggregate::Kind::kMin:
+          if (rollup.count > 0) {
+            EXPECT_EQ(scattered->agg.min, rollup.min) << label;
+          }
+          break;
+        case query::Aggregate::Kind::kMax:
+          if (rollup.count > 0) {
+            EXPECT_EQ(scattered->agg.max, rollup.max) << label;
+          }
+          break;
+        case query::Aggregate::Kind::kGroupCount: {
+          const auto topk = scattered->agg.TopK(0);
+          ASSERT_EQ(topk.size(), all_groups.size()) << label;
+          for (size_t g = 0; g < topk.size(); ++g) {
+            EXPECT_EQ(topk[g].key, all_groups[g].key) << label;
+            EXPECT_EQ(topk[g].count, all_groups[g].count) << label;
+          }
+          break;
+        }
+        default:
+          break;
+      }
+
+      // A limit on an aggregate is presentation-only: the scatter must not
+      // arm the limit tracker or cut any fragment's scan.
+      query.limit = 5;
+      auto limited = cluster->Query(query);
+      ASSERT_TRUE(limited.ok()) << limited.status().ToString();
+      expect_same_agg(scattered->agg, limited->agg, label + " (limit=5)");
+    }
   }
 }
 

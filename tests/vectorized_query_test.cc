@@ -1,0 +1,437 @@
+// Vectorized-execution property tests (§15): the selection-bitmap kernel
+// path must be invisible — byte-identical rows (content AND order) and
+// deterministic stats to the row-at-a-time scalar path — across a seeded
+// (predicate mix x limit x threads x data-skipping) matrix; aggregation
+// pushdown must reproduce the broker-side helpers applied to the full
+// no-limit row result; and the kernels/bitmap-fold primitives must agree
+// with their per-row reference semantics on randomized inputs.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/data_builder.h"
+#include "common/random.h"
+#include "index/rowid_set.h"
+#include "objectstore/memory_object_store.h"
+#include "query/aggregation.h"
+#include "query/engine.h"
+#include "query/vectorized.h"
+#include "rowstore/row_store.h"
+#include "workload/loggen.h"
+#include "workload/querygen.h"
+
+namespace logstore::query {
+namespace {
+
+// --- Kernel / bitmap-fold unit tests (randomized vs per-row reference) ---
+
+TEST(IntersectBitmapTest, MatchesPerRowReference) {
+  Random rng(2024);
+  for (int round = 0; round < 200; ++round) {
+    const uint32_t num_rows = 1 + static_cast<uint32_t>(rng.Uniform(300));
+    const uint32_t first_row = static_cast<uint32_t>(rng.Uniform(num_rows));
+    const uint32_t count =
+        1 + static_cast<uint32_t>(rng.Uniform(num_rows - first_row + 40));
+
+    index::RowIdSet set(num_rows);
+    index::RowIdSet reference(num_rows);
+    for (uint32_t r = 0; r < num_rows; ++r) {
+      if (rng.Uniform(3) != 0) {
+        set.Add(r);
+        reference.Add(r);
+      }
+    }
+
+    std::vector<uint64_t> words((count + 63) / 64, 0);
+    for (uint32_t j = 0; j < count; ++j) {
+      if (rng.Uniform(2) == 0) words[j / 64] |= 1ull << (j % 64);
+    }
+
+    set.IntersectBitmap(first_row, words.data(), count);
+    // Reference semantics: remove every covered row whose bit is clear;
+    // rows outside [first_row, first_row + count) are untouched.
+    for (uint32_t j = 0; j < count; ++j) {
+      const uint32_t row = first_row + j;
+      if (row >= num_rows) break;
+      if (((words[j / 64] >> (j % 64)) & 1) == 0) reference.Remove(row);
+    }
+    ASSERT_EQ(set.ToVector(), reference.ToVector())
+        << "round=" << round << " num_rows=" << num_rows
+        << " first_row=" << first_row << " count=" << count;
+  }
+}
+
+TEST(FilterKernelTest, Int64CompareMatchesPredicateEval) {
+  Random rng(7);
+  const CompareOp ops[] = {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                           CompareOp::kLe, CompareOp::kGt, CompareOp::kGe};
+  for (int round = 0; round < 100; ++round) {
+    const uint32_t n = 1 + static_cast<uint32_t>(rng.Uniform(200));
+    std::vector<int64_t> values(n);
+    for (auto& v : values) v = static_cast<int64_t>(rng.Uniform(16)) - 8;
+    const CompareOp op = ops[rng.Uniform(6)];
+    const int64_t operand = static_cast<int64_t>(rng.Uniform(16)) - 8;
+    const Predicate pred = Predicate::Int64Compare("c", op, operand);
+
+    std::vector<uint64_t> words((n + 63) / 64, ~0ull);  // must be overwritten
+    const uint32_t hits = vectorized::FilterInt64Compare(
+        values.data(), n, op, operand, words.data());
+
+    uint32_t expected_hits = 0;
+    for (uint32_t j = 0; j < n; ++j) {
+      const bool want = pred.EvalInt64(values[j]);
+      expected_hits += want ? 1 : 0;
+      ASSERT_EQ(((words[j / 64] >> (j % 64)) & 1) != 0, want)
+          << "round=" << round << " row=" << j;
+    }
+    EXPECT_EQ(hits, expected_hits);
+    // Tail bits past n must be cleared so bitmaps AND/fold without masking.
+    if ((n % 64) != 0) {
+      EXPECT_EQ(words.back() & (~0ull << (n % 64)), 0ull) << "round=" << round;
+    }
+  }
+}
+
+TEST(FilterKernelTest, StringEqAndMatchTokens) {
+  const std::vector<std::string> values = {
+      "connection timeout on 192.168.0.1", "ok",           "timeout",
+      "retry after timeout budget",        "connection ok", ""};
+  const uint32_t n = static_cast<uint32_t>(values.size());
+  std::vector<uint64_t> words((n + 63) / 64, ~0ull);
+
+  EXPECT_EQ(vectorized::FilterStringEq(values.data(), n, "ok", words.data()),
+            1u);
+  EXPECT_TRUE((words[0] >> 1) & 1);
+
+  EXPECT_EQ(vectorized::FilterMatchTokens(values.data(), n, {"timeout"},
+                                          words.data()),
+            3u);
+  EXPECT_EQ(words[0] & 0x3full, 0b001101ull);
+
+  EXPECT_EQ(vectorized::FilterMatchTokens(values.data(), n,
+                                          {"connection", "timeout"},
+                                          words.data()),
+            1u);
+  EXPECT_EQ(words[0] & 0x3full, 0b000001ull);
+
+  // Empty token list selects every row (the scalar EvalOnDecoded contract).
+  EXPECT_EQ(vectorized::FilterMatchTokens(values.data(), n, {}, words.data()),
+            n);
+}
+
+// --- Engine-level equality matrix ---
+
+class VectorizedQueryTest : public ::testing::TestWithParam<int> {
+ protected:
+  static constexpr int64_t kHistory = 8ll * 3600 * 1'000'000;
+
+  void SetUp() override {
+    store_ = std::make_unique<objectstore::MemoryObjectStore>();
+    // Small LogBlocks and column blocks so the kernels see many partial
+    // tail blocks and the candidate bitmaps land at odd word offsets.
+    cluster::DataBuilderOptions builder_options;
+    builder_options.max_rows_per_logblock = 500;
+    builder_options.block_options.rows_per_block = 128;
+    cluster::DataBuilder builder(store_.get(), &map_, builder_options);
+    rowstore::RowStore rows(logblock::RequestLogSchema());
+    workload::LogGenerator gen(41);
+    for (uint64_t tenant = 0; tenant < 3; ++tenant) {
+      rows.Append(tenant, gen.Generate(tenant, 4000, 0, kHistory));
+    }
+    ASSERT_TRUE(builder.BuildOnce(&rows).ok());
+  }
+
+  EngineOptions Options(int threads, bool vectorized,
+                        bool skipping = true) const {
+    EngineOptions options;
+    options.query_threads = threads;
+    options.use_vectorized = vectorized;
+    options.use_data_skipping = skipping;
+    options.prefetch_threads = 4;
+    options.io_block_size = 4096;
+    options.cache_options.memory_capacity_bytes = 8 << 20;
+    options.cache_options.ssd_dir.clear();
+    return options;
+  }
+
+  Result<QueryResult> Run(const EngineOptions& options, const LogQuery& query) {
+    auto engine = QueryEngine::Open(store_.get(), options);
+    if (!engine.ok()) return engine.status();
+    return (*engine)->Execute(query, map_);
+  }
+
+  // Byte-identity across execution MODES: rows, order, and every
+  // deterministic stat shared by the scalar and vectorized paths —
+  // including decode_cache_hits, which counts the same block reuse either
+  // way. vectorized_* stats are mode-specific (zero on the scalar path)
+  // and vectorized_kernel_ns is wall clock, so they stay out of this check.
+  void ExpectIdentical(const QueryResult& expected, const QueryResult& actual,
+                       const std::string& label) {
+    EXPECT_EQ(actual.columns, expected.columns) << label;
+    ASSERT_EQ(actual.rows.size(), expected.rows.size()) << label;
+    for (size_t r = 0; r < expected.rows.size(); ++r) {
+      EXPECT_EQ(actual.rows[r], expected.rows[r]) << label << " row " << r;
+    }
+    EXPECT_EQ(actual.stats.logblocks_total, expected.stats.logblocks_total)
+        << label;
+    EXPECT_EQ(actual.stats.logblocks_pruned, expected.stats.logblocks_pruned)
+        << label;
+    EXPECT_EQ(actual.stats.logblocks_sma_skipped,
+              expected.stats.logblocks_sma_skipped)
+        << label;
+    EXPECT_EQ(actual.stats.exec.column_blocks_scanned,
+              expected.stats.exec.column_blocks_scanned)
+        << label;
+    EXPECT_EQ(actual.stats.exec.column_blocks_skipped,
+              expected.stats.exec.column_blocks_skipped)
+        << label;
+    EXPECT_EQ(actual.stats.exec.index_probes, expected.stats.exec.index_probes)
+        << label;
+    EXPECT_EQ(actual.stats.exec.rows_matched, expected.stats.exec.rows_matched)
+        << label;
+    EXPECT_EQ(actual.stats.exec.decode_cache_hits,
+              expected.stats.exec.decode_cache_hits)
+        << label;
+  }
+
+  void ExpectSameAgg(const AggResult& expected, const AggResult& actual,
+                     const std::string& label) {
+    EXPECT_EQ(actual.kind, expected.kind) << label;
+    EXPECT_EQ(actual.rows, expected.rows) << label;
+    EXPECT_EQ(actual.sum, expected.sum) << label;
+    EXPECT_EQ(actual.min, expected.min) << label;
+    EXPECT_EQ(actual.max, expected.max) << label;
+    ASSERT_EQ(actual.groups.size(), expected.groups.size()) << label;
+    for (size_t g = 0; g < expected.groups.size(); ++g) {
+      EXPECT_EQ(actual.groups[g].key, expected.groups[g].key)
+          << label << " group " << g;
+      EXPECT_EQ(actual.groups[g].count, expected.groups[g].count)
+          << label << " group " << g;
+    }
+  }
+
+  std::unique_ptr<objectstore::MemoryObjectStore> store_;
+  logblock::LogBlockMap map_;
+};
+
+TEST_P(VectorizedQueryTest, MatchesScalarByteForByte) {
+  workload::QueryGenerator qgen(static_cast<uint64_t>(GetParam()));
+  const uint64_t tenant = static_cast<uint64_t>(GetParam()) % 3;
+  for (const auto& base_query : qgen.TenantQuerySet(tenant, 0, kHistory)) {
+    for (bool skipping : {true, false}) {
+      for (uint32_t limit : {0u, 1u, 7u, 100u}) {
+        LogQuery query = base_query;
+        query.limit = limit;
+        // Ground truth: scalar, serial, same skipping setting (skipping
+        // changes which blocks are scanned, so it must match on both sides).
+        auto scalar = Run(Options(1, /*vectorized=*/false, skipping), query);
+        ASSERT_TRUE(scalar.ok()) << scalar.status().ToString();
+        for (int threads : {1, 8}) {
+          auto vec = Run(Options(threads, /*vectorized=*/true, skipping),
+                         query);
+          ASSERT_TRUE(vec.ok()) << vec.status().ToString();
+          ExpectIdentical(*scalar, *vec,
+                          "skipping=" + std::to_string(skipping) +
+                              " limit=" + std::to_string(limit) +
+                              " threads=" + std::to_string(threads));
+        }
+      }
+    }
+  }
+}
+
+TEST_P(VectorizedQueryTest, VectorizedStatsDeterministicAcrossThreads) {
+  // With skipping off, every residual column block goes through a kernel:
+  // vectorized_rows_scanned/bitmap_hits must be nonzero, identical between
+  // the serial and 8-thread schedulers, and zero on the scalar path.
+  workload::QueryGenerator qgen(static_cast<uint64_t>(GetParam()));
+  const uint64_t tenant = static_cast<uint64_t>(GetParam()) % 3;
+  for (auto query : qgen.TenantQuerySet(tenant, 0, kHistory)) {
+    if (query.predicates.empty()) continue;  // nothing reaches a kernel
+    query.limit = 0;
+    auto serial = Run(Options(1, true, /*skipping=*/false), query);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    EXPECT_GT(serial->stats.exec.vectorized_rows_scanned, 0u);
+
+    auto parallel = Run(Options(8, true, /*skipping=*/false), query);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_EQ(parallel->stats.exec.vectorized_rows_scanned,
+              serial->stats.exec.vectorized_rows_scanned);
+    EXPECT_EQ(parallel->stats.exec.vectorized_bitmap_hits,
+              serial->stats.exec.vectorized_bitmap_hits);
+
+    auto scalar = Run(Options(1, false, /*skipping=*/false), query);
+    ASSERT_TRUE(scalar.ok());
+    EXPECT_EQ(scalar->stats.exec.vectorized_rows_scanned, 0u);
+    EXPECT_EQ(scalar->stats.exec.vectorized_bitmap_hits, 0u);
+  }
+}
+
+TEST_F(VectorizedQueryTest, DecodeCacheServesGatherAndRepeatPredicates) {
+  // The gather re-touches the column the residual scan just decoded: the
+  // per-execution cache must serve it without a second decode.
+  LogQuery query;
+  query.tenant_id = 1;
+  query.ts_min = 0;
+  query.ts_max = kHistory;
+  query.predicates.push_back(Predicate::Match("log", "timeout"));
+  query.select_columns = {"log"};
+  auto result = Run(Options(1, true), query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GT(result->rows.size(), 0u);
+  EXPECT_GT(result->stats.exec.decode_cache_hits, 0u);
+
+  // Two predicates on one column: the second predicate's scan reuses the
+  // first's decodes (skipping off so both scan every block).
+  LogQuery two;
+  two.tenant_id = 1;
+  two.ts_min = 0;
+  two.ts_max = kHistory;
+  two.predicates.push_back(
+      Predicate::Int64Compare("latency", CompareOp::kGe, 100));
+  two.predicates.push_back(
+      Predicate::Int64Compare("latency", CompareOp::kLt, 100'000));
+  two.select_columns = {"ts"};
+  auto repeat = Run(Options(1, true, /*skipping=*/false), two);
+  ASSERT_TRUE(repeat.ok()) << repeat.status().ToString();
+  EXPECT_GT(repeat->stats.exec.decode_cache_hits, 0u);
+
+  // Scalar mode shares the cache and must report the SAME hit count.
+  auto scalar = Run(Options(1, false, /*skipping=*/false), two);
+  ASSERT_TRUE(scalar.ok());
+  EXPECT_EQ(scalar->stats.exec.decode_cache_hits,
+            repeat->stats.exec.decode_cache_hits);
+}
+
+TEST_P(VectorizedQueryTest, AggregationPushdownMatchesBrokerHelpers) {
+  // Ground truth: the broker-side helpers (RollupInt64 / GroupCountTopK)
+  // applied to the FULL no-limit row result of the same filtered query.
+  workload::QueryGenerator qgen(static_cast<uint64_t>(GetParam()));
+  const uint64_t tenant = static_cast<uint64_t>(GetParam()) % 3;
+  int queries_with_rows = 0;
+  for (const auto& base_query : qgen.TenantQuerySet(tenant, 0, kHistory)) {
+    LogQuery rows_query = base_query;
+    rows_query.limit = 0;
+    rows_query.select_columns = {"latency", "ip"};
+    auto rows = Run(Options(1, false), rows_query);
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    if (!rows->rows.empty()) ++queries_with_rows;
+    const auto latencies = QueryEngine::Column(*rows, "latency");
+    const auto ips = QueryEngine::Column(*rows, "ip");
+    const Int64Rollup rollup = RollupInt64(latencies);
+    const auto all_groups = GroupCountTopK(ips, ips.size() + 1);
+
+    const Aggregate kinds[] = {Aggregate::Count(), Aggregate::Sum("latency"),
+                               Aggregate::Min("latency"),
+                               Aggregate::Max("latency"),
+                               Aggregate::GroupCount("ip")};
+    for (const Aggregate& agg : kinds) {
+      LogQuery query = base_query;
+      query.limit = 0;
+      query.select_columns.clear();
+      query.agg = agg;
+
+      auto ground = Run(Options(1, false), query);
+      ASSERT_TRUE(ground.ok()) << ground.status().ToString();
+      // Aggregates ship summaries, never rows.
+      EXPECT_TRUE(ground->rows.empty());
+      EXPECT_EQ(ground->agg.rows, rollup.count);
+      EXPECT_EQ(ground->stats.exec.rows_matched, rollup.count);
+      switch (agg.kind) {
+        case Aggregate::Kind::kSum:
+          EXPECT_EQ(ground->agg.sum, rollup.sum);
+          break;
+        case Aggregate::Kind::kMin:
+          if (rollup.count > 0) {
+            EXPECT_EQ(ground->agg.min, rollup.min);
+          }
+          break;
+        case Aggregate::Kind::kMax:
+          if (rollup.count > 0) {
+            EXPECT_EQ(ground->agg.max, rollup.max);
+          }
+          break;
+        case Aggregate::Kind::kGroupCount: {
+          const auto topk = ground->agg.TopK(0);
+          ASSERT_EQ(topk.size(), all_groups.size());
+          for (size_t g = 0; g < topk.size(); ++g) {
+            EXPECT_EQ(topk[g].key, all_groups[g].key) << "group " << g;
+            EXPECT_EQ(topk[g].count, all_groups[g].count) << "group " << g;
+          }
+          break;
+        }
+        default:
+          break;
+      }
+
+      // The pushdown must be invisible across modes, schedulers, skipping.
+      for (bool skipping : {true, false}) {
+        auto skip_ground = Run(Options(1, false, skipping), query);
+        ASSERT_TRUE(skip_ground.ok()) << skip_ground.status().ToString();
+        for (int threads : {1, 8}) {
+          for (bool vectorized : {true, false}) {
+            auto run = Run(Options(threads, vectorized, skipping), query);
+            ASSERT_TRUE(run.ok()) << run.status().ToString();
+            EXPECT_TRUE(run->rows.empty());
+            ExpectSameAgg(skip_ground->agg, run->agg,
+                          "threads=" + std::to_string(threads) +
+                              " vectorized=" + std::to_string(vectorized) +
+                              " skipping=" + std::to_string(skipping));
+            EXPECT_EQ(run->stats.exec.rows_matched,
+                      skip_ground->stats.exec.rows_matched);
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(queries_with_rows, 0);
+}
+
+TEST_F(VectorizedQueryTest, LimitNeverCutsAnAggregateScan) {
+  // `limit` on an aggregate is presentation-only: the scan covers ALL
+  // matching rows, and for kGroupCount the limit is the TopK cut.
+  LogQuery query;
+  query.tenant_id = 0;
+  query.ts_min = 0;
+  query.ts_max = kHistory;
+  query.predicates.push_back(Predicate::StringEq("fail", "false"));
+  query.agg = Aggregate::GroupCount("ip");
+
+  auto unlimited = Run(Options(8, true), query);
+  ASSERT_TRUE(unlimited.ok()) << unlimited.status().ToString();
+  ASSERT_GT(unlimited->agg.rows, 7u) << "dataset too small for the test";
+
+  query.limit = 7;
+  auto limited = Run(Options(8, true), query);
+  ASSERT_TRUE(limited.ok()) << limited.status().ToString();
+  // Same full aggregate (canonical groups included) despite the limit...
+  EXPECT_EQ(limited->agg.rows, unlimited->agg.rows);
+  ASSERT_EQ(limited->agg.groups.size(), unlimited->agg.groups.size());
+  EXPECT_EQ(limited->stats.exec.rows_matched,
+            unlimited->stats.exec.rows_matched);
+  // ...with the limit applied only by the presentation TopK.
+  const auto top = limited->agg.TopK(query.limit);
+  ASSERT_LE(top.size(), 7u);
+  const auto full = unlimited->agg.TopK(0);
+  for (size_t g = 0; g < top.size(); ++g) {
+    EXPECT_EQ(top[g].key, full[g].key) << "group " << g;
+    EXPECT_EQ(top[g].count, full[g].count) << "group " << g;
+  }
+
+  // kCount with a limit: same row count as the unlimited row query.
+  LogQuery count_query = query;
+  count_query.limit = 1;
+  count_query.agg = Aggregate::Count();
+  auto counted = Run(Options(8, true), count_query);
+  ASSERT_TRUE(counted.ok());
+  EXPECT_EQ(counted->agg.rows, unlimited->agg.rows);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VectorizedQueryTest, ::testing::Range(1, 4));
+
+}  // namespace
+}  // namespace logstore::query
